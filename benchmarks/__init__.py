@@ -1,0 +1,2 @@
+"""Benchmark package: one module per table/figure of the paper (see
+DESIGN.md section 4 for the experiment index)."""

@@ -1,0 +1,51 @@
+"""Ablation: predicate pushdown onto the cache table, on vs off.
+
+Isolates the §IV-F optimisation on the two selective queries (Q2, Q9):
+with pushdown off, both readers decode every row group; with it on, the
+cache reader's SARG eliminates row groups and shares the skip mask with
+the primary reader.
+"""
+
+import pytest
+
+from .conftest import once, save_result
+
+_rows: dict[str, dict] = {}
+
+
+@pytest.mark.parametrize("query_id", ["Q2", "Q9"])
+def test_ablation_pushdown(benchmark, env, query_id):
+    env.cache_with_budget(env.total_candidate_bytes(), "score")
+    sql = env.queries[query_id].sql
+    modifier = env.system.modifier
+
+    modifier.enable_pushdown = False
+    try:
+        off = env.system.sql(sql)
+    finally:
+        modifier.enable_pushdown = True
+
+    on = once(benchmark, lambda: env.system.sql(sql))
+    assert sorted(map(str, on.rows)) == sorted(map(str, off.rows))
+
+    entry = {
+        "pushdown_off": {
+            "bytes_read": off.metrics.bytes_read,
+            "row_groups_skipped": off.metrics.row_groups_skipped,
+            "seconds": off.metrics.total_seconds,
+        },
+        "pushdown_on": {
+            "bytes_read": on.metrics.bytes_read,
+            "row_groups_skipped": on.metrics.row_groups_skipped,
+            "seconds": on.metrics.total_seconds,
+        },
+    }
+    _rows[query_id] = entry
+    save_result(f"ablation_pushdown_{query_id}", entry)
+
+    assert on.metrics.row_groups_skipped > 0
+    assert off.metrics.row_groups_skipped == 0
+    assert on.metrics.bytes_read < off.metrics.bytes_read
+
+    if len(_rows) == 2:
+        save_result("ablation_pushdown_summary", _rows)

@@ -1,0 +1,104 @@
+"""Ablation: Pikkr-style speculative parsing, stable vs varying schema.
+
+Fig 15's discussion hinges on Mison's behaviour depending on schema
+stability: "especially in Q6 where the JSON pattern has little change"
+it excels, while datasets "when the JSON schema varies significantly"
+erode the advantage. This bench isolates the mechanism: projection cost
+with speculation on vs off, over a schema-stable stream (all documents
+identical shape) and a schema-varying stream (field widths and presence
+shuffle per document).
+"""
+
+import random
+import time
+
+import pytest
+
+from repro.jsonlib import JacksonParser, MisonParser, dumps
+
+from .conftest import once, save_result
+
+DOCS = 1500
+PATHS = ["$.a", "$.metrics.latency", "$.tag"]
+
+
+def stable_docs():
+    return [
+        dumps({"a": 1000 + i % 10, "metrics": {"latency": 5, "qps": 7},
+               "tag": "t0", "pad": "x" * 40})
+        for i in range(DOCS)
+    ]
+
+
+def varying_docs():
+    rng = random.Random(5)
+    out = []
+    for i in range(DOCS):
+        doc = {"a": rng.randint(0, 10 ** rng.randint(1, 8))}
+        if rng.random() < 0.7:
+            doc["extra"] = "y" * rng.randint(1, 60)
+        doc["metrics"] = {"latency": rng.randint(0, 999)}
+        if rng.random() < 0.5:
+            doc["metrics"]["qps"] = rng.randint(0, 99)
+        doc["tag"] = f"t{rng.randint(0, 9)}"
+        out.append(dumps(doc))
+    return out
+
+
+def _project_all(parser, docs):
+    started = time.perf_counter()
+    for doc in docs:
+        parser.project(doc, PATHS)
+    return time.perf_counter() - started
+
+
+def _jackson_all(docs):
+    from repro.jsonlib.jsonpath import evaluate
+
+    parser = JacksonParser()
+    started = time.perf_counter()
+    for doc in docs:
+        document = parser.parse(doc)
+        for path in PATHS:
+            evaluate(path, document)
+    return time.perf_counter() - started
+
+
+@pytest.mark.parametrize("schema", ["stable", "varying"])
+def test_ablation_speculation(benchmark, schema):
+    docs = stable_docs() if schema == "stable" else varying_docs()
+
+    def run():
+        speculative = MisonParser(speculative=True)
+        plain = MisonParser(speculative=False)
+        spec_seconds = _project_all(speculative, docs)
+        plain_seconds = _project_all(plain, docs)
+        jackson_seconds = _jackson_all(docs)
+        return speculative, spec_seconds, plain_seconds, jackson_seconds
+
+    speculative, spec_s, plain_s, jackson_s = once(benchmark, run)
+    hits = speculative.speculation_hits
+    misses = speculative.speculation_misses
+    payload = {
+        "schema": schema,
+        "speculative_seconds": spec_s,
+        "structural_index_seconds": plain_s,
+        "jackson_seconds": jackson_s,
+        "speculation_hit_rate": hits / max(hits + misses, 1),
+        "claim": "speculation collapses projection cost on schema-stable "
+        "data; varying schemas fall back to the structural scan",
+    }
+    save_result(f"ablation_speculation_{schema}", payload)
+    # NOTE: with small documents and several paths per call, the pure-
+    # Python structural scan does not beat a full parse (it does at the
+    # Fig 15 document sizes); the speculation claim is about the *hit*
+    # fast path, which skips both.
+    if schema == "stable":
+        assert payload["speculation_hit_rate"] > 0.9
+        assert spec_s < plain_s  # hits skip the structural scan
+        assert spec_s < jackson_s  # and beat full parsing outright
+    else:
+        # varying schema: hit rate collapses; correctness maintained by
+        # the structural-index fallback (asserted in unit tests).
+        assert payload["speculation_hit_rate"] < 0.9
+        assert spec_s < plain_s * 1.5  # fallback keeps overhead bounded

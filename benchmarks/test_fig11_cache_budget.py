@@ -1,0 +1,78 @@
+"""Fig 11: total execution time of the ten queries vs cache budget.
+
+The paper caches under budgets of 100/200/300/400 GB and compares the
+scoring-function selection against random selection and no caching.
+Findings reproduced here: (a) larger budgets shorten total time, (b) the
+scoring strategy beats random at every non-saturated budget, (c) at the
+budget that fits every MPJP the two selections converge.
+
+Budgets scale to the simulator: the '400GB' point is the byte size of all
+candidate MPJP values; 100/200/300 GB map to 25/50/75%.
+"""
+
+import pytest
+
+from .conftest import once, save_result
+
+BUDGET_POINTS = {"100GB": 0.25, "200GB": 0.50, "300GB": 0.75, "400GB": 1.00}
+
+_series: dict[str, dict] = {}
+
+
+def _total_seconds(results) -> float:
+    return sum(r.metrics.total_seconds for r in results.values())
+
+
+def test_fig11_no_cache(benchmark, env):
+    env.drop_cache()
+    results = once(benchmark, lambda: env.run_all(use_maxson=False))
+    _series["no_cache"] = {"total_seconds": _total_seconds(results)}
+    save_result("fig11_no_cache", _series["no_cache"])
+
+
+@pytest.mark.parametrize("point", list(BUDGET_POINTS))
+@pytest.mark.parametrize("strategy", ["score", "random"])
+def test_fig11_budget(benchmark, env, point, strategy):
+    budget = int(env.total_candidate_bytes() * BUDGET_POINTS[point])
+    report = env.cache_with_budget(budget, strategy=strategy)
+
+    results = once(benchmark, lambda: env.run_all(use_maxson=True))
+    total = _total_seconds(results)
+    entry = {
+        "budget_bytes": budget,
+        "cached_paths": len(report.selected),
+        "cache_build_seconds": report.build.build_seconds,
+        "total_seconds": total,
+        "per_query_seconds": {
+            qid: r.metrics.total_seconds for qid, r in results.items()
+        },
+    }
+    _series[f"{strategy}/{point}"] = entry
+    save_result(f"fig11_{strategy}_{point}", entry)
+
+    if len(_series) == 1 + 2 * len(BUDGET_POINTS):
+        save_result(
+            "fig11_summary",
+            {
+                **_series,
+                "paper_claims": [
+                    "larger cache -> shorter total time",
+                    "scoring beats random under constrained budgets",
+                    "at full budget the strategies converge",
+                    "overall speedup 1.5-6.5x vs no cache",
+                ],
+            },
+        )
+        # Shape assertions.
+        no_cache = _series["no_cache"]["total_seconds"]
+        full = _series["score/400GB"]["total_seconds"]
+        assert full < no_cache  # caching wins overall
+        assert (
+            _series["score/100GB"]["total_seconds"]
+            <= _series["random/100GB"]["total_seconds"] * 1.15
+        )
+        # monotone-ish improvement with budget for the scoring strategy
+        assert (
+            _series["score/400GB"]["total_seconds"]
+            <= _series["score/100GB"]["total_seconds"] * 1.05
+        )

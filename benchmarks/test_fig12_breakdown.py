@@ -1,0 +1,58 @@
+"""Fig 12: Q2 and Q9 time breakdown (read/parse/compute) and input size.
+
+The paper breaks the two predicate-pushdown queries into Read, Parse and
+Compute and shows (a) Maxson eliminates the Parse bar entirely, and
+(b) Maxson's input size is far smaller than Spark's because the JSON
+predicates are pushed down onto the cache table's row groups.
+"""
+
+import pytest
+
+from .conftest import once, save_result
+
+_rows: dict[str, dict] = {}
+
+
+@pytest.mark.parametrize("query_id", ["Q2", "Q9"])
+def test_fig12_breakdown(benchmark, env, query_id):
+    sql = env.queries[query_id].sql
+    env.drop_cache()
+    baseline = env.system.baseline_sql(sql)
+    env.cache_with_budget(env.total_candidate_bytes(), "score")
+
+    result = once(benchmark, lambda: env.system.sql(sql))
+    assert sorted(map(str, result.rows)) == sorted(map(str, baseline.rows))
+    entry = {
+        "spark": {
+            "breakdown": baseline.metrics.breakdown(),
+            "input_bytes": baseline.metrics.bytes_read,
+            "parse_documents": baseline.metrics.parse_documents,
+        },
+        "maxson": {
+            "breakdown": result.metrics.breakdown(),
+            "input_bytes": result.metrics.bytes_read,
+            "parse_documents": result.metrics.parse_documents,
+            "row_groups_skipped": result.metrics.row_groups_skipped,
+            "row_groups_total": result.metrics.row_groups_total,
+        },
+    }
+    _rows[query_id] = entry
+    save_result(f"fig12_{query_id}", entry)
+
+    # Shape: no parsing at all under Maxson; much smaller input.
+    assert result.metrics.parse_documents == 0
+    assert result.metrics.parse_seconds == 0.0
+    assert result.metrics.bytes_read < baseline.metrics.bytes_read / 5
+    assert result.metrics.row_groups_skipped > 0
+
+    if len(_rows) == 2:
+        save_result(
+            "fig12_summary",
+            {
+                **_rows,
+                "paper_claims": [
+                    "Maxson eliminates the Parse component",
+                    "predicate pushdown shrinks Maxson's input size",
+                ],
+            },
+        )

@@ -1,0 +1,28 @@
+"""Fig 2: time-of-day distribution of table updates.
+
+The paper observes that table loads cluster around midday and are rare at
+midnight — the idle window Maxson uses for cache population. This bench
+regenerates the 24-bin histogram from the synthetic trace.
+"""
+
+import numpy as np
+
+from .conftest import once, save_result
+
+
+def test_fig2_update_time_histogram(benchmark, trace):
+    hist = once(benchmark, trace.update_hour_histogram)
+    total = int(hist.sum())
+    midnight_share = float((hist[0] + hist[1] + hist[23]) / total)
+    midday_share = float(hist[10:15].sum() / total)
+    payload = {
+        "histogram": [int(v) for v in hist],
+        "peak_hour": int(np.argmax(hist)),
+        "midnight_share_22_to_2": midnight_share,
+        "midday_share_10_to_15": midday_share,
+        "paper_claim": "updates frequent at noon, rare at midnight",
+    }
+    save_result("fig2_update_times", payload)
+    # Shape assertions: midday busy, midnight idle.
+    assert payload["peak_hour"] in range(9, 16)
+    assert midday_share > 5 * midnight_share

@@ -1,0 +1,72 @@
+"""Scale sweep: does Maxson's advantage survive growing data volumes?
+
+Not a paper figure, but the obvious threat to external validity of a
+laptop-scale reproduction: maybe caching only wins at toy sizes. This
+bench loads one representative table (Q2's shape) at increasing row
+counts and reports the Maxson speedup at each size; it should be stable
+or growing, because both the parse cost avoided and the cache read cost
+scale linearly while pushdown savings grow with row-group counts.
+"""
+
+import pytest
+
+from repro.core import MaxsonSystem
+from repro.engine import Session
+from repro.storage import BlockFileSystem
+from repro.workload import build_queries, load_tables
+from repro.workload.tables import TABLE_SPECS
+
+from .conftest import once, save_result
+
+SIZES = (300, 900, 2700)
+
+_speedups: dict[int, float] = {}
+
+
+def _build(rows: int):
+    session = Session(fs=BlockFileSystem())
+    spec = next(s for s in TABLE_SPECS if s.query_id == "Q2")
+    factories = load_tables(
+        session.catalog,
+        rows_per_table=rows,
+        days=3,
+        row_group_size=100,
+        specs=[spec],
+    )
+    queries = build_queries(factories)
+    system = MaxsonSystem(session=session)
+    return system, queries["Q2"]
+
+
+@pytest.mark.parametrize("rows", SIZES)
+def test_scale_sweep(benchmark, rows):
+    system, query = _build(rows)
+    from repro.workload import PathKey
+
+    keys = [
+        PathKey(query.database, query.table, query.column, path)
+        for path in query.paths
+    ]
+
+    def run():
+        baseline = system.baseline_sql(query.sql)
+        system.cacher.drop_all()
+        system.cacher.populate(keys)
+        cached = system.sql(query.sql)
+        assert sorted(map(str, cached.rows)) == sorted(map(str, baseline.rows))
+        return baseline.metrics.total_seconds, cached.metrics.total_seconds
+
+    base_s, cached_s = once(benchmark, run)
+    speedup = base_s / max(cached_s, 1e-9)
+    _speedups[rows] = speedup
+    save_result(
+        f"scale_sweep_{rows}",
+        {"rows": rows, "baseline_seconds": base_s, "maxson_seconds": cached_s,
+         "speedup": speedup},
+    )
+    assert speedup > 2.0
+
+    if len(_speedups) == len(SIZES):
+        save_result("scale_sweep_summary", {"speedups": _speedups})
+        # the advantage must not collapse with scale
+        assert _speedups[SIZES[-1]] > 0.5 * _speedups[SIZES[0]]

@@ -1,0 +1,65 @@
+"""Table III: predictor comparison — LR vs SVM vs MLP vs LSTM+CRF.
+
+The paper's finding: models that cannot exploit the date *sequence*
+(LR, SVM, MLP over order-free aggregates) lose recall on temporally
+structured MPJPs (weekly reports, bursty pipelines), while the LSTM+CRF
+hybrid keeps both precision and recall high. The reproduction target is
+that ordering, not the absolute F1 values (which depend on the trace's
+irreducible noise).
+"""
+
+import pytest
+
+from repro.core import JsonPathCollector, JsonPathPredictor, PredictorConfig
+
+from .conftest import once, save_result
+
+TRAIN_DAYS = list(range(10, 34))
+EVAL_DAYS = list(range(34, 40))
+
+MODELS = ("lr", "svm", "mlp", "lstm_crf")
+
+
+@pytest.fixture(scope="module")
+def collector(trace) -> JsonPathCollector:
+    collector = JsonPathCollector()
+    collector.ingest_trace(trace)
+    return collector
+
+
+_scores: dict[str, dict] = {}
+
+
+@pytest.mark.parametrize("model", MODELS)
+def test_table3_model(benchmark, collector, model):
+    def run():
+        predictor = JsonPathPredictor(
+            PredictorConfig(model=model, window_days=7, epochs=15)
+        )
+        predictor.fit(collector, TRAIN_DAYS)
+        return predictor.evaluate(collector, EVAL_DAYS)
+
+    prf = once(benchmark, run)
+    _scores[model] = prf.as_row()
+    save_result(f"table3_{model}", {"model": model, **prf.as_row()})
+    assert prf.f1 > 0.5  # sanity floor
+
+    if len(_scores) == len(MODELS):
+        save_result(
+            "table3_summary",
+            {
+                "rows": _scores,
+                "paper": {
+                    "lr": {"precision": 1.0, "recall": 0.397, "f1": 0.568},
+                    "svm": {"precision": 1.0, "recall": 0.559, "f1": 0.717},
+                    "mlp": {"precision": 0.994, "recall": 0.694, "f1": 0.817},
+                    "lstm_crf": {"precision": 0.985, "recall": 0.912, "f1": 0.947},
+                },
+                "reproduction_target": "LSTM+CRF best F1; flat models "
+                "recall-limited",
+            },
+        )
+        # The headline ordering: the sequence model matches or beats every
+        # flat model on F1 (loose tolerance — the trace has seed noise).
+        flat_best = max(_scores[m]["f1"] for m in ("lr", "svm", "mlp"))
+        assert _scores["lstm_crf"]["f1"] >= flat_best - 0.02

@@ -1,0 +1,60 @@
+"""Table IV: LSTM+CRF vs Uni-LSTM across history window sizes.
+
+The paper compares the two sequence models at windows of one week, two
+weeks and one month, finding LSTM+CRF's F1 higher in general and both
+models peaking at the one-week window.
+"""
+
+import pytest
+
+from repro.core import JsonPathCollector, JsonPathPredictor, PredictorConfig
+
+from .conftest import once, save_result
+
+EVAL_DAYS = list(range(34, 40))
+WINDOWS = {"1_week": 7, "2_weeks": 14, "1_month": 30}
+
+_rows: dict[str, dict] = {}
+
+
+@pytest.fixture(scope="module")
+def collector(trace) -> JsonPathCollector:
+    collector = JsonPathCollector()
+    collector.ingest_trace(trace)
+    return collector
+
+
+@pytest.mark.parametrize("window_name", list(WINDOWS))
+@pytest.mark.parametrize("model", ["lstm", "lstm_crf"])
+def test_table4_window(benchmark, collector, window_name, model):
+    window = WINDOWS[window_name]
+    train_days = list(range(window + 1, 34))
+
+    def run():
+        predictor = JsonPathPredictor(
+            PredictorConfig(model=model, window_days=window, epochs=15)
+        )
+        predictor.fit(collector, train_days)
+        return predictor.evaluate(collector, EVAL_DAYS)
+
+    prf = once(benchmark, run)
+    _rows[f"{window_name}/{model}"] = prf.as_row()
+    save_result(f"table4_{window_name}_{model}", prf.as_row())
+    assert prf.f1 > 0.5
+
+    if len(_rows) == len(WINDOWS) * 2:
+        save_result(
+            "table4_summary",
+            {
+                "rows": _rows,
+                "paper": {
+                    "1_week/lstm_crf": {"precision": 0.985, "recall": 0.912, "f1": 0.947},
+                    "1_week/lstm": {"precision": 0.927, "recall": 0.916, "f1": 0.921},
+                    "2_weeks/lstm_crf": {"precision": 0.997, "recall": 0.975, "f1": 0.916},
+                    "2_weeks/lstm": {"precision": 0.912, "recall": 0.889, "f1": 0.9},
+                    "1_month/lstm_crf": {"precision": 0.942, "recall": 0.900, "f1": 0.921},
+                    "1_month/lstm": {"precision": 0.925, "recall": 0.885, "f1": 0.905},
+                },
+                "reproduction_target": "LSTM+CRF F1 >= Uni-LSTM per window",
+            },
+        )

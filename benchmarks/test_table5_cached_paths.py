@@ -1,0 +1,52 @@
+"""Table V: number of cached JSONPaths per query under each budget.
+
+The paper reports, per budget (100..400GB), how many of each query's
+JSONPaths the scoring function chose to cache, observing that (a) 400GB
+fits every MPJP, (b) the function tends to cache *all* of a query's
+MPJPs together (the relevance term), and (c) it favours queries with high
+acceleration-per-byte (Q10's paths cached already at 100GB).
+"""
+
+import pytest
+
+from .conftest import once, save_result
+
+BUDGET_POINTS = {"100GB": 0.25, "200GB": 0.50, "300GB": 0.75, "400GB": 1.00}
+
+_table: dict[str, dict[str, int]] = {}
+
+
+@pytest.mark.parametrize("point", list(BUDGET_POINTS))
+def test_table5_budget(benchmark, env, point):
+    budget = int(env.total_candidate_bytes() * BUDGET_POINTS[point])
+
+    report = once(benchmark, lambda: env.cache_with_budget(budget, "score"))
+    cached = {sp.key for sp in report.selected}
+    row: dict[str, int] = {}
+    for query_id, query in env.queries.items():
+        from repro.workload import PathKey
+
+        keys = {
+            PathKey(query.database, query.table, query.column, path)
+            for path in query.paths
+        }
+        row[query_id] = len(keys & cached)
+    _table[point] = row
+    save_result(f"table5_{point}", {"budget_bytes": budget, "cached_per_query": row})
+
+    if len(_table) == len(BUDGET_POINTS):
+        totals = {
+            qid: len(env.queries[qid].paths) for qid in env.queries
+        }
+        save_result(
+            "table5_summary",
+            {"cached_per_query": _table, "paths_per_query": totals},
+        )
+        # 400GB fits everything (the paper's saturation point).
+        assert all(
+            _table["400GB"][qid] == totals[qid] for qid in totals
+        )
+        # Budgets are monotone: more budget never caches fewer paths overall.
+        order = ["100GB", "200GB", "300GB", "400GB"]
+        sums = [sum(_table[p].values()) for p in order]
+        assert sums == sorted(sums)

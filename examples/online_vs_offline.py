@@ -1,0 +1,89 @@
+"""Online LRU caching vs Maxson's predict-and-pre-cache (Fig 14).
+
+Replays a synthetic trace in submission order against a byte-budgeted
+online LRU cache, then models Maxson's behaviour on the same stream: the
+nightly cycle pre-caches the predicted MPJPs before the day starts, so
+correlated queries hit from their first access. Reports hit ratios and
+modelled execution time for both policies across cache budgets.
+
+Run:  python examples/online_vs_offline.py
+"""
+
+from repro.core import (
+    JsonPathCollector,
+    JsonPathPredictor,
+    OnlineCacheSimulator,
+    PredictorConfig,
+)
+from repro.workload import SyntheticTrace, TraceConfig
+
+#: Modelled per-access costs (uniform for clarity; the benchmarks use
+#: measured per-path costs instead).
+PATH_BYTES = 1_000_000
+PARSE_SECONDS = 1.0
+READ_SECONDS = 0.05
+
+
+def maxson_replay(trace, collector, predictor, capacity, days):
+    """Model Maxson: paths pre-cached at midnight hit all day."""
+    hits = misses = 0
+    seconds = 0.0
+    for day in days:
+        predicted = sorted(predictor.predict(collector, day))
+        # Budget: pre-cache in (deterministic) order until full.
+        cached = set()
+        used = 0
+        for key in predicted:
+            if used + PATH_BYTES <= capacity:
+                cached.add(key)
+                used += PATH_BYTES
+        for query in trace.queries_on_day(day):
+            for key in query.paths:
+                if key in cached:
+                    hits += 1
+                    seconds += READ_SECONDS
+                else:
+                    misses += 1
+                    seconds += READ_SECONDS + PARSE_SECONDS
+    total = hits + misses
+    return hits / total if total else 0.0, seconds
+
+
+def main() -> None:
+    trace = SyntheticTrace(TraceConfig(days=40, users=24, tables=14, seed=5))
+    collector = JsonPathCollector()
+    collector.ingest_trace(trace)
+    predictor = JsonPathPredictor(PredictorConfig(model="oracle"))
+
+    eval_days = list(range(30, 38))
+    stream = [q for q in trace.queries if q.day in set(eval_days)]
+    universe = len(collector.universe)
+
+    print(f"{'budget (paths)':>15} {'LRU hit':>8} {'LRU time':>9} "
+          f"{'Maxson hit':>11} {'Maxson time':>12}")
+    for fraction in (0.25, 0.5, 0.75, 1.0):
+        capacity = int(universe * fraction) * PATH_BYTES
+        lru = OnlineCacheSimulator(
+            capacity_bytes=capacity,
+            default_bytes=PATH_BYTES,
+            default_parse_seconds=PARSE_SECONDS,
+            read_seconds=READ_SECONDS,
+        ).replay(stream)
+        maxson_hit, maxson_seconds = maxson_replay(
+            trace, collector, predictor, capacity, eval_days
+        )
+        print(
+            f"{int(universe * fraction):>15} {lru.hit_ratio:8.1%} "
+            f"{lru.modelled_seconds:8.0f}s {maxson_hit:11.1%} "
+            f"{maxson_seconds:11.0f}s"
+        )
+
+    print(
+        "\nThe online cache misses every first access and loses correlated "
+        "queries arriving together;\nMaxson pre-caches before the day "
+        "starts, so hit ratio tracks the predictor, not arrival order."
+    )
+
+
+if __name__ == "__main__":
+    main()

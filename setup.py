@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Allows legacy editable installs (``pip install -e . --no-use-pep517``) in
+offline environments that lack the ``wheel`` package required by PEP 660
+editable builds. All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

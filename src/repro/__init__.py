@@ -1,0 +1,39 @@
+"""Maxson reproduction: a prediction-based JSONPath result cache.
+
+This package reproduces *Maxson: Reduce Duplicate Parsing Overhead on Raw
+Data* (ICDE 2020) as a self-contained Python library:
+
+* :mod:`repro.jsonlib` — JSON parsers (Jackson / Mison / Sparser styles)
+  and ``get_json_object`` JSONPath evaluation;
+* :mod:`repro.storage` — an ORC-like columnar format with row-group
+  statistics over a simulated append-only block file system;
+* :mod:`repro.engine` — a SparkSQL-like query engine (SQL text to physical
+  plans) with parse/read/compute cost attribution;
+* :mod:`repro.ml` — NumPy-only learning substrate (LR, SVM, MLP, LSTM,
+  linear-chain CRF, LSTM+CRF);
+* :mod:`repro.workload` — synthetic Alibaba-style query trace and
+  NoBench-style document generators;
+* :mod:`repro.core` — Maxson itself: collector, predictor, scoring
+  function, cacher, plan rewriter, value combiner, predicate pushdown,
+  and the online LRU comparator.
+
+Quickstart::
+
+    from repro import MaxsonSystem
+    system = MaxsonSystem.for_demo()
+    system.run_midnight_cycle()
+    result = system.sql("select get_json_object(logs, '$.item_id') from db.t")
+"""
+
+from .version import __version__
+
+__all__ = ["__version__", "MaxsonSystem"]
+
+
+def __getattr__(name):
+    # Lazy import: keeps `import repro` cheap and avoids import cycles.
+    if name == "MaxsonSystem":
+        from .core.system import MaxsonSystem
+
+        return MaxsonSystem
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,214 @@
+"""Command-line interface for the Maxson reproduction.
+
+Subcommands::
+
+    python -m repro.cli analyze    # workload analysis report (paper SSII)
+    python -m repro.cli predict    # train a predictor, report P/R/F1
+    python -m repro.cli demo       # run a query with and without Maxson
+    python -m repro.cli bench-cache  # scoring vs random vs no-cache sweep
+
+All commands operate on the in-memory simulator and are seeded, so runs
+are reproducible; they exist to make the system explorable without
+writing code.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _build_trace(args):
+    from .workload import SyntheticTrace, TraceConfig
+
+    return SyntheticTrace(
+        TraceConfig(
+            days=args.days,
+            users=args.users,
+            tables=args.tables,
+            seed=args.seed,
+        )
+    )
+
+
+def cmd_analyze(args) -> int:
+    from .workload import analyze, format_report
+
+    trace = _build_trace(args)
+    print(format_report(analyze(trace)))
+    return 0
+
+
+def cmd_predict(args) -> int:
+    from .core import JsonPathCollector, JsonPathPredictor, PredictorConfig
+
+    trace = _build_trace(args)
+    collector = JsonPathCollector()
+    collector.ingest_trace(trace)
+    split = int(args.days * 0.8)
+    train_days = list(range(args.window + 1, split))
+    eval_days = list(range(split, args.days - 1))
+    predictor = JsonPathPredictor(
+        PredictorConfig(
+            model=args.model, window_days=args.window, epochs=args.epochs
+        )
+    )
+    predictor.fit(collector, train_days)
+    prf = predictor.evaluate(collector, eval_days)
+    print(
+        f"model={args.model} window={args.window}d "
+        f"precision={prf.precision:.3f} recall={prf.recall:.3f} "
+        f"f1={prf.f1:.3f}"
+    )
+    return 0
+
+
+def cmd_demo(args) -> int:
+    from .core import MaxsonSystem
+    from .workload import build_queries
+    from .workload.tables import DocumentFactory, TABLE_SPECS
+
+    system = MaxsonSystem.for_demo(rows_per_table=args.rows)
+    scale = max(1, 10_000 // args.rows)
+    factories = {
+        s.query_id: DocumentFactory(s, metric_scale=scale) for s in TABLE_SPECS
+    }
+    queries = build_queries(factories)
+    query = queries[args.query.upper()]
+    baseline = system.baseline_sql(query.sql)
+    system.cache_paths_directly(
+        [
+            __import__("repro.workload", fromlist=["PathKey"]).PathKey(
+                query.database, query.table, query.column, path
+            )
+            for path in query.paths
+        ],
+        budget_bytes=1 << 40,
+    )
+    cached = system.sql(query.sql)
+    assert sorted(map(str, cached.rows)) == sorted(map(str, baseline.rows))
+    b, c = baseline.metrics, cached.metrics
+    print(f"query {args.query.upper()}: {len(query.paths)} JSONPaths")
+    print(
+        f"  baseline: {b.total_seconds:7.3f}s "
+        f"(parse {b.parse_fraction:5.1%}, {b.bytes_read:,} bytes)"
+    )
+    print(
+        f"  maxson:   {c.total_seconds:7.3f}s "
+        f"(parse {c.parse_fraction:5.1%}, {c.bytes_read:,} bytes)"
+    )
+    print(f"  speedup:  {b.total_seconds / max(c.total_seconds, 1e-9):.1f}x")
+    return 0
+
+
+def cmd_bench_cache(args) -> int:
+    from .core import MaxsonConfig, MaxsonSystem, PredictorConfig
+    from .engine import Session
+    from .storage import BlockFileSystem
+    from .workload import build_queries, load_tables
+
+    session = Session(fs=BlockFileSystem())
+    factories = load_tables(session.catalog, rows_per_table=args.rows, days=3)
+    queries = build_queries(factories)
+    system = MaxsonSystem(
+        session=session,
+        config=MaxsonConfig(predictor=PredictorConfig(model="oracle")),
+    )
+    for query in queries.values():
+        planned = session.compile(query.sql)
+        for day in range(3):
+            for _ in range(2):
+                system.collector.record_planned(day, planned.referenced_json_paths)
+    system.current_day = 2
+    candidates = system.collector.universe
+    total = sum(
+        system.scoring.measure(k).estimated_total_bytes for k in candidates
+    )
+
+    def run_all():
+        return sum(
+            system.sql(q.sql).metrics.total_seconds for q in queries.values()
+        )
+
+    system.cacher.drop_all()
+    base = sum(
+        system.baseline_sql(q.sql).metrics.total_seconds
+        for q in queries.values()
+    )
+    print(f"{'budget':>8} {'strategy':>9} {'cached':>7} {'seconds':>9} {'speedup':>8}")
+    print(f"{'none':>8} {'-':>9} {0:7d} {base:9.2f} {1.0:8.1f}x")
+    for fraction in (0.25, 0.5, 0.75, 1.0):
+        for strategy in ("score", "random"):
+            report = system.cache_paths_directly(
+                candidates,
+                budget_bytes=int(total * fraction),
+                strategy=strategy,
+            )
+            seconds = run_all()
+            print(
+                f"{fraction:7.0%} {strategy:>9} {len(report.selected):7d} "
+                f"{seconds:9.2f} {base / max(seconds, 1e-9):8.1f}x"
+            )
+    return 0
+
+
+def cmd_report(args) -> int:
+    from .reporting import main as report_main
+
+    return report_main([args.results])
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Maxson reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_trace_args(p):
+        p.add_argument("--days", type=int, default=42)
+        p.add_argument("--users", type=int, default=24)
+        p.add_argument("--tables", type=int, default=14)
+        p.add_argument("--seed", type=int, default=11)
+
+    p_analyze = sub.add_parser("analyze", help="workload analysis report")
+    add_trace_args(p_analyze)
+    p_analyze.set_defaults(func=cmd_analyze)
+
+    p_predict = sub.add_parser("predict", help="train and evaluate a predictor")
+    add_trace_args(p_predict)
+    p_predict.add_argument(
+        "--model",
+        default="lstm_crf",
+        choices=["lr", "svm", "mlp", "lstm", "lstm_crf", "oracle", "always"],
+    )
+    p_predict.add_argument("--window", type=int, default=7)
+    p_predict.add_argument("--epochs", type=int, default=15)
+    p_predict.set_defaults(func=cmd_predict)
+
+    p_demo = sub.add_parser("demo", help="run one Table II query both ways")
+    p_demo.add_argument("--query", default="Q2", help="Q1..Q10")
+    p_demo.add_argument("--rows", type=int, default=600)
+    p_demo.set_defaults(func=cmd_demo)
+
+    p_bench = sub.add_parser(
+        "bench-cache", help="cache-budget sweep (Fig 11 style)"
+    )
+    p_bench.add_argument("--rows", type=int, default=600)
+    p_bench.set_defaults(func=cmd_bench_cache)
+
+    p_report = sub.add_parser(
+        "report", help="render benchmarks/results as Markdown"
+    )
+    p_report.add_argument("--results", default="benchmarks/results")
+    p_report.set_defaults(func=cmd_report)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

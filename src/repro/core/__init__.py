@@ -1,0 +1,62 @@
+"""Maxson core: the paper's contribution.
+
+Collector → Predictor → Scoring → Cacher → Plan rewriting → Value
+Combiner → Predicate pushdown, plus the online-LRU comparator and the
+:class:`MaxsonSystem` facade that runs the nightly cycle.
+"""
+
+from .cacher import (
+    CACHE_DATABASE,
+    CacheBuildReport,
+    CacheEntry,
+    CacheRegistry,
+    JsonPathCacher,
+    cache_field_name,
+    cache_table_name,
+    mangle_path,
+)
+from .collector import JsonPathCollector, QueryRecord
+from .combiner import CachedFieldRequest, MaxsonScanExec
+from .features import FeatureConfig, FeatureExtractor, LabelledDataset
+from .maxson_parser import MaxsonPlanModifier, RewriteReport
+from .online_cache import LruCache, OnlineCacheSimulator, OnlineCacheStats
+from .predictor import MODEL_NAMES, JsonPathPredictor, PredictorConfig
+from .pushdown import extract_cache_sarg
+from .scoring import PathStats, ScoredPath, ScoringFunction
+from .stats_store import META_DATABASE, StatsStore
+from .system import MaxsonConfig, MaxsonSystem, MidnightReport
+
+__all__ = [
+    "JsonPathCollector",
+    "QueryRecord",
+    "FeatureConfig",
+    "FeatureExtractor",
+    "LabelledDataset",
+    "JsonPathPredictor",
+    "PredictorConfig",
+    "MODEL_NAMES",
+    "ScoringFunction",
+    "ScoredPath",
+    "PathStats",
+    "JsonPathCacher",
+    "CacheRegistry",
+    "CacheEntry",
+    "CacheBuildReport",
+    "CACHE_DATABASE",
+    "cache_table_name",
+    "cache_field_name",
+    "mangle_path",
+    "MaxsonPlanModifier",
+    "RewriteReport",
+    "MaxsonScanExec",
+    "CachedFieldRequest",
+    "extract_cache_sarg",
+    "LruCache",
+    "OnlineCacheSimulator",
+    "OnlineCacheStats",
+    "MaxsonConfig",
+    "MaxsonSystem",
+    "MidnightReport",
+    "StatsStore",
+    "META_DATABASE",
+]

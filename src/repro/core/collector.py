@@ -1,0 +1,119 @@
+"""JSONPath Collector (paper §III-B, Fig 5).
+
+Collects historical query information: for every JSONPath it records the
+location (database, table, column), the per-day access count, and the
+query membership needed by the scoring function. The statistics store is
+partitioned by date, mirroring the production statistics table.
+
+Two ingestion routes exist:
+
+* :meth:`JsonPathCollector.record_query` — explicit (day, paths) events,
+  used when replaying the synthetic trace;
+* :meth:`JsonPathCollector.record_planned` — a planned SQL query's
+  ``referenced_json_paths``, used when collecting from the live engine.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+
+from ..workload.trace import PathKey, SyntheticTrace
+
+__all__ = ["QueryRecord", "JsonPathCollector"]
+
+
+@dataclass(frozen=True)
+class QueryRecord:
+    """One collected query: the day it ran and the paths it parsed."""
+
+    day: int
+    paths: tuple[PathKey, ...]
+
+
+class JsonPathCollector:
+    """Date-partitioned JSONPath access statistics."""
+
+    def __init__(self) -> None:
+        self._daily_counts: dict[int, Counter] = defaultdict(Counter)
+        self._queries: dict[int, list[QueryRecord]] = defaultdict(list)
+        self._universe: set[PathKey] = set()
+
+    # ------------------------------------------------------------------
+    # ingestion
+    # ------------------------------------------------------------------
+    def record_query(self, day: int, paths: tuple[PathKey, ...] | list[PathKey]) -> None:
+        """Record one executed query touching ``paths`` on ``day``."""
+        paths = tuple(paths)
+        self._daily_counts[day].update(paths)
+        self._queries[day].append(QueryRecord(day=day, paths=paths))
+        self._universe.update(paths)
+
+    def record_planned(self, day: int, referenced: list[tuple[str, str, str, str]]) -> None:
+        """Record a planned query's (db, table, column, path) references."""
+        self.record_query(day, tuple(PathKey(*ref) for ref in referenced))
+
+    def ingest_trace(self, trace: SyntheticTrace, up_to_day: int | None = None) -> None:
+        """Bulk-load a synthetic trace (optionally only days < up_to_day)."""
+        for query in trace.queries:
+            if up_to_day is not None and query.day >= up_to_day:
+                continue
+            self.record_query(query.day, query.paths)
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    @property
+    def days(self) -> list[int]:
+        return sorted(self._daily_counts)
+
+    @property
+    def universe(self) -> list[PathKey]:
+        return sorted(self._universe)
+
+    def count(self, key: PathKey, day: int) -> int:
+        return self._daily_counts.get(day, Counter()).get(key, 0)
+
+    def counts_on(self, day: int) -> Counter:
+        return Counter(self._daily_counts.get(day, Counter()))
+
+    def count_sequence(self, key: PathKey, days: list[int]) -> list[int]:
+        """Access counts of ``key`` over the given days (paper's Count
+        sequence feature)."""
+        return [self.count(key, day) for day in days]
+
+    def queries_on(self, day: int) -> list[QueryRecord]:
+        return list(self._queries.get(day, ()))
+
+    def queries_between(self, first_day: int, last_day: int) -> list[QueryRecord]:
+        """Records with first_day <= day <= last_day."""
+        out: list[QueryRecord] = []
+        for day in range(first_day, last_day + 1):
+            out.extend(self._queries.get(day, ()))
+        return out
+
+    def mpjp_on(self, day: int, threshold: int = 2) -> set[PathKey]:
+        """Paths parsed >= threshold times on ``day`` (the MPJP set)."""
+        counts = self._daily_counts.get(day, Counter())
+        return {key for key, value in counts.items() if value >= threshold}
+
+    def mpjp_label(self, key: PathKey, day: int, threshold: int = 2) -> int:
+        return int(self.count(key, day) >= threshold)
+
+    def total_parses(self) -> Counter:
+        """PathKey -> total parse count over all collected days."""
+        out: Counter = Counter()
+        for counts in self._daily_counts.values():
+            out.update(counts)
+        return out
+
+    def duplicate_parse_fraction(self) -> float:
+        """Fraction of parse traffic that is redundant (beyond the first
+        parse of each path each day) — the paper's 89% headline measure."""
+        total = 0
+        redundant = 0
+        for counts in self._daily_counts.values():
+            for value in counts.values():
+                total += value
+                redundant += max(0, value - 1)
+        return redundant / total if total else 0.0

@@ -1,0 +1,196 @@
+"""Value Combiner (paper §IV-E, Algorithm 2) and the Maxson scan operator.
+
+``MaxsonScanExec`` replaces the engine's ``ScanExec`` for tables with
+cache hits. Per split (one file = one split, the alignment rule of
+§IV-C):
+
+* a **PrimaryReader** reads the surviving raw columns of raw file *i*;
+* a **CacheReader** reads the requested cached fields of cache file *i*;
+* the two value lists are stitched positionally into complete records —
+  no join, because the cacher guaranteed identical row counts and order.
+
+Special cases from Algorithm 2 are honoured: when one side needs no
+columns the other side's values are returned directly (cache-only reads
+are the cheap path the *relevance* score optimises for).
+
+Predicate pushdown (Algorithm 3) plugs in here: an optional SARG over
+cached fields is evaluated on the cache file's row-group statistics and
+the resulting skip mask is shared with the primary reader when the file
+is single-stripe (§IV-F's precondition).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..engine.errors import ExecutionError
+from ..engine.physical import ExecState, ScanExec
+from ..storage.readers import OrcReader
+from ..storage.sargs import Sarg
+from .cacher import CACHE_DATABASE, CacheEntry
+
+__all__ = ["CachedFieldRequest", "MaxsonScanExec"]
+
+
+@dataclass(frozen=True)
+class CachedFieldRequest:
+    """One cached JSONPath this scan must surface.
+
+    ``env_key`` is the row-environment key the matching
+    :class:`~repro.engine.expressions.CachedField` placeholder reads.
+    """
+
+    entry: CacheEntry
+    env_key: str
+
+
+@dataclass
+class MaxsonScanExec(ScanExec):
+    """Scan that stitches raw columns with cached JSONPath values."""
+
+    cached_fields: list[CachedFieldRequest] = field(default_factory=list)
+    cache_sarg: Sarg | None = None
+    """SARG over cached fields (pushed by Algorithm 3)."""
+    share_mask_with_primary: bool = True
+
+    def _label(self) -> str:
+        cached = ", ".join(r.entry.field_name for r in self.cached_fields)
+        sarg = " +cache_sarg" if self.cache_sarg else ""
+        return (
+            f"MaxsonScan {self.database}.{self.table} cols={self.columns} "
+            f"cached=[{cached}]{sarg}"
+        )
+
+    # ------------------------------------------------------------------
+    def execute(self, state: ExecState) -> list[dict]:
+        if not self.cached_fields:
+            return super().execute(state)
+        started = time.perf_counter()
+        cache_table = self.cached_fields[0].entry.cache_table
+        for request in self.cached_fields:
+            if request.entry.cache_table != cache_table:
+                raise ExecutionError(
+                    "cached fields of one scan must come from one cache table"
+                )
+        raw_files = state.catalog.table_files(self.database, self.table)
+        cache_files = state.catalog.table_files(CACHE_DATABASE, cache_table)
+        if len(raw_files) != len(cache_files):
+            raise ExecutionError(
+                f"cache misalignment: {len(raw_files)} raw files vs "
+                f"{len(cache_files)} cache files for {self.database}.{self.table}"
+            )
+        field_names = [r.entry.field_name for r in self.cached_fields]
+        env_keys = [r.env_key for r in self.cached_fields]
+        rows: list[dict] = []
+        for split_index in range(len(raw_files)):
+            rows.extend(
+                self._read_split(
+                    state,
+                    raw_files[split_index],
+                    cache_files[split_index],
+                    field_names,
+                    env_keys,
+                )
+            )
+        state.metrics.rows_scanned += len(rows)
+        state.metrics.cache_hits += len(self.cached_fields)
+        state.metrics.read_seconds += time.perf_counter() - started
+        return rows
+
+    # ------------------------------------------------------------------
+    def _read_split(
+        self,
+        state: ExecState,
+        raw_path: str,
+        cache_path: str,
+        field_names: list[str],
+        env_keys: list[str],
+    ) -> list[dict]:
+        """Algorithm 2 for one (raw file, cache file) pair."""
+        fs = state.catalog.fs
+        cache_reader = OrcReader(
+            fs, cache_path, columns=field_names, sarg=self.cache_sarg
+        )
+
+        if not self.columns:
+            # "when one reader has no value to read, we will directly
+            # return the value of the other reader" — the cache-only read.
+            cache_result = cache_reader.read()
+            state.metrics.bytes_read += cache_result.bytes_read
+            state.metrics.row_groups_total += cache_result.row_groups_total
+            state.metrics.row_groups_skipped += cache_result.row_groups_skipped
+            return self._rows_from_cache(cache_result.columns, env_keys)
+
+        primary_reader = OrcReader(
+            fs, raw_path, columns=self.columns, sarg=self.sarg
+        )
+        can_align = (
+            self.share_mask_with_primary
+            and cache_reader.can_align_row_groups()
+            and primary_reader.can_align_row_groups()
+            and len(cache_reader.row_group_mask)
+            == len(primary_reader.row_group_mask)
+        )
+        if can_align:
+            # Algorithm 3 line 7: both readers skip exactly the row groups
+            # eliminated by *either* side's SARG — the cache reader's skip
+            # array is shared with the primary reader, and vice versa.
+            combined = [
+                a and b
+                for a, b in zip(
+                    cache_reader.row_group_mask, primary_reader.row_group_mask
+                )
+            ]
+            cache_reader.share_row_group_mask(combined)
+            primary_reader.share_row_group_mask(combined)
+        else:
+            # Cannot align (multi-stripe or layout mismatch): read both
+            # sides fully; the residual filter preserves correctness.
+            cache_reader = OrcReader(fs, cache_path, columns=field_names)
+            primary_reader = OrcReader(fs, raw_path, columns=self.columns)
+        cache_result = cache_reader.read()
+        primary_result = primary_reader.read()
+        for result in (cache_result, primary_result):
+            state.metrics.bytes_read += result.bytes_read
+            state.metrics.row_groups_total += result.row_groups_total
+            state.metrics.row_groups_skipped += result.row_groups_skipped
+
+        if primary_result.rows_read != cache_result.rows_read:
+            raise ExecutionError(
+                "value combiner row mismatch in split "
+                f"{raw_path!r}: primary={primary_result.rows_read} "
+                f"cache={cache_result.rows_read}"
+            )
+
+        raw_series = [primary_result.columns[name] for name in self.columns]
+        cache_series = [cache_result.columns[name] for name in field_names]
+        rows: list[dict] = []
+        for i in range(primary_result.rows_read):
+            # Stitch: place each value at its schema position (here, its
+            # env key) to form the complete record.
+            row: dict = {}
+            for name, series in zip(self.columns, raw_series):
+                row[name] = series[i]
+                if self.alias:
+                    row[f"{self.alias}.{name}"] = series[i]
+            for env_key, series in zip(env_keys, cache_series):
+                row[env_key] = series[i]
+            rows.append(row)
+        return rows
+
+    def _rows_from_cache(
+        self, columns: dict[str, list[object]], env_keys: list[str]
+    ) -> list[dict]:
+        field_names = [r.entry.field_name for r in self.cached_fields]
+        series = [columns[name] for name in field_names]
+        if not series:
+            return []
+        return [
+            dict(zip(env_keys, values)) for values in zip(*series)
+        ]
+
+    def output_names(self) -> set[str]:
+        names = super().output_names()
+        names |= {r.env_key for r in self.cached_fields}
+        return names

@@ -1,0 +1,69 @@
+"""Format dispatch for offline value extraction (cacher / scorer).
+
+Cache keys carry a path whose syntax identifies its format — ``$...`` is
+a JSONPath, ``/...`` is the XPath-like dialect of :mod:`repro.xmllib`.
+:class:`ValueExtractor` parses each document once per format and
+evaluates any number of paths against it, mirroring what the cacher does
+during pre-parsing.
+"""
+
+from __future__ import annotations
+
+from ..jsonlib.errors import JsonParseError
+from ..jsonlib.jackson import JacksonParser
+from ..jsonlib.jsonpath import evaluate as eval_json_path
+from ..xmllib.parser import XmlParseError, XmlParser
+from ..xmllib.xpath import evaluate_xpath
+
+__all__ = ["path_format", "ValueExtractor"]
+
+
+def path_format(path: str) -> str:
+    """'json' for ``$...`` paths, 'xml' for ``/...`` paths."""
+    stripped = path.lstrip()
+    if stripped.startswith("$"):
+        return "json"
+    if stripped.startswith("/"):
+        return "xml"
+    raise ValueError(f"cannot determine format of path {path!r}")
+
+
+class ValueExtractor:
+    """Parse-once, evaluate-many extraction over one string column value."""
+
+    def __init__(self) -> None:
+        self.json_parser = JacksonParser()
+        self.xml_parser = XmlParser()
+
+    def decode(self, text: object, formats: set[str]) -> dict[str, object]:
+        """Parse ``text`` once per requested format; None on failure."""
+        documents: dict[str, object] = {}
+        if not isinstance(text, str):
+            return {fmt: None for fmt in formats}
+        if "json" in formats:
+            try:
+                documents["json"] = self.json_parser.parse(text)
+            except JsonParseError:
+                documents["json"] = None
+        if "xml" in formats:
+            try:
+                documents["xml"] = self.xml_parser.parse(text)
+            except XmlParseError:
+                documents["xml"] = None
+        return documents
+
+    @staticmethod
+    def evaluate(documents: dict[str, object], path: str) -> object:
+        """Evaluate one path against the pre-decoded documents."""
+        fmt = path_format(path)
+        document = documents.get(fmt)
+        if document is None:
+            return None
+        if fmt == "json":
+            return eval_json_path(path, document)
+        return evaluate_xpath(path, document)
+
+    def extract(self, text: object, path: str) -> object:
+        """One-shot convenience: decode + evaluate a single path."""
+        fmt = path_format(path)
+        return self.evaluate(self.decode(text, {fmt}), path)

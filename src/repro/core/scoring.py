@@ -1,0 +1,225 @@
+"""Scoring Function (paper §IV-B).
+
+Ranks the predicted MPJPs for caching under a byte budget:
+
+* ``B_j`` — average size of the path's parsed value (bytes), measured by
+  sampling rows of the raw table;
+* ``P_j`` — average parsing time of the path, measured with the same
+  parsing algorithm the engine uses (Jackson);
+* ``A_j = P_j / B_j`` — acceleration per byte (Eq. 1);
+* ``R_j = sum(M_i) / sum(N_i)`` over the queries touching the path,
+  where ``M_i`` counts MPJPs and ``N_i`` all JSONPaths in query i
+  (Eq. 2 — "relevance": prefer paths whose co-occurring paths are also
+  cacheable so whole queries become cache-only);
+* ``O_j`` — number of queries that access the path;
+* ``Score_j = A_j * R_j * O_j`` (Eq. 3).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..engine.catalog import Catalog
+from ..jsonlib.jackson import dumps
+from ..storage.orc import OrcFileReader
+from ..workload.trace import PathKey
+from .collector import QueryRecord
+from .extraction import ValueExtractor, path_format
+
+__all__ = ["PathStats", "ScoredPath", "ScoringFunction"]
+
+
+@dataclass(frozen=True)
+class PathStats:
+    """Measured per-path statistics."""
+
+    key: PathKey
+    avg_value_bytes: float  # B_j
+    avg_parse_seconds: float  # P_j
+    estimated_total_bytes: int
+    """B_j x table row count — the budget charge if this path is cached."""
+
+    @property
+    def acceleration_per_byte(self) -> float:  # A_j
+        if self.avg_value_bytes <= 0:
+            return 0.0
+        return self.avg_parse_seconds / self.avg_value_bytes
+
+
+@dataclass(frozen=True)
+class ScoredPath:
+    """A candidate MPJP with its full score decomposition."""
+
+    key: PathKey
+    stats: PathStats
+    relevance: float  # R_j
+    occurrences: int  # O_j
+    score: float
+
+    def budget_bytes(self) -> int:
+        return self.stats.estimated_total_bytes
+
+
+def _value_bytes(value: object) -> int:
+    """Size of a parsed value once re-serialised for the cache table."""
+    if value is None:
+        return 1
+    if isinstance(value, str):
+        return len(value.encode("utf-8"))
+    if isinstance(value, bool):
+        return 1
+    if isinstance(value, int):
+        return 8
+    if isinstance(value, float):
+        return 8
+    return len(dumps(value).encode("utf-8"))
+
+
+class ScoringFunction:
+    """Measure, score and budget-select MPJPs."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        sample_rows: int = 64,
+        mpjp_threshold: int = 2,
+    ) -> None:
+        self.catalog = catalog
+        self.sample_rows = sample_rows
+        self.mpjp_threshold = mpjp_threshold
+        self._stats_cache: dict[PathKey, PathStats] = {}
+
+    # ------------------------------------------------------------------
+    # measurement (B_j, P_j)
+    # ------------------------------------------------------------------
+    def measure(self, key: PathKey) -> PathStats:
+        """Sample the raw table to estimate B_j and P_j for one path."""
+        cached = self._stats_cache.get(key)
+        if cached is not None:
+            return cached
+        files = self.catalog.table_files(key.database, key.table)
+        if not files:
+            stats = PathStats(key, 0.0, 0.0, 0)
+            self._stats_cache[key] = stats
+            return stats
+        extractor = ValueExtractor()
+        formats = {path_format(key.path)}
+        sampled = 0
+        total_bytes = 0
+        total_rows = 0
+        started = time.perf_counter()
+        for path in files:
+            reader = OrcFileReader(self.catalog.fs.read(path))
+            total_rows += reader.row_count
+            if sampled >= self.sample_rows:
+                continue
+            columns, _ = reader.read_columns([key.column])
+            for text in columns[key.column]:
+                if sampled >= self.sample_rows:
+                    break
+                if not isinstance(text, str):
+                    continue
+                documents = extractor.decode(text, formats)
+                value = extractor.evaluate(documents, key.path)
+                total_bytes += _value_bytes(value)
+                sampled += 1
+        elapsed = time.perf_counter() - started
+        if sampled == 0:
+            stats = PathStats(key, 0.0, 0.0, 0)
+        else:
+            avg_bytes = total_bytes / sampled
+            avg_parse = elapsed / sampled
+            stats = PathStats(
+                key=key,
+                avg_value_bytes=avg_bytes,
+                avg_parse_seconds=avg_parse,
+                estimated_total_bytes=int(avg_bytes * total_rows),
+            )
+        self._stats_cache[key] = stats
+        return stats
+
+    # ------------------------------------------------------------------
+    # R_j and O_j from collected queries
+    # ------------------------------------------------------------------
+    @staticmethod
+    def relevance_and_occurrence(
+        key: PathKey,
+        mpjp_set: set[PathKey],
+        records: list[QueryRecord],
+    ) -> tuple[float, int]:
+        """Eq. 2 over the queries in ``records`` that touch ``key``."""
+        m_total = 0
+        n_total = 0
+        occurrences = 0
+        for record in records:
+            if key not in record.paths:
+                continue
+            occurrences += 1
+            n_total += len(record.paths)
+            m_total += sum(1 for p in record.paths if p in mpjp_set)
+        relevance = m_total / n_total if n_total else 0.0
+        return relevance, occurrences
+
+    # ------------------------------------------------------------------
+    def score(
+        self,
+        mpjp_set: set[PathKey],
+        records: list[QueryRecord],
+    ) -> list[ScoredPath]:
+        """Score every MPJP candidate; descending score order."""
+        out: list[ScoredPath] = []
+        for key in sorted(mpjp_set):
+            stats = self.measure(key)
+            relevance, occurrences = self.relevance_and_occurrence(
+                key, mpjp_set, records
+            )
+            score = stats.acceleration_per_byte * relevance * occurrences
+            out.append(
+                ScoredPath(
+                    key=key,
+                    stats=stats,
+                    relevance=relevance,
+                    occurrences=occurrences,
+                    score=score,
+                )
+            )
+        out.sort(key=lambda sp: (-sp.score, sp.key))
+        return out
+
+    def select_within_budget(
+        self,
+        scored: list[ScoredPath],
+        budget_bytes: int,
+    ) -> list[ScoredPath]:
+        """Greedy selection in score order until the budget runs out
+        (paper §IV-C: "caches the MPJPs in the sorted order until it runs
+        out [of] space")."""
+        chosen: list[ScoredPath] = []
+        remaining = budget_bytes
+        for candidate in scored:
+            cost = candidate.budget_bytes()
+            if cost <= remaining:
+                chosen.append(candidate)
+                remaining -= cost
+        return chosen
+
+    @staticmethod
+    def random_selection(
+        scored: list[ScoredPath],
+        budget_bytes: int,
+        seed: int = 0,
+    ) -> list[ScoredPath]:
+        """The random-caching comparator of Fig 11: shuffle, then fill."""
+        import random
+
+        pool = list(scored)
+        random.Random(seed).shuffle(pool)
+        chosen: list[ScoredPath] = []
+        remaining = budget_bytes
+        for candidate in pool:
+            cost = candidate.budget_bytes()
+            if cost <= remaining:
+                chosen.append(candidate)
+                remaining -= cost
+        return chosen

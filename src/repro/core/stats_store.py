@@ -1,0 +1,142 @@
+"""Persistence for collector statistics.
+
+The paper stores the JSONPath Collector's output in a *statistics table
+partitioned by date* in the warehouse itself. This module round-trips a
+:class:`~repro.core.collector.JsonPathCollector` through two catalog
+tables:
+
+* ``maxson_meta.jsonpath_stats`` — one row per (day, path) with the
+  access count (the predictor's input);
+* ``maxson_meta.query_paths`` — one row per (day, query, path) membership
+  (what the scoring function's R_j/O_j need).
+
+Each ``save`` appends one daily partition file per table, matching the
+production append-only pattern; ``load`` rebuilds a collector from all
+persisted partitions.
+"""
+
+from __future__ import annotations
+
+from ..engine.catalog import Catalog
+from ..storage.schema import DataType, Schema
+from ..workload.trace import PathKey
+from .collector import JsonPathCollector
+
+__all__ = ["StatsStore", "META_DATABASE"]
+
+META_DATABASE = "maxson_meta"
+STATS_TABLE = "jsonpath_stats"
+MEMBERSHIP_TABLE = "query_paths"
+
+
+def _stats_schema() -> Schema:
+    return Schema.of(
+        ("day", DataType.INT64),
+        ("database", DataType.STRING),
+        ("table_name", DataType.STRING),
+        ("column_name", DataType.STRING),
+        ("path", DataType.STRING),
+        ("count", DataType.INT64),
+    )
+
+
+def _membership_schema() -> Schema:
+    return Schema.of(
+        ("day", DataType.INT64),
+        ("query_seq", DataType.INT64),
+        ("database", DataType.STRING),
+        ("table_name", DataType.STRING),
+        ("column_name", DataType.STRING),
+        ("path", DataType.STRING),
+    )
+
+
+class StatsStore:
+    """Save/load collector statistics through the warehouse catalog."""
+
+    def __init__(self, catalog: Catalog) -> None:
+        self.catalog = catalog
+        self._ensure_tables()
+
+    def _ensure_tables(self) -> None:
+        if not self.catalog.table_exists(META_DATABASE, STATS_TABLE):
+            self.catalog.create_table(META_DATABASE, STATS_TABLE, _stats_schema())
+        if not self.catalog.table_exists(META_DATABASE, MEMBERSHIP_TABLE):
+            self.catalog.create_table(
+                META_DATABASE, MEMBERSHIP_TABLE, _membership_schema()
+            )
+
+    # ------------------------------------------------------------------
+    def save_day(self, collector: JsonPathCollector, day: int) -> None:
+        """Append one day's statistics as a new partition file."""
+        counts = collector.counts_on(day)
+        stats_rows = [
+            (day, key.database, key.table, key.column, key.path, count)
+            for key, count in sorted(counts.items())
+        ]
+        membership_rows = []
+        for query_seq, record in enumerate(collector.queries_on(day)):
+            for key in record.paths:
+                membership_rows.append(
+                    (day, query_seq, key.database, key.table, key.column, key.path)
+                )
+        if stats_rows:
+            self.catalog.append_rows(META_DATABASE, STATS_TABLE, stats_rows)
+        if membership_rows:
+            self.catalog.append_rows(
+                META_DATABASE, MEMBERSHIP_TABLE, membership_rows
+            )
+
+    def save_all(self, collector: JsonPathCollector) -> None:
+        """Persist every collected day (one partition per day)."""
+        for day in collector.days:
+            self.save_day(collector, day)
+
+    # ------------------------------------------------------------------
+    def load(self) -> JsonPathCollector:
+        """Rebuild a collector from the persisted partitions.
+
+        Query membership is reconstructed exactly (so R_j/O_j are
+        preserved); per-day counts are re-derived from membership, then
+        cross-checked against the stats partitions.
+        """
+        from ..storage.readers import OrcReader
+
+        collector = JsonPathCollector()
+        membership_files = self.catalog.table_files(
+            META_DATABASE, MEMBERSHIP_TABLE
+        )
+        # (day, query_seq) -> list of keys
+        grouped: dict[tuple[int, int], list[PathKey]] = {}
+        for path in membership_files:
+            reader = OrcReader(self.catalog.fs, path)
+            for day, query_seq, database, table, column, json_path in (
+                reader.read_rows()
+            ):
+                grouped.setdefault((day, query_seq), []).append(
+                    PathKey(database, table, column, json_path)
+                )
+        for (day, _), keys in sorted(grouped.items()):
+            collector.record_query(day, tuple(keys))
+        return collector
+
+    def verify(self, collector: JsonPathCollector) -> bool:
+        """Check the persisted stats partitions agree with ``collector``.
+
+        Returns False on any count mismatch (e.g. a partition written
+        twice); used by tests and by operators after manual repairs.
+        """
+        from collections import Counter
+
+        from ..storage.readers import OrcReader
+
+        persisted: dict[int, Counter] = {}
+        for path in self.catalog.table_files(META_DATABASE, STATS_TABLE):
+            reader = OrcReader(self.catalog.fs, path)
+            for day, database, table, column, json_path, count in reader.read_rows():
+                key = PathKey(database, table, column, json_path)
+                persisted.setdefault(day, Counter())[key] += count
+        for day, counts in persisted.items():
+            if counts != collector.counts_on(day):
+                return False
+        return True

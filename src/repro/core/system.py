@@ -1,0 +1,237 @@
+"""MaxsonSystem: the end-to-end facade (paper Fig 5).
+
+Wires the components into the nightly cycle the paper describes:
+
+1. the **collector** accumulates per-JSONPath statistics from executed
+   queries (live SQL or replayed trace events);
+2. at "midnight", the **predictor** proposes tomorrow's MPJPs;
+3. the **scoring function** measures and ranks them, and greedily selects
+   under the byte budget;
+4. the **cacher** drops yesterday's cache and pre-parses the selection
+   into file-aligned cache tables;
+5. from then on, the **plan modifier** rewrites every incoming query's
+   physical plan to read cached values through the Value Combiner, with
+   predicate pushdown onto the cache table.
+
+Queries run through :meth:`MaxsonSystem.sql`, which both executes them
+and feeds the collector — the feedback loop of the production system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..engine.catalog import Catalog
+from ..engine.metrics import QueryMetrics
+from ..engine.session import QueryResult, Session
+from ..storage.fs import BlockFileSystem
+from ..workload.trace import PathKey
+from .cacher import CacheBuildReport, CacheRegistry, JsonPathCacher
+from .collector import JsonPathCollector
+from .maxson_parser import MaxsonPlanModifier
+from .predictor import JsonPathPredictor, PredictorConfig
+from .scoring import ScoredPath, ScoringFunction
+
+__all__ = ["MaxsonConfig", "MidnightReport", "MaxsonSystem"]
+
+
+@dataclass
+class MaxsonConfig:
+    """System-level knobs."""
+
+    cache_budget_bytes: int = 512 * 1024 * 1024
+    mpjp_threshold: int = 2
+    selection_strategy: str = "score"
+    """'score' (the paper's ranking) or 'random' (Fig 11 comparator)."""
+    enable_pushdown: bool = True
+    predictor: PredictorConfig = field(default_factory=PredictorConfig)
+    scoring_sample_rows: int = 64
+    random_seed: int = 0
+
+
+@dataclass
+class MidnightReport:
+    """Outcome of one midnight cycle."""
+
+    day: int
+    predicted_mpjp: int
+    candidates_scored: int
+    selected: list[ScoredPath]
+    build: CacheBuildReport
+    skipped_missing_tables: int = 0
+
+    @property
+    def cached_paths(self) -> list[PathKey]:
+        return [sp.key for sp in self.selected]
+
+
+class MaxsonSystem:
+    """Maxson on top of a :class:`~repro.engine.session.Session`."""
+
+    def __init__(
+        self,
+        session: Session | None = None,
+        config: MaxsonConfig | None = None,
+    ) -> None:
+        self.session = session or Session()
+        self.config = config or MaxsonConfig()
+        self.collector = JsonPathCollector()
+        self.registry = CacheRegistry()
+        self.cacher = JsonPathCacher(self.session.catalog, self.registry)
+        self.scoring = ScoringFunction(
+            self.session.catalog,
+            sample_rows=self.config.scoring_sample_rows,
+            mpjp_threshold=self.config.mpjp_threshold,
+        )
+        self.predictor = JsonPathPredictor(self.config.predictor)
+        self.modifier = MaxsonPlanModifier(
+            self.registry, enable_pushdown=self.config.enable_pushdown
+        )
+        self.session.add_plan_modifier(self.modifier)
+        self.current_day = 0
+        self.cache_build_metrics = QueryMetrics()
+
+    # ------------------------------------------------------------------
+    # convenience constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_demo(cls, rows_per_table: int = 300) -> "MaxsonSystem":
+        """A ready-to-play system over the Table II tables."""
+        from ..workload.tables import load_tables
+
+        session = Session(fs=BlockFileSystem())
+        load_tables(session.catalog, rows_per_table=rows_per_table, days=3)
+        return cls(session=session)
+
+    @property
+    def catalog(self) -> Catalog:
+        return self.session.catalog
+
+    # ------------------------------------------------------------------
+    # query path
+    # ------------------------------------------------------------------
+    def sql(self, sql: str, day: int | None = None) -> QueryResult:
+        """Execute SQL through the Maxson-modified session and collect its
+        JSONPath references."""
+        planned = self.session.compile(sql)
+        self.collector.record_planned(
+            day if day is not None else self.current_day,
+            planned.referenced_json_paths,
+        )
+        return self.session.sql(sql)
+
+    def baseline_sql(self, sql: str) -> QueryResult:
+        """Execute without Maxson (plain engine), for comparisons."""
+        self.session.remove_plan_modifier(self.modifier)
+        try:
+            return self.session.sql(sql)
+        finally:
+            self.session.add_plan_modifier(self.modifier)
+
+    # ------------------------------------------------------------------
+    # the midnight cycle
+    # ------------------------------------------------------------------
+    def train_predictor(
+        self, train_days: list[int], keys: list[PathKey] | None = None
+    ) -> None:
+        self.predictor.fit(self.collector, train_days, keys)
+
+    def run_midnight_cycle(
+        self,
+        day: int | None = None,
+        candidate_keys: list[PathKey] | None = None,
+        history_days: int = 7,
+    ) -> MidnightReport:
+        """Predict, score, select and cache for ``day`` (default: the
+        system's next day)."""
+        target_day = day if day is not None else self.current_day + 1
+        predicted = self.predictor.predict(
+            self.collector, target_day, candidate_keys
+        )
+        # Only paths over real tables can be cached.
+        cacheable: set[PathKey] = set()
+        missing = 0
+        for key in predicted:
+            if self.catalog.table_exists(key.database, key.table):
+                cacheable.add(key)
+            else:
+                missing += 1
+        records = self.collector.queries_between(
+            max(0, target_day - history_days), target_day - 1
+        )
+        scored = self.scoring.score(cacheable, records)
+        if self.config.selection_strategy == "random":
+            selected = ScoringFunction.random_selection(
+                scored, self.config.cache_budget_bytes, seed=self.config.random_seed
+            )
+        else:
+            selected = self.scoring.select_within_budget(
+                scored, self.config.cache_budget_bytes
+            )
+        self.cacher.drop_all()
+        build = self.cacher.populate([sp.key for sp in selected])
+        self.cache_build_metrics.extra["build_seconds"] = (
+            self.cache_build_metrics.extra.get("build_seconds", 0.0)
+            + build.build_seconds
+        )
+        self.current_day = target_day
+        return MidnightReport(
+            day=target_day,
+            predicted_mpjp=len(predicted),
+            candidates_scored=len(scored),
+            selected=selected,
+            build=build,
+            skipped_missing_tables=missing,
+        )
+
+    def cache_paths_directly(
+        self,
+        keys: list[PathKey],
+        budget_bytes: int | None = None,
+        strategy: str | None = None,
+        records=None,
+    ) -> MidnightReport:
+        """Bypass prediction: score and cache the given candidate paths.
+
+        Used by benchmarks that study scoring/caching in isolation
+        (Fig 11 / Table V) where the candidate MPJP set is known.
+        """
+        budget = (
+            budget_bytes if budget_bytes is not None else self.config.cache_budget_bytes
+        )
+        strategy = strategy or self.config.selection_strategy
+        records = records if records is not None else self.collector.queries_between(
+            0, self.current_day
+        )
+        cacheable = {
+            key
+            for key in keys
+            if self.catalog.table_exists(key.database, key.table)
+        }
+        scored = self.scoring.score(cacheable, records)
+        if strategy == "random":
+            selected = ScoringFunction.random_selection(
+                scored, budget, seed=self.config.random_seed
+            )
+        else:
+            selected = self.scoring.select_within_budget(scored, budget)
+        self.cacher.drop_all()
+        build = self.cacher.populate([sp.key for sp in selected])
+        return MidnightReport(
+            day=self.current_day,
+            predicted_mpjp=len(keys),
+            candidates_scored=len(scored),
+            selected=selected,
+            build=build,
+            skipped_missing_tables=len(keys) - len(cacheable),
+        )
+
+    # ------------------------------------------------------------------
+    def cache_summary(self) -> dict[str, object]:
+        entries = self.registry.entries()
+        return {
+            "cached_paths": len(entries),
+            "cache_tables": len({e.cache_table for e in entries}),
+            "cache_bytes": self.registry.total_bytes(),
+            "invalid_tables": sorted(self.registry.invalid_tables()),
+        }

@@ -1,0 +1,150 @@
+"""Catalog: databases, tables, and their file-system backing.
+
+Tables are directories of ORC-like files in a
+:class:`~repro.storage.fs.BlockFileSystem` (one directory per table, path
+``/warehouse/<db>/<table>``). The catalog tracks table schemas and exposes
+the *last modification time*, which Maxson's plan rewriter compares against
+cache timestamps to decide cache validity (paper Algorithm 1, lines 16-19).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..storage.fs import BlockFileSystem
+from ..storage.orc import OrcWriter
+from ..storage.schema import Schema
+from .errors import CatalogError
+
+__all__ = ["TableInfo", "Catalog"]
+
+
+@dataclass
+class TableInfo:
+    """Metadata for one table."""
+
+    database: str
+    name: str
+    schema: Schema
+    location: str
+    properties: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def qualified_name(self) -> str:
+        return f"{self.database}.{self.name}"
+
+
+class Catalog:
+    """Metadata store over a shared file system.
+
+    The catalog is the single source of truth for schemas and locations.
+    Data operations (:meth:`append_rows`) write through to the file system;
+    modification times come from the files themselves so that out-of-band
+    updates (e.g. the workload simulator appending a daily partition) are
+    observed correctly.
+    """
+
+    def __init__(self, fs: BlockFileSystem, warehouse_root: str = "/warehouse") -> None:
+        self.fs = fs
+        self.warehouse_root = warehouse_root.rstrip("/")
+        self._tables: dict[tuple[str, str], TableInfo] = {}
+
+    # ------------------------------------------------------------------
+    # DDL
+    # ------------------------------------------------------------------
+    def create_table(
+        self,
+        database: str,
+        name: str,
+        schema: Schema,
+        properties: dict[str, str] | None = None,
+    ) -> TableInfo:
+        key = (database, name)
+        if key in self._tables:
+            raise CatalogError(f"table exists: {database}.{name}")
+        info = TableInfo(
+            database=database,
+            name=name,
+            schema=schema,
+            location=f"{self.warehouse_root}/{database}/{name}",
+            properties=dict(properties or {}),
+        )
+        self._tables[key] = info
+        return info
+
+    def drop_table(self, database: str, name: str) -> None:
+        key = (database, name)
+        if key not in self._tables:
+            raise CatalogError(f"no such table: {database}.{name}")
+        info = self._tables.pop(key)
+        if self.fs.exists(info.location):
+            self.fs.delete(info.location)
+
+    def get_table(self, database: str, name: str) -> TableInfo:
+        try:
+            return self._tables[(database, name)]
+        except KeyError:
+            raise CatalogError(f"no such table: {database}.{name}") from None
+
+    def table_exists(self, database: str, name: str) -> bool:
+        return (database, name) in self._tables
+
+    def list_tables(self, database: str | None = None) -> list[TableInfo]:
+        return [
+            info
+            for (db, _), info in sorted(self._tables.items())
+            if database is None or db == database
+        ]
+
+    # ------------------------------------------------------------------
+    # data
+    # ------------------------------------------------------------------
+    def append_rows(
+        self,
+        database: str,
+        name: str,
+        rows: list[tuple],
+        row_group_size: int | None = None,
+        stripe_bytes: int | None = None,
+    ) -> str:
+        """Write ``rows`` as one new immutable file; returns its path.
+
+        Each call creates a new file ``part-NNNNN.orc``, mirroring the
+        daily-append pattern of the production workload: data loaded
+        together lands in the same file and is never modified afterwards.
+        """
+        info = self.get_table(database, name)
+        existing = (
+            self.fs.list_directory(info.location)
+            if self.fs.exists(info.location)
+            else []
+        )
+        path = f"{info.location}/part-{len(existing):05d}.orc"
+        kwargs = {}
+        if row_group_size is not None:
+            kwargs["row_group_size"] = row_group_size
+        if stripe_bytes is not None:
+            kwargs["stripe_bytes"] = stripe_bytes
+        writer = OrcWriter(info.schema, **kwargs)
+        writer.write_rows(rows)
+        self.fs.create(path, writer.finish())
+        return path
+
+    def table_files(self, database: str, name: str) -> list[str]:
+        """File paths of the table, in split-index order."""
+        info = self.get_table(database, name)
+        if not self.fs.exists(info.location):
+            return []
+        return self.fs.file_splits(info.location)
+
+    def modification_time(self, database: str, name: str) -> float:
+        """Latest mtime across the table's files (0.0 for empty tables)."""
+        info = self.get_table(database, name)
+        if not self.fs.exists(info.location):
+            return 0.0
+        return self.fs.directory_mtime(info.location)
+
+    def table_bytes(self, database: str, name: str) -> int:
+        """Total on-disk size of the table."""
+        info = self.get_table(database, name)
+        return self.fs.directory_size(info.location)

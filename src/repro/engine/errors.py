@@ -1,0 +1,31 @@
+"""Error types raised by the query engine."""
+
+from __future__ import annotations
+
+__all__ = ["EngineError", "SqlSyntaxError", "PlanError", "CatalogError", "ExecutionError"]
+
+
+class EngineError(Exception):
+    """Base class for engine failures."""
+
+
+class SqlSyntaxError(EngineError):
+    """SQL text could not be parsed."""
+
+    def __init__(self, message: str, position: int = -1) -> None:
+        self.position = position
+        if position >= 0:
+            message = f"{message} (near offset {position})"
+        super().__init__(message)
+
+
+class PlanError(EngineError):
+    """Logical or physical planning failure (unknown column, bad types...)."""
+
+
+class CatalogError(EngineError):
+    """Catalog lookup or mutation failure."""
+
+
+class ExecutionError(EngineError):
+    """Runtime failure while executing a physical plan."""

@@ -1,0 +1,75 @@
+"""Query cost accounting.
+
+The paper's evaluation reports query time split into **Read**, **Parse**
+and **Compute** (Fig 3, Fig 12a/12c) plus the **input size** actually read
+(Fig 12b/12d). :class:`QueryMetrics` collects exactly those series:
+
+* *read* — wall time and bytes spent in the file system + ORC decoding;
+* *parse* — wall time, bytes and document counts spent inside JSON
+  parsers (accumulated via :class:`~repro.jsonlib.jackson.ParseStats`);
+* *compute* — everything else (derived: total − read − parse).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["QueryMetrics"]
+
+
+@dataclass
+class QueryMetrics:
+    """Counters for one query execution."""
+
+    total_seconds: float = 0.0
+    plan_seconds: float = 0.0
+    read_seconds: float = 0.0
+    parse_seconds: float = 0.0
+    bytes_read: int = 0
+    rows_scanned: int = 0
+    rows_output: int = 0
+    row_groups_total: int = 0
+    row_groups_skipped: int = 0
+    parse_documents: int = 0
+    parse_bytes: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    extra: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def compute_seconds(self) -> float:
+        """Everything that is neither read nor parse, floored at zero."""
+        return max(0.0, self.total_seconds - self.read_seconds - self.parse_seconds)
+
+    @property
+    def parse_fraction(self) -> float:
+        """Share of total time spent parsing (the paper's ≥80% headline)."""
+        if self.total_seconds <= 0:
+            return 0.0
+        return self.parse_seconds / self.total_seconds
+
+    def breakdown(self) -> dict[str, float]:
+        """The three-way split the paper plots."""
+        return {
+            "read": self.read_seconds,
+            "parse": self.parse_seconds,
+            "compute": self.compute_seconds,
+        }
+
+    def merge(self, other: "QueryMetrics") -> None:
+        """Accumulate another query's counters into this one."""
+        self.total_seconds += other.total_seconds
+        self.plan_seconds += other.plan_seconds
+        self.read_seconds += other.read_seconds
+        self.parse_seconds += other.parse_seconds
+        self.bytes_read += other.bytes_read
+        self.rows_scanned += other.rows_scanned
+        self.rows_output += other.rows_output
+        self.row_groups_total += other.row_groups_total
+        self.row_groups_skipped += other.row_groups_skipped
+        self.parse_documents += other.parse_documents
+        self.parse_bytes += other.parse_bytes
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        for key, value in other.extra.items():
+            self.extra[key] = self.extra.get(key, 0.0) + value

@@ -1,0 +1,460 @@
+"""Physical operators.
+
+Operators are pull-at-once: ``execute(ExecState)`` returns a list of row
+environments (dicts). The engine's data volumes are single-node scale, so
+whole-operator materialisation keeps the code straightforward while still
+letting us attribute time precisely (scans time their own I/O; JSON parse
+time accrues inside the shared :class:`EvalContext`'s parser stats).
+
+``ScanExec`` is deliberately *replaceable*: Maxson's plan rewriter swaps it
+for a cache-aware subclass (``MaxsonScanExec`` in
+:mod:`repro.core.combiner`) that runs the dual-reader Value Combiner. The
+rest of the plan never notices.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..storage.readers import OrcReader
+from ..storage.sargs import Sarg
+from .catalog import Catalog
+from .errors import ExecutionError
+from .expressions import (
+    AggregateCall,
+    EvalContext,
+    Expression,
+    Literal,
+    transform,
+    walk,
+)
+from .logical import SortKey
+from .metrics import QueryMetrics
+
+__all__ = [
+    "ExecState",
+    "PhysicalPlan",
+    "ScanExec",
+    "FilterExec",
+    "ProjectExec",
+    "AggregateExec",
+    "SortExec",
+    "LimitExec",
+    "HashJoinExec",
+]
+
+
+@dataclass
+class ExecState:
+    """Everything shared across the operators of one query execution."""
+
+    catalog: Catalog
+    context: EvalContext
+    metrics: QueryMetrics = field(default_factory=QueryMetrics)
+
+
+class PhysicalPlan:
+    """Base class for physical operators."""
+
+    def execute(self, state: ExecState) -> list[dict]:
+        raise NotImplementedError
+
+    def children(self) -> tuple["PhysicalPlan", ...]:
+        return ()
+
+    def output_names(self) -> set[str]:
+        """Row-environment keys this operator produces."""
+        raise NotImplementedError
+
+    def describe(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        lines = [f"{pad}{self._label()}"]
+        for child in self.children():
+            lines.append(child.describe(indent + 1))
+        return "\n".join(lines)
+
+    def _label(self) -> str:
+        return type(self).__name__
+
+    def transform_nodes(self, fn) -> "PhysicalPlan":
+        """Bottom-up plan rewrite; ``fn`` may return a replacement node."""
+        for attr in ("child", "left", "right"):
+            child = getattr(self, attr, None)
+            if isinstance(child, PhysicalPlan):
+                setattr(self, attr, child.transform_nodes(fn))
+        replacement = fn(self)
+        return replacement if replacement is not None else self
+
+
+@dataclass
+class ScanExec(PhysicalPlan):
+    """Table scan with column pruning and optional SARG pushdown.
+
+    Produces row dicts keyed by bare column names and, when the scan is
+    aliased, also by ``alias.column`` so join conditions can disambiguate.
+    """
+
+    database: str
+    table: str
+    alias: str | None
+    columns: list[str]
+    sarg: Sarg | None = None
+
+    def output_names(self) -> set[str]:
+        names = set(self.columns)
+        if self.alias:
+            names |= {f"{self.alias}.{c}" for c in self.columns}
+        return names
+
+    def _label(self) -> str:
+        sarg = f" sarg={self.sarg!r}" if self.sarg else ""
+        return (
+            f"Scan {self.database}.{self.table} cols={self.columns}{sarg}"
+        )
+
+    def execute(self, state: ExecState) -> list[dict]:
+        started = time.perf_counter()
+        rows: list[dict] = []
+        for path in state.catalog.table_files(self.database, self.table):
+            reader = OrcReader(
+                state.catalog.fs, path, columns=self.columns, sarg=self.sarg
+            )
+            result = reader.read()
+            state.metrics.bytes_read += result.bytes_read
+            state.metrics.row_groups_total += result.row_groups_total
+            state.metrics.row_groups_skipped += result.row_groups_skipped
+            series = [result.columns[name] for name in self.columns]
+            for values in zip(*series):
+                row = dict(zip(self.columns, values))
+                if self.alias:
+                    for name, value in zip(self.columns, values):
+                        row[f"{self.alias}.{name}"] = value
+                rows.append(row)
+        state.metrics.rows_scanned += len(rows)
+        state.metrics.read_seconds += time.perf_counter() - started
+        return rows
+
+
+@dataclass
+class FilterExec(PhysicalPlan):
+    """Keep rows where the condition evaluates to SQL TRUE."""
+
+    child: PhysicalPlan
+    condition: Expression
+
+    def children(self) -> tuple[PhysicalPlan, ...]:
+        return (self.child,)
+
+    def output_names(self) -> set[str]:
+        return self.child.output_names()
+
+    def _label(self) -> str:
+        return f"Filter {self.condition.sql()}"
+
+    def execute(self, state: ExecState) -> list[dict]:
+        rows = self.child.execute(state)
+        context = state.context
+        return [
+            row for row in rows if self.condition.evaluate(row, context) is True
+        ]
+
+
+@dataclass
+class ProjectExec(PhysicalPlan):
+    """Evaluate the SELECT list; output keys are the expressions' names."""
+
+    child: PhysicalPlan
+    expressions: list[Expression]
+
+    def children(self) -> tuple[PhysicalPlan, ...]:
+        return (self.child,)
+
+    def output_names(self) -> set[str]:
+        return {e.output_name() for e in self.expressions}
+
+    def _label(self) -> str:
+        return f"Project [{', '.join(e.sql() for e in self.expressions)}]"
+
+    def execute(self, state: ExecState) -> list[dict]:
+        rows = self.child.execute(state)
+        context = state.context
+        names = [e.output_name() for e in self.expressions]
+        out: list[dict] = []
+        for row in rows:
+            out.append(
+                {
+                    name: expr.evaluate(row, context)
+                    for name, expr in zip(names, self.expressions)
+                }
+            )
+        return out
+
+
+def _sort_token(value: object) -> tuple:
+    """Total-order key: NULLs first, then by type family, then value."""
+    if value is None:
+        return (0, "", 0.0)
+    if isinstance(value, bool):
+        return (1, "", float(value))
+    if isinstance(value, (int, float)):
+        return (2, "", float(value))
+    return (3, str(value), 0.0)
+
+
+@dataclass
+class SortExec(PhysicalPlan):
+    """ORDER BY with NULLS FIRST semantics (Hive default for ASC)."""
+
+    child: PhysicalPlan
+    keys: list[SortKey]
+
+    def children(self) -> tuple[PhysicalPlan, ...]:
+        return (self.child,)
+
+    def output_names(self) -> set[str]:
+        return self.child.output_names()
+
+    def _label(self) -> str:
+        keys = ", ".join(
+            f"{k.expression.sql()} {'ASC' if k.ascending else 'DESC'}"
+            for k in self.keys
+        )
+        return f"Sort [{keys}]"
+
+    def execute(self, state: ExecState) -> list[dict]:
+        rows = self.child.execute(state)
+        context = state.context
+        # Stable multi-key sort: apply keys right-to-left.
+        for key in reversed(self.keys):
+            rows.sort(
+                key=lambda row: _sort_token(key.expression.evaluate(row, context)),
+                reverse=not key.ascending,
+            )
+        return rows
+
+
+@dataclass
+class LimitExec(PhysicalPlan):
+    """LIMIT n."""
+
+    child: PhysicalPlan
+    count: int
+
+    def children(self) -> tuple[PhysicalPlan, ...]:
+        return (self.child,)
+
+    def output_names(self) -> set[str]:
+        return self.child.output_names()
+
+    def _label(self) -> str:
+        return f"Limit {self.count}"
+
+    def execute(self, state: ExecState) -> list[dict]:
+        return self.child.execute(state)[: self.count]
+
+
+class _Accumulator:
+    """Streaming accumulator for one AggregateCall."""
+
+    __slots__ = ("func", "distinct", "count", "total", "minimum", "maximum", "seen")
+
+    def __init__(self, func: str, distinct: bool) -> None:
+        self.func = func
+        self.distinct = distinct
+        self.count = 0
+        self.total: float | int = 0
+        self.minimum: object = None
+        self.maximum: object = None
+        self.seen: set | None = set() if distinct else None
+
+    def add(self, value: object) -> None:
+        if value is None:
+            return
+        if self.seen is not None:
+            if value in self.seen:
+                return
+            self.seen.add(value)
+        self.count += 1
+        if self.func == "sum" or self.func == "avg":
+            number = _to_number(value)
+            if number is None:
+                raise ExecutionError(
+                    f"{self.func}() over non-numeric value {value!r}"
+                )
+            self.total += number
+        elif self.func == "min":
+            if self.minimum is None or _sort_token(value) < _sort_token(self.minimum):
+                self.minimum = value
+        elif self.func == "max":
+            if self.maximum is None or _sort_token(value) > _sort_token(self.maximum):
+                self.maximum = value
+
+    def result(self) -> object:
+        if self.func == "count":
+            return self.count
+        if self.count == 0:
+            return None
+        if self.func == "sum":
+            return self.total
+        if self.func == "avg":
+            return self.total / self.count
+        if self.func == "min":
+            return self.minimum
+        return self.maximum
+
+
+def _to_number(value: object) -> int | float | None:
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, (int, float)):
+        return value
+    if isinstance(value, str):
+        try:
+            return int(value)
+        except ValueError:
+            try:
+                return float(value)
+            except ValueError:
+                return None
+    return None
+
+
+@dataclass
+class AggregateExec(PhysicalPlan):
+    """Hash aggregation over the group keys.
+
+    Output expressions may mix group keys, aggregates and arithmetic over
+    both; aggregates inside each output expression are computed first and
+    spliced in as literals before the outer expression evaluates.
+    """
+
+    child: PhysicalPlan
+    group_keys: list[Expression]
+    output: list[Expression]
+
+    def children(self) -> tuple[PhysicalPlan, ...]:
+        return (self.child,)
+
+    def output_names(self) -> set[str]:
+        return {e.output_name() for e in self.output}
+
+    def _label(self) -> str:
+        keys = ", ".join(e.sql() for e in self.group_keys) or "<global>"
+        return f"Aggregate keys=[{keys}]"
+
+    def execute(self, state: ExecState) -> list[dict]:
+        rows = self.child.execute(state)
+        context = state.context
+        aggregates: list[AggregateCall] = []
+        for expr in self.output:
+            for node in walk(expr):
+                if isinstance(node, AggregateCall) and node not in aggregates:
+                    aggregates.append(node)
+
+        groups: dict[tuple, list[_Accumulator]] = {}
+        sample_rows: dict[tuple, dict] = {}
+        for row in rows:
+            key = tuple(
+                _hashable(k.evaluate(row, context)) for k in self.group_keys
+            )
+            if key not in groups:
+                groups[key] = [
+                    _Accumulator(a.func, a.distinct) for a in aggregates
+                ]
+                sample_rows[key] = row
+            accumulators = groups[key]
+            for agg, acc in zip(aggregates, accumulators):
+                if agg.argument is None:
+                    acc.count += 1  # count(*) counts rows, NULLs included
+                else:
+                    acc.add(agg.argument.evaluate(row, context))
+
+        if not groups and not self.group_keys:
+            # Global aggregate over zero rows still yields one row.
+            groups[()] = [_Accumulator(a.func, a.distinct) for a in aggregates]
+            sample_rows[()] = {}
+
+        out: list[dict] = []
+        names = [e.output_name() for e in self.output]
+        for key, accumulators in groups.items():
+            results = {
+                agg: acc.result() for agg, acc in zip(aggregates, accumulators)
+            }
+            representative = sample_rows[key]
+
+            def _splice(node: Expression) -> Expression | None:
+                if isinstance(node, AggregateCall):
+                    return Literal(results[node])
+                return None
+
+            row_out: dict = {}
+            for name, expr in zip(names, self.output):
+                spliced = transform(expr, _splice)
+                row_out[name] = spliced.evaluate(representative, context)
+            out.append(row_out)
+        return out
+
+
+def _hashable(value: object) -> object:
+    if isinstance(value, (list, dict)):
+        from ..jsonlib.jackson import dumps
+
+        return dumps(value)
+    return value
+
+
+@dataclass
+class HashJoinExec(PhysicalPlan):
+    """Inner equi-join: hash build on the right, probe from the left.
+
+    ``left_keys``/``right_keys`` are the equi-join key expressions; any
+    residual (non-equi) conjuncts are evaluated on the merged row.
+    """
+
+    left: PhysicalPlan
+    right: PhysicalPlan
+    left_keys: list[Expression]
+    right_keys: list[Expression]
+    residual: Expression | None = None
+
+    def children(self) -> tuple[PhysicalPlan, ...]:
+        return (self.left, self.right)
+
+    def output_names(self) -> set[str]:
+        return self.left.output_names() | self.right.output_names()
+
+    def _label(self) -> str:
+        pairs = ", ".join(
+            f"{l.sql()}={r.sql()}" for l, r in zip(self.left_keys, self.right_keys)
+        )
+        residual = f" residual={self.residual.sql()}" if self.residual else ""
+        return f"HashJoin [{pairs}]{residual}"
+
+    def execute(self, state: ExecState) -> list[dict]:
+        left_rows = self.left.execute(state)
+        right_rows = self.right.execute(state)
+        context = state.context
+        table: dict[tuple, list[dict]] = {}
+        for row in right_rows:
+            key = tuple(
+                _hashable(k.evaluate(row, context)) for k in self.right_keys
+            )
+            if any(part is None for part in key):
+                continue  # NULL keys never join
+            table.setdefault(key, []).append(row)
+        out: list[dict] = []
+        for row in left_rows:
+            key = tuple(
+                _hashable(k.evaluate(row, context)) for k in self.left_keys
+            )
+            if any(part is None for part in key):
+                continue
+            for match in table.get(key, ()):
+                merged = {**match, **row}
+                if (
+                    self.residual is None
+                    or self.residual.evaluate(merged, context) is True
+                ):
+                    out.append(merged)
+        return out

@@ -1,0 +1,129 @@
+"""Session: the SparkSQL-like entry point.
+
+A :class:`Session` owns a catalog and compiles SQL text through
+parse → logical plan → physical plan → execution, timing each stage into a
+:class:`~repro.engine.metrics.QueryMetrics`.
+
+Extension point: *physical plan modifiers*. Maxson registers one
+(:class:`repro.core.maxson_parser.MaxsonPlanModifier`) which rewrites the
+plan between compilation and execution — exactly where the paper's
+MaxsonParser sits relative to SparkSQL. The baseline engine runs with no
+modifiers installed.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..jsonlib.jackson import JacksonParser
+from ..storage.fs import BlockFileSystem
+from .catalog import Catalog
+from .expressions import EvalContext
+from .metrics import QueryMetrics
+from .physical import ExecState, PhysicalPlan
+from .planner import PlannedQuery, Planner
+from .sqlparser import parse_sql
+
+__all__ = ["QueryResult", "Session"]
+
+
+@dataclass
+class QueryResult:
+    """Rows plus the metrics of the execution that produced them."""
+
+    rows: list[dict]
+    metrics: QueryMetrics
+    plan: PhysicalPlan
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def column(self, name: str) -> list[object]:
+        """One output column as a list."""
+        return [row[name] for row in self.rows]
+
+    def first(self) -> dict | None:
+        return self.rows[0] if self.rows else None
+
+
+@dataclass
+class Session:
+    """A single-tenant query session over a shared file system + catalog."""
+
+    fs: BlockFileSystem = field(default_factory=BlockFileSystem)
+    catalog: Catalog = None  # type: ignore[assignment]
+    parser_factory: object = JacksonParser
+    projection_parser_factory: object = None
+
+    def __post_init__(self) -> None:
+        if self.catalog is None:
+            self.catalog = Catalog(self.fs)
+        self.planner = Planner(self.catalog)
+        self._plan_modifiers: list = []
+        #: accumulated across queries; reset with `reset_session_metrics`
+        self.session_metrics = QueryMetrics()
+
+    # ------------------------------------------------------------------
+    # plan modifiers (the Maxson hook)
+    # ------------------------------------------------------------------
+    def add_plan_modifier(self, modifier) -> None:
+        """Register an object with ``modify(planned, state) -> PhysicalPlan``."""
+        self._plan_modifiers.append(modifier)
+
+    def remove_plan_modifier(self, modifier) -> None:
+        self._plan_modifiers.remove(modifier)
+
+    # ------------------------------------------------------------------
+    def compile(self, sql: str) -> PlannedQuery:
+        """Parse and plan without executing."""
+        logical = parse_sql(sql)
+        return self.planner.plan(logical)
+
+    def explain(self, sql: str) -> str:
+        """The physical plan as text, after plan modifiers run."""
+        planned, _, _ = self._prepare(sql)
+        return planned.physical.describe()
+
+    def _prepare(self, sql: str) -> tuple[PlannedQuery, ExecState, float]:
+        started = time.perf_counter()
+        planned = self.compile(sql)
+        context = EvalContext(parser=self.parser_factory())
+        if self.projection_parser_factory is not None:
+            context.projection_parser = self.projection_parser_factory()
+        state = ExecState(catalog=self.catalog, context=context)
+        for modifier in self._plan_modifiers:
+            planned.physical = modifier.modify(planned, state)
+        plan_seconds = time.perf_counter() - started
+        return planned, state, plan_seconds
+
+    def sql(self, sql: str) -> QueryResult:
+        """Compile and execute one SELECT statement."""
+        planned, state, plan_seconds = self._prepare(sql)
+        started = time.perf_counter()
+        rows = planned.physical.execute(state)
+        total = time.perf_counter() - started
+        metrics = state.metrics
+        metrics.plan_seconds = plan_seconds
+        metrics.total_seconds = total
+        metrics.rows_output = len(rows)
+        parse_stats = state.context.parser.stats
+        metrics.parse_seconds += parse_stats.seconds
+        metrics.parse_documents += parse_stats.documents
+        metrics.parse_bytes += parse_stats.bytes_scanned
+        for extra_parser in (
+            state.context.projection_parser,
+            state.context.xml_parser,
+        ):
+            if extra_parser is not None and hasattr(extra_parser, "stats"):
+                metrics.parse_seconds += extra_parser.stats.seconds
+                metrics.parse_documents += extra_parser.stats.documents
+                metrics.parse_bytes += extra_parser.stats.bytes_scanned
+        self.session_metrics.merge(metrics)
+        return QueryResult(rows=rows, metrics=metrics, plan=planned.physical)
+
+    def reset_session_metrics(self) -> None:
+        self.session_metrics = QueryMetrics()

@@ -1,0 +1,42 @@
+"""JSON substrate: parsers, JSONPath, and raw prefiltering.
+
+Three parser families reproduce the comparators of the paper's Fig 15:
+
+* :class:`~repro.jsonlib.jackson.JacksonParser` — conventional full
+  deserialisation (SparkSQL's default Jackson parser);
+* :class:`~repro.jsonlib.mison.MisonParser` — structural-index projection
+  (Mison / Pikkr);
+* :class:`~repro.jsonlib.sparser.FilterCascade` — raw-byte prefiltering
+  (Sparser).
+
+:mod:`~repro.jsonlib.jsonpath` implements the ``get_json_object`` path
+dialect shared by all of them.
+"""
+
+from .errors import DepthLimitError, JsonError, JsonParseError, JsonPathError
+from .jackson import JacksonParser, ParseStats, dumps, parse
+from .jsonpath import JsonPath, evaluate, get_json_object, parse_path
+from .mison import MisonParser, StructuralIndex, build_structural_index
+from .sparser import FilterCascade, KeyValueFilter, RawFilter, SubstringFilter
+
+__all__ = [
+    "JsonError",
+    "JsonParseError",
+    "JsonPathError",
+    "DepthLimitError",
+    "JacksonParser",
+    "ParseStats",
+    "parse",
+    "dumps",
+    "JsonPath",
+    "parse_path",
+    "evaluate",
+    "get_json_object",
+    "MisonParser",
+    "StructuralIndex",
+    "build_structural_index",
+    "FilterCascade",
+    "SubstringFilter",
+    "KeyValueFilter",
+    "RawFilter",
+]

@@ -1,0 +1,45 @@
+"""Error types raised by the JSON substrate.
+
+The parsers in :mod:`repro.jsonlib` never raise bare ``ValueError`` for
+malformed input; they raise :class:`JsonParseError` (or a subclass) carrying
+the byte offset where parsing failed, so callers can report precise
+diagnostics and so tests can assert on error positions.
+"""
+
+from __future__ import annotations
+
+
+class JsonError(Exception):
+    """Base class for every error raised by :mod:`repro.jsonlib`."""
+
+
+class JsonParseError(JsonError):
+    """Malformed JSON text.
+
+    Parameters
+    ----------
+    message:
+        Human readable description of the problem.
+    position:
+        Character offset into the input where the problem was detected.
+    """
+
+    def __init__(self, message: str, position: int = -1) -> None:
+        self.position = position
+        if position >= 0:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+
+
+class JsonPathError(JsonError):
+    """Malformed JSONPath expression."""
+
+    def __init__(self, message: str, path: str = "") -> None:
+        self.path = path
+        if path:
+            message = f"{message} (in path {path!r})"
+        super().__init__(message)
+
+
+class DepthLimitError(JsonParseError):
+    """Nesting exceeded the configured maximum depth."""

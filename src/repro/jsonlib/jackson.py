@@ -1,0 +1,232 @@
+"""A full recursive-descent JSON parser — the "Jackson" baseline.
+
+In the paper the default SparkSQL parser is Jackson: a conventional parser
+that fully deserialises the document into an object tree before any field
+can be read. This module plays that role. It is the *reference semantics*
+for every other parser in the package, and it maintains a
+:class:`ParseStats` counter so the query engine can attribute time and
+bytes to parsing (Fig 3, Fig 12 of the paper).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from .errors import DepthLimitError, JsonParseError
+from .tokens import scan_number, scan_string
+
+__all__ = ["JacksonParser", "ParseStats", "parse", "dumps"]
+
+_WHITESPACE = " \t\n\r"
+_DIGITS = "0123456789"
+
+#: Default maximum nesting depth. NoBench and the production documents in
+#: the paper nest at most 5 levels (Table II); 128 is generous headroom
+#: while still catching runaway inputs.
+DEFAULT_MAX_DEPTH = 128
+
+
+@dataclass
+class ParseStats:
+    """Counters accumulated across calls to a parser instance.
+
+    These counters are the raw material of the paper's cost breakdowns:
+    the engine sums ``seconds`` to report the "Parse" bar of Fig 3/12 and
+    ``bytes_scanned`` to report input size.
+    """
+
+    documents: int = 0
+    bytes_scanned: int = 0
+    seconds: float = 0.0
+    errors: int = 0
+    extra: dict[str, float] = field(default_factory=dict)
+
+    def merge(self, other: "ParseStats") -> None:
+        """Fold ``other`` into this instance (used by parallel readers)."""
+        self.documents += other.documents
+        self.bytes_scanned += other.bytes_scanned
+        self.seconds += other.seconds
+        self.errors += other.errors
+        for key, value in other.extra.items():
+            self.extra[key] = self.extra.get(key, 0.0) + value
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.documents = 0
+        self.bytes_scanned = 0
+        self.seconds = 0.0
+        self.errors = 0
+        self.extra.clear()
+
+
+class JacksonParser:
+    """Parse a complete JSON document into Python objects.
+
+    The parser is strict: trailing garbage, unterminated containers and
+    invalid escapes all raise :class:`JsonParseError`. Objects decode to
+    ``dict``, arrays to ``list``, and scalar types to their natural Python
+    equivalents.
+
+    A single instance may be reused across many documents; it accumulates
+    :class:`ParseStats` across calls.
+    """
+
+    name = "jackson"
+
+    def __init__(self, max_depth: int = DEFAULT_MAX_DEPTH) -> None:
+        self.max_depth = max_depth
+        self.stats = ParseStats()
+
+    def parse(self, text: str) -> object:
+        """Parse ``text`` and return the decoded document."""
+        started = time.perf_counter()
+        try:
+            value, end = self._parse_value(text, self._skip_ws(text, 0), 0)
+            end = self._skip_ws(text, end)
+            if end != len(text):
+                raise JsonParseError("trailing data after document", end)
+        except JsonParseError:
+            self.stats.errors += 1
+            raise
+        finally:
+            self.stats.seconds += time.perf_counter() - started
+            self.stats.documents += 1
+            self.stats.bytes_scanned += len(text)
+        return value
+
+    # ------------------------------------------------------------------
+    # recursive descent
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _skip_ws(text: str, i: int) -> int:
+        n = len(text)
+        while i < n and text[i] in _WHITESPACE:
+            i += 1
+        return i
+
+    def _parse_value(self, text: str, i: int, depth: int) -> tuple[object, int]:
+        if depth > self.max_depth:
+            raise DepthLimitError("maximum nesting depth exceeded", i)
+        if i >= len(text):
+            raise JsonParseError("unexpected end of input", i)
+        ch = text[i]
+        if ch == "{":
+            return self._parse_object(text, i, depth)
+        if ch == "[":
+            return self._parse_array(text, i, depth)
+        if ch == '"':
+            return scan_string(text, i)
+        if ch == "-" or ch in _DIGITS:
+            return scan_number(text, i)
+        if text.startswith("true", i):
+            return True, i + 4
+        if text.startswith("false", i):
+            return False, i + 5
+        if text.startswith("null", i):
+            return None, i + 4
+        raise JsonParseError(f"unexpected character {ch!r}", i)
+
+    def _parse_object(self, text: str, i: int, depth: int) -> tuple[dict, int]:
+        obj: dict[str, object] = {}
+        i = self._skip_ws(text, i + 1)
+        if i < len(text) and text[i] == "}":
+            return obj, i + 1
+        while True:
+            if i >= len(text) or text[i] != '"':
+                raise JsonParseError("expected object key", i)
+            key, i = scan_string(text, i)
+            i = self._skip_ws(text, i)
+            if i >= len(text) or text[i] != ":":
+                raise JsonParseError("expected ':' after object key", i)
+            i = self._skip_ws(text, i + 1)
+            value, i = self._parse_value(text, i, depth + 1)
+            obj[key] = value
+            i = self._skip_ws(text, i)
+            if i >= len(text):
+                raise JsonParseError("unterminated object", i)
+            if text[i] == ",":
+                i = self._skip_ws(text, i + 1)
+                continue
+            if text[i] == "}":
+                return obj, i + 1
+            raise JsonParseError("expected ',' or '}' in object", i)
+
+    def _parse_array(self, text: str, i: int, depth: int) -> tuple[list, int]:
+        arr: list[object] = []
+        i = self._skip_ws(text, i + 1)
+        if i < len(text) and text[i] == "]":
+            return arr, i + 1
+        while True:
+            value, i = self._parse_value(text, i, depth + 1)
+            arr.append(value)
+            i = self._skip_ws(text, i)
+            if i >= len(text):
+                raise JsonParseError("unterminated array", i)
+            if text[i] == ",":
+                i = self._skip_ws(text, i + 1)
+                continue
+            if text[i] == "]":
+                return arr, i + 1
+            raise JsonParseError("expected ',' or ']' in array", i)
+
+
+_MODULE_PARSER = JacksonParser()
+
+
+def parse(text: str) -> object:
+    """Parse ``text`` with a module-level :class:`JacksonParser`."""
+    return _MODULE_PARSER.parse(text)
+
+
+_STRING_ESCAPES = {
+    '"': '\\"',
+    "\\": "\\\\",
+    "\b": "\\b",
+    "\f": "\\f",
+    "\n": "\\n",
+    "\r": "\\r",
+    "\t": "\\t",
+}
+
+
+def _escape(value: str) -> str:
+    out: list[str] = []
+    for ch in value:
+        if ch in _STRING_ESCAPES:
+            out.append(_STRING_ESCAPES[ch])
+        elif ord(ch) < 0x20:
+            out.append(f"\\u{ord(ch):04x}")
+        else:
+            out.append(ch)
+    return "".join(out)
+
+
+def dumps(value: object) -> str:
+    """Serialise a Python object tree to compact JSON text.
+
+    The inverse of :func:`parse` for the value domain the parsers produce
+    (dict/list/str/int/float/bool/None). Used by the workload generators so
+    the package is self-contained and never depends on the stdlib ``json``
+    module's exact formatting.
+    """
+    if value is None:
+        return "null"
+    if value is True:
+        return "true"
+    if value is False:
+        return "false"
+    if isinstance(value, str):
+        return f'"{_escape(value)}"'
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if value != value or value in (float("inf"), float("-inf")):
+            raise ValueError("JSON cannot represent NaN or infinity")
+        return repr(value)
+    if isinstance(value, dict):
+        items = ",".join(f'"{_escape(str(k))}":{dumps(v)}' for k, v in value.items())
+        return "{" + items + "}"
+    if isinstance(value, (list, tuple)):
+        return "[" + ",".join(dumps(v) for v in value) + "]"
+    raise TypeError(f"cannot serialise {type(value).__name__} to JSON")

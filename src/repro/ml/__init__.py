@@ -1,0 +1,38 @@
+"""Learning substrate: NumPy-only models for MPJP prediction.
+
+Model zoo matching the paper's Table III/IV comparison:
+LR (:class:`LogisticRegression`), SVM (:class:`LinearSVM`),
+MLP (:class:`MLPClassifier`), Uni-LSTM (:class:`LSTMSequenceClassifier`)
+and the proposed LSTM+CRF hybrid (:class:`LSTMCRFTagger`).
+"""
+
+from .crf import LinearChainCRF
+from .linear import LogisticRegression
+from .lstm import LSTMLayer, LSTMSequenceClassifier, LSTMTagger
+from .lstm_crf import LSTMCRFTagger
+from .metrics import PRF, accuracy, confusion_counts, precision_recall_f1
+from .mlp import MLPClassifier
+from .optim import Adam, SGD, clip_gradients
+from .preprocessing import StandardScaler, one_hot, train_val_test_split
+from .svm import LinearSVM
+
+__all__ = [
+    "LogisticRegression",
+    "LinearSVM",
+    "MLPClassifier",
+    "LSTMLayer",
+    "LSTMTagger",
+    "LSTMSequenceClassifier",
+    "LSTMCRFTagger",
+    "LinearChainCRF",
+    "PRF",
+    "precision_recall_f1",
+    "confusion_counts",
+    "accuracy",
+    "Adam",
+    "SGD",
+    "clip_gradients",
+    "StandardScaler",
+    "one_hot",
+    "train_val_test_split",
+]

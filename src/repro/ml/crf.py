@@ -1,0 +1,174 @@
+"""A linear-chain conditional random field over emission scores.
+
+The CRF layer of the paper's LSTM+CRF predictor. Given per-timestep
+emission scores ``(T, L)`` (from the LSTM's linear head), the CRF defines
+
+    score(y) = sum_t emissions[t, y_t]
+             + start[y_0] + sum_t transitions[y_{t-1}, y_t] + end[y_{T-1}]
+
+and models p(y | x) = exp(score(y)) / Z. Training maximises the exact
+log-likelihood via the forward algorithm in log space; decoding uses
+Viterbi. Gradients are returned both for the CRF's own parameters and for
+the emissions, so an upstream network (the LSTM) can backpropagate
+through the layer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["LinearChainCRF"]
+
+
+def _logsumexp(a: np.ndarray, axis: int | None = None) -> np.ndarray:
+    peak = a.max(axis=axis, keepdims=True)
+    out = np.log(np.sum(np.exp(a - peak), axis=axis, keepdims=True)) + peak
+    return out.squeeze(axis=axis) if axis is not None else out.reshape(())
+
+
+class LinearChainCRF:
+    """CRF with learned start/transition/end potentials.
+
+    ``all_possible_transitions=True`` (the paper's setting) means every
+    label-to-label transition has its own learned weight; ``False`` ties
+    them all to zero (emissions only), which is useful in ablations.
+    """
+
+    def __init__(
+        self,
+        num_labels: int = 2,
+        all_possible_transitions: bool = True,
+        seed: int = 0,
+    ) -> None:
+        rng = np.random.default_rng(seed)
+        self.num_labels = num_labels
+        self.all_possible_transitions = all_possible_transitions
+        if all_possible_transitions:
+            self.transitions = rng.normal(scale=0.01, size=(num_labels, num_labels))
+            self.start = rng.normal(scale=0.01, size=num_labels)
+            self.end = rng.normal(scale=0.01, size=num_labels)
+        else:
+            self.transitions = np.zeros((num_labels, num_labels))
+            self.start = np.zeros(num_labels)
+            self.end = np.zeros(num_labels)
+
+    @property
+    def params(self) -> list[np.ndarray]:
+        return [self.transitions, self.start, self.end]
+
+    # ------------------------------------------------------------------
+    # inference
+    # ------------------------------------------------------------------
+    def log_partition(self, emissions: np.ndarray) -> float:
+        """log Z via the forward algorithm (log space)."""
+        alpha = self.start + emissions[0]
+        for t in range(1, emissions.shape[0]):
+            # alpha'_j = logsumexp_i(alpha_i + trans_ij) + emit_tj
+            alpha = _logsumexp(alpha[:, None] + self.transitions, axis=0) + emissions[t]
+        return float(_logsumexp(alpha + self.end))
+
+    def sequence_score(self, emissions: np.ndarray, labels: np.ndarray) -> float:
+        """Unnormalised score of one label sequence."""
+        labels = np.asarray(labels, dtype=int)
+        score = self.start[labels[0]] + float(emissions[0, labels[0]])
+        for t in range(1, emissions.shape[0]):
+            score += self.transitions[labels[t - 1], labels[t]]
+            score += float(emissions[t, labels[t]])
+        score += self.end[labels[-1]]
+        return float(score)
+
+    def log_likelihood(self, emissions: np.ndarray, labels: np.ndarray) -> float:
+        return self.sequence_score(emissions, labels) - self.log_partition(emissions)
+
+    def marginals(self, emissions: np.ndarray) -> np.ndarray:
+        """Posterior label marginals (T, L) via forward-backward."""
+        T, L = emissions.shape
+        alpha = np.zeros((T, L))
+        alpha[0] = self.start + emissions[0]
+        for t in range(1, T):
+            alpha[t] = (
+                _logsumexp(alpha[t - 1][:, None] + self.transitions, axis=0)
+                + emissions[t]
+            )
+        beta = np.zeros((T, L))
+        beta[T - 1] = self.end
+        for t in range(T - 2, -1, -1):
+            beta[t] = _logsumexp(
+                self.transitions + (emissions[t + 1] + beta[t + 1])[None, :], axis=1
+            )
+        log_z = float(_logsumexp(alpha[T - 1] + self.end))
+        return np.exp(alpha + beta - log_z)
+
+    def decode(self, emissions: np.ndarray) -> np.ndarray:
+        """Viterbi: the most probable label sequence."""
+        T, L = emissions.shape
+        score = self.start + emissions[0]
+        backpointers = np.zeros((T, L), dtype=int)
+        for t in range(1, T):
+            candidate = score[:, None] + self.transitions  # (from, to)
+            backpointers[t] = candidate.argmax(axis=0)
+            score = candidate.max(axis=0) + emissions[t]
+        score = score + self.end
+        best = np.zeros(T, dtype=int)
+        best[T - 1] = int(score.argmax())
+        for t in range(T - 1, 0, -1):
+            best[t - 1] = backpointers[t, best[t]]
+        return best
+
+    # ------------------------------------------------------------------
+    # learning
+    # ------------------------------------------------------------------
+    def gradients(
+        self, emissions: np.ndarray, labels: np.ndarray
+    ) -> tuple[float, np.ndarray, list[np.ndarray]]:
+        """Negative log-likelihood and its gradients.
+
+        Returns ``(nll, d_emissions, [d_transitions, d_start, d_end])``.
+        The gradient of the NLL wrt emissions is (marginals - one_hot),
+        and wrt transitions it is (expected counts - observed counts);
+        both come from one forward-backward pass.
+        """
+        labels = np.asarray(labels, dtype=int)
+        T, L = emissions.shape
+        # Forward-backward in log space.
+        alpha = np.zeros((T, L))
+        alpha[0] = self.start + emissions[0]
+        for t in range(1, T):
+            alpha[t] = (
+                _logsumexp(alpha[t - 1][:, None] + self.transitions, axis=0)
+                + emissions[t]
+            )
+        beta = np.zeros((T, L))
+        beta[T - 1] = self.end
+        for t in range(T - 2, -1, -1):
+            beta[t] = _logsumexp(
+                self.transitions + (emissions[t + 1] + beta[t + 1])[None, :], axis=1
+            )
+        log_z = float(_logsumexp(alpha[T - 1] + self.end))
+        nll = log_z - self.sequence_score(emissions, labels)
+
+        marginals = np.exp(alpha + beta - log_z)
+        d_emissions = marginals.copy()
+        d_emissions[np.arange(T), labels] -= 1.0
+
+        d_transitions = np.zeros_like(self.transitions)
+        for t in range(1, T):
+            # pairwise marginal p(y_{t-1}=i, y_t=j)
+            pairwise = (
+                alpha[t - 1][:, None]
+                + self.transitions
+                + (emissions[t] + beta[t])[None, :]
+                - log_z
+            )
+            d_transitions += np.exp(pairwise)
+            d_transitions[labels[t - 1], labels[t]] -= 1.0
+
+        d_start = marginals[0].copy()
+        d_start[labels[0]] -= 1.0
+        d_end = marginals[T - 1].copy()
+        d_end[labels[-1]] -= 1.0
+        if not self.all_possible_transitions:
+            d_transitions[:] = 0.0
+            d_start[:] = 0.0
+            d_end[:] = 0.0
+        return nll, d_emissions, [d_transitions, d_start, d_end]

@@ -1,0 +1,288 @@
+"""A batched LSTM layer with full backpropagation through time.
+
+Standard LSTM equations (Hochreiter & Schmidhuber 1997) with the four gate
+projections fused into one weight matrix. All operations are batched: the
+layer maps ``(B, T, D)`` input to ``(B, T, H)`` hidden states, so training
+over thousands of equal-length (path, window) sequences vectorises across
+the batch instead of looping in Python.
+
+:class:`LSTMTagger` stacks layers and adds a per-timestep linear head for
+sequence labelling — the Uni-LSTM comparator of the paper's Table IV, and
+the emission network under the CRF in :mod:`repro.ml.lstm_crf`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .optim import Adam, clip_gradients
+
+__all__ = ["LSTMLayer", "LSTMTagger", "LSTMSequenceClassifier", "softmax_rows"]
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    out = np.empty_like(z)
+    positive = z >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-z[positive]))
+    exp_z = np.exp(z[~positive])
+    out[~positive] = exp_z / (1.0 + exp_z)
+    return out
+
+
+class LSTMLayer:
+    """One LSTM layer. Gate order in the fused matrices: i, f, g, o."""
+
+    def __init__(
+        self, input_size: int, hidden_size: int, rng: np.random.Generator
+    ) -> None:
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        scale = 1.0 / np.sqrt(hidden_size)
+        self.w_x = rng.uniform(-scale, scale, size=(input_size, 4 * hidden_size))
+        self.w_h = rng.uniform(-scale, scale, size=(hidden_size, 4 * hidden_size))
+        self.bias = np.zeros(4 * hidden_size)
+        # Forget-gate bias init at 1.0: standard trick for gradient flow.
+        self.bias[hidden_size : 2 * hidden_size] = 1.0
+        self._cache: dict | None = None
+
+    @property
+    def params(self) -> list[np.ndarray]:
+        return [self.w_x, self.w_h, self.bias]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """x: (B, T, D) -> hidden states (B, T, H); caches for backward."""
+        B, T, _ = x.shape
+        H = self.hidden_size
+        h = np.zeros((T + 1, B, H))
+        c = np.zeros((T + 1, B, H))
+        gates = np.zeros((T, B, 4 * H))
+        c_tanh = np.zeros((T, B, H))
+        for t in range(T):
+            z = x[:, t, :] @ self.w_x + h[t] @ self.w_h + self.bias
+            i = _sigmoid(z[:, :H])
+            f = _sigmoid(z[:, H : 2 * H])
+            g = np.tanh(z[:, 2 * H : 3 * H])
+            o = _sigmoid(z[:, 3 * H :])
+            c[t + 1] = f * c[t] + i * g
+            ct = np.tanh(c[t + 1])
+            h[t + 1] = o * ct
+            gates[t, :, :H] = i
+            gates[t, :, H : 2 * H] = f
+            gates[t, :, 2 * H : 3 * H] = g
+            gates[t, :, 3 * H :] = o
+            c_tanh[t] = ct
+        self._cache = {"x": x, "h": h, "c": c, "gates": gates, "c_tanh": c_tanh}
+        return np.transpose(h[1:], (1, 0, 2))
+
+    def backward(self, d_h_out: np.ndarray) -> tuple[np.ndarray, list[np.ndarray]]:
+        """BPTT. d_h_out: (B, T, H) gradient wrt the hidden outputs.
+
+        Returns (d_x, [d_w_x, d_w_h, d_bias]).
+        """
+        if self._cache is None:
+            raise RuntimeError("backward() before forward()")
+        cache = self._cache
+        x, h, c = cache["x"], cache["h"], cache["c"]
+        gates, c_tanh = cache["gates"], cache["c_tanh"]
+        B, T, _ = x.shape
+        H = self.hidden_size
+        d_w_x = np.zeros_like(self.w_x)
+        d_w_h = np.zeros_like(self.w_h)
+        d_bias = np.zeros_like(self.bias)
+        d_x = np.zeros_like(x)
+        d_h_next = np.zeros((B, H))
+        d_c_next = np.zeros((B, H))
+        for t in range(T - 1, -1, -1):
+            i = gates[t, :, :H]
+            f = gates[t, :, H : 2 * H]
+            g = gates[t, :, 2 * H : 3 * H]
+            o = gates[t, :, 3 * H :]
+            ct = c_tanh[t]
+            dh = d_h_out[:, t, :] + d_h_next
+            do = dh * ct
+            dc = dh * o * (1 - ct * ct) + d_c_next
+            di = dc * g
+            df = dc * c[t]
+            dg = dc * i
+            d_c_next = dc * f
+            dz = np.concatenate(
+                [
+                    di * i * (1 - i),
+                    df * f * (1 - f),
+                    dg * (1 - g * g),
+                    do * o * (1 - o),
+                ],
+                axis=1,
+            )
+            d_w_x += x[:, t, :].T @ dz
+            d_w_h += h[t].T @ dz
+            d_bias += dz.sum(axis=0)
+            d_x[:, t, :] = dz @ self.w_x.T
+            d_h_next = dz @ self.w_h.T
+        return d_x, [d_w_x, d_w_h, d_bias]
+
+
+class LSTMTagger:
+    """Stacked LSTM + per-timestep linear head (logits over labels).
+
+    This is the Uni-LSTM model of Table IV when trained with per-timestep
+    cross-entropy, and the emission network of the LSTM+CRF model when its
+    logits feed the CRF layer instead.
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int = 50,
+        num_layers: int = 2,
+        num_labels: int = 2,
+        seed: int = 0,
+    ) -> None:
+        rng = np.random.default_rng(seed)
+        self.layers: list[LSTMLayer] = []
+        size = input_size
+        for _ in range(num_layers):
+            self.layers.append(LSTMLayer(size, hidden_size, rng))
+            size = hidden_size
+        scale = 1.0 / np.sqrt(hidden_size)
+        self.w_out = rng.uniform(-scale, scale, size=(hidden_size, num_labels))
+        self.b_out = np.zeros(num_labels)
+        self.num_labels = num_labels
+        self._last_hidden: np.ndarray | None = None
+
+    @property
+    def params(self) -> list[np.ndarray]:
+        out: list[np.ndarray] = []
+        for layer in self.layers:
+            out.extend(layer.params)
+        out.extend([self.w_out, self.b_out])
+        return out
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """x: (B, T, D) -> per-timestep logits (B, T, num_labels).
+
+        A single (T, D) sequence is accepted too and yields (T, labels).
+        """
+        x = np.asarray(x, dtype=float)
+        squeeze = x.ndim == 2
+        if squeeze:
+            x = x[None, :, :]
+        h = x
+        for layer in self.layers:
+            h = layer.forward(h)
+        self._last_hidden = h
+        logits = h @ self.w_out + self.b_out
+        return logits[0] if squeeze else logits
+
+    def backward(self, d_logits: np.ndarray) -> list[np.ndarray]:
+        """Gradient wrt params given d(loss)/d(logits); mirrors params order."""
+        if self._last_hidden is None:
+            raise RuntimeError("backward() before forward()")
+        if d_logits.ndim == 2:
+            d_logits = d_logits[None, :, :]
+        hidden = self._last_hidden
+        B, T, H = hidden.shape
+        flat_hidden = hidden.reshape(B * T, H)
+        flat_d = d_logits.reshape(B * T, -1)
+        d_w_out = flat_hidden.T @ flat_d
+        d_b_out = flat_d.sum(axis=0)
+        d_h = d_logits @ self.w_out.T
+        layer_grads: list[list[np.ndarray]] = []
+        for layer in reversed(self.layers):
+            d_h, grads = layer.backward(d_h)
+            layer_grads.append(grads)
+        out: list[np.ndarray] = []
+        for grads in reversed(layer_grads):
+            out.extend(grads)
+        out.extend([d_w_out, d_b_out])
+        return out
+
+
+def softmax_rows(z: np.ndarray) -> np.ndarray:
+    shifted = z - z.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+class LSTMSequenceClassifier:
+    """Uni-LSTM sequence labeller trained with per-timestep cross-entropy.
+
+    ``fit`` consumes a list of (sequence, labels) pairs with shapes
+    ``(T, D)`` and ``(T,)`` (equal T across the dataset); prediction
+    labels every timestep and the caller reads the position of interest —
+    the final, masked "tomorrow" step in the MPJP task, which also gets
+    ``target_weight`` x loss during training.
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int = 50,
+        num_layers: int = 2,
+        learning_rate: float = 1e-2,
+        epochs: int = 12,
+        batch_size: int = 64,
+        clip_norm: float = 5.0,
+        target_weight: float = 3.0,
+        seed: int = 0,
+    ) -> None:
+        self.tagger = LSTMTagger(
+            input_size, hidden_size, num_layers, num_labels=2, seed=seed
+        )
+        self.learning_rate = learning_rate
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.clip_norm = clip_norm
+        self.target_weight = target_weight
+        self.seed = seed
+        self.loss_history_: list[float] = []
+
+    def fit(self, sequences: list[np.ndarray], labels: list[np.ndarray]):
+        if len(sequences) != len(labels):
+            raise ValueError("sequences and labels length mismatch")
+        if not sequences:
+            return self
+        X = np.stack([np.asarray(s, dtype=float) for s in sequences])
+        Y = np.stack([np.asarray(l, dtype=int) for l in labels])
+        N, T, _ = X.shape
+        weights = np.ones(T)
+        weights[-1] = self.target_weight
+        optimizer = Adam(learning_rate=self.learning_rate)
+        rng = np.random.default_rng(self.seed)
+        self.loss_history_ = []
+        for _ in range(self.epochs):
+            order = rng.permutation(N)
+            total = 0.0
+            for start in range(0, N, self.batch_size):
+                batch = order[start : start + self.batch_size]
+                x = X[batch]
+                y = Y[batch]
+                B = len(batch)
+                logits = self.tagger.forward(x)
+                probs = softmax_rows(logits)
+                eps = 1e-12
+                picked = probs[
+                    np.arange(B)[:, None], np.arange(T)[None, :], y
+                ]
+                total += -float(np.sum(weights * np.log(picked + eps))) / (B * T)
+                d_logits = probs.copy()
+                d_logits[np.arange(B)[:, None], np.arange(T)[None, :], y] -= 1.0
+                d_logits *= weights[None, :, None]
+                d_logits /= B * T
+                grads = self.tagger.backward(d_logits)
+                clip_gradients(grads, self.clip_norm)
+                optimizer.step(self.tagger.params, grads)
+            self.loss_history_.append(total / max(1, (N // self.batch_size) or 1))
+        return self
+
+    def predict_sequence(self, x: np.ndarray) -> np.ndarray:
+        logits = self.tagger.forward(np.asarray(x, dtype=float))
+        return logits.argmax(axis=-1)
+
+    def predict_last(self, sequences: list[np.ndarray]) -> np.ndarray:
+        """Label of the final timestep of each sequence."""
+        if not sequences:
+            return np.zeros(0, dtype=int)
+        X = np.stack([np.asarray(s, dtype=float) for s in sequences])
+        logits = self.tagger.forward(X)
+        return logits[:, -1, :].argmax(axis=-1).astype(int)

@@ -1,0 +1,68 @@
+"""Classification metrics: precision, recall, F1.
+
+The paper evaluates its predictors with precision/recall/F1 over the
+binary MPJP / non-MPJP labels (Tables III and IV). The positive class is
+label ``1`` (MPJP) throughout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PRF", "precision_recall_f1", "confusion_counts", "accuracy"]
+
+
+@dataclass(frozen=True)
+class PRF:
+    """Precision / recall / F1 triple."""
+
+    precision: float
+    recall: float
+    f1: float
+
+    def as_row(self) -> dict[str, float]:
+        return {
+            "precision": round(self.precision, 3),
+            "recall": round(self.recall, 3),
+            "f1": round(self.f1, 3),
+        }
+
+
+def confusion_counts(
+    y_true: np.ndarray, y_pred: np.ndarray
+) -> tuple[int, int, int, int]:
+    """(tp, fp, fn, tn) for the positive class 1."""
+    y_true = np.asarray(y_true).ravel().astype(int)
+    y_pred = np.asarray(y_pred).ravel().astype(int)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(
+            f"shape mismatch: y_true {y_true.shape} vs y_pred {y_pred.shape}"
+        )
+    tp = int(np.sum((y_true == 1) & (y_pred == 1)))
+    fp = int(np.sum((y_true == 0) & (y_pred == 1)))
+    fn = int(np.sum((y_true == 1) & (y_pred == 0)))
+    tn = int(np.sum((y_true == 0) & (y_pred == 0)))
+    return tp, fp, fn, tn
+
+
+def precision_recall_f1(y_true, y_pred) -> PRF:
+    """Binary P/R/F1 with the convention 0/0 = 0."""
+    tp, fp, fn, _ = confusion_counts(np.asarray(y_true), np.asarray(y_pred))
+    precision = tp / (tp + fp) if tp + fp else 0.0
+    recall = tp / (tp + fn) if tp + fn else 0.0
+    f1 = (
+        2 * precision * recall / (precision + recall)
+        if precision + recall
+        else 0.0
+    )
+    return PRF(precision=precision, recall=recall, f1=f1)
+
+
+def accuracy(y_true, y_pred) -> float:
+    y_true = np.asarray(y_true).ravel()
+    y_pred = np.asarray(y_pred).ravel()
+    if y_true.size == 0:
+        return 0.0
+    return float(np.mean(y_true == y_pred))

@@ -1,0 +1,113 @@
+"""Multi-layer perceptron classifier (the paper's MLPClassifier baseline).
+
+A feed-forward network with ReLU hidden layers and a softmax output,
+trained by full-batch Adam on cross-entropy — the NumPy equivalent of
+sklearn's ``MLPClassifier(solver='lbfgs', hidden_layer_sizes=(50, 10, 2))``
+configuration reported in Table III (the solver differs; the capacity and
+the resulting accuracy regime match).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .optim import Adam
+
+__all__ = ["MLPClassifier"]
+
+
+def _softmax(z: np.ndarray) -> np.ndarray:
+    shifted = z - z.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+class MLPClassifier:
+    """ReLU MLP with a 2-way softmax head."""
+
+    def __init__(
+        self,
+        hidden_layer_sizes: tuple[int, ...] = (50, 10, 2),
+        alpha: float = 1e-5,
+        learning_rate: float = 1e-2,
+        max_iter: int = 400,
+        tolerance: float = 1e-7,
+        random_state: int = 0,
+    ) -> None:
+        self.hidden_layer_sizes = tuple(hidden_layer_sizes)
+        self.alpha = alpha
+        self.learning_rate = learning_rate
+        self.max_iter = max_iter
+        self.tolerance = tolerance
+        self.random_state = random_state
+        self.weights_: list[np.ndarray] = []
+        self.biases_: list[np.ndarray] = []
+        self.loss_history_: list[float] = []
+
+    def _init_params(self, n_features: int) -> None:
+        rng = np.random.default_rng(self.random_state)
+        sizes = [n_features, *self.hidden_layer_sizes, 2]
+        self.weights_ = []
+        self.biases_ = []
+        for fan_in, fan_out in zip(sizes[:-1], sizes[1:]):
+            scale = np.sqrt(2.0 / fan_in)  # He init for ReLU stacks
+            self.weights_.append(rng.normal(scale=scale, size=(fan_in, fan_out)))
+            self.biases_.append(np.zeros(fan_out))
+
+    def _forward(self, X: np.ndarray) -> tuple[list[np.ndarray], np.ndarray]:
+        activations = [X]
+        h = X
+        last = len(self.weights_) - 1
+        for i, (w, b) in enumerate(zip(self.weights_, self.biases_)):
+            z = h @ w + b
+            h = z if i == last else np.maximum(z, 0.0)
+            activations.append(h)
+        return activations, _softmax(h)
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "MLPClassifier":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=int).ravel()
+        if X.ndim != 2 or X.shape[0] != y.shape[0]:
+            raise ValueError(f"bad shapes X={X.shape} y={y.shape}")
+        self._init_params(X.shape[1])
+        optimizer = Adam(learning_rate=self.learning_rate)
+        n = X.shape[0]
+        targets = np.zeros((n, 2))
+        targets[np.arange(n), y] = 1.0
+        previous = np.inf
+        self.loss_history_ = []
+        for _ in range(self.max_iter):
+            activations, probs = self._forward(X)
+            eps = 1e-12
+            data_loss = -float(np.sum(targets * np.log(probs + eps))) / n
+            reg_loss = 0.5 * self.alpha * sum(
+                float(np.sum(w * w)) for w in self.weights_
+            )
+            loss = data_loss + reg_loss
+            self.loss_history_.append(loss)
+            # Backward pass.
+            grads_w: list[np.ndarray] = [None] * len(self.weights_)  # type: ignore
+            grads_b: list[np.ndarray] = [None] * len(self.biases_)  # type: ignore
+            delta = (probs - targets) / n
+            for i in range(len(self.weights_) - 1, -1, -1):
+                grads_w[i] = activations[i].T @ delta + self.alpha * self.weights_[i]
+                grads_b[i] = delta.sum(axis=0)
+                if i > 0:
+                    delta = delta @ self.weights_[i].T
+                    delta[activations[i] <= 0] = 0.0  # ReLU gate
+            optimizer.step(
+                self.weights_ + self.biases_, grads_w + grads_b
+            )
+            if abs(previous - loss) < self.tolerance:
+                break
+            previous = loss
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if not self.weights_:
+            raise RuntimeError("model used before fit()")
+        _, probs = self._forward(np.asarray(X, dtype=float))
+        return probs
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return self.predict_proba(X).argmax(axis=1)

@@ -1,0 +1,103 @@
+"""Gradient-descent optimisers for the NumPy models.
+
+Parameters and gradients are flat lists of arrays in a fixed order; each
+optimiser keeps per-parameter state keyed by position. Updates are applied
+in place so callers can hold references to the arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Optimizer", "SGD", "Adam", "clip_gradients"]
+
+
+def clip_gradients(grads: list[np.ndarray], max_norm: float) -> float:
+    """Scale gradients in place so their global L2 norm is <= max_norm.
+
+    Returns the pre-clip norm. LSTM BPTT over long windows can blow up;
+    the paper-scale models train stably with max_norm around 5.
+    """
+    total = float(np.sqrt(sum(float(np.sum(g * g)) for g in grads)))
+    if total > max_norm and total > 0:
+        scale = max_norm / total
+        for g in grads:
+            g *= scale
+    return total
+
+
+class Optimizer:
+    """Base class: subclasses implement ``step(params, grads)``."""
+
+    def step(self, params: list[np.ndarray], grads: list[np.ndarray]) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Plain SGD with optional momentum and L2 weight decay."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.1,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: dict[int, np.ndarray] = {}
+
+    def step(self, params: list[np.ndarray], grads: list[np.ndarray]) -> None:
+        for i, (p, g) in enumerate(zip(params, grads)):
+            if self.weight_decay:
+                g = g + self.weight_decay * p
+            if self.momentum:
+                v = self._velocity.get(i)
+                if v is None:
+                    v = np.zeros_like(p)
+                v *= self.momentum
+                v -= self.learning_rate * g
+                self._velocity[i] = v
+                p += v
+            else:
+                p -= self.learning_rate * g
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba) with bias correction."""
+
+    def __init__(
+        self,
+        learning_rate: float = 1e-2,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self.weight_decay = weight_decay
+        self._m: dict[int, np.ndarray] = {}
+        self._v: dict[int, np.ndarray] = {}
+        self._t = 0
+
+    def step(self, params: list[np.ndarray], grads: list[np.ndarray]) -> None:
+        self._t += 1
+        b1, b2 = self.beta1, self.beta2
+        for i, (p, g) in enumerate(zip(params, grads)):
+            if self.weight_decay:
+                g = g + self.weight_decay * p
+            m = self._m.get(i)
+            v = self._v.get(i)
+            if m is None:
+                m = np.zeros_like(p)
+                v = np.zeros_like(p)
+            m = b1 * m + (1 - b1) * g
+            v = b2 * v + (1 - b2) * (g * g)
+            self._m[i] = m
+            self._v[i] = v
+            m_hat = m / (1 - b1**self._t)
+            v_hat = v / (1 - b2**self._t)
+            p -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)

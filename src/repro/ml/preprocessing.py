@@ -1,0 +1,60 @@
+"""Feature preprocessing and data splitting."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["StandardScaler", "train_val_test_split", "one_hot"]
+
+
+class StandardScaler:
+    """Zero-mean, unit-variance standardisation fit on training data."""
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "StandardScaler":
+        X = np.asarray(X, dtype=float)
+        self.mean_ = X.mean(axis=0)
+        std = X.std(axis=0)
+        std[std == 0] = 1.0  # constant features pass through unscaled
+        self.scale_ = std
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("StandardScaler used before fit()")
+        return (np.asarray(X, dtype=float) - self.mean_) / self.scale_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+
+def train_val_test_split(
+    n: int,
+    train: float = 0.7,
+    val: float = 0.2,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffled index split; the paper uses 70/20/10."""
+    if not 0 < train < 1 or not 0 <= val < 1 or train + val >= 1:
+        raise ValueError(f"invalid split fractions train={train}, val={val}")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(n)
+    n_train = int(round(n * train))
+    n_val = int(round(n * val))
+    return (
+        order[:n_train],
+        order[n_train : n_train + n_val],
+        order[n_train + n_val :],
+    )
+
+
+def one_hot(indices: np.ndarray, size: int) -> np.ndarray:
+    """Row-wise one-hot encoding; out-of-range indices map to all-zeros."""
+    indices = np.asarray(indices, dtype=int)
+    out = np.zeros((indices.shape[0], size), dtype=float)
+    valid = (indices >= 0) & (indices < size)
+    out[np.arange(indices.shape[0])[valid], indices[valid]] = 1.0
+    return out

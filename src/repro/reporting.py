@@ -1,0 +1,134 @@
+"""Render benchmark results into a Markdown report.
+
+The benchmarks under ``benchmarks/`` persist their series as JSON files in
+``benchmarks/results/``. This module turns that directory into a compact
+Markdown report (per-experiment sections with the headline numbers), so
+the paper-vs-measured record can be regenerated after every run::
+
+    python -m repro.reporting benchmarks/results > report.md
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+__all__ = ["load_results", "render_report"]
+
+
+def load_results(directory: str | Path) -> dict[str, dict]:
+    """All ``*.json`` result files, keyed by stem, sorted by name."""
+    directory = Path(directory)
+    out: dict[str, dict] = {}
+    for path in sorted(directory.glob("*.json")):
+        try:
+            out[path.stem] = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"corrupt result file {path}: {exc}") from exc
+    return out
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.3g}"
+        return f"{value:.4g}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def _flatten(payload: dict, prefix: str = "") -> list[tuple[str, object]]:
+    rows: list[tuple[str, object]] = []
+    for key, value in sorted(payload.items()):
+        name = f"{prefix}{key}"
+        if isinstance(value, dict):
+            rows.extend(_flatten(value, prefix=f"{name}."))
+        elif isinstance(value, list):
+            if len(value) <= 6 and all(
+                not isinstance(v, (dict, list)) for v in value
+            ):
+                rows.append((name, ", ".join(_fmt(v) for v in value)))
+            else:
+                rows.append((name, f"[{len(value)} values]"))
+        else:
+            rows.append((name, value))
+    return rows
+
+
+_GROUP_TITLES = {
+    "fig2": "Fig 2 — table update times",
+    "fig3": "Fig 3 — parse cost on NoBench",
+    "fig4": "Fig 4 — JSONPath popularity",
+    "table3": "Table III — predictor comparison",
+    "table4": "Table IV — window sizes",
+    "fig11": "Fig 11 — cache budget sweep",
+    "table5": "Table V — cached paths per query",
+    "fig12": "Fig 12 — Q2/Q9 breakdown",
+    "fig13": "Fig 13 — plan-generation overhead",
+    "fig14": "Fig 14 — online LRU comparison",
+    "fig15": "Fig 15 — parser comparison",
+    "ablation": "Ablations",
+    "scale": "Scale sweep",
+}
+
+
+def _group_of(name: str) -> str:
+    for prefix in _GROUP_TITLES:
+        if name.startswith(prefix):
+            return prefix
+    return "other"
+
+
+def render_report(results: dict[str, dict]) -> str:
+    """Markdown with one section per experiment group.
+
+    Summary files (``*_summary``) are rendered in full; per-point files
+    are listed by name only to keep the report readable.
+    """
+    groups: dict[str, list[str]] = {}
+    for name in results:
+        groups.setdefault(_group_of(name), []).append(name)
+    lines = ["# Benchmark results", ""]
+    for group in sorted(groups, key=lambda g: list(_GROUP_TITLES).index(g) if g in _GROUP_TITLES else 99):
+        title = _GROUP_TITLES.get(group, "Other results")
+        lines.append(f"## {title}")
+        lines.append("")
+        names = groups[group]
+        summaries = [n for n in names if n.endswith("_summary")] or names
+        detail_only = [n for n in names if n not in summaries]
+        for name in summaries:
+            lines.append(f"### `{name}`")
+            lines.append("")
+            lines.append("| metric | value |")
+            lines.append("|---|---|")
+            for key, value in _flatten(results[name]):
+                lines.append(f"| {key} | {_fmt(value)} |")
+            lines.append("")
+        if detail_only:
+            listed = ", ".join(f"`{n}`" for n in detail_only)
+            lines.append(f"Per-point files: {listed}")
+            lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = argv if argv is not None else sys.argv[1:]
+    directory = argv[0] if argv else "benchmarks/results"
+    results = load_results(directory)
+    if not results:
+        print(f"no results found in {directory}", file=sys.stderr)
+        return 1
+    print(render_report(results))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

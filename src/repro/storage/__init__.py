@@ -1,0 +1,51 @@
+"""Storage substrate: simulated HDFS + ORC-like columnar format + SARGs."""
+
+from .codec import CodecError
+from .fs import BlockFileSystem, FileStatus, FsError
+from .orc import (
+    DEFAULT_ROW_GROUP_SIZE,
+    DEFAULT_STRIPE_BYTES,
+    OrcError,
+    OrcFileReader,
+    OrcWriter,
+    RowGroupInfo,
+    StripeInfo,
+)
+from .readers import OrcReader, ReadResult
+from .sargs import (
+    AndSarg,
+    ColumnStats,
+    ComparisonSarg,
+    OrSarg,
+    Sarg,
+    SargOp,
+    always_true,
+)
+from .schema import DataType, Field, Schema, SchemaError
+
+__all__ = [
+    "BlockFileSystem",
+    "FileStatus",
+    "FsError",
+    "CodecError",
+    "OrcError",
+    "OrcWriter",
+    "OrcFileReader",
+    "OrcReader",
+    "ReadResult",
+    "RowGroupInfo",
+    "StripeInfo",
+    "DEFAULT_ROW_GROUP_SIZE",
+    "DEFAULT_STRIPE_BYTES",
+    "Sarg",
+    "SargOp",
+    "ComparisonSarg",
+    "AndSarg",
+    "OrSarg",
+    "ColumnStats",
+    "always_true",
+    "DataType",
+    "Field",
+    "Schema",
+    "SchemaError",
+]

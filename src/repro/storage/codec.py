@@ -1,0 +1,174 @@
+"""Binary encoding primitives for the ORC-like file format.
+
+Column chunks are encoded with a presence bitmap followed by type-specific
+value streams: zigzag varints for integers, IEEE doubles for floats,
+length-prefixed UTF-8 for strings, and packed bits for booleans. The codec
+is deliberately byte-exact and versioned so files round-trip across
+writer/reader revisions.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from .schema import DataType
+
+__all__ = [
+    "CodecError",
+    "write_varint",
+    "read_varint",
+    "zigzag_encode",
+    "zigzag_decode",
+    "encode_column",
+    "decode_column",
+]
+
+
+class CodecError(Exception):
+    """Corrupt or truncated encoded data."""
+
+
+def write_varint(out: bytearray, value: int) -> None:
+    """Append an unsigned LEB128 varint."""
+    if value < 0:
+        raise CodecError("varint requires a non-negative value")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def read_varint(data: bytes, pos: int) -> tuple[int, int]:
+    """Read an unsigned LEB128 varint; returns (value, new_pos)."""
+    result = 0
+    shift = 0
+    while True:
+        if pos >= len(data):
+            raise CodecError("truncated varint")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+        if shift > 70:
+            raise CodecError("varint too long")
+
+
+def zigzag_encode(value: int) -> int:
+    """Map a signed int to unsigned so small magnitudes stay small."""
+    return (value << 1) ^ (value >> 63) if -(2**63) <= value < 2**63 else _big_zigzag(value)
+
+
+def _big_zigzag(value: int) -> int:
+    # Arbitrary-precision fallback (Python ints are unbounded).
+    return value << 1 if value >= 0 else ((-value) << 1) - 1
+
+
+def zigzag_decode(value: int) -> int:
+    return (value >> 1) ^ -(value & 1)
+
+
+def _encode_presence(out: bytearray, values: list[object]) -> None:
+    bits = bytearray((len(values) + 7) // 8)
+    for i, v in enumerate(values):
+        if v is not None:
+            bits[i >> 3] |= 1 << (i & 7)
+    out.extend(bits)
+
+
+def _decode_presence(data: bytes, pos: int, count: int) -> tuple[list[bool], int]:
+    nbytes = (count + 7) // 8
+    if pos + nbytes > len(data):
+        raise CodecError("truncated presence bitmap")
+    bits = data[pos : pos + nbytes]
+    present = [bool(bits[i >> 3] & (1 << (i & 7))) for i in range(count)]
+    return present, pos + nbytes
+
+
+_TYPE_TAGS = {
+    DataType.INT64: 1,
+    DataType.FLOAT64: 2,
+    DataType.STRING: 3,
+    DataType.BOOL: 4,
+}
+_TAG_TYPES = {v: k for k, v in _TYPE_TAGS.items()}
+
+
+def encode_column(dtype: DataType, values: list[object]) -> bytes:
+    """Encode one column chunk: tag, count, presence bitmap, values."""
+    out = bytearray()
+    out.append(_TYPE_TAGS[dtype])
+    write_varint(out, len(values))
+    _encode_presence(out, values)
+    if dtype is DataType.INT64:
+        for v in values:
+            if v is not None:
+                write_varint(out, _big_zigzag(int(v)))
+    elif dtype is DataType.FLOAT64:
+        for v in values:
+            if v is not None:
+                out.extend(struct.pack("<d", float(v)))
+    elif dtype is DataType.STRING:
+        for v in values:
+            if v is not None:
+                raw = str(v).encode("utf-8")
+                write_varint(out, len(raw))
+                out.extend(raw)
+    elif dtype is DataType.BOOL:
+        bits = bytearray((len(values) + 7) // 8)
+        for i, v in enumerate(values):
+            if v:
+                bits[i >> 3] |= 1 << (i & 7)
+        out.extend(bits)
+    else:  # pragma: no cover - the tag table is exhaustive
+        raise CodecError(f"unsupported dtype {dtype}")
+    return bytes(out)
+
+
+def decode_column(data: bytes, pos: int = 0) -> tuple[DataType, list[object], int]:
+    """Decode a column chunk; returns (dtype, values, new_pos)."""
+    if pos >= len(data):
+        raise CodecError("empty column chunk")
+    tag = data[pos]
+    pos += 1
+    if tag not in _TAG_TYPES:
+        raise CodecError(f"unknown type tag {tag}")
+    dtype = _TAG_TYPES[tag]
+    count, pos = read_varint(data, pos)
+    present, pos = _decode_presence(data, pos, count)
+    values: list[object] = [None] * count
+    if dtype is DataType.INT64:
+        for i in range(count):
+            if present[i]:
+                raw, pos = read_varint(data, pos)
+                values[i] = zigzag_decode(raw)
+    elif dtype is DataType.FLOAT64:
+        for i in range(count):
+            if present[i]:
+                if pos + 8 > len(data):
+                    raise CodecError("truncated float64")
+                (values[i],) = struct.unpack_from("<d", data, pos)
+                pos += 8
+    elif dtype is DataType.STRING:
+        for i in range(count):
+            if present[i]:
+                length, pos = read_varint(data, pos)
+                if pos + length > len(data):
+                    raise CodecError("truncated string")
+                values[i] = data[pos : pos + length].decode("utf-8")
+                pos += length
+    elif dtype is DataType.BOOL:
+        nbytes = (count + 7) // 8
+        if pos + nbytes > len(data):
+            raise CodecError("truncated bool bitmap")
+        bits = data[pos : pos + nbytes]
+        pos += nbytes
+        for i in range(count):
+            if present[i]:
+                values[i] = bool(bits[i >> 3] & (1 << (i & 7)))
+    return dtype, values, pos

@@ -1,0 +1,142 @@
+"""SARG-aware table readers over the ORC-like format.
+
+:class:`OrcReader` connects the pieces: it loads a file from the
+:class:`~repro.storage.fs.BlockFileSystem`, evaluates an optional SARG
+against every row group's statistics to build a skip mask, and decodes only
+the surviving groups for the requested columns.
+
+The skip mask is exposed (:attr:`OrcReader.row_group_mask`) because
+Maxson's predicate pushdown (paper Algorithm 3) shares the mask computed on
+the *cache* table with the *primary* reader of the raw table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .fs import BlockFileSystem
+from .orc import OrcError, OrcFileReader
+from .sargs import Sarg
+
+__all__ = ["ReadResult", "OrcReader"]
+
+
+@dataclass
+class ReadResult:
+    """Outcome of one split read."""
+
+    columns: dict[str, list[object]]
+    rows_read: int
+    row_groups_total: int
+    row_groups_read: int
+    bytes_read: int
+
+    @property
+    def row_groups_skipped(self) -> int:
+        return self.row_groups_total - self.row_groups_read
+
+
+class OrcReader:
+    """Read one ORC-like file (one *split* in Maxson's alignment scheme).
+
+    Parameters
+    ----------
+    fs:
+        The file system holding the file.
+    path:
+        File path inside ``fs``.
+    columns:
+        Column names to decode; ``None`` means all.
+    sarg:
+        Optional search argument evaluated against row-group statistics.
+    """
+
+    def __init__(
+        self,
+        fs: BlockFileSystem,
+        path: str,
+        columns: list[str] | None = None,
+        sarg: Sarg | None = None,
+    ) -> None:
+        self.fs = fs
+        self.path = path
+        self.columns = columns
+        self.sarg = sarg
+        self._file = OrcFileReader(fs.read(path))
+        self._mask: list[bool] | None = None
+        self._shared_mask: list[bool] | None = None
+
+    @property
+    def schema(self):
+        return self._file.schema
+
+    @property
+    def row_count(self) -> int:
+        return self._file.row_count
+
+    @property
+    def stripe_count(self) -> int:
+        return self._file.stripe_count
+
+    # ------------------------------------------------------------------
+    # row-group elimination
+    # ------------------------------------------------------------------
+    @property
+    def row_group_mask(self) -> list[bool]:
+        """Per-row-group include mask (True = must read).
+
+        Combines the local SARG mask with any shared mask installed by
+        :meth:`share_row_group_mask`. Computed lazily and cached.
+        """
+        if self._mask is None:
+            layout = self._file.row_group_layout()
+            if self.sarg is None:
+                mask = [True] * len(layout)
+            else:
+                mask = [self.sarg.may_match(rg.column_stats) for rg in layout]
+            if self._shared_mask is not None:
+                if len(self._shared_mask) != len(mask):
+                    raise OrcError(
+                        "shared row-group mask length mismatch: "
+                        f"{len(self._shared_mask)} vs {len(mask)} groups"
+                    )
+                mask = [a and b for a, b in zip(mask, self._shared_mask)]
+            self._mask = mask
+        return self._mask
+
+    def share_row_group_mask(self, mask: list[bool]) -> None:
+        """Install a mask computed by another reader (Algorithm 3, line 7).
+
+        Only legal before the first read. Alignment requires identical
+        row-group layouts, which Maxson guarantees for single-stripe files
+        parsed file-for-file from the raw table.
+        """
+        self._shared_mask = list(mask)
+        self._mask = None  # recompute on next access
+
+    def can_align_row_groups(self) -> bool:
+        """Pushdown sharing precondition: the file has exactly one stripe."""
+        return self.stripe_count == 1
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def read(self) -> ReadResult:
+        """Decode the requested columns of all non-skipped row groups."""
+        mask = self.row_group_mask
+        columns, bytes_read = self._file.read_columns(self.columns, mask)
+        rows = len(next(iter(columns.values()))) if columns else 0
+        return ReadResult(
+            columns=columns,
+            rows_read=rows,
+            row_groups_total=len(mask),
+            row_groups_read=sum(mask),
+            bytes_read=bytes_read,
+        )
+
+    def read_rows(self) -> list[tuple]:
+        """Row-major convenience; column order follows the request order."""
+        result = self.read()
+        wanted = self.columns if self.columns is not None else self.schema.names
+        series = [result.columns[name] for name in wanted]
+        return list(zip(*series)) if series else []

@@ -1,0 +1,166 @@
+"""Search ARGuments (SARGs): row-group elimination predicates.
+
+ORC readers evaluate simplified predicate trees against the per-row-group
+min/max statistics to decide which row groups can be skipped entirely
+(paper §IV-F). A SARG answers *maybe* or *no* per row group: ``no`` means
+the predicate provably matches zero rows of the group; ``maybe`` means the
+group must be read. The evaluation is therefore conservative — SARGs can
+never drop a matching row.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = [
+    "ColumnStats",
+    "SargOp",
+    "Sarg",
+    "ComparisonSarg",
+    "AndSarg",
+    "OrSarg",
+    "always_true",
+]
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """Per-row-group statistics for one column."""
+
+    minimum: object
+    maximum: object
+    null_count: int
+    value_count: int
+
+    @property
+    def all_null(self) -> bool:
+        return self.null_count == self.value_count
+
+    @classmethod
+    def of(cls, values: list[object]) -> "ColumnStats":
+        """Compute stats over one row group's values."""
+        non_null = [v for v in values if v is not None]
+        if not non_null:
+            return cls(None, None, len(values), len(values))
+        return cls(
+            minimum=min(non_null),
+            maximum=max(non_null),
+            null_count=len(values) - len(non_null),
+            value_count=len(values),
+        )
+
+
+class SargOp(enum.Enum):
+    """Comparison operators expressible in a SARG."""
+
+    EQ = "="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    IS_NULL = "is null"
+    IS_NOT_NULL = "is not null"
+
+
+class Sarg:
+    """Base class. ``may_match(stats)`` is the row-group test."""
+
+    def may_match(self, stats_by_column: dict[str, ColumnStats]) -> bool:
+        raise NotImplementedError
+
+    def columns(self) -> set[str]:
+        """The column names this SARG inspects."""
+        raise NotImplementedError
+
+
+def _comparable(a: object, b: object) -> bool:
+    """min/max comparisons are only meaningful within one type family."""
+    numeric = (int, float)
+    if isinstance(a, bool) or isinstance(b, bool):
+        return isinstance(a, bool) and isinstance(b, bool)
+    if isinstance(a, numeric) and isinstance(b, numeric):
+        return True
+    return type(a) is type(b)
+
+
+@dataclass(frozen=True)
+class ComparisonSarg(Sarg):
+    """``column OP literal`` (or a null test when ``op`` is a null op)."""
+
+    column: str
+    op: SargOp
+    literal: object = None
+
+    def columns(self) -> set[str]:
+        return {self.column}
+
+    def may_match(self, stats_by_column: dict[str, ColumnStats]) -> bool:
+        stats = stats_by_column.get(self.column)
+        if stats is None:
+            return True  # no statistics -> cannot eliminate
+        if self.op is SargOp.IS_NULL:
+            return stats.null_count > 0
+        if self.op is SargOp.IS_NOT_NULL:
+            return not stats.all_null
+        if stats.all_null:
+            return False  # comparisons with NULL never match
+        lo, hi = stats.minimum, stats.maximum
+        lit = self.literal
+        if lit is None or not _comparable(lo, lit):
+            return True  # incomparable domains -> be conservative
+        if self.op is SargOp.EQ:
+            return lo <= lit <= hi
+        if self.op is SargOp.LT:
+            return lo < lit
+        if self.op is SargOp.LE:
+            return lo <= lit
+        if self.op is SargOp.GT:
+            return hi > lit
+        if self.op is SargOp.GE:
+            return hi >= lit
+        raise AssertionError(f"unhandled op {self.op}")  # pragma: no cover
+
+
+@dataclass(frozen=True)
+class AndSarg(Sarg):
+    """Conjunction: eliminable if any conjunct is eliminable."""
+
+    children: tuple[Sarg, ...]
+
+    def columns(self) -> set[str]:
+        return set().union(*(c.columns() for c in self.children)) if self.children else set()
+
+    def may_match(self, stats_by_column: dict[str, ColumnStats]) -> bool:
+        return all(c.may_match(stats_by_column) for c in self.children)
+
+
+@dataclass(frozen=True)
+class OrSarg(Sarg):
+    """Disjunction: eliminable only if every disjunct is eliminable."""
+
+    children: tuple[Sarg, ...]
+
+    def columns(self) -> set[str]:
+        return set().union(*(c.columns() for c in self.children)) if self.children else set()
+
+    def may_match(self, stats_by_column: dict[str, ColumnStats]) -> bool:
+        if not self.children:
+            return True
+        return any(c.may_match(stats_by_column) for c in self.children)
+
+
+class _AlwaysTrue(Sarg):
+    def may_match(self, stats_by_column: dict[str, ColumnStats]) -> bool:
+        return True
+
+    def columns(self) -> set[str]:
+        return set()
+
+    def __repr__(self) -> str:  # pragma: no cover - display helper
+        return "Sarg(TRUE)"
+
+
+def always_true() -> Sarg:
+    """The SARG that never eliminates anything (no pushdown possible)."""
+    return _AlwaysTrue()

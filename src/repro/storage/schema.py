@@ -1,0 +1,124 @@
+"""Physical schema shared by the storage layer and the query engine.
+
+The type lattice is the small fragment the paper's workload needs: the
+warehouse stores JSON as strings plus ordinary scalar columns (Fig 1 of the
+paper: ``mall_id string, date string, sale_logs string``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["DataType", "Field", "Schema", "SchemaError", "python_type_of"]
+
+
+class SchemaError(Exception):
+    """Schema construction or lookup failure."""
+
+
+class DataType(enum.Enum):
+    """Physical column types supported by the ORC-like format."""
+
+    INT64 = "int64"
+    FLOAT64 = "float64"
+    STRING = "string"
+    BOOL = "bool"
+
+    @classmethod
+    def infer(cls, value: object) -> "DataType":
+        """Infer the physical type of a Python value (bool before int!)."""
+        if isinstance(value, bool):
+            return cls.BOOL
+        if isinstance(value, int):
+            return cls.INT64
+        if isinstance(value, float):
+            return cls.FLOAT64
+        if isinstance(value, str):
+            return cls.STRING
+        raise SchemaError(f"unsupported value type: {type(value).__name__}")
+
+
+_PYTHON_TYPES = {
+    DataType.INT64: int,
+    DataType.FLOAT64: float,
+    DataType.STRING: str,
+    DataType.BOOL: bool,
+}
+
+
+def python_type_of(dtype: DataType) -> type:
+    """The Python type that carries values of ``dtype``."""
+    return _PYTHON_TYPES[dtype]
+
+
+@dataclass(frozen=True)
+class Field:
+    """One named, nullable column."""
+
+    name: str
+    dtype: DataType
+
+    def validate(self, value: object) -> None:
+        """Raise :class:`SchemaError` if ``value`` does not fit this field."""
+        if value is None:
+            return
+        expected = _PYTHON_TYPES[self.dtype]
+        if expected is float and isinstance(value, int) and not isinstance(value, bool):
+            return  # ints are acceptable in float columns
+        if not isinstance(value, expected) or (
+            expected is int and isinstance(value, bool)
+        ):
+            raise SchemaError(
+                f"column {self.name!r} expects {self.dtype.value}, "
+                f"got {type(value).__name__}"
+            )
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered collection of fields with O(1) name lookup."""
+
+    fields: tuple[Field, ...]
+
+    def __post_init__(self) -> None:
+        names = [f.name for f in self.fields]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate column names in schema: {names}")
+        object.__setattr__(
+            self, "_index", {f.name: i for i, f in enumerate(self.fields)}
+        )
+
+    @classmethod
+    def of(cls, *columns: tuple[str, DataType]) -> "Schema":
+        """Build a schema from ``(name, dtype)`` pairs."""
+        return cls(tuple(Field(name, dtype) for name, dtype in columns))
+
+    @property
+    def names(self) -> list[str]:
+        return [f.name for f in self.fields]
+
+    def __len__(self) -> int:
+        return len(self.fields)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index  # type: ignore[attr-defined]
+
+    def index_of(self, name: str) -> int:
+        try:
+            return self._index[name]  # type: ignore[attr-defined]
+        except KeyError:
+            raise SchemaError(
+                f"no column {name!r}; have {self.names}"
+            ) from None
+
+    def field(self, name: str) -> Field:
+        return self.fields[self.index_of(name)]
+
+    def select(self, names: list[str]) -> "Schema":
+        """Projection of this schema onto ``names`` (in the given order)."""
+        return Schema(tuple(self.field(n) for n in names))
+
+    def concat(self, other: "Schema") -> "Schema":
+        """Schema of this record extended by ``other``'s fields."""
+        return Schema(self.fields + other.fields)

@@ -1,0 +1,32 @@
+"""Workload substrate: trace, document, table and query generators."""
+
+from .analysis import WorkloadReport, analyze, format_report
+from .nobench import NoBenchConfig, NoBenchGenerator
+from .queries import RepresentativeQuery, build_queries
+from .tables import TABLE_SPECS, DocumentFactory, TableSpec, load_tables
+from .trace import (
+    PathKey,
+    SyntheticTrace,
+    TableUpdate,
+    TraceConfig,
+    TraceQuery,
+)
+
+__all__ = [
+    "WorkloadReport",
+    "analyze",
+    "format_report",
+    "NoBenchConfig",
+    "NoBenchGenerator",
+    "TableSpec",
+    "TABLE_SPECS",
+    "DocumentFactory",
+    "load_tables",
+    "RepresentativeQuery",
+    "build_queries",
+    "PathKey",
+    "TraceQuery",
+    "TableUpdate",
+    "TraceConfig",
+    "SyntheticTrace",
+]

@@ -1,0 +1,120 @@
+"""Workload analysis: the paper's §II study as reusable measurements.
+
+Produces the statistics the paper derives from the production trace —
+temporal correlation (recurring shares), spatial correlation (path
+popularity skew), redundant-parse traffic, and the update-time histogram
+— plus a plain-text report. The fig2/fig4 benchmarks and the examples
+consume these instead of re-deriving them ad hoc.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from .trace import SyntheticTrace
+
+__all__ = ["WorkloadReport", "analyze", "format_report"]
+
+
+@dataclass(frozen=True)
+class WorkloadReport:
+    """Summary statistics of one trace."""
+
+    total_queries: int
+    total_paths: int
+    days: int
+    recurring_fraction: float
+    daily_fraction_of_recurring: float
+    weekly_fraction_of_recurring: float
+    multiday_window_fraction_of_recurring: float
+    avg_queries_per_path: float
+    max_queries_per_path: int
+    traffic_share_top_27pct: float
+    duplicate_parse_fraction: float
+    update_histogram: tuple[int, ...]
+    peak_update_hour: int
+
+    def paper_deltas(self) -> dict[str, tuple[float, float]]:
+        """(measured, paper) pairs for the published §II statistics."""
+        return {
+            "recurring_fraction": (self.recurring_fraction, 0.82),
+            "daily_fraction_of_recurring": (self.daily_fraction_of_recurring, 0.71),
+            "weekly_fraction_of_recurring": (self.weekly_fraction_of_recurring, 0.17),
+            "multiday_window_fraction": (
+                self.multiday_window_fraction_of_recurring,
+                0.07,
+            ),
+            "traffic_share_top_27pct": (self.traffic_share_top_27pct, 0.89),
+            "duplicate_parse_fraction": (self.duplicate_parse_fraction, 0.89),
+            "avg_queries_per_path": (self.avg_queries_per_path, 14.0),
+        }
+
+
+def analyze(trace: SyntheticTrace) -> WorkloadReport:
+    """Compute the §II statistics for a trace."""
+    queries = trace.queries
+    recurring = [q for q in queries if q.recurring]
+    kinds = Counter(q.kind for q in recurring)
+    n_recurring = max(len(recurring), 1)
+
+    per_path = trace.queries_per_path()
+    redundant = 0
+    total_parses = 0
+    per_day_path: dict[tuple[int, object], int] = {}
+    for query in queries:
+        for key in query.paths:
+            day_key = (query.day, key)
+            per_day_path[day_key] = per_day_path.get(day_key, 0) + 1
+    for count in per_day_path.values():
+        total_parses += count
+        redundant += count - 1
+
+    histogram = trace.update_hour_histogram()
+    return WorkloadReport(
+        total_queries=len(queries),
+        total_paths=len(trace.path_universe),
+        days=trace.config.days,
+        recurring_fraction=trace.recurring_fraction(),
+        daily_fraction_of_recurring=kinds.get("daily", 0) / n_recurring,
+        weekly_fraction_of_recurring=kinds.get("weekly", 0) / n_recurring,
+        multiday_window_fraction_of_recurring=kinds.get("daily_window", 0)
+        / n_recurring,
+        avg_queries_per_path=(
+            sum(per_path.values()) / len(per_path) if per_path else 0.0
+        ),
+        max_queries_per_path=max(per_path.values(), default=0),
+        traffic_share_top_27pct=trace.traffic_concentration(0.27),
+        duplicate_parse_fraction=(
+            redundant / total_parses if total_parses else 0.0
+        ),
+        update_histogram=tuple(int(v) for v in histogram),
+        peak_update_hour=int(np.argmax(histogram)) if histogram.sum() else 0,
+    )
+
+
+def format_report(report: WorkloadReport) -> str:
+    """Readable rendition, with the paper's figures alongside."""
+    lines = [
+        "Workload analysis (paper SSII)",
+        "=" * 46,
+        f"queries: {report.total_queries:,} over {report.days} days, "
+        f"{report.total_paths} JSONPaths",
+        "",
+        f"{'statistic':<34}{'measured':>9}{'paper':>8}",
+        "-" * 51,
+    ]
+    for name, (measured, paper) in report.paper_deltas().items():
+        if name == "avg_queries_per_path":
+            lines.append(f"{name:<34}{measured:9.1f}{paper:8.1f}")
+        else:
+            lines.append(f"{name:<34}{measured:9.1%}{paper:8.0%}")
+    lines.append("")
+    lines.append(
+        f"table updates peak at hour {report.peak_update_hour:02d}; "
+        f"midnight bins: {report.update_histogram[0]}, "
+        f"{report.update_histogram[23]}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,97 @@
+"""NoBench-style JSON document generator.
+
+NoBench (Argo) is the micro-benchmark the paper uses in §II-C to measure
+the share of query time spent parsing (Fig 3). Its documents mix:
+
+* fixed scalar attributes (``str1``, ``str2``, ``num``, ``bool``);
+* dynamically-typed attributes (``dyn1`` is int or string, ``dyn2`` is
+  scalar or object);
+* a nested object (``nested_obj``) and a nested string array
+  (``nested_arr``);
+* *sparse* attributes: each document carries a contiguous run of
+  ``sparse_XXX`` keys out of a large cluster, so most keys are absent in
+  most documents;
+* ``thousandth`` — ``id % 1000``, used by selective predicates.
+
+The generator is deterministic per ``(seed, index)`` so datasets are
+reproducible and splittable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..jsonlib.jackson import dumps
+
+__all__ = ["NoBenchConfig", "NoBenchGenerator"]
+
+_WORDS = (
+    "alpha bravo charlie delta echo foxtrot golf hotel india juliet kilo "
+    "lima mike november oscar papa quebec romeo sierra tango uniform victor "
+    "whiskey xray yankee zulu"
+).split()
+
+
+@dataclass(frozen=True)
+class NoBenchConfig:
+    """Tunable document shape parameters."""
+
+    sparse_cluster_size: int = 100
+    sparse_keys_per_doc: int = 10
+    nested_arr_length: int = 5
+    seed: int = 7
+
+
+class NoBenchGenerator:
+    """Generate NoBench-style documents (dicts) and JSON strings."""
+
+    def __init__(self, config: NoBenchConfig | None = None) -> None:
+        self.config = config or NoBenchConfig()
+
+    def document(self, index: int) -> dict:
+        """The ``index``-th document (deterministic)."""
+        cfg = self.config
+        rng = random.Random((cfg.seed << 32) ^ index)
+        words = rng.sample(_WORDS, 4)
+        doc: dict[str, object] = {
+            "str1": words[0],
+            "str2": f"{words[1]} {words[2]}",
+            "num": rng.randint(0, 1_000_000),
+            "bool": rng.random() < 0.5,
+            "thousandth": index % 1000,
+        }
+        # dyn1: int for even clusters, string for odd (dynamic typing).
+        doc["dyn1"] = rng.randint(0, 999) if index % 2 == 0 else words[3]
+        # dyn2: scalar or nested object.
+        if index % 3 == 0:
+            doc["dyn2"] = {"inner": rng.randint(0, 99), "label": words[0]}
+        else:
+            doc["dyn2"] = rng.randint(0, 99)
+        doc["nested_obj"] = {
+            "str": rng.choice(_WORDS),
+            "num": rng.randint(0, 10_000),
+        }
+        doc["nested_arr"] = [
+            rng.choice(_WORDS) for _ in range(cfg.nested_arr_length)
+        ]
+        # Sparse run: documents in the same cohort share a key window.
+        start = (index * cfg.sparse_keys_per_doc) % cfg.sparse_cluster_size
+        for offset in range(cfg.sparse_keys_per_doc):
+            key = f"sparse_{(start + offset) % cfg.sparse_cluster_size:03d}"
+            doc[key] = rng.choice(_WORDS)
+        return doc
+
+    def json(self, index: int) -> str:
+        """The ``index``-th document serialised to a JSON string."""
+        return dumps(self.document(index))
+
+    def documents(self, count: int, start: int = 0):
+        """Yield ``count`` consecutive documents starting at ``start``."""
+        for index in range(start, start + count):
+            yield self.document(index)
+
+    def json_rows(self, count: int, start: int = 0):
+        """Yield ``(id, json_string)`` rows for table loading."""
+        for index in range(start, start + count):
+            yield index, self.json(index)

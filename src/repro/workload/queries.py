@@ -1,0 +1,214 @@
+"""The ten representative SQL queries (paper Table II).
+
+Each query is generated against its table's :class:`DocumentFactory` so
+that the number of distinct JSONPaths it touches equals the paper's
+"JSONPath number" column. The query *shapes* cover the workload families
+of the paper's §II-C: plain projections, filtered scans, group-by
+aggregation, a self-equijoin, and order-by/limit top-k — with Q2 and Q9
+carrying predicates on JSON fields (the predicate-pushdown queries of
+Fig 12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .tables import DocumentFactory
+
+__all__ = ["RepresentativeQuery", "build_queries"]
+
+
+@dataclass(frozen=True)
+class RepresentativeQuery:
+    """One representative query and its JSONPath footprint."""
+
+    query_id: str
+    sql: str
+    database: str
+    table: str
+    column: str
+    paths: tuple[str, ...]
+    """Distinct JSONPaths the query parses (Table II's JSONPath number)."""
+
+
+def _gjo(column: str, path: str) -> str:
+    return f"get_json_object({column}, '{path}')"
+
+
+def _select_list(column: str, paths: list[str]) -> str:
+    parts = []
+    for i, path in enumerate(paths):
+        parts.append(f"{_gjo(column, path)} as v{i}")
+    return ", ".join(parts)
+
+
+def build_queries(
+    factories: dict[str, DocumentFactory],
+    date_low: str = "20190101",
+    date_high: str = "20190103",
+    metric_threshold: int = 9000,
+) -> dict[str, RepresentativeQuery]:
+    """Build Q1..Q10 against the loaded tables.
+
+    ``factories`` is the mapping returned by
+    :func:`repro.workload.tables.load_tables`. ``metric_threshold`` sets
+    the selectivity of the JSON predicates in Q2/Q9 — metric values span
+    [0, 10000), so the default keeps roughly the top decile (provided the
+    tables hold enough rows to cover the value range).
+    """
+    queries: dict[str, RepresentativeQuery] = {}
+    for query_id, factory in factories.items():
+        spec = factory.spec
+        builder = _BUILDERS[query_id]
+        sql, paths = builder(factory, date_low, date_high, metric_threshold)
+        queries[query_id] = RepresentativeQuery(
+            query_id=query_id,
+            sql=sql,
+            database=spec.database,
+            table=spec.table,
+            column=spec.json_column,
+            paths=tuple(paths),
+        )
+    return queries
+
+
+def _simple_select(factory: DocumentFactory, lo: str, hi: str, threshold: int):
+    """Plain projection of every query path (Q1, Q6 shape)."""
+    spec = factory.spec
+    paths = factory.query_paths()
+    sql = (
+        f"select id, {_select_list(spec.json_column, paths)} "
+        f"from {spec.database}.{spec.table} "
+        f"where date between '{lo}' and '{hi}'"
+    )
+    return sql, paths
+
+
+def _filtered_groupby(factory: DocumentFactory, lo: str, hi: str, threshold: int):
+    """Selective JSON predicate + group-by count (Q2 shape)."""
+    spec = factory.spec
+    paths = factory.query_paths()
+    numeric = factory.numeric_query_paths()
+    metric = numeric[0]
+    category = next(
+        (p for p in paths if p not in numeric), paths[-1]
+    )
+    others = [p for p in paths if p not in (metric, category)]
+    sql = (
+        f"select {_gjo(spec.json_column, category)} as grp, count(*) as cnt, "
+        + ", ".join(
+            f"max({_gjo(spec.json_column, p)}) as m{i}" for i, p in enumerate(others)
+        )
+        + f" from {spec.database}.{spec.table} "
+        f"where date between '{lo}' and '{hi}' "
+        f"and {_gjo(spec.json_column, metric)} > {threshold} "
+        f"group by {_gjo(spec.json_column, category)}"
+    )
+    return sql, paths
+
+
+def _self_join(factory: DocumentFactory, lo: str, hi: str, threshold: int):
+    """Self-equijoin on a JSON key (Q3 shape)."""
+    spec = factory.spec
+    paths = factory.query_paths()
+    categories = factory.category_query_paths()
+    key = categories[0] if categories else paths[0]
+    payload = spec.json_column
+    select_paths = [p for p in paths if p != key]
+    half = len(select_paths) // 2
+    a_paths = select_paths[:half]
+    b_paths = select_paths[half:]
+    select = ", ".join(
+        [f"get_json_object(a.{payload}, '{p}') as a{i}" for i, p in enumerate(a_paths)]
+        + [f"get_json_object(b.{payload}, '{p}') as b{i}" for i, p in enumerate(b_paths)]
+    )
+    sql = (
+        f"select {select} "
+        f"from {spec.database}.{spec.table} a "
+        f"join {spec.database}.{spec.table} b "
+        f"on get_json_object(a.{payload}, '{key}') = "
+        f"get_json_object(b.{payload}, '{key}') "
+        f"where a.date = '{lo}' and b.date = '{hi}'"
+    )
+    return sql, paths
+
+
+def _single_aggregate(factory: DocumentFactory, lo: str, hi: str, threshold: int):
+    """Global aggregate over one deep path (Q4 shape)."""
+    spec = factory.spec
+    paths = factory.query_paths()
+    numeric = factory.numeric_query_paths()
+    target = numeric[0] if numeric else paths[0]
+    sql = (
+        f"select avg({_gjo(spec.json_column, target)}) as avg_value, "
+        f"count(*) as cnt "
+        f"from {spec.database}.{spec.table} "
+        f"where date between '{lo}' and '{hi}'"
+    )
+    return sql, [target]
+
+
+def _ordered_select(factory: DocumentFactory, lo: str, hi: str, threshold: int):
+    """Projection ordered by a JSON metric, top-k (Q5, Q8, Q10 shape)."""
+    spec = factory.spec
+    paths = factory.query_paths()
+    numeric = factory.numeric_query_paths()
+    order_key = numeric[0] if numeric else paths[0]
+    sql = (
+        f"select id, {_select_list(spec.json_column, paths)} "
+        f"from {spec.database}.{spec.table} "
+        f"where date between '{lo}' and '{hi}' "
+        f"order by {_gjo(spec.json_column, order_key)} desc limit 100"
+    )
+    return sql, paths
+
+
+def _small_groupby(factory: DocumentFactory, lo: str, hi: str, threshold: int):
+    """Group-by with sum over few paths (Q7 shape)."""
+    spec = factory.spec
+    paths = factory.query_paths()
+    numeric = factory.numeric_query_paths()
+    metric = numeric[0] if numeric else paths[0]
+    category = next((p for p in paths if p != metric), paths[-1])
+    rest = [p for p in paths if p not in (metric, category)]
+    extra = ", ".join(
+        f"min({_gjo(spec.json_column, p)}) as x{i}" for i, p in enumerate(rest)
+    )
+    extra = f", {extra}" if extra else ""
+    sql = (
+        f"select {_gjo(spec.json_column, category)} as grp, "
+        f"sum({_gjo(spec.json_column, metric)}) as total{extra} "
+        f"from {spec.database}.{spec.table} "
+        f"where date between '{lo}' and '{hi}' "
+        f"group by {_gjo(spec.json_column, category)}"
+    )
+    return sql, paths
+
+
+def _selective_single(factory: DocumentFactory, lo: str, hi: str, threshold: int):
+    """Highly selective predicate on the single queried path (Q9 shape)."""
+    spec = factory.spec
+    numeric = factory.numeric_query_paths()
+    paths = factory.query_paths()
+    target = numeric[0] if numeric else paths[0]
+    sql = (
+        f"select id, {_gjo(spec.json_column, target)} as metric "
+        f"from {spec.database}.{spec.table} "
+        f"where date between '{lo}' and '{hi}' "
+        f"and {_gjo(spec.json_column, target)} > {threshold}"
+    )
+    return sql, [target]
+
+
+_BUILDERS = {
+    "Q1": _simple_select,
+    "Q2": _filtered_groupby,
+    "Q3": _self_join,
+    "Q4": _single_aggregate,
+    "Q5": _ordered_select,
+    "Q6": _simple_select,
+    "Q7": _small_groupby,
+    "Q8": _ordered_select,
+    "Q9": _selective_single,
+    "Q10": _ordered_select,
+}

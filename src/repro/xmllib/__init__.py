@@ -1,0 +1,30 @@
+"""XML substrate — the paper's stated extension target.
+
+The paper's conclusion notes that the pre-caching technique "can also be
+applied to other data formats, such as XML". This package makes that
+concrete: a strict XML parser with the same cost-accounting contract as
+the JSON substrate, plus an XPath-like dialect whose paths flow through
+the *same* collector/scorer/cacher/plan-rewrite machinery (paths starting
+with ``/`` are XML, paths starting with ``$`` are JSON).
+"""
+
+from .parser import XmlElement, XmlParseError, XmlParser, parse_xml
+from .xpath import (
+    XPathError,
+    XmlPath,
+    evaluate_xpath,
+    get_xml_object,
+    parse_xpath,
+)
+
+__all__ = [
+    "XmlParser",
+    "XmlParseError",
+    "XmlElement",
+    "parse_xml",
+    "XmlPath",
+    "XPathError",
+    "parse_xpath",
+    "evaluate_xpath",
+    "get_xml_object",
+]

@@ -1,0 +1,262 @@
+"""A minimal, strict XML parser.
+
+Supports the XML fragment that warehouse payload columns actually carry:
+elements, attributes, character data, self-closing tags, comments, CDATA
+sections, and the five predefined entities. Not supported (and rejected
+loudly rather than mis-parsed): DTDs, processing instructions beyond the
+XML declaration, and namespaces (prefixes are kept as literal tag text).
+
+The parser mirrors :mod:`repro.jsonlib.jackson`'s contract: strict errors
+with byte offsets, and a :class:`~repro.jsonlib.jackson.ParseStats`
+counter so XML parse time is attributed exactly like JSON parse time.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..jsonlib.jackson import ParseStats
+
+__all__ = ["XmlParseError", "XmlElement", "XmlParser", "parse_xml"]
+
+_WHITESPACE = " \t\n\r"
+
+_ENTITIES = {
+    "lt": "<",
+    "gt": ">",
+    "amp": "&",
+    "apos": "'",
+    "quot": '"',
+}
+
+
+class XmlParseError(Exception):
+    """Malformed XML text."""
+
+    def __init__(self, message: str, position: int = -1) -> None:
+        self.position = position
+        if position >= 0:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+
+
+@dataclass
+class XmlElement:
+    """One element: tag, attributes, ordered children, and its own text.
+
+    ``text`` is the concatenated character data directly inside this
+    element (children's text is not included; use :meth:`full_text`).
+    """
+
+    tag: str
+    attributes: dict[str, str] = field(default_factory=dict)
+    children: list["XmlElement"] = field(default_factory=list)
+    text: str = ""
+
+    def find_all(self, tag: str) -> list["XmlElement"]:
+        """Direct children with the given tag."""
+        return [child for child in self.children if child.tag == tag]
+
+    def find(self, tag: str) -> "XmlElement | None":
+        """First direct child with the given tag, or None."""
+        for child in self.children:
+            if child.tag == tag:
+                return child
+        return None
+
+    def full_text(self) -> str:
+        """This element's text plus all descendants' text, in order."""
+        parts = [self.text]
+        for child in self.children:
+            parts.append(child.full_text())
+        return "".join(parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<XmlElement {self.tag} attrs={len(self.attributes)} children={len(self.children)}>"
+
+
+def _decode_entities(text: str, base: int) -> str:
+    if "&" not in text:
+        return text
+    out: list[str] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch != "&":
+            out.append(ch)
+            i += 1
+            continue
+        end = text.find(";", i + 1)
+        if end == -1:
+            raise XmlParseError("unterminated entity", base + i)
+        name = text[i + 1 : end]
+        if name.startswith("#x") or name.startswith("#X"):
+            try:
+                out.append(chr(int(name[2:], 16)))
+            except ValueError as exc:
+                raise XmlParseError(f"bad character reference &{name};", base + i) from exc
+        elif name.startswith("#"):
+            try:
+                out.append(chr(int(name[1:])))
+            except ValueError as exc:
+                raise XmlParseError(f"bad character reference &{name};", base + i) from exc
+        elif name in _ENTITIES:
+            out.append(_ENTITIES[name])
+        else:
+            raise XmlParseError(f"unknown entity &{name};", base + i)
+        i = end + 1
+    return "".join(out)
+
+
+def _is_name_start(ch: str) -> bool:
+    return ch.isalpha() or ch in "_:"
+
+
+def _is_name_char(ch: str) -> bool:
+    return ch.isalnum() or ch in "_:-."
+
+
+class XmlParser:
+    """Parse one XML document into an :class:`XmlElement` tree."""
+
+    def __init__(self, max_depth: int = 128) -> None:
+        self.max_depth = max_depth
+        self.stats = ParseStats()
+
+    def parse(self, text: str) -> XmlElement:
+        started = time.perf_counter()
+        try:
+            i = self._skip_prolog(text, 0)
+            root, i = self._parse_element(text, i, 0)
+            i = self._skip_misc(text, i)
+            if i != len(text):
+                raise XmlParseError("trailing content after document element", i)
+        except XmlParseError:
+            self.stats.errors += 1
+            raise
+        finally:
+            self.stats.seconds += time.perf_counter() - started
+            self.stats.documents += 1
+            self.stats.bytes_scanned += len(text)
+        return root
+
+    # ------------------------------------------------------------------
+    def _skip_ws(self, text: str, i: int) -> int:
+        n = len(text)
+        while i < n and text[i] in _WHITESPACE:
+            i += 1
+        return i
+
+    def _skip_prolog(self, text: str, i: int) -> int:
+        i = self._skip_ws(text, i)
+        if text.startswith("<?xml", i):
+            end = text.find("?>", i)
+            if end == -1:
+                raise XmlParseError("unterminated XML declaration", i)
+            i = end + 2
+        return self._skip_misc(text, i)
+
+    def _skip_misc(self, text: str, i: int) -> int:
+        while True:
+            i = self._skip_ws(text, i)
+            if text.startswith("<!--", i):
+                end = text.find("-->", i)
+                if end == -1:
+                    raise XmlParseError("unterminated comment", i)
+                i = end + 3
+            else:
+                return i
+
+    def _parse_name(self, text: str, i: int) -> tuple[str, int]:
+        if i >= len(text) or not _is_name_start(text[i]):
+            raise XmlParseError("expected a name", i)
+        j = i + 1
+        n = len(text)
+        while j < n and _is_name_char(text[j]):
+            j += 1
+        return text[i:j], j
+
+    def _parse_attributes(self, text: str, i: int) -> tuple[dict[str, str], int]:
+        attributes: dict[str, str] = {}
+        n = len(text)
+        while True:
+            i = self._skip_ws(text, i)
+            if i >= n:
+                raise XmlParseError("unterminated start tag", i)
+            if text[i] in ">/":
+                return attributes, i
+            name, i = self._parse_name(text, i)
+            i = self._skip_ws(text, i)
+            if i >= n or text[i] != "=":
+                raise XmlParseError(f"attribute {name!r} missing '='", i)
+            i = self._skip_ws(text, i + 1)
+            if i >= n or text[i] not in "'\"":
+                raise XmlParseError(f"attribute {name!r} value must be quoted", i)
+            quote = text[i]
+            end = text.find(quote, i + 1)
+            if end == -1:
+                raise XmlParseError(f"unterminated attribute {name!r}", i)
+            if name in attributes:
+                raise XmlParseError(f"duplicate attribute {name!r}", i)
+            attributes[name] = _decode_entities(text[i + 1 : end], i + 1)
+            i = end + 1
+
+    def _parse_element(self, text: str, i: int, depth: int) -> tuple[XmlElement, int]:
+        if depth > self.max_depth:
+            raise XmlParseError("maximum nesting depth exceeded", i)
+        if i >= len(text) or text[i] != "<":
+            raise XmlParseError("expected '<'", i)
+        tag, i = self._parse_name(text, i + 1)
+        attributes, i = self._parse_attributes(text, i)
+        element = XmlElement(tag=tag, attributes=attributes)
+        if text.startswith("/>", i):
+            return element, i + 2
+        if text[i] != ">":
+            raise XmlParseError(f"malformed start tag <{tag}>", i)
+        i += 1
+        text_parts: list[str] = []
+        n = len(text)
+        while True:
+            if i >= n:
+                raise XmlParseError(f"unterminated element <{tag}>", i)
+            if text.startswith("</", i):
+                close_tag, j = self._parse_name(text, i + 2)
+                j = self._skip_ws(text, j)
+                if j >= n or text[j] != ">":
+                    raise XmlParseError(f"malformed end tag </{close_tag}>", i)
+                if close_tag != tag:
+                    raise XmlParseError(
+                        f"mismatched end tag </{close_tag}> for <{tag}>", i
+                    )
+                element.text = "".join(text_parts)
+                return element, j + 1
+            if text.startswith("<!--", i):
+                end = text.find("-->", i)
+                if end == -1:
+                    raise XmlParseError("unterminated comment", i)
+                i = end + 3
+            elif text.startswith("<![CDATA[", i):
+                end = text.find("]]>", i)
+                if end == -1:
+                    raise XmlParseError("unterminated CDATA section", i)
+                text_parts.append(text[i + 9 : end])
+                i = end + 3
+            elif text[i] == "<":
+                child, i = self._parse_element(text, i, depth + 1)
+                element.children.append(child)
+            else:
+                j = text.find("<", i)
+                if j == -1:
+                    raise XmlParseError(f"unterminated element <{tag}>", i)
+                text_parts.append(_decode_entities(text[i:j], i))
+                i = j
+
+
+_MODULE_PARSER = XmlParser()
+
+
+def parse_xml(text: str) -> XmlElement:
+    """Parse ``text`` with a module-level :class:`XmlParser`."""
+    return _MODULE_PARSER.parse(text)

@@ -1,0 +1,171 @@
+"""A small XPath-like dialect for warehouse XML columns.
+
+Mirrors the role :mod:`repro.jsonlib.jsonpath` plays for JSON, with the
+same Hive contract: missing steps yield ``None``, path syntax errors
+raise. The dialect:
+
+* ``/root/item`` — child element steps;
+* ``/root/item[2]`` — zero-based positional index among same-tag
+  siblings;
+* ``/root/item/@id`` — terminal attribute access;
+* ``/root/item/text()`` — explicit text content (also the default for a
+  path ending at an element).
+
+Values are returned as strings (XML is untyped); numeric-looking text is
+coerced to int/float so cached XML values get typed columns, matching the
+behaviour users expect from ``get_json_object``-style extraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Union
+
+from .parser import XmlElement
+
+__all__ = ["XPathError", "XmlPath", "parse_xpath", "evaluate_xpath", "get_xml_object"]
+
+
+class XPathError(Exception):
+    """Malformed XPath expression."""
+
+    def __init__(self, message: str, path: str = "") -> None:
+        self.path = path
+        if path:
+            message = f"{message} (in path {path!r})"
+        super().__init__(message)
+
+
+@dataclass(frozen=True, slots=True)
+class ChildStep:
+    tag: str
+    index: int | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class AttributeStep:
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class TextStep:
+    pass
+
+
+Step = Union[ChildStep, AttributeStep, TextStep]
+
+
+@dataclass(frozen=True)
+class XmlPath:
+    """A parsed path: root tag match plus a chain of steps."""
+
+    raw: str
+    steps: tuple[Step, ...]
+
+    @property
+    def leaf(self) -> str:
+        for step in reversed(self.steps):
+            if isinstance(step, ChildStep):
+                return step.tag
+            if isinstance(step, AttributeStep):
+                return step.name
+        return ""
+
+
+def _parse_segment(segment: str, raw: str) -> Step:
+    if segment == "text()":
+        return TextStep()
+    if segment.startswith("@"):
+        name = segment[1:]
+        if not name:
+            raise XPathError("empty attribute name", raw)
+        return AttributeStep(name)
+    index: int | None = None
+    if segment.endswith("]"):
+        open_bracket = segment.find("[")
+        if open_bracket == -1:
+            raise XPathError("']' without '['", raw)
+        inner = segment[open_bracket + 1 : -1]
+        try:
+            index = int(inner)
+        except ValueError as exc:
+            raise XPathError(f"invalid index {inner!r}", raw) from exc
+        if index < 0:
+            raise XPathError("negative indices are not supported", raw)
+        segment = segment[:open_bracket]
+    if not segment:
+        raise XPathError("empty element name", raw)
+    return ChildStep(segment, index)
+
+
+@lru_cache(maxsize=4096)
+def parse_xpath(raw: str) -> XmlPath:
+    """Parse ``/a/b[0]/@id`` into an :class:`XmlPath` (memoised)."""
+    text = raw.strip()
+    if not text.startswith("/"):
+        raise XPathError("path must start with '/'", raw)
+    segments = text[1:].split("/")
+    if not segments or segments == [""]:
+        raise XPathError("path selects nothing", raw)
+    steps: list[Step] = []
+    for position, segment in enumerate(segments):
+        step = _parse_segment(segment, raw)
+        if isinstance(step, (AttributeStep, TextStep)) and position != len(segments) - 1:
+            raise XPathError("attribute/text() steps must be terminal", raw)
+        steps.append(step)
+    return XmlPath(raw=text, steps=tuple(steps))
+
+
+def _coerce_text(value: str) -> object:
+    """Give numeric-looking text a numeric type (for typed cache columns)."""
+    stripped = value.strip()
+    if not stripped:
+        return value
+    try:
+        return int(stripped)
+    except ValueError:
+        try:
+            return float(stripped)
+        except ValueError:
+            return value
+
+
+def evaluate_xpath(path: XmlPath | str, root: XmlElement) -> object:
+    """Evaluate against a parsed document; missing steps yield ``None``."""
+    if isinstance(path, str):
+        path = parse_xpath(path)
+    steps = path.steps
+    first = steps[0]
+    if not isinstance(first, ChildStep) or first.tag != root.tag:
+        return None
+    if first.index not in (None, 0):
+        return None
+    node: XmlElement = root
+    for step in steps[1:]:
+        if isinstance(step, AttributeStep):
+            value = node.attributes.get(step.name)
+            return _coerce_text(value) if value is not None else None
+        if isinstance(step, TextStep):
+            return _coerce_text(node.full_text())
+        matches = node.find_all(step.tag)
+        index = step.index if step.index is not None else 0
+        if index >= len(matches):
+            return None
+        node = matches[index]
+    return _coerce_text(node.full_text())
+
+
+def get_xml_object(xml_text: str | None, path: str, parser=None) -> object:
+    """Hive-style extraction: parse then evaluate, NULL on bad input."""
+    if xml_text is None:
+        return None
+    from .parser import XmlParseError, XmlParser
+
+    if parser is None:
+        parser = XmlParser()
+    try:
+        document = parser.parse(xml_text)
+    except XmlParseError:
+        return None
+    return evaluate_xpath(path, document)

@@ -1,0 +1,210 @@
+"""Unit tests for the JSONPath Cacher and cache registry."""
+
+import pytest
+
+from repro.core import (
+    CACHE_DATABASE,
+    CacheEntry,
+    CacheRegistry,
+    JsonPathCacher,
+    cache_field_name,
+    cache_table_name,
+    mangle_path,
+)
+from repro.engine import Session
+from repro.jsonlib import dumps
+from repro.storage import DataType, OrcFileReader, Schema
+from repro.workload import PathKey
+
+
+@pytest.fixture
+def loaded_session(session: Session) -> Session:
+    schema = Schema.of(("id", DataType.INT64), ("payload", DataType.STRING))
+    session.catalog.create_table("db", "t", schema)
+    for part in range(3):  # three files, 20 rows each
+        rows = []
+        for i in range(20):
+            index = part * 20 + i
+            doc = {
+                "num": index,
+                "name": f"n{index}",
+                "frac": index / 2,
+                "flag": index % 2 == 0,
+                "mixed": index if index % 2 else f"s{index}",
+                "obj": {"inner": index},
+            }
+            rows.append((index, dumps(doc)))
+        session.catalog.append_rows("db", "t", rows, row_group_size=5)
+    return session
+
+
+def key(path: str) -> PathKey:
+    return PathKey("db", "t", "payload", path)
+
+
+class TestNames:
+    def test_mangle(self):
+        assert mangle_path("$.a.b[0]") == "a_b_0"
+        assert mangle_path("$['x y']") == "x_y"
+
+    def test_cache_table_name(self):
+        assert cache_table_name("db", "t") == "db__t"
+
+    def test_cache_field_name(self):
+        assert cache_field_name("payload", "$.a.b") == "payload__a_b"
+
+
+class TestPopulate:
+    def test_file_alignment(self, loaded_session):
+        cacher = JsonPathCacher(loaded_session.catalog)
+        cacher.populate([key("$.num")])
+        raw_files = loaded_session.catalog.table_files("db", "t")
+        cache_files = loaded_session.catalog.table_files(
+            CACHE_DATABASE, cache_table_name("db", "t")
+        )
+        assert len(cache_files) == len(raw_files) == 3
+        for raw_path, cache_path in zip(raw_files, cache_files):
+            raw = OrcFileReader(loaded_session.fs.read(raw_path))
+            cache = OrcFileReader(loaded_session.fs.read(cache_path))
+            assert raw.row_count == cache.row_count
+
+    def test_row_group_alignment(self, loaded_session):
+        cacher = JsonPathCacher(loaded_session.catalog)
+        cacher.populate([key("$.num")])
+        raw = OrcFileReader(
+            loaded_session.fs.read(
+                loaded_session.catalog.table_files("db", "t")[0]
+            )
+        )
+        cache = OrcFileReader(
+            loaded_session.fs.read(
+                loaded_session.catalog.table_files(
+                    CACHE_DATABASE, cache_table_name("db", "t")
+                )[0]
+            )
+        )
+        assert [rg.row_count for rg in raw.row_group_layout()] == [
+            rg.row_count for rg in cache.row_group_layout()
+        ]
+
+    def test_values_correct_and_in_order(self, loaded_session):
+        cacher = JsonPathCacher(loaded_session.catalog)
+        cacher.populate([key("$.num"), key("$.name")])
+        cache_files = loaded_session.catalog.table_files(
+            CACHE_DATABASE, cache_table_name("db", "t")
+        )
+        reader = OrcFileReader(loaded_session.fs.read(cache_files[1]))
+        columns, _ = reader.read_columns()
+        assert columns[cache_field_name("payload", "$.num")] == list(range(20, 40))
+        assert columns[cache_field_name("payload", "$.name")][0] == "n20"
+
+    def test_typed_columns(self, loaded_session):
+        cacher = JsonPathCacher(loaded_session.catalog)
+        report = cacher.populate(
+            [key("$.num"), key("$.frac"), key("$.flag"), key("$.name"),
+             key("$.mixed"), key("$.obj")]
+        )
+        dtypes = {e.key.path: e.dtype for e in report.entries}
+        assert dtypes["$.num"] == DataType.INT64
+        assert dtypes["$.frac"] == DataType.FLOAT64
+        assert dtypes["$.flag"] == DataType.BOOL
+        assert dtypes["$.name"] == DataType.STRING
+        assert dtypes["$.mixed"] == DataType.STRING  # int/str mix
+        assert dtypes["$.obj"] == DataType.STRING  # JSON-serialised
+
+    def test_structured_value_serialised(self, loaded_session):
+        cacher = JsonPathCacher(loaded_session.catalog)
+        cacher.populate([key("$.obj")])
+        cache_files = loaded_session.catalog.table_files(
+            CACHE_DATABASE, cache_table_name("db", "t")
+        )
+        reader = OrcFileReader(loaded_session.fs.read(cache_files[0]))
+        columns, _ = reader.read_columns()
+        assert columns[cache_field_name("payload", "$.obj")][3] == '{"inner":3}'
+
+    def test_missing_path_stored_as_null(self, loaded_session):
+        cacher = JsonPathCacher(loaded_session.catalog)
+        cacher.populate([key("$.ghost")])
+        cache_files = loaded_session.catalog.table_files(
+            CACHE_DATABASE, cache_table_name("db", "t")
+        )
+        reader = OrcFileReader(loaded_session.fs.read(cache_files[0]))
+        columns, _ = reader.read_columns()
+        assert set(columns[cache_field_name("payload", "$.ghost")]) == {None}
+
+    def test_report_counters(self, loaded_session):
+        cacher = JsonPathCacher(loaded_session.catalog)
+        report = cacher.populate([key("$.num"), key("$.name")])
+        assert report.tables_written == 1
+        assert report.rows_parsed == 60
+        assert report.bytes_written > 0
+        assert len(report.entries) == 2
+        assert report.build_seconds > 0
+
+    def test_repopulate_replaces(self, loaded_session):
+        cacher = JsonPathCacher(loaded_session.catalog)
+        cacher.populate([key("$.num")])
+        cacher.populate([key("$.name")])  # fresh table, old dropped
+        cache_files = loaded_session.catalog.table_files(
+            CACHE_DATABASE, cache_table_name("db", "t")
+        )
+        reader = OrcFileReader(loaded_session.fs.read(cache_files[0]))
+        assert reader.schema.names == [cache_field_name("payload", "$.name")]
+
+    def test_drop_all(self, loaded_session):
+        cacher = JsonPathCacher(loaded_session.catalog)
+        cacher.populate([key("$.num")])
+        cacher.drop_all()
+        assert cacher.registry.entries() == []
+        assert not loaded_session.catalog.table_exists(
+            CACHE_DATABASE, cache_table_name("db", "t")
+        )
+
+    def test_empty_table_skipped(self, session):
+        schema = Schema.of(("payload", DataType.STRING),)
+        session.catalog.create_table("db", "empty", schema)
+        cacher = JsonPathCacher(session.catalog)
+        report = cacher.populate([PathKey("db", "empty", "payload", "$.x")])
+        assert report.tables_written == 0
+
+
+class TestRegistry:
+    def _entry(self, cache_table="db__t", path="$.x") -> CacheEntry:
+        return CacheEntry(
+            key=key(path),
+            cache_table=cache_table,
+            field_name="payload__x",
+            dtype=DataType.INT64,
+            cache_time=1.0,
+            rows=10,
+            bytes_on_disk_share=100,
+        )
+
+    def test_register_lookup(self):
+        registry = CacheRegistry()
+        entry = self._entry()
+        registry.register(entry)
+        assert registry.lookup(key("$.x")) is entry
+        assert registry.lookup(key("$.other")) is None
+
+    def test_invalidation_hides_entries(self):
+        registry = CacheRegistry()
+        registry.register(self._entry())
+        registry.mark_table_invalid("db__t")
+        assert registry.lookup(key("$.x")) is None
+        assert registry.entries() == []
+        assert registry.invalid_tables() == {"db__t"}
+
+    def test_total_bytes(self):
+        registry = CacheRegistry()
+        registry.register(self._entry(path="$.a"))
+        registry.register(self._entry(path="$.b"))
+        assert registry.total_bytes() == 200
+
+    def test_clear(self):
+        registry = CacheRegistry()
+        registry.register(self._entry())
+        registry.mark_table_invalid("db__t")
+        registry.clear()
+        assert registry.entries() == []
+        assert registry.invalid_tables() == set()

@@ -1,0 +1,109 @@
+"""Unit tests for the JSONPath Collector."""
+
+from repro.core import JsonPathCollector
+from repro.workload import PathKey, SyntheticTrace, TraceConfig
+
+
+def key(path: str, table: str = "t") -> PathKey:
+    return PathKey("db", table, "c", path)
+
+
+class TestRecording:
+    def test_record_and_count(self):
+        collector = JsonPathCollector()
+        collector.record_query(0, (key("$.a"), key("$.b")))
+        collector.record_query(0, (key("$.a"),))
+        assert collector.count(key("$.a"), 0) == 2
+        assert collector.count(key("$.b"), 0) == 1
+        assert collector.count(key("$.c"), 0) == 0
+
+    def test_partitioned_by_day(self):
+        collector = JsonPathCollector()
+        collector.record_query(0, (key("$.a"),))
+        collector.record_query(1, (key("$.a"),))
+        assert collector.count(key("$.a"), 0) == 1
+        assert collector.count(key("$.a"), 1) == 1
+        assert collector.days == [0, 1]
+
+    def test_record_planned(self):
+        collector = JsonPathCollector()
+        collector.record_planned(3, [("db", "t", "c", "$.x")])
+        assert collector.count(key("$.x"), 3) == 1
+
+    def test_universe_sorted_unique(self):
+        collector = JsonPathCollector()
+        collector.record_query(0, (key("$.b"), key("$.a")))
+        collector.record_query(1, (key("$.a"),))
+        assert collector.universe == [key("$.a"), key("$.b")]
+
+    def test_count_sequence(self):
+        collector = JsonPathCollector()
+        for day, n in ((0, 1), (1, 3), (3, 2)):
+            for _ in range(n):
+                collector.record_query(day, (key("$.a"),))
+        assert collector.count_sequence(key("$.a"), [0, 1, 2, 3]) == [1, 3, 0, 2]
+
+
+class TestMpjp:
+    def test_mpjp_threshold(self):
+        collector = JsonPathCollector()
+        collector.record_query(0, (key("$.a"), key("$.b")))
+        collector.record_query(0, (key("$.a"),))
+        assert collector.mpjp_on(0) == {key("$.a")}
+        assert collector.mpjp_label(key("$.a"), 0) == 1
+        assert collector.mpjp_label(key("$.b"), 0) == 0
+
+    def test_custom_threshold(self):
+        collector = JsonPathCollector()
+        for _ in range(3):
+            collector.record_query(0, (key("$.a"),))
+        assert collector.mpjp_on(0, threshold=4) == set()
+        assert collector.mpjp_on(0, threshold=3) == {key("$.a")}
+
+
+class TestQueriesBetween:
+    def test_inclusive_range(self):
+        collector = JsonPathCollector()
+        for day in range(5):
+            collector.record_query(day, (key("$.a"),))
+        records = collector.queries_between(1, 3)
+        assert [r.day for r in records] == [1, 2, 3]
+
+    def test_queries_on(self):
+        collector = JsonPathCollector()
+        collector.record_query(2, (key("$.a"),))
+        collector.record_query(2, (key("$.b"),))
+        assert len(collector.queries_on(2)) == 2
+        assert collector.queries_on(9) == []
+
+
+class TestDerivedStats:
+    def test_total_parses(self):
+        collector = JsonPathCollector()
+        collector.record_query(0, (key("$.a"),))
+        collector.record_query(1, (key("$.a"), key("$.b")))
+        totals = collector.total_parses()
+        assert totals[key("$.a")] == 2
+        assert totals[key("$.b")] == 1
+
+    def test_duplicate_parse_fraction(self):
+        collector = JsonPathCollector()
+        # 3 parses of one path in one day -> 2 redundant of 3
+        for _ in range(3):
+            collector.record_query(0, (key("$.a"),))
+        assert collector.duplicate_parse_fraction() == 2 / 3
+
+    def test_duplicate_fraction_empty(self):
+        assert JsonPathCollector().duplicate_parse_fraction() == 0.0
+
+    def test_ingest_trace_cutoff(self):
+        trace = SyntheticTrace(TraceConfig(days=6, users=5, tables=3, seed=1))
+        collector = JsonPathCollector()
+        collector.ingest_trace(trace, up_to_day=3)
+        assert max(collector.days) <= 2
+
+    def test_ingest_matches_trace_counts(self):
+        trace = SyntheticTrace(TraceConfig(days=5, users=5, tables=3, seed=1))
+        collector = JsonPathCollector()
+        collector.ingest_trace(trace)
+        assert collector.counts_on(2) == trace.daily_path_counts(2)

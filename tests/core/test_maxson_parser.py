@@ -1,0 +1,191 @@
+"""Integration tests for Algorithm 1 (plan rewriting) and the Value
+Combiner, against a live Maxson system over the sale-logs table."""
+
+import pytest
+
+from repro.core import CACHE_DATABASE, MaxsonSystem
+from repro.engine import Session
+from repro.jsonlib import dumps
+from repro.storage import BlockFileSystem, DataType, Schema
+from repro.workload import PathKey
+
+
+def build_system(clock=None) -> MaxsonSystem:
+    fs = BlockFileSystem(clock=clock)
+    session = Session(fs=fs)
+    schema = Schema.of(
+        ("mall_id", DataType.STRING),
+        ("date", DataType.STRING),
+        ("sale_logs", DataType.STRING),
+    )
+    session.catalog.create_table("mydb", "T", schema)
+    for day in range(1, 4):
+        rows = []
+        for i in range(30):
+            index = (day - 1) * 30 + i
+            log = {
+                "item_id": index % 7,
+                "item_name": f"item{index % 7}",
+                "turnover": index * 11 % 900,
+                "price": index % 30,
+            }
+            rows.append(("0001", f"2019010{day}", dumps(log)))
+        session.catalog.append_rows("mydb", "T", rows, row_group_size=10)
+    return MaxsonSystem(session=session)
+
+
+def cache_paths(system: MaxsonSystem, paths: list[str]):
+    keys = [PathKey("mydb", "T", "sale_logs", p) for p in paths]
+    system.cacher.populate(keys)
+
+
+QUERY = (
+    "select mall_id, get_json_object(sale_logs, '$.item_id') as item_id, "
+    "get_json_object(sale_logs, '$.turnover') as turnover "
+    "from mydb.T where date between '20190101' and '20190103'"
+)
+
+
+class TestRewrite:
+    def test_hit_replaces_and_results_match(self):
+        system = build_system()
+        baseline = system.baseline_sql(QUERY)
+        cache_paths(system, ["$.item_id", "$.turnover"])
+        result = system.sql(QUERY)
+        assert result.rows == baseline.rows
+        assert system.modifier.last_report.hits == 2
+        assert result.metrics.parse_documents == 0  # no JSON parsing at all
+
+    def test_json_column_pruned_on_full_hit(self):
+        system = build_system()
+        cache_paths(system, ["$.item_id", "$.turnover"])
+        system.sql(QUERY)
+        pruned = system.modifier.last_report.pruned_columns
+        assert "mydb.T.sale_logs" in pruned
+
+    def test_partial_hit_keeps_json_column(self):
+        system = build_system()
+        cache_paths(system, ["$.item_id"])  # turnover uncached
+        baseline = system.baseline_sql(QUERY)
+        result = system.sql(QUERY)
+        assert result.rows == baseline.rows
+        assert system.modifier.last_report.hits == 1
+        assert system.modifier.last_report.misses >= 1
+        # uncached path still parses
+        assert result.metrics.parse_documents > 0
+
+    def test_miss_leaves_plan_untouched(self):
+        system = build_system()
+        result = system.sql(QUERY)
+        assert system.modifier.last_report.hits == 0
+        assert result.metrics.parse_documents > 0
+
+    def test_plan_description_shows_maxson_scan(self):
+        system = build_system()
+        cache_paths(system, ["$.item_id", "$.turnover"])
+        text = system.session.explain(QUERY)
+        assert "MaxsonScan" in text
+        assert "cached=" in text
+
+    def test_aggregation_over_cached_values(self):
+        system = build_system()
+        sql = (
+            "select get_json_object(sale_logs, '$.item_name') as name, "
+            "count(*) as n, max(get_json_object(sale_logs, '$.turnover')) as top "
+            "from mydb.T group by get_json_object(sale_logs, '$.item_name')"
+        )
+        baseline = system.baseline_sql(sql)
+        cache_paths(system, ["$.item_name", "$.turnover"])
+        result = system.sql(sql)
+        key = lambda r: r["name"]
+        assert sorted(result.rows, key=key) == sorted(baseline.rows, key=key)
+
+    def test_order_by_cached_value(self):
+        system = build_system()
+        sql = (
+            "select get_json_object(sale_logs, '$.turnover') as t "
+            "from mydb.T order by get_json_object(sale_logs, '$.turnover') "
+            "desc limit 5"
+        )
+        baseline = system.baseline_sql(sql)
+        cache_paths(system, ["$.turnover"])
+        result = system.sql(sql)
+        assert result.rows == baseline.rows
+
+    def test_self_join_both_sides_cached(self):
+        system = build_system()
+        sql = (
+            "select count(*) as n from mydb.T a join mydb.T b "
+            "on get_json_object(a.sale_logs, '$.item_id') = "
+            "get_json_object(b.sale_logs, '$.item_id') "
+            "where a.date = '20190101' and b.date = '20190102'"
+        )
+        baseline = system.baseline_sql(sql)
+        cache_paths(system, ["$.item_id"])
+        result = system.sql(sql)
+        assert result.rows == baseline.rows
+        assert result.metrics.parse_documents == 0
+
+
+class TestCacheValidity:
+    def test_stale_cache_invalidated(self):
+        ticks = iter(float(i) for i in range(1000))
+        system = build_system(clock=lambda: next(ticks))
+        cache_paths(system, ["$.item_id", "$.turnover"])
+        # New data lands after caching -> cache must be invalidated.
+        system.session.catalog.append_rows(
+            "mydb",
+            "T",
+            [("0001", "20190104", dumps({"item_id": 1, "turnover": 5}))],
+        )
+        baseline = system.baseline_sql(QUERY)
+        result = system.sql(QUERY)
+        assert result.rows == baseline.rows
+        assert system.modifier.last_report.hits == 0
+        assert system.modifier.last_report.invalidated_tables
+        assert result.metrics.parse_documents > 0
+
+    def test_invalid_table_stays_invalid(self):
+        ticks = iter(float(i) for i in range(1000))
+        system = build_system(clock=lambda: next(ticks))
+        cache_paths(system, ["$.item_id"])
+        system.session.catalog.append_rows(
+            "mydb",
+            "T",
+            [("0001", "20190104", dumps({"item_id": 1}))],
+        )
+        system.sql(QUERY)
+        system.sql(QUERY)  # second time: registry already marked invalid
+        assert system.modifier.last_report.hits == 0
+
+    def test_fresh_cache_after_repopulate(self):
+        ticks = iter(float(i) for i in range(1000))
+        system = build_system(clock=lambda: next(ticks))
+        cache_paths(system, ["$.item_id"])
+        system.session.catalog.append_rows(
+            "mydb",
+            "T",
+            [("0001", "20190104", dumps({"item_id": 1, "turnover": 2}))],
+        )
+        system.sql(QUERY)  # invalidates
+        system.cacher.drop_all()
+        cache_paths(system, ["$.item_id", "$.turnover"])  # re-cache fresh
+        baseline = system.baseline_sql(QUERY)
+        result = system.sql(QUERY)
+        assert result.rows == baseline.rows
+        assert system.modifier.last_report.hits == 2
+
+
+class TestCacheOnlyRead:
+    def test_all_columns_cached_skips_raw_table(self):
+        system = build_system()
+        sql = (
+            "select get_json_object(sale_logs, '$.item_id') as a, "
+            "get_json_object(sale_logs, '$.price') as b from mydb.T"
+        )
+        baseline = system.baseline_sql(sql)
+        cache_paths(system, ["$.item_id", "$.price"])
+        result = system.sql(sql)
+        assert result.rows == baseline.rows
+        # cache-only read: far less input than the baseline's raw scan
+        assert result.metrics.bytes_read < baseline.metrics.bytes_read / 5

@@ -1,0 +1,145 @@
+"""Unit tests for the online LRU cache and trace replay simulator."""
+
+from repro.core import LruCache, OnlineCacheSimulator
+from repro.workload import PathKey, TraceQuery
+
+
+def key(name: str) -> PathKey:
+    return PathKey("db", "t", "c", f"$.{name}")
+
+
+def query(day: int, names: list[str], seconds: int = 0) -> TraceQuery:
+    return TraceQuery(
+        day=day,
+        seconds=seconds,
+        user="u",
+        template_id=0,
+        kind="daily",
+        paths=tuple(key(n) for n in names),
+    )
+
+
+class TestLruCache:
+    def test_put_and_hit(self):
+        cache = LruCache(100)
+        cache.put(key("a"), 40)
+        assert cache.touch(key("a"))
+        assert not cache.touch(key("b"))
+
+    def test_eviction_lru_order(self):
+        cache = LruCache(100)
+        cache.put(key("a"), 50)
+        cache.put(key("b"), 50)
+        cache.touch(key("a"))  # a most recent
+        cache.put(key("c"), 50)  # evicts b
+        assert key("a") in cache
+        assert key("b") not in cache
+        assert key("c") in cache
+        assert cache.evictions == 1
+
+    def test_oversized_item_rejected(self):
+        cache = LruCache(10)
+        assert not cache.put(key("a"), 11)
+        assert len(cache) == 0
+
+    def test_reinsert_updates_size(self):
+        cache = LruCache(100)
+        cache.put(key("a"), 30)
+        cache.put(key("a"), 60)
+        assert cache.used_bytes == 60
+
+    def test_invalidate_all(self):
+        cache = LruCache(100)
+        cache.put(key("a"), 10)
+        cache.invalidate_all()
+        assert len(cache) == 0
+        assert cache.used_bytes == 0
+
+    def test_zero_capacity(self):
+        cache = LruCache(0)
+        assert not cache.put(key("a"), 1)
+
+
+class TestSimulator:
+    def test_first_access_always_misses(self):
+        sim = OnlineCacheSimulator(capacity_bytes=10**9, default_bytes=1)
+        stats = sim.replay([query(0, ["a", "b"])])
+        assert stats.hits == 0
+        assert stats.misses == 2
+
+    def test_second_access_hits(self):
+        sim = OnlineCacheSimulator(capacity_bytes=10**9, default_bytes=1)
+        stats = sim.replay([query(0, ["a"]), query(0, ["a"])])
+        assert stats.hits == 1
+        assert stats.misses == 1
+        assert stats.hit_ratio == 0.5
+
+    def test_daily_invalidation(self):
+        sim = OnlineCacheSimulator(
+            capacity_bytes=10**9, default_bytes=1, invalidate_daily=True
+        )
+        stats = sim.replay([query(0, ["a"]), query(1, ["a"])])
+        assert stats.hits == 0  # new day -> cold cache
+
+    def test_no_daily_invalidation(self):
+        sim = OnlineCacheSimulator(
+            capacity_bytes=10**9, default_bytes=1, invalidate_daily=False
+        )
+        stats = sim.replay([query(0, ["a"]), query(1, ["a"])])
+        assert stats.hits == 1
+
+    def test_capacity_pressure_lowers_hit_ratio(self):
+        names = [f"p{i}" for i in range(10)]
+        stream = [query(0, names) for _ in range(3)]
+        big = OnlineCacheSimulator(
+            capacity_bytes=10 * 100, default_bytes=100, invalidate_daily=False
+        ).replay(stream)
+        small = OnlineCacheSimulator(
+            capacity_bytes=3 * 100, default_bytes=100, invalidate_daily=False
+        ).replay(stream)
+        assert small.hit_ratio < big.hit_ratio
+
+    def test_modelled_time_hits_cheaper(self):
+        hit_heavy = OnlineCacheSimulator(
+            capacity_bytes=10**9,
+            default_bytes=1,
+            default_parse_seconds=2.0,
+            read_seconds=0.1,
+            invalidate_daily=False,
+        )
+        stats = hit_heavy.replay([query(0, ["a"]), query(0, ["a"])])
+        # miss: 0.1 + 2.0; hit: 0.1
+        assert abs(stats.modelled_seconds - 2.2) < 1e-9
+
+    def test_per_path_costs_respected(self):
+        sim = OnlineCacheSimulator(
+            capacity_bytes=10**9,
+            path_bytes={key("a"): 5},
+            path_parse_seconds={key("a"): 7.0},
+            read_seconds=0.0,
+        )
+        stats = sim.replay([query(0, ["a"])])
+        assert stats.modelled_seconds == 7.0
+        assert sim.cache.used_bytes == 5
+
+    def test_per_day_hit_ratio(self):
+        sim = OnlineCacheSimulator(
+            capacity_bytes=10**9, default_bytes=1, invalidate_daily=False
+        )
+        stats = sim.replay(
+            [query(0, ["a"]), query(0, ["a"]), query(1, ["a"])]
+        )
+        assert stats.per_day_hit_ratio[0] == 0.5
+        assert stats.per_day_hit_ratio[1] == 1.0
+
+    def test_spatially_close_queries_gain_nothing(self):
+        """The paper's Fig 14 observation: correlated queries arriving
+        together each miss on first touch of their distinct paths."""
+        stream = [
+            query(0, ["a", "b"], seconds=100),
+            query(0, ["a", "c"], seconds=101),
+        ]
+        sim = OnlineCacheSimulator(capacity_bytes=10**9, default_bytes=1)
+        stats = sim.replay(stream)
+        assert stats.misses == 3  # a, b, c all miss once
+        assert stats.hits == 1  # only the repeated 'a'

@@ -1,0 +1,103 @@
+"""Tests for the JSONPath Predictor model zoo."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    JsonPathCollector,
+    JsonPathPredictor,
+    MODEL_NAMES,
+    PredictorConfig,
+)
+from repro.workload import PathKey
+
+
+def key(name: str) -> PathKey:
+    return PathKey("db", "t", "payload", f"$.{name}")
+
+
+def build_collector(days=20) -> JsonPathCollector:
+    """daily: MPJP every day; alternating: period-2 burst; rare: never."""
+    collector = JsonPathCollector()
+    for day in range(days):
+        collector.record_query(day, (key("daily"), key("daily")))
+        if day % 4 < 2:
+            collector.record_query(day, (key("alt"), key("alt")))
+        collector.record_query(day, (key("rare"),))
+    return collector
+
+
+class TestConfig:
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError):
+            JsonPathPredictor(PredictorConfig(model="transformer"))
+
+    def test_all_model_names_construct(self):
+        for model in MODEL_NAMES:
+            JsonPathPredictor(PredictorConfig(model=model, epochs=1))
+
+    def test_predict_before_fit_raises(self):
+        predictor = JsonPathPredictor(PredictorConfig(model="lr"))
+        with pytest.raises(RuntimeError):
+            predictor.predict(build_collector(), 10)
+
+
+class TestTrivialModels:
+    def test_oracle_matches_ground_truth(self):
+        collector = build_collector()
+        predictor = JsonPathPredictor(PredictorConfig(model="oracle"))
+        prf = predictor.evaluate(collector, [10, 11, 12])
+        assert prf.f1 == 1.0
+
+    def test_always_has_full_recall(self):
+        collector = build_collector()
+        predictor = JsonPathPredictor(PredictorConfig(model="always"))
+        prf = predictor.evaluate(collector, [10, 11])
+        assert prf.recall == 1.0
+        assert prf.precision < 1.0  # 'rare' never actually MPJP
+
+    def test_predicted_set_subset_of_universe(self):
+        collector = build_collector()
+        predictor = JsonPathPredictor(PredictorConfig(model="always"))
+        predicted = predictor.predict(collector, 10)
+        assert predicted == set(collector.universe)
+
+
+class TestLearnedModels:
+    @pytest.mark.parametrize("model", ["lr", "svm", "mlp"])
+    def test_flat_models_learn_daily(self, model):
+        collector = build_collector()
+        predictor = JsonPathPredictor(
+            PredictorConfig(model=model, window_days=5)
+        )
+        predictor.fit(collector, list(range(6, 14)))
+        predicted = predictor.predict(collector, 15)
+        assert key("daily") in predicted
+        assert key("rare") not in predicted
+
+    def test_lstm_crf_learns_daily_and_alternation(self):
+        collector = build_collector(days=30)
+        predictor = JsonPathPredictor(
+            PredictorConfig(model="lstm_crf", window_days=5, epochs=25,
+                            hidden_size=24, num_layers=1)
+        )
+        predictor.fit(collector, list(range(6, 24)))
+        prf = predictor.evaluate(collector, [24, 25, 26, 27])
+        assert prf.f1 > 0.7
+        assert key("daily") in predictor.predict(collector, 25)
+
+    def test_restricted_key_universe(self):
+        collector = build_collector()
+        predictor = JsonPathPredictor(PredictorConfig(model="oracle"))
+        keys = [key("daily")]
+        universe, labels = predictor.predict_labels(collector, 10, keys)
+        assert universe == keys
+        assert labels.shape == (1,)
+
+    def test_evaluate_returns_prf(self):
+        collector = build_collector()
+        predictor = JsonPathPredictor(PredictorConfig(model="lr"))
+        predictor.fit(collector, list(range(6, 12)))
+        prf = predictor.evaluate(collector, [13])
+        assert 0.0 <= prf.precision <= 1.0
+        assert 0.0 <= prf.recall <= 1.0

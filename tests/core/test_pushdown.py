@@ -1,0 +1,169 @@
+"""Tests for predicate pushdown onto cache tables (Algorithm 3)."""
+
+import pytest
+
+from repro.core import MaxsonConfig, MaxsonSystem, extract_cache_sarg
+from repro.core.cacher import CacheEntry
+from repro.core.combiner import CachedFieldRequest
+from repro.engine import (
+    Between,
+    BinaryOp,
+    CachedField,
+    Column,
+    Literal,
+    Session,
+    UnaryOp,
+)
+from repro.jsonlib import dumps
+from repro.storage import (
+    AndSarg,
+    BlockFileSystem,
+    ComparisonSarg,
+    DataType,
+    SargOp,
+    Schema,
+)
+from repro.workload import PathKey
+
+
+def request(env_key="__mx__t__payload__m", field="payload__m"):
+    entry = CacheEntry(
+        key=PathKey("db", "t", "payload", "$.m"),
+        cache_table="db__t",
+        field_name=field,
+        dtype=DataType.INT64,
+        cache_time=0.0,
+        rows=10,
+        bytes_on_disk_share=1,
+    )
+    return CachedFieldRequest(entry=entry, env_key=env_key)
+
+
+def cached(env_key="__mx__t__payload__m"):
+    return CachedField("payload", 1, "$.m", env_key)
+
+
+class TestExtractCacheSarg:
+    def test_comparison(self):
+        sarg = extract_cache_sarg(
+            BinaryOp(">", cached(), Literal(10)), [request()]
+        )
+        assert sarg == ComparisonSarg("payload__m", SargOp.GT, 10)
+
+    def test_flipped_comparison(self):
+        sarg = extract_cache_sarg(
+            BinaryOp(">", Literal(10), cached()), [request()]
+        )
+        assert sarg == ComparisonSarg("payload__m", SargOp.LT, 10)
+
+    def test_between(self):
+        sarg = extract_cache_sarg(
+            Between(cached(), Literal(1), Literal(5)), [request()]
+        )
+        assert isinstance(sarg, AndSarg)
+
+    def test_null_tests(self):
+        sarg = extract_cache_sarg(UnaryOp("is null", cached()), [request()])
+        assert sarg == ComparisonSarg("payload__m", SargOp.IS_NULL)
+
+    def test_conjunction_collects_pushable(self):
+        condition = BinaryOp(
+            "and",
+            BinaryOp(">", cached(), Literal(1)),
+            BinaryOp("=", Column("date"), Literal("x")),  # not pushable here
+        )
+        sarg = extract_cache_sarg(condition, [request()])
+        assert sarg == ComparisonSarg("payload__m", SargOp.GT, 1)
+
+    def test_unknown_field_not_pushed(self):
+        sarg = extract_cache_sarg(
+            BinaryOp(">", cached("__other"), Literal(1)), [request()]
+        )
+        assert sarg is None
+
+    def test_or_not_pushed(self):
+        condition = BinaryOp(
+            "or",
+            BinaryOp(">", cached(), Literal(1)),
+            BinaryOp("<", cached(), Literal(0)),
+        )
+        assert extract_cache_sarg(condition, [request()]) is None
+
+    def test_null_literal_not_pushed(self):
+        sarg = extract_cache_sarg(
+            BinaryOp("=", cached(), Literal(None)), [request()]
+        )
+        assert sarg is None
+
+
+def build_pushdown_system(rows=200, row_group_size=20):
+    session = Session(fs=BlockFileSystem())
+    schema = Schema.of(("id", DataType.INT64), ("payload", DataType.STRING))
+    session.catalog.create_table("db", "t", schema)
+    batch = []
+    for i in range(rows):
+        batch.append((i, dumps({"m": i, "other": f"o{i}"})))
+    session.catalog.append_rows("db", "t", batch, row_group_size=row_group_size)
+    return MaxsonSystem(session=session)
+
+
+SQL = (
+    "select id, get_json_object(payload, '$.m') as m from db.t "
+    "where get_json_object(payload, '$.m') >= 180"
+)
+
+
+class TestEndToEndPushdown:
+    def test_row_groups_skipped_on_both_readers(self):
+        system = build_pushdown_system()
+        system.cacher.populate([PathKey("db", "t", "payload", "$.m")])
+        result = system.sql(SQL)
+        assert [r["m"] for r in result.rows] == list(range(180, 200))
+        # 10 groups per reader; ids 0..179 eliminated: 9 skipped per side.
+        assert result.metrics.row_groups_skipped == 18
+
+    def test_results_match_baseline(self):
+        system = build_pushdown_system()
+        baseline = system.baseline_sql(SQL)
+        system.cacher.populate([PathKey("db", "t", "payload", "$.m")])
+        result = system.sql(SQL)
+        assert result.rows == baseline.rows
+
+    def test_input_bytes_reduced(self):
+        system = build_pushdown_system()
+        baseline = system.baseline_sql(SQL)
+        system.cacher.populate([PathKey("db", "t", "payload", "$.m")])
+        result = system.sql(SQL)
+        assert result.metrics.bytes_read < baseline.metrics.bytes_read / 10
+
+    def test_pushdown_disabled_config(self):
+        system = build_pushdown_system()
+        system.modifier.enable_pushdown = False
+        system.cacher.populate([PathKey("db", "t", "payload", "$.m")])
+        result = system.sql(SQL)
+        assert [r["m"] for r in result.rows] == list(range(180, 200))
+        assert result.metrics.row_groups_skipped == 0
+
+    def test_pushdown_with_raw_sarg_combined(self):
+        system = build_pushdown_system()
+        sql = (
+            "select id, get_json_object(payload, '$.m') as m from db.t "
+            "where get_json_object(payload, '$.m') >= 100 and id < 140"
+        )
+        baseline = system.baseline_sql(sql)
+        system.cacher.populate([PathKey("db", "t", "payload", "$.m")])
+        result = system.sql(sql)
+        assert result.rows == baseline.rows
+        # combined mask: only groups with 100 <= values < 140 survive
+        assert result.metrics.row_groups_skipped > 10
+
+    def test_no_pushdown_when_predicate_on_uncached_json(self):
+        system = build_pushdown_system()
+        sql = (
+            "select id from db.t "
+            "where get_json_object(payload, '$.other') = 'o5'"
+        )
+        baseline = system.baseline_sql(sql)
+        system.cacher.populate([PathKey("db", "t", "payload", "$.m")])
+        result = system.sql(sql)
+        assert result.rows == baseline.rows

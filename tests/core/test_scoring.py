@@ -1,0 +1,152 @@
+"""Unit tests for the scoring function (A_j, R_j, O_j, Score_j)."""
+
+import pytest
+
+from repro.core import JsonPathCollector, QueryRecord, ScoringFunction
+from repro.core.scoring import PathStats, ScoredPath
+from repro.engine import Session
+from repro.jsonlib import dumps
+from repro.storage import DataType, Schema
+from repro.workload import PathKey
+
+
+@pytest.fixture
+def scoring_session(session: Session) -> Session:
+    schema = Schema.of(("id", DataType.INT64), ("payload", DataType.STRING))
+    session.catalog.create_table("db", "t", schema)
+    rows = []
+    for i in range(50):
+        doc = {"small": i % 10, "big": "x" * 200, "nested": {"v": i}}
+        rows.append((i, dumps(doc)))
+    session.catalog.append_rows("db", "t", rows, row_group_size=10)
+    return session
+
+
+def key(path: str) -> PathKey:
+    return PathKey("db", "t", "payload", path)
+
+
+class TestMeasure:
+    def test_small_vs_big_value_bytes(self, scoring_session):
+        scoring = ScoringFunction(scoring_session.catalog, sample_rows=20)
+        small = scoring.measure(key("$.small"))
+        big = scoring.measure(key("$.big"))
+        assert big.avg_value_bytes > small.avg_value_bytes
+        assert big.estimated_total_bytes > small.estimated_total_bytes
+
+    def test_acceleration_per_byte_prefers_small_values(self, scoring_session):
+        scoring = ScoringFunction(scoring_session.catalog, sample_rows=20)
+        small = scoring.measure(key("$.small"))
+        big = scoring.measure(key("$.big"))
+        # same document parse cost, far fewer bytes -> higher A_j
+        assert small.acceleration_per_byte > big.acceleration_per_byte
+
+    def test_missing_table(self, session):
+        scoring = ScoringFunction(session.catalog)
+        with pytest.raises(Exception):
+            scoring.measure(PathKey("db", "ghost", "payload", "$.x"))
+
+    def test_empty_table(self, session):
+        schema = Schema.of(("payload", DataType.STRING),)
+        session.catalog.create_table("db", "empty", schema)
+        scoring = ScoringFunction(session.catalog)
+        stats = scoring.measure(PathKey("db", "empty", "payload", "$.x"))
+        assert stats.estimated_total_bytes == 0
+
+    def test_measure_cached(self, scoring_session):
+        scoring = ScoringFunction(scoring_session.catalog, sample_rows=5)
+        first = scoring.measure(key("$.small"))
+        second = scoring.measure(key("$.small"))
+        assert first is second
+
+    def test_nested_value(self, scoring_session):
+        scoring = ScoringFunction(scoring_session.catalog, sample_rows=5)
+        stats = scoring.measure(key("$.nested"))
+        assert stats.avg_value_bytes > 0
+
+
+class TestRelevanceOccurrence:
+    def test_equation_2(self):
+        a, b, c = key("$.a"), key("$.b"), key("$.c")
+        mpjp = {a, b}
+        records = [
+            QueryRecord(0, (a, b)),        # M=2 N=2
+            QueryRecord(0, (a, c)),        # M=1 N=2
+            QueryRecord(0, (b, c)),        # does not touch a
+        ]
+        relevance, occurrences = ScoringFunction.relevance_and_occurrence(
+            a, mpjp, records
+        )
+        assert occurrences == 2
+        assert relevance == (2 + 1) / (2 + 2)
+
+    def test_no_touching_queries(self):
+        a = key("$.a")
+        relevance, occurrences = ScoringFunction.relevance_and_occurrence(
+            a, {a}, []
+        )
+        assert (relevance, occurrences) == (0.0, 0)
+
+    def test_fully_cacheable_query_maximises_relevance(self):
+        a, b = key("$.a"), key("$.b")
+        records = [QueryRecord(0, (a, b))]
+        relevance, _ = ScoringFunction.relevance_and_occurrence(
+            a, {a, b}, records
+        )
+        assert relevance == 1.0
+
+
+class TestScoreAndSelect:
+    def _scored(self, score, total_bytes, path="$.x"):
+        stats = PathStats(
+            key=key(path),
+            avg_value_bytes=1.0,
+            avg_parse_seconds=1.0,
+            estimated_total_bytes=total_bytes,
+        )
+        return ScoredPath(
+            key=key(path), stats=stats, relevance=1.0, occurrences=1, score=score
+        )
+
+    def test_score_ordering(self, scoring_session):
+        scoring = ScoringFunction(scoring_session.catalog, sample_rows=10)
+        a, b = key("$.small"), key("$.big")
+        records = [
+            QueryRecord(0, (a,)),
+            QueryRecord(0, (a,)),
+            QueryRecord(0, (a, b)),
+        ]
+        scored = scoring.score({a, b}, records)
+        assert scored[0].key == a  # higher A and O
+        assert scored[0].score >= scored[-1].score
+
+    def test_budget_selection_greedy(self):
+        scored = [
+            self._scored(10.0, 60, "$.a"),
+            self._scored(5.0, 60, "$.b"),
+            self._scored(1.0, 30, "$.c"),
+        ]
+        chosen = ScoringFunction.select_within_budget(None, scored, 100)
+        # a (60) fits; b (60) does not (40 left); c (30) fits
+        assert [c.key.path for c in chosen] == ["$.a", "$.c"]
+
+    def test_budget_zero(self):
+        scored = [self._scored(1.0, 10)]
+        assert ScoringFunction.select_within_budget(None, scored, 0) == []
+
+    def test_budget_fits_all(self):
+        scored = [self._scored(1.0, 10, f"$.p{i}") for i in range(3)]
+        chosen = ScoringFunction.select_within_budget(None, scored, 1000)
+        assert len(chosen) == 3
+
+    def test_random_selection_respects_budget(self):
+        scored = [self._scored(1.0, 40, f"$.p{i}") for i in range(10)]
+        chosen = ScoringFunction.random_selection(scored, 100, seed=1)
+        assert sum(c.budget_bytes() for c in chosen) <= 100
+        assert len(chosen) == 2
+
+    def test_random_selection_deterministic_per_seed(self):
+        scored = [self._scored(float(i), 40, f"$.p{i}") for i in range(10)]
+        a = ScoringFunction.random_selection(scored, 120, seed=5)
+        b = ScoringFunction.random_selection(scored, 120, seed=5)
+        assert [x.key for x in a] == [x.key for x in b]

@@ -1,0 +1,91 @@
+"""Tests for collector persistence (the date-partitioned stats table)."""
+
+import pytest
+
+from repro.core import JsonPathCollector, META_DATABASE, StatsStore
+from repro.engine import Session
+from repro.workload import PathKey
+
+
+def key(path: str, table: str = "t") -> PathKey:
+    return PathKey("db", table, "payload", path)
+
+
+@pytest.fixture
+def collector() -> JsonPathCollector:
+    collector = JsonPathCollector()
+    collector.record_query(0, (key("$.a"), key("$.b")))
+    collector.record_query(0, (key("$.a"),))
+    collector.record_query(1, (key("$.a"), key("$.c", "u")))
+    return collector
+
+
+class TestRoundTrip:
+    def test_save_load_counts(self, session, collector):
+        store = StatsStore(session.catalog)
+        store.save_all(collector)
+        loaded = store.load()
+        for day in collector.days:
+            assert loaded.counts_on(day) == collector.counts_on(day)
+
+    def test_save_load_query_membership(self, session, collector):
+        store = StatsStore(session.catalog)
+        store.save_all(collector)
+        loaded = store.load()
+        for day in collector.days:
+            original = sorted(r.paths for r in collector.queries_on(day))
+            restored = sorted(r.paths for r in loaded.queries_on(day))
+            assert restored == original
+
+    def test_mpjp_preserved(self, session, collector):
+        store = StatsStore(session.catalog)
+        store.save_all(collector)
+        loaded = store.load()
+        assert loaded.mpjp_on(0) == collector.mpjp_on(0)
+
+    def test_partition_per_day(self, session, collector):
+        store = StatsStore(session.catalog)
+        store.save_all(collector)
+        files = session.catalog.table_files(META_DATABASE, "jsonpath_stats")
+        assert len(files) == 2  # one partition per collected day
+
+    def test_verify_detects_consistency(self, session, collector):
+        store = StatsStore(session.catalog)
+        store.save_all(collector)
+        assert store.verify(collector)
+
+    def test_verify_detects_divergence(self, session, collector):
+        store = StatsStore(session.catalog)
+        store.save_all(collector)
+        collector.record_query(0, (key("$.a"),))  # diverge after save
+        assert not store.verify(collector)
+
+    def test_incremental_save(self, session):
+        collector = JsonPathCollector()
+        store = StatsStore(session.catalog)
+        collector.record_query(0, (key("$.a"), key("$.a")))
+        store.save_day(collector, 0)
+        collector.record_query(1, (key("$.b"),))
+        store.save_day(collector, 1)
+        loaded = store.load()
+        assert loaded.count(key("$.a"), 0) == 2
+        assert loaded.count(key("$.b"), 1) == 1
+
+    def test_empty_day_writes_nothing(self, session):
+        store = StatsStore(session.catalog)
+        store.save_day(JsonPathCollector(), 5)
+        assert session.catalog.table_files(META_DATABASE, "jsonpath_stats") == []
+
+    def test_two_stores_share_tables(self, session, collector):
+        StatsStore(session.catalog).save_all(collector)
+        other = StatsStore(session.catalog)  # must not recreate tables
+        assert other.load().days == collector.days
+
+    def test_loaded_collector_drives_predictor(self, session, collector):
+        from repro.core import JsonPathPredictor, PredictorConfig
+
+        store = StatsStore(session.catalog)
+        store.save_all(collector)
+        loaded = store.load()
+        predictor = JsonPathPredictor(PredictorConfig(model="oracle"))
+        assert predictor.predict(loaded, 0) == {key("$.a")}

@@ -1,0 +1,84 @@
+"""Integration: every Table II query is answered identically with and
+without Maxson, at every cache-budget level."""
+
+import pytest
+
+from repro.core import MaxsonConfig, MaxsonSystem, PredictorConfig
+from repro.engine import Session
+from repro.storage import BlockFileSystem
+from repro.workload import build_queries, load_tables
+
+
+@pytest.fixture(scope="module")
+def env():
+    session = Session(fs=BlockFileSystem())
+    factories = load_tables(
+        session.catalog, rows_per_table=120, days=3, row_group_size=20
+    )
+    queries = build_queries(factories, metric_threshold=7000)
+    system = MaxsonSystem(
+        session=session,
+        config=MaxsonConfig(predictor=PredictorConfig(model="oracle")),
+    )
+    for query in queries.values():
+        planned = session.compile(query.sql)
+        for _ in range(2):
+            system.collector.record_planned(0, planned.referenced_json_paths)
+    system.current_day = 0
+    baselines = {
+        qid: sorted(map(repr, system.baseline_sql(q.sql).rows))
+        for qid, q in queries.items()
+    }
+    return system, queries, baselines
+
+
+QUERY_IDS = [f"Q{i}" for i in range(1, 11)]
+
+
+class TestFullBudget:
+    @pytest.fixture(scope="class", autouse=True)
+    def cache_all(self, env):
+        system, queries, _ = env
+        system.cache_paths_directly(
+            system.collector.universe, budget_bytes=1 << 40
+        )
+
+    @pytest.mark.parametrize("query_id", QUERY_IDS)
+    def test_results_identical(self, env, query_id):
+        system, queries, baselines = env
+        result = system.sql(queries[query_id].sql)
+        assert sorted(map(repr, result.rows)) == baselines[query_id]
+
+    @pytest.mark.parametrize("query_id", QUERY_IDS)
+    def test_no_parsing_when_fully_cached(self, env, query_id):
+        system, queries, _ = env
+        result = system.sql(queries[query_id].sql)
+        assert result.metrics.parse_documents == 0
+
+
+class TestPartialBudget:
+    @pytest.fixture(scope="class", autouse=True)
+    def cache_half(self, env):
+        system, _, _ = env
+        total = sum(
+            system.scoring.measure(key).estimated_total_bytes
+            for key in system.collector.universe
+        )
+        system.cache_paths_directly(
+            system.collector.universe, budget_bytes=total // 2
+        )
+
+    @pytest.mark.parametrize("query_id", QUERY_IDS)
+    def test_results_identical_under_partial_cache(self, env, query_id):
+        system, queries, baselines = env
+        result = system.sql(queries[query_id].sql)
+        assert sorted(map(repr, result.rows)) == baselines[query_id]
+
+
+class TestNoCache:
+    @pytest.mark.parametrize("query_id", QUERY_IDS)
+    def test_results_identical_with_empty_cache(self, env, query_id):
+        system, queries, baselines = env
+        system.cacher.drop_all()
+        result = system.sql(queries[query_id].sql)
+        assert sorted(map(repr, result.rows)) == baselines[query_id]

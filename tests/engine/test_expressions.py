@@ -1,0 +1,226 @@
+"""Unit tests for expression evaluation (SQL three-valued logic etc.)."""
+
+import pytest
+
+from repro.engine import (
+    AggregateCall,
+    Alias,
+    Between,
+    BinaryOp,
+    CachedField,
+    CastExpr,
+    Column,
+    EvalContext,
+    ExecutionError,
+    GetJsonObject,
+    InList,
+    Literal,
+    PlanError,
+    UnaryOp,
+    transform,
+    walk,
+)
+
+
+@pytest.fixture
+def ctx():
+    return EvalContext()
+
+
+def b(op, left, right):
+    return BinaryOp(op, Literal(left), Literal(right))
+
+
+class TestComparisons:
+    def test_basic(self, ctx):
+        assert b("=", 1, 1).evaluate({}, ctx) is True
+        assert b("!=", 1, 2).evaluate({}, ctx) is True
+        assert b("<", 1, 2).evaluate({}, ctx) is True
+        assert b(">=", 2, 2).evaluate({}, ctx) is True
+
+    def test_null_propagates(self, ctx):
+        assert b("=", None, 1).evaluate({}, ctx) is None
+        assert b("<", 1, None).evaluate({}, ctx) is None
+
+    def test_string_number_coercion(self, ctx):
+        # get_json_object often yields strings compared to numbers (Hive
+        # coerces); mixed comparisons coerce through float.
+        assert b(">", "10", 9).evaluate({}, ctx) is True
+        assert b("=", "2.5", 2.5).evaluate({}, ctx) is True
+
+    def test_uncoercible_mixed_comparison_is_null(self, ctx):
+        assert b(">", "abc", 9).evaluate({}, ctx) is None
+
+
+class TestLogic:
+    def test_and_truth_table(self, ctx):
+        assert b("and", True, True).evaluate({}, ctx) is True
+        assert b("and", True, False).evaluate({}, ctx) is False
+        assert b("and", False, None).evaluate({}, ctx) is False
+        assert b("and", True, None).evaluate({}, ctx) is None
+
+    def test_or_truth_table(self, ctx):
+        assert b("or", False, True).evaluate({}, ctx) is True
+        assert b("or", False, False).evaluate({}, ctx) is False
+        assert b("or", True, None).evaluate({}, ctx) is True
+        assert b("or", False, None).evaluate({}, ctx) is None
+
+    def test_short_circuit_and(self, ctx):
+        # right side would explode if evaluated
+        bomb = Column("missing")
+        expr = BinaryOp("and", Literal(False), bomb)
+        assert expr.evaluate({}, ctx) is False
+
+    def test_not(self, ctx):
+        assert UnaryOp("not", Literal(True)).evaluate({}, ctx) is False
+        assert UnaryOp("not", Literal(None)).evaluate({}, ctx) is None
+
+
+class TestArithmetic:
+    def test_basic(self, ctx):
+        assert b("+", 2, 3).evaluate({}, ctx) == 5
+        assert b("-", 2, 3).evaluate({}, ctx) == -1
+        assert b("*", 2, 3).evaluate({}, ctx) == 6
+        assert b("/", 7, 2).evaluate({}, ctx) == 3.5
+        assert b("%", 7, 2).evaluate({}, ctx) == 1
+
+    def test_divide_by_zero_is_null(self, ctx):
+        assert b("/", 1, 0).evaluate({}, ctx) is None
+        assert b("%", 1, 0).evaluate({}, ctx) is None
+
+    def test_null_propagates(self, ctx):
+        assert b("+", None, 1).evaluate({}, ctx) is None
+
+    def test_string_numbers_coerce(self, ctx):
+        assert b("+", "2", 3).evaluate({}, ctx) == 5
+
+    def test_string_concat_via_plus(self, ctx):
+        assert b("+", "a", "b").evaluate({}, ctx) == "ab"
+
+    def test_neg(self, ctx):
+        assert UnaryOp("neg", Literal(5)).evaluate({}, ctx) == -5
+        assert UnaryOp("neg", Literal("3")).evaluate({}, ctx) == -3
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(PlanError):
+            BinaryOp("**", Literal(1), Literal(2))
+
+
+class TestMisc:
+    def test_column_lookup(self, ctx):
+        assert Column("a").evaluate({"a": 7}, ctx) == 7
+
+    def test_column_missing_raises(self, ctx):
+        with pytest.raises(ExecutionError):
+            Column("a").evaluate({}, ctx)
+
+    def test_alias_passthrough(self, ctx):
+        expr = Alias(Literal(1), "one")
+        assert expr.evaluate({}, ctx) == 1
+        assert expr.output_name() == "one"
+
+    def test_between_inclusive(self, ctx):
+        expr = Between(Literal(5), Literal(1), Literal(5))
+        assert expr.evaluate({}, ctx) is True
+
+    def test_between_null(self, ctx):
+        expr = Between(Literal(None), Literal(1), Literal(5))
+        assert expr.evaluate({}, ctx) is None
+
+    def test_in_list(self, ctx):
+        expr = InList(Literal(2), (Literal(1), Literal(2)))
+        assert expr.evaluate({}, ctx) is True
+        expr2 = InList(Literal(9), (Literal(1), Literal(None)))
+        assert expr2.evaluate({}, ctx) is None
+        expr3 = InList(Literal(9), (Literal(1), Literal(2)))
+        assert expr3.evaluate({}, ctx) is False
+
+    def test_cast(self, ctx):
+        assert CastExpr(Literal("3"), "int").evaluate({}, ctx) == 3
+        assert CastExpr(Literal(3), "string").evaluate({}, ctx) == "3"
+        assert CastExpr(Literal("2.5"), "double").evaluate({}, ctx) == 2.5
+        assert CastExpr(Literal("x"), "int").evaluate({}, ctx) is None
+
+    def test_is_null_ops(self, ctx):
+        assert UnaryOp("is null", Literal(None)).evaluate({}, ctx) is True
+        assert UnaryOp("is not null", Literal(1)).evaluate({}, ctx) is True
+
+
+class TestGetJsonObjectExpr:
+    def test_evaluate(self, ctx):
+        expr = GetJsonObject(Column("j"), "$.a.b")
+        assert expr.evaluate({"j": '{"a": {"b": 9}}'}, ctx) == 9
+
+    def test_null_column(self, ctx):
+        expr = GetJsonObject(Column("j"), "$.a")
+        assert expr.evaluate({"j": None}, ctx) is None
+
+    def test_malformed_json_null(self, ctx):
+        expr = GetJsonObject(Column("j"), "$.a")
+        assert expr.evaluate({"j": "{oops"}, ctx) is None
+
+    def test_non_string_column_raises(self, ctx):
+        expr = GetJsonObject(Column("j"), "$.a")
+        with pytest.raises(ExecutionError):
+            expr.evaluate({"j": 42}, ctx)
+
+    def test_invalid_path_rejected_at_construction(self):
+        from repro.jsonlib import JsonPathError
+
+        with pytest.raises(JsonPathError):
+            GetJsonObject(Column("j"), "nope")
+
+    def test_output_name(self):
+        expr = GetJsonObject(Column("sale_logs"), "$.turnover")
+        assert expr.output_name() == "sale_logs_turnover"
+
+    def test_parse_cost_charged_to_context(self, ctx):
+        expr = GetJsonObject(Column("j"), "$.a")
+        expr.evaluate({"j": '{"a": 1}'}, ctx)
+        expr.evaluate({"j": '{"a": 1}'}, ctx)
+        # each call parses independently — the duplicate-parsing the
+        # paper's cache removes
+        assert ctx.parser.stats.documents == 2
+
+
+class TestCachedField:
+    def test_reads_env_key(self, ctx):
+        expr = CachedField("payload", 1, "$.x", "__mx__t__payload__x")
+        assert expr.evaluate({"__mx__t__payload__x": 5}, ctx) == 5
+
+    def test_missing_env_key_raises(self, ctx):
+        expr = CachedField("payload", 1, "$.x", "k")
+        with pytest.raises(ExecutionError):
+            expr.evaluate({}, ctx)
+
+
+class TestTreeUtilities:
+    def test_walk(self):
+        expr = BinaryOp("+", Column("a"), Literal(1))
+        nodes = list(walk(expr))
+        assert expr in nodes and Column("a") in nodes and Literal(1) in nodes
+
+    def test_transform_replaces(self):
+        expr = BinaryOp("+", Column("a"), Column("b"))
+
+        def repl(node):
+            if node == Column("a"):
+                return Literal(10)
+            return None
+
+        out = transform(expr, repl)
+        assert out.left == Literal(10)
+        assert out.right == Column("b")
+        # original untouched (frozen dataclasses)
+        assert expr.left == Column("a")
+
+    def test_aggregate_cannot_evaluate_rowwise(self, ctx):
+        agg = AggregateCall("sum", Column("a"))
+        with pytest.raises(ExecutionError):
+            agg.evaluate({"a": 1}, ctx)
+
+    def test_aggregate_validation(self):
+        with pytest.raises(PlanError):
+            AggregateCall("median", Column("a"))
+        with pytest.raises(PlanError):
+            AggregateCall("sum", None)

@@ -1,0 +1,139 @@
+"""Unit tests for builtin scalar functions."""
+
+import pytest
+
+from repro.engine import EvalContext, Literal, PlanError, SqlSyntaxError
+from repro.engine.functions import FunctionCall, is_scalar_function
+
+
+@pytest.fixture
+def ctx():
+    return EvalContext()
+
+
+def call(name, *values):
+    return FunctionCall(name, tuple(Literal(v) for v in values))
+
+
+class TestRegistry:
+    def test_known(self):
+        assert is_scalar_function("length")
+        assert is_scalar_function("COALESCE")
+        assert not is_scalar_function("median")
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(PlanError):
+            call("median", 1)
+
+    def test_arity_checked(self):
+        with pytest.raises(PlanError):
+            call("length")
+        with pytest.raises(PlanError):
+            call("length", "a", "b")
+        with pytest.raises(PlanError):
+            call("nvl", 1)
+
+
+class TestStringFunctions:
+    def test_length(self, ctx):
+        assert call("length", "hello").evaluate({}, ctx) == 5
+        assert call("length", 1234).evaluate({}, ctx) == 4
+
+    def test_lower_upper_trim(self, ctx):
+        assert call("lower", "AbC").evaluate({}, ctx) == "abc"
+        assert call("upper", "AbC").evaluate({}, ctx) == "ABC"
+        assert call("trim", "  x ").evaluate({}, ctx) == "x"
+
+    def test_concat(self, ctx):
+        assert call("concat", "a", 1, True).evaluate({}, ctx) == "a1true"
+
+    def test_concat_null_propagates(self, ctx):
+        assert call("concat", "a", None).evaluate({}, ctx) is None
+
+    def test_substr_positive(self, ctx):
+        assert call("substr", "hello", 2).evaluate({}, ctx) == "ello"
+        assert call("substr", "hello", 2, 3).evaluate({}, ctx) == "ell"
+
+    def test_substr_negative_start(self, ctx):
+        assert call("substr", "hello", -3).evaluate({}, ctx) == "llo"
+
+    def test_substr_zero_length(self, ctx):
+        assert call("substr", "hello", 1, 0).evaluate({}, ctx) == ""
+
+
+class TestNumericAndNulls:
+    def test_abs_round(self, ctx):
+        assert call("abs", -4).evaluate({}, ctx) == 4
+        assert call("round", 2.567, 1).evaluate({}, ctx) == 2.6
+        assert call("round", 2.4).evaluate({}, ctx) == 2.0
+
+    def test_null_in_null_out(self, ctx):
+        assert call("abs", None).evaluate({}, ctx) is None
+        assert call("length", None).evaluate({}, ctx) is None
+
+    def test_coalesce(self, ctx):
+        assert call("coalesce", None, None, 3, 4).evaluate({}, ctx) == 3
+        assert call("coalesce", None, None).evaluate({}, ctx) is None
+
+    def test_nvl(self, ctx):
+        assert call("nvl", None, "fallback").evaluate({}, ctx) == "fallback"
+        assert call("nvl", "x", "fallback").evaluate({}, ctx) == "x"
+
+    def test_uncastable_yields_null(self, ctx):
+        assert call("abs", "not a number").evaluate({}, ctx) is None
+
+
+class TestSqlIntegration:
+    def test_functions_in_queries(self, sales_session):
+        result = sales_session.sql(
+            "select upper(get_json_object(sale_logs, '$.item_name')) as n, "
+            "length(mall_id) as l from mydb.T limit 1"
+        )
+        assert result.rows[0]["n"].startswith("ITEM")
+        assert result.rows[0]["l"] == 4
+
+    def test_function_in_where(self, sales_session):
+        result = sales_session.sql(
+            "select count(*) as n from mydb.T "
+            "where substr(date, 1, 6) = '201901'"
+        )
+        assert result.rows == [{"n": 200}]
+
+    def test_coalesce_over_missing_json(self, sales_session):
+        result = sales_session.sql(
+            "select coalesce(get_json_object(sale_logs, '$.ghost'), 'dflt') "
+            "as v from mydb.T limit 1"
+        )
+        assert result.rows == [{"v": "dflt"}]
+
+    def test_nested_function_calls(self, sales_session):
+        result = sales_session.sql(
+            "select length(concat(mall_id, date)) as l from mydb.T limit 1"
+        )
+        assert result.rows == [{"l": 12}]
+
+    def test_unknown_function_is_syntax_error(self, sales_session):
+        with pytest.raises(SqlSyntaxError):
+            sales_session.sql("select median(mall_id) from mydb.T")
+
+    def test_bad_arity_is_syntax_error(self, sales_session):
+        with pytest.raises(SqlSyntaxError):
+            sales_session.sql("select length() from mydb.T")
+
+    def test_rewrite_through_functions(self, sales_session):
+        """Maxson's tree rewrite must descend through FunctionCall args."""
+        from repro.core import MaxsonSystem
+        from repro.workload import PathKey
+
+        system = MaxsonSystem(session=sales_session)
+        sql = (
+            "select upper(get_json_object(sale_logs, '$.item_name')) as n "
+            "from mydb.T order by n limit 3"
+        )
+        baseline = system.baseline_sql(sql)
+        system.cacher.populate(
+            [PathKey("mydb", "T", "sale_logs", "$.item_name")]
+        )
+        cached = system.sql(sql)
+        assert cached.rows == baseline.rows
+        assert cached.metrics.parse_documents == 0

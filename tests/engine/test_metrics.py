@@ -1,0 +1,54 @@
+"""Unit tests for QueryMetrics accounting."""
+
+from repro.engine import QueryMetrics
+
+
+class TestDerived:
+    def test_compute_is_remainder(self):
+        m = QueryMetrics(total_seconds=10.0, read_seconds=2.0, parse_seconds=5.0)
+        assert m.compute_seconds == 3.0
+
+    def test_compute_floored_at_zero(self):
+        m = QueryMetrics(total_seconds=1.0, read_seconds=2.0, parse_seconds=5.0)
+        assert m.compute_seconds == 0.0
+
+    def test_parse_fraction(self):
+        m = QueryMetrics(total_seconds=10.0, parse_seconds=8.0)
+        assert m.parse_fraction == 0.8
+
+    def test_parse_fraction_zero_total(self):
+        assert QueryMetrics().parse_fraction == 0.0
+
+    def test_breakdown_keys(self):
+        m = QueryMetrics(total_seconds=4.0, read_seconds=1.0, parse_seconds=2.0)
+        assert m.breakdown() == {"read": 1.0, "parse": 2.0, "compute": 1.0}
+
+
+class TestMerge:
+    def test_counters_add(self):
+        a = QueryMetrics(
+            total_seconds=1.0,
+            bytes_read=10,
+            rows_scanned=5,
+            parse_documents=2,
+            cache_hits=1,
+        )
+        b = QueryMetrics(
+            total_seconds=2.0,
+            bytes_read=20,
+            rows_scanned=7,
+            parse_documents=3,
+            cache_misses=4,
+        )
+        a.merge(b)
+        assert a.total_seconds == 3.0
+        assert a.bytes_read == 30
+        assert a.rows_scanned == 12
+        assert a.parse_documents == 5
+        assert a.cache_hits == 1 and a.cache_misses == 4
+
+    def test_extra_merges_by_key(self):
+        a = QueryMetrics(extra={"x": 1.0})
+        b = QueryMetrics(extra={"x": 2.0, "y": 3.0})
+        a.merge(b)
+        assert a.extra == {"x": 3.0, "y": 3.0}

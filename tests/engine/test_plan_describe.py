@@ -1,0 +1,91 @@
+"""Tests for plan tree rendering (EXPLAIN output)."""
+
+import pytest
+
+from repro.engine import Session, parse_sql
+from repro.storage import DataType, Schema
+
+
+@pytest.fixture
+def describe_session(session: Session) -> Session:
+    schema = Schema.of(
+        ("a", DataType.INT64),
+        ("b", DataType.STRING),
+        ("payload", DataType.STRING),
+    )
+    session.catalog.create_table("db", "t", schema)
+    session.catalog.create_table("db", "u", schema)
+    return session
+
+
+class TestLogicalDescribe:
+    def test_full_query_tree(self):
+        plan = parse_sql(
+            "select a, count(*) as n from db.t where b = 'x' "
+            "group by a order by n desc limit 5"
+        )
+        text = plan.describe()
+        lines = text.splitlines()
+        assert lines[0].startswith("Limit 5")
+        assert "Sort" in text
+        assert "Aggregate" in text
+        assert "Filter (b = 'x')" in text
+        assert "Scan db.t" in text
+        # indentation deepens down the tree
+        assert lines[1].startswith("  ")
+
+    def test_join_tree(self):
+        plan = parse_sql("select x.a from db.t x join db.u y on x.a = y.a")
+        text = plan.describe()
+        assert "Join on (x.a = y.a)" in text
+        assert "Scan db.t AS x" in text
+        assert "Scan db.u AS y" in text
+
+
+class TestPhysicalDescribe:
+    def test_explain_shows_pruned_columns_and_sarg(self, describe_session):
+        text = describe_session.explain(
+            "select a from db.t where b = 'x' and a > 3"
+        )
+        assert "cols=['a', 'b']" in text
+        assert "sarg=" in text
+
+    def test_explain_aggregate(self, describe_session):
+        text = describe_session.explain(
+            "select b, sum(a) from db.t group by b"
+        )
+        assert "Aggregate keys=[b]" in text
+
+    def test_explain_hash_join(self, describe_session):
+        text = describe_session.explain(
+            "select x.a from db.t x join db.u y on x.a = y.a and x.b > y.b"
+        )
+        assert "HashJoin [x.a=y.a]" in text
+        assert "residual=" in text
+
+    def test_explain_sparser_prefilter_label(self, describe_session):
+        from repro.engine.rawfilter import SparserPlanModifier
+
+        describe_session.add_plan_modifier(SparserPlanModifier())
+        text = describe_session.explain(
+            "select a from db.t "
+            "where get_json_object(payload, '$.k') = 'v'"
+        )
+        assert "SparserPrefilter payload" in text
+        assert "kv(" in text
+
+    def test_maxson_scan_label_lists_cached_fields(self, describe_session):
+        from repro.core import MaxsonSystem
+        from repro.jsonlib import dumps
+        from repro.workload import PathKey
+
+        describe_session.catalog.append_rows(
+            "db", "t", [(1, "x", dumps({"k": 1}))]
+        )
+        system = MaxsonSystem(session=describe_session)
+        system.cacher.populate([PathKey("db", "t", "payload", "$.k")])
+        text = describe_session.explain(
+            "select get_json_object(payload, '$.k') as k from db.t"
+        )
+        assert "MaxsonScan db.t" in text
+        assert "payload__k" in text

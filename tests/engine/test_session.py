@@ -1,0 +1,86 @@
+"""Unit tests for the Session entry point."""
+
+import pytest
+
+from repro.engine import Session
+from repro.storage import DataType, Schema
+
+
+@pytest.fixture
+def tiny_session(session: Session) -> Session:
+    schema = Schema.of(("a", DataType.INT64), ("b", DataType.STRING))
+    session.catalog.create_table("db", "t", schema)
+    session.catalog.append_rows("db", "t", [(1, "x"), (2, "y"), (3, "x")])
+    return session
+
+
+class TestQueryResult:
+    def test_len_and_iter(self, tiny_session):
+        result = tiny_session.sql("select a from db.t")
+        assert len(result) == 3
+        assert [row["a"] for row in result] == [1, 2, 3]
+
+    def test_column_accessor(self, tiny_session):
+        result = tiny_session.sql("select b from db.t")
+        assert result.column("b") == ["x", "y", "x"]
+
+    def test_first(self, tiny_session):
+        result = tiny_session.sql("select a from db.t order by a desc")
+        assert result.first() == {"a": 3}
+        empty = tiny_session.sql("select a from db.t where a > 99")
+        assert empty.first() is None
+
+
+class TestPlanModifiers:
+    class _Tagger:
+        def __init__(self):
+            self.calls = 0
+
+        def modify(self, planned, state):
+            self.calls += 1
+            return planned.physical
+
+    def test_modifier_invoked_per_query(self, tiny_session):
+        tagger = self._Tagger()
+        tiny_session.add_plan_modifier(tagger)
+        tiny_session.sql("select a from db.t")
+        tiny_session.sql("select a from db.t")
+        assert tagger.calls == 2
+
+    def test_modifier_removed(self, tiny_session):
+        tagger = self._Tagger()
+        tiny_session.add_plan_modifier(tagger)
+        tiny_session.remove_plan_modifier(tagger)
+        tiny_session.sql("select a from db.t")
+        assert tagger.calls == 0
+
+    def test_modifiers_run_in_order(self, tiny_session):
+        order = []
+
+        class Probe:
+            def __init__(self, name):
+                self.name = name
+
+            def modify(self, planned, state):
+                order.append(self.name)
+                return planned.physical
+
+        tiny_session.add_plan_modifier(Probe("first"))
+        tiny_session.add_plan_modifier(Probe("second"))
+        tiny_session.sql("select a from db.t")
+        assert order == ["first", "second"]
+
+
+class TestMetricsPlumbing:
+    def test_plan_seconds_recorded(self, tiny_session):
+        result = tiny_session.sql("select a from db.t")
+        assert result.metrics.plan_seconds > 0
+
+    def test_rows_output(self, tiny_session):
+        result = tiny_session.sql("select a from db.t where a >= 2")
+        assert result.metrics.rows_output == 2
+
+    def test_compile_does_not_execute(self, tiny_session):
+        planned = tiny_session.compile("select a from db.t")
+        assert planned.physical is not None
+        assert tiny_session.session_metrics.rows_output == 0

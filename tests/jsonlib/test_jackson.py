@@ -1,0 +1,177 @@
+"""Unit tests for the Jackson-style full parser."""
+
+import math
+
+import pytest
+
+from repro.jsonlib import (
+    DepthLimitError,
+    JacksonParser,
+    JsonParseError,
+    dumps,
+    parse,
+)
+
+
+class TestScalars:
+    def test_integers(self):
+        assert parse("0") == 0
+        assert parse("-7") == -7
+        assert parse("1234567890123456789") == 1234567890123456789
+
+    def test_floats(self):
+        assert parse("1.5") == 1.5
+        assert parse("-0.25") == -0.25
+        assert parse("1e3") == 1000.0
+        assert parse("2.5E-2") == 0.025
+        assert parse("-1.5e+2") == -150.0
+
+    def test_int_stays_int(self):
+        assert isinstance(parse("42"), int)
+        assert isinstance(parse("42.0"), float)
+
+    def test_literals(self):
+        assert parse("true") is True
+        assert parse("false") is False
+        assert parse("null") is None
+
+    def test_strings(self):
+        assert parse('"hello"') == "hello"
+        assert parse('""') == ""
+        assert parse('"a\\nb"') == "a\nb"
+        assert parse('"tab\\there"') == "tab\there"
+        assert parse('"q\\"uote"') == 'q"uote'
+        assert parse('"back\\\\slash"') == "back\\slash"
+
+    def test_unicode_escapes(self):
+        assert parse('"\\u00e9"') == "é"
+        assert parse('"\\u0041"') == "A"
+
+    def test_surrogate_pair(self):
+        assert parse('"\\ud83d\\ude00"') == "😀"
+
+    def test_lone_high_surrogate_kept_verbatim(self):
+        # A high surrogate not followed by a low one decodes to the raw
+        # code point (matching python's chr behaviour).
+        value = parse('"\\ud800x"')
+        assert value[1] == "x"
+
+
+class TestContainers:
+    def test_empty_object(self):
+        assert parse("{}") == {}
+
+    def test_empty_array(self):
+        assert parse("[]") == []
+
+    def test_nested(self):
+        doc = parse('{"a": [1, {"b": [true, null]}], "c": {"d": 2}}')
+        assert doc == {"a": [1, {"b": [True, None]}], "c": {"d": 2}}
+
+    def test_whitespace_everywhere(self):
+        assert parse(' { "a" :\n[ 1 ,\t2 ] } ') == {"a": [1, 2]}
+
+    def test_duplicate_keys_last_wins(self):
+        assert parse('{"a": 1, "a": 2}') == {"a": 2}
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "{",
+            "[",
+            '{"a"}',
+            '{"a":}',
+            '{"a":1,}',
+            "[1,]",
+            "[1 2]",
+            '{"a" 1}',
+            "tru",
+            "nul",
+            '"unterminated',
+            "01",  # leading zero then digit
+            "1.",
+            "1e",
+            "-",
+            '{"a": 1} extra',
+            "[1],",
+            '{\'a\': 1}',
+        ],
+    )
+    def test_malformed(self, bad):
+        with pytest.raises(JsonParseError):
+            JacksonParser().parse(bad)
+
+    def test_error_position_reported(self):
+        with pytest.raises(JsonParseError) as err:
+            parse("[1, x]")
+        assert err.value.position == 4
+
+    def test_depth_limit(self):
+        deep = "[" * 200 + "]" * 200
+        with pytest.raises(DepthLimitError):
+            JacksonParser(max_depth=100).parse(deep)
+
+    def test_depth_limit_allows_shallow(self):
+        shallow = "[" * 50 + "]" * 50
+        assert JacksonParser(max_depth=100).parse(shallow) is not None
+
+
+class TestStats:
+    def test_counters_accumulate(self):
+        parser = JacksonParser()
+        parser.parse('{"a": 1}')
+        parser.parse("[1, 2, 3]")
+        assert parser.stats.documents == 2
+        assert parser.stats.bytes_scanned == len('{"a": 1}') + len("[1, 2, 3]")
+        assert parser.stats.seconds > 0
+
+    def test_errors_counted(self):
+        parser = JacksonParser()
+        with pytest.raises(JsonParseError):
+            parser.parse("{bad")
+        assert parser.stats.errors == 1
+        assert parser.stats.documents == 1
+
+    def test_merge_and_reset(self):
+        a = JacksonParser()
+        b = JacksonParser()
+        a.parse("1")
+        b.parse("[2]")
+        a.stats.merge(b.stats)
+        assert a.stats.documents == 2
+        a.stats.reset()
+        assert a.stats.documents == 0
+        assert a.stats.bytes_scanned == 0
+
+
+class TestDumps:
+    def test_round_trip(self):
+        doc = {"a": [1, 2.5, True, None, "x"], "b": {"c": "é"}}
+        assert parse(dumps(doc)) == doc
+
+    def test_escapes(self):
+        assert dumps('a"b') == '"a\\"b"'
+        assert dumps("line\nbreak") == '"line\\nbreak"'
+        assert dumps("\x01") == '"\\u0001"'
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            dumps(float("nan"))
+        with pytest.raises(ValueError):
+            dumps(float("inf"))
+
+    def test_rejects_unknown_type(self):
+        with pytest.raises(TypeError):
+            dumps(object())
+
+    def test_bool_not_int(self):
+        assert dumps(True) == "true"
+        assert dumps(1) == "1"
+
+    def test_float_round_trip_precision(self):
+        value = 0.1 + 0.2
+        assert parse(dumps(value)) == value
+        assert math.isclose(parse(dumps(math.pi)), math.pi)

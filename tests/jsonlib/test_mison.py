@@ -1,0 +1,143 @@
+"""Unit tests for the Mison-style structural-index parser."""
+
+import pytest
+
+from repro.jsonlib import (
+    JacksonParser,
+    JsonParseError,
+    MisonParser,
+    build_structural_index,
+    dumps,
+)
+
+
+class TestStructuralIndex:
+    def test_colon_levels(self):
+        index = build_structural_index('{"a": 1, "b": {"c": 2}}')
+        assert len(index.colons[0]) == 2  # a, b
+        assert len(index.colons[1]) == 1  # c
+
+    def test_spans_match_brackets(self):
+        text = '{"a": [1, 2], "b": {}}'
+        index = build_structural_index(text)
+        assert index.spans[0] == len(text) - 1
+        open_bracket = text.index("[")
+        assert text[index.spans[open_bracket]] == "]"
+
+    def test_structural_chars_in_strings_ignored(self):
+        index = build_structural_index('{"a": "{:}[,]", "b": 1}')
+        assert len(index.colons[0]) == 2
+        assert len(index.spans) == 1
+
+    def test_escaped_quotes_handled(self):
+        index = build_structural_index('{"a": "x\\"y: {", "b": 2}')
+        assert len(index.colons[0]) == 2
+
+    def test_unbalanced_raises(self):
+        with pytest.raises(JsonParseError):
+            build_structural_index('{"a": 1')
+        with pytest.raises(JsonParseError):
+            build_structural_index('{"a": 1}}')
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(JsonParseError):
+            build_structural_index('{"a": "oops')
+
+
+class TestProjection:
+    DOC = (
+        '{"x": 1, "s": "hello", "nested": {"deep": {"value": 42}}, '
+        '"arr": [10, 20, 30], "objs": [{"v": 1}, {"v": 2}], '
+        '"f": 2.5, "t": true, "n": null}'
+    )
+
+    def test_scalar_projection(self):
+        parser = MisonParser()
+        out = parser.project(self.DOC, ["$.x", "$.s", "$.f", "$.t", "$.n"])
+        assert out == {"$.x": 1, "$.s": "hello", "$.f": 2.5, "$.t": True, "$.n": None}
+
+    def test_nested_projection(self):
+        out = MisonParser().project(self.DOC, ["$.nested.deep.value"])
+        assert out["$.nested.deep.value"] == 42
+
+    def test_array_index(self):
+        out = MisonParser().project(self.DOC, ["$.arr[0]", "$.arr[2]", "$.arr[9]"])
+        assert out["$.arr[0]"] == 10
+        assert out["$.arr[2]"] == 30
+        assert out["$.arr[9]"] is None
+
+    def test_index_then_member(self):
+        out = MisonParser().project(self.DOC, ["$.objs[1].v"])
+        assert out["$.objs[1].v"] == 2
+
+    def test_wildcard_fallback(self):
+        out = MisonParser().project(self.DOC, ["$.objs[*].v"])
+        assert out["$.objs[*].v"] == [1, 2]
+
+    def test_missing_member(self):
+        out = MisonParser().project(self.DOC, ["$.zzz", "$.nested.zzz"])
+        assert out == {"$.zzz": None, "$.nested.zzz": None}
+
+    def test_container_value(self):
+        out = MisonParser().project(self.DOC, ["$.nested.deep"])
+        assert out["$.nested.deep"] == {"value": 42}
+
+    def test_malformed_returns_nulls(self):
+        parser = MisonParser()
+        out = parser.project("{broken", ["$.a"])
+        assert out == {"$.a": None}
+        assert parser.stats.errors == 1
+
+    def test_member_on_scalar_root(self):
+        assert MisonParser().project("42", ["$.a"]) == {"$.a": None}
+
+
+class TestAgainstJackson:
+    """Differential test: Mison projection must agree with full parse."""
+
+    def test_agreement_on_generated_documents(self):
+        from repro.workload.nobench import NoBenchGenerator
+        from repro.jsonlib.jsonpath import evaluate
+
+        generator = NoBenchGenerator()
+        mison = MisonParser()
+        jackson = JacksonParser()
+        paths = [
+            "$.str1",
+            "$.num",
+            "$.bool",
+            "$.nested_obj.num",
+            "$.nested_arr[2]",
+            "$.thousandth",
+            "$.sparse_000",
+            "$.dyn2",
+        ]
+        for i in range(40):
+            text = generator.json(i)
+            document = jackson.parse(text)
+            projected = mison.project(text, paths)
+            for path in paths:
+                assert projected[path] == evaluate(path, document), (i, path)
+
+    def test_projection_touches_fewer_bytes_than_full_parse(self):
+        generator = __import__(
+            "repro.workload.nobench", fromlist=["NoBenchGenerator"]
+        ).NoBenchGenerator()
+        text = generator.json(0)
+        mison = MisonParser()
+        mison.project(text, ["$.num"])
+        # structural scan counts len(text); decoded value bytes are tiny.
+        assert mison.stats.bytes_scanned < 2 * len(text)
+
+    def test_full_parse_fallback(self):
+        parser = MisonParser()
+        assert parser.parse('{"a": [1]}') == {"a": [1]}
+        assert parser.stats.documents == 1
+
+
+class TestWhitespaceRobustness:
+    def test_spaced_document(self):
+        doc = {"a": {"b": [1, {"c": "x"}]}, "d": 7}
+        spaced = dumps(doc).replace(":", " : ").replace(",", " , ")
+        out = MisonParser().project(spaced, ["$.a.b[1].c", "$.d"])
+        assert out == {"$.a.b[1].c": "x", "$.d": 7}

@@ -1,0 +1,92 @@
+"""Property-based tests on the JSON substrate (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.jsonlib import (
+    JacksonParser,
+    MisonParser,
+    build_structural_index,
+    dumps,
+    parse,
+)
+
+# A recursive strategy over the JSON value domain our parsers support.
+json_values = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**40), max_value=2**40)
+    | st.floats(allow_nan=False, allow_infinity=False, width=64)
+    | st.text(max_size=30),
+    lambda children: st.lists(children, max_size=5)
+    | st.dictionaries(st.text(max_size=12), children, max_size=5),
+    max_leaves=20,
+)
+
+json_documents = st.dictionaries(
+    st.text(min_size=1, max_size=12), json_values, min_size=0, max_size=6
+)
+
+
+@given(json_values)
+@settings(max_examples=150, deadline=None)
+def test_dumps_parse_round_trip(value):
+    assert parse(dumps(value)) == value
+
+
+@given(json_documents)
+@settings(max_examples=100, deadline=None)
+def test_structural_index_balanced_on_valid_json(doc):
+    text = dumps(doc)
+    index = build_structural_index(text)
+    # every span must point a '{' or '[' at its matching partner
+    for open_pos, close_pos in index.spans.items():
+        assert text[open_pos] in "{["
+        assert text[close_pos] in "}]"
+        assert close_pos > open_pos
+
+
+@given(
+    st.dictionaries(
+        st.text(
+            alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+            min_size=1,
+            max_size=8,
+        ),
+        json_values,
+        min_size=1,
+        max_size=6,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_mison_agrees_with_jackson_on_top_level_members(doc):
+    text = dumps(doc)
+    full = JacksonParser().parse(text)
+    mison = MisonParser()
+    paths = [f"$.{key}" for key in doc]
+    projected = mison.project(text, paths)
+    for key in doc:
+        assert projected[f"$.{key}"] == full[key]
+
+
+@given(st.text(max_size=40))
+@settings(max_examples=150, deadline=None)
+def test_parser_never_hangs_or_crashes_on_garbage(text):
+    from repro.jsonlib import JsonParseError
+
+    parser = JacksonParser()
+    try:
+        parser.parse(text)
+    except JsonParseError:
+        pass  # rejecting garbage is the expected outcome
+
+
+@given(st.text(alphabet='{}[]":,0123456789ab \\', max_size=60))
+@settings(max_examples=150, deadline=None)
+def test_structural_index_never_crashes_on_structural_soup(text):
+    from repro.jsonlib import JsonParseError
+
+    try:
+        build_structural_index(text)
+    except JsonParseError:
+        pass

@@ -1,0 +1,103 @@
+"""Unit tests for the Sparser-style raw prefilter."""
+
+from repro.jsonlib import (
+    FilterCascade,
+    JacksonParser,
+    KeyValueFilter,
+    SubstringFilter,
+)
+from repro.jsonlib.jsonpath import evaluate
+
+
+class TestSubstringFilter:
+    def test_match(self):
+        assert SubstringFilter("apple").matches('{"fruit": "apple"}')
+
+    def test_no_match(self):
+        assert not SubstringFilter("pear").matches('{"fruit": "apple"}')
+
+    def test_describe(self):
+        assert "apple" in SubstringFilter("apple").describe()
+
+
+class TestKeyValueFilter:
+    def test_exact_pair(self):
+        assert KeyValueFilter("k", "5").matches('{"k": 5}')
+
+    def test_whitespace_tolerated(self):
+        assert KeyValueFilter("k", "5").matches('{"k"  :   5}')
+
+    def test_wrong_value(self):
+        assert not KeyValueFilter("k", "5").matches('{"k": 6}')
+
+    def test_key_in_string_value_not_fooled(self):
+        # '"k"' appears inside a string value without a following colon.
+        assert not KeyValueFilter("k", "5").matches('{"other": "\\"k\\" x", "k": 6}')
+
+    def test_second_occurrence_found(self):
+        text = '{"k": 1, "nested": {"k": 5}}'
+        assert KeyValueFilter("k", "5").matches(text)
+
+    def test_string_value(self):
+        assert KeyValueFilter("name", '"bob"').matches('{"name": "bob"}')
+
+
+class TestConservativeness:
+    """A raw filter may over-select but must never drop a true match."""
+
+    def test_never_drops_true_matches(self):
+        from repro.workload.nobench import NoBenchGenerator
+
+        generator = NoBenchGenerator()
+        parser = JacksonParser()
+        cascade = FilterCascade([KeyValueFilter("thousandth", "7")])
+        records = [generator.json(i) for i in range(200)]
+        for record in records:
+            exact = evaluate("$.thousandth", parser.parse(record)) == 7
+            if exact:
+                assert cascade.matches(record)
+
+    def test_filter_reduces_candidates(self):
+        from repro.workload.nobench import NoBenchGenerator
+
+        generator = NoBenchGenerator()
+        records = [generator.json(i) for i in range(200)]
+        cascade = FilterCascade([KeyValueFilter("thousandth", "7")])
+        passed = cascade.filter(records)
+        assert 0 < len(passed) < len(records)
+
+
+class TestCascade:
+    def test_conjunction(self):
+        cascade = FilterCascade(
+            [SubstringFilter("alpha"), SubstringFilter("bravo")]
+        )
+        assert cascade.matches('{"a": "alpha bravo"}')
+        assert not cascade.matches('{"a": "alpha"}')
+
+    def test_calibrate_orders_by_elimination(self):
+        # 'rare' eliminates nearly everything; calibration should put a
+        # high-elimination filter first.
+        records = ['{"common": 1}'] * 50 + ['{"common": 1, "rare": 2}']
+        cascade = FilterCascade(
+            [SubstringFilter("common"), SubstringFilter("rare")]
+        )
+        cascade.calibrate(records)
+        assert cascade.filters[0] == SubstringFilter("rare")
+
+    def test_calibrate_empty_sample_noop(self):
+        cascade = FilterCascade([SubstringFilter("x")])
+        cascade.calibrate([])
+        assert cascade.filters == [SubstringFilter("x")]
+
+    def test_pass_rate(self):
+        cascade = FilterCascade([SubstringFilter("x")])
+        assert cascade.pass_rate(['{"x": 1}', '{"y": 1}']) == 0.5
+        assert cascade.pass_rate([]) == 1.0
+
+    def test_stats_accumulate(self):
+        cascade = FilterCascade([SubstringFilter("x")])
+        cascade.matches('{"x": 1}')
+        cascade.matches('{"y": 1}')
+        assert cascade.stats.documents == 2
+        assert cascade.stats.bytes_scanned == 2 * len('{"x": 1}')

@@ -1,0 +1,103 @@
+"""Tests for Pikkr-style speculative projection in MisonParser."""
+
+import pytest
+
+from repro.jsonlib import JacksonParser, MisonParser, dumps
+from repro.jsonlib.jsonpath import evaluate
+
+
+class TestSpeculationHits:
+    def test_stable_schema_hits(self):
+        parser = MisonParser(speculative=True)
+        docs = [dumps({"a": i, "b": f"x{i % 3}"}) for i in range(20)]
+        for doc in docs:
+            parser.project(doc, ["$.b"])
+        # first doc builds the speculation, the rest hit (values have the
+        # same width so the offset is stable)
+        assert parser.speculation_hits >= 15
+
+    def test_hit_values_correct(self):
+        parser = MisonParser(speculative=True)
+        docs = [dumps({"pad": "qqqq", "v": 1000 + i}) for i in range(10)]
+        values = [parser.project(d, ["$.v"])["$.v"] for d in docs]
+        assert values == [1000 + i for i in range(10)]
+        assert parser.speculation_hits > 0
+
+    def test_nested_member_chain_speculated(self):
+        parser = MisonParser(speculative=True)
+        docs = [dumps({"outer": {"inner": {"v": 100 + i}}}) for i in range(8)]
+        values = [
+            parser.project(d, ["$.outer.inner.v"])["$.outer.inner.v"]
+            for d in docs
+        ]
+        assert values == [100 + i for i in range(8)]
+        assert parser.speculation_hits > 0
+
+    def test_container_value_speculated(self):
+        parser = MisonParser(speculative=True)
+        docs = [dumps({"pad": "zz", "obj": {"k": i}}) for i in range(6)]
+        values = [parser.project(d, ["$.obj"])["$.obj"] for d in docs]
+        assert values == [{"k": i} for i in range(6)]
+
+
+class TestSpeculationMisses:
+    def test_shifted_schema_falls_back_correctly(self):
+        parser = MisonParser(speculative=True)
+        stable = dumps({"pad": "aaa", "v": 7})
+        shifted = dumps({"padding_that_moves_things": "bbbb", "v": 9})
+        assert parser.project(stable, ["$.v"])["$.v"] == 7
+        assert parser.project(stable, ["$.v"])["$.v"] == 7
+        assert parser.project(shifted, ["$.v"])["$.v"] == 9  # miss -> rescan
+        assert parser.speculation_misses >= 1
+
+    def test_offset_collision_with_other_key_rejected(self):
+        """A different key at the remembered offset must not be decoded."""
+        parser = MisonParser(speculative=True)
+        a = dumps({"v": 1, "w": 2})
+        b = dumps({"w": 3, "v": 4})  # same width, keys swapped
+        assert parser.project(a, ["$.v"])["$.v"] == 1
+        assert parser.project(b, ["$.v"])["$.v"] == 4
+
+    def test_nested_key_shadowing_not_fooled(self):
+        parser = MisonParser(speculative=True)
+        a = dumps({"x": {"v": 1}, "v": 2})
+        assert parser.project(a, ["$.v"])["$.v"] == 2
+        # a doc where the nested "v" lands at the remembered offset but
+        # the probe (quote+key+colon bytes) differs in context is re-scanned
+        b = dumps({"y": {"v": 9}, "v": 5})
+        assert parser.project(b, ["$.v"])["$.v"] == 5
+
+    def test_index_paths_not_speculated(self):
+        parser = MisonParser(speculative=True)
+        doc = dumps({"arr": [1, 2, 3]})
+        parser.project(doc, ["$.arr[1]"])
+        assert "$.arr[1]" not in parser._speculation
+
+    def test_disabled_mode_never_records(self):
+        parser = MisonParser(speculative=False)
+        parser.project(dumps({"a": 1}), ["$.a"])
+        assert parser._speculation == {}
+        assert parser.speculation_hits == 0
+
+
+class TestDifferentialAgainstJackson:
+    def test_randomised_stream_agreement(self):
+        import random
+
+        rng = random.Random(4)
+        parser = MisonParser(speculative=True)
+        jackson = JacksonParser()
+        paths = ["$.a", "$.b.c", "$.d"]
+        for i in range(200):
+            doc = {"a": rng.randint(0, 9)}
+            if rng.random() < 0.8:
+                doc["b"] = {"c": "x" * rng.randint(1, 4)}
+            if rng.random() < 0.5:
+                doc["d"] = [1, 2]
+            if rng.random() < 0.3:
+                doc["extra"] = "pad" * rng.randint(1, 3)
+            text = dumps(doc)
+            expected = jackson.parse(text)
+            projected = parser.project(text, paths)
+            for path in paths:
+                assert projected[path] == evaluate(path, expected), (i, path)

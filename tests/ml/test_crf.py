@@ -1,0 +1,143 @@
+"""Unit tests for the linear-chain CRF: exact inference and gradients."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.ml import LinearChainCRF
+
+
+def brute_force_log_z(crf: LinearChainCRF, emissions: np.ndarray) -> float:
+    """Enumerate every label sequence; the gold standard for tiny T."""
+    T, L = emissions.shape
+    scores = []
+    for labels in itertools.product(range(L), repeat=T):
+        scores.append(crf.sequence_score(emissions, np.array(labels)))
+    peak = max(scores)
+    return peak + np.log(sum(np.exp(s - peak) for s in scores))
+
+
+@pytest.fixture
+def crf():
+    return LinearChainCRF(num_labels=2, seed=42)
+
+
+@pytest.fixture
+def emissions():
+    rng = np.random.default_rng(0)
+    return rng.normal(size=(5, 2))
+
+
+class TestExactInference:
+    def test_partition_matches_brute_force(self, crf, emissions):
+        assert crf.log_partition(emissions) == pytest.approx(
+            brute_force_log_z(crf, emissions), abs=1e-9
+        )
+
+    def test_viterbi_matches_brute_force(self, crf, emissions):
+        best_brute = max(
+            itertools.product(range(2), repeat=5),
+            key=lambda labels: crf.sequence_score(emissions, np.array(labels)),
+        )
+        assert tuple(crf.decode(emissions)) == best_brute
+
+    def test_log_likelihood_is_normalised(self, crf, emissions):
+        total = 0.0
+        for labels in itertools.product(range(2), repeat=5):
+            total += np.exp(crf.log_likelihood(emissions, np.array(labels)))
+        assert total == pytest.approx(1.0, abs=1e-9)
+
+    def test_marginals_sum_to_one(self, crf, emissions):
+        marginals = crf.marginals(emissions)
+        assert np.allclose(marginals.sum(axis=1), 1.0)
+
+    def test_marginals_match_brute_force(self, crf, emissions):
+        marginals = crf.marginals(emissions)
+        brute = np.zeros_like(marginals)
+        for labels in itertools.product(range(2), repeat=5):
+            p = np.exp(crf.log_likelihood(emissions, np.array(labels)))
+            for t, label in enumerate(labels):
+                brute[t, label] += p
+        assert np.allclose(marginals, brute, atol=1e-9)
+
+    def test_single_timestep(self, crf):
+        emissions = np.array([[1.0, -1.0]])
+        assert crf.decode(emissions).tolist() in ([0], [1])
+        assert crf.log_partition(emissions) == pytest.approx(
+            brute_force_log_z(crf, emissions)
+        )
+
+
+class TestGradients:
+    def test_emission_gradient_numerically(self, crf, emissions):
+        labels = np.array([0, 1, 1, 0, 1])
+        _, d_emissions, _ = crf.gradients(emissions, labels)
+        eps = 1e-6
+        for t in range(emissions.shape[0]):
+            for l in range(2):
+                emissions[t, l] += eps
+                up = -crf.log_likelihood(emissions, labels)
+                emissions[t, l] -= 2 * eps
+                down = -crf.log_likelihood(emissions, labels)
+                emissions[t, l] += eps
+                numeric = (up - down) / (2 * eps)
+                assert d_emissions[t, l] == pytest.approx(numeric, abs=1e-6)
+
+    def test_transition_gradient_numerically(self, crf, emissions):
+        labels = np.array([1, 0, 1, 1, 0])
+        _, _, (d_trans, d_start, d_end) = crf.gradients(emissions, labels)
+        eps = 1e-6
+        for i in range(2):
+            for j in range(2):
+                crf.transitions[i, j] += eps
+                up = -crf.log_likelihood(emissions, labels)
+                crf.transitions[i, j] -= 2 * eps
+                down = -crf.log_likelihood(emissions, labels)
+                crf.transitions[i, j] += eps
+                assert d_trans[i, j] == pytest.approx(
+                    (up - down) / (2 * eps), abs=1e-6
+                )
+
+    def test_start_end_gradients_numerically(self, crf, emissions):
+        labels = np.array([0, 0, 1, 0, 1])
+        _, _, (_, d_start, d_end) = crf.gradients(emissions, labels)
+        eps = 1e-6
+        for vec, grad in ((crf.start, d_start), (crf.end, d_end)):
+            for l in range(2):
+                vec[l] += eps
+                up = -crf.log_likelihood(emissions, labels)
+                vec[l] -= 2 * eps
+                down = -crf.log_likelihood(emissions, labels)
+                vec[l] += eps
+                assert grad[l] == pytest.approx((up - down) / (2 * eps), abs=1e-6)
+
+    def test_nll_nonnegative_at_uniform(self):
+        crf = LinearChainCRF(num_labels=2, all_possible_transitions=False)
+        emissions = np.zeros((4, 2))
+        nll, _, _ = crf.gradients(emissions, np.array([0, 1, 0, 1]))
+        assert nll == pytest.approx(4 * np.log(2))
+
+    def test_disabled_transitions_zero_grads(self, emissions):
+        crf = LinearChainCRF(num_labels=2, all_possible_transitions=False)
+        _, _, (d_trans, d_start, d_end) = crf.gradients(
+            emissions, np.array([0, 1, 0, 1, 0])
+        )
+        assert not d_trans.any() and not d_start.any() and not d_end.any()
+
+
+class TestTransitionLearning:
+    def test_crf_learns_label_persistence(self):
+        """Sequences where labels persist: transitions should favour
+        staying after training on the gradient direction."""
+        crf = LinearChainCRF(num_labels=2, seed=0)
+        rng = np.random.default_rng(3)
+        emissions = rng.normal(scale=0.1, size=(6, 2))
+        labels = np.array([1, 1, 1, 0, 0, 0])
+        for _ in range(200):
+            _, _, (d_trans, d_start, d_end) = crf.gradients(emissions, labels)
+            crf.transitions -= 0.1 * d_trans
+            crf.start -= 0.1 * d_start
+            crf.end -= 0.1 * d_end
+        assert crf.transitions[1, 1] > crf.transitions[1, 0]
+        assert crf.transitions[0, 0] > crf.transitions[0, 1]

@@ -1,0 +1,125 @@
+"""Unit tests for LR, SVM and MLP on synthetic separable data."""
+
+import numpy as np
+import pytest
+
+from repro.ml import LinearSVM, LogisticRegression, MLPClassifier, accuracy
+
+
+def linearly_separable(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 2))
+    y = (X[:, 0] + 2 * X[:, 1] > 0).astype(int)
+    return X, y
+
+
+def xor_data(n=400, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-1, 1, size=(n, 2))
+    y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)
+    return X, y
+
+
+class TestLogisticRegression:
+    def test_learns_separable(self):
+        X, y = linearly_separable()
+        model = LogisticRegression(max_iterations=300).fit(X, y)
+        assert accuracy(y, model.predict(X)) > 0.95
+
+    def test_probabilities_bounded(self):
+        X, y = linearly_separable()
+        probs = LogisticRegression(max_iterations=100).fit(X, y).predict_proba(X)
+        assert np.all((probs >= 0) & (probs <= 1))
+
+    def test_loss_decreases(self):
+        X, y = linearly_separable()
+        model = LogisticRegression(max_iterations=60).fit(X, y)
+        assert model.loss_history_[-1] < model.loss_history_[0]
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            LogisticRegression().predict(np.zeros((1, 2)))
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            LogisticRegression().fit(np.zeros((3, 2)), np.zeros(4))
+
+    def test_balanced_class_weight_raises_recall(self):
+        rng = np.random.default_rng(1)
+        # 95:5 imbalance with overlapping classes
+        X0 = rng.normal(0, 1, size=(190, 2))
+        X1 = rng.normal(1.0, 1, size=(10, 2))
+        X = np.vstack([X0, X1])
+        y = np.array([0] * 190 + [1] * 10)
+        plain = LogisticRegression(max_iterations=200).fit(X, y)
+        balanced = LogisticRegression(
+            max_iterations=200, class_weight="balanced"
+        ).fit(X, y)
+        assert balanced.predict(X).sum() >= plain.predict(X).sum()
+
+    def test_deterministic_given_seed(self):
+        X, y = linearly_separable()
+        a = LogisticRegression(max_iterations=50, seed=5).fit(X, y)
+        b = LogisticRegression(max_iterations=50, seed=5).fit(X, y)
+        assert np.allclose(a.weights_, b.weights_)
+
+
+class TestLinearSVM:
+    def test_learns_separable(self):
+        X, y = linearly_separable()
+        model = LinearSVM(max_iter=300).fit(X, y)
+        assert accuracy(y, model.predict(X)) > 0.95
+
+    def test_decision_function_sign(self):
+        X, y = linearly_separable()
+        model = LinearSVM(max_iter=300).fit(X, y)
+        scores = model.decision_function(X)
+        assert np.array_equal((scores >= 0).astype(int), model.predict(X))
+
+    def test_loss_decreases(self):
+        X, y = linearly_separable()
+        model = LinearSVM(max_iter=60).fit(X, y)
+        assert model.loss_history_[-1] < model.loss_history_[0]
+
+    def test_cannot_fit_xor(self):
+        X, y = xor_data()
+        model = LinearSVM(max_iter=300).fit(X, y)
+        assert accuracy(y, model.predict(X)) < 0.75  # linear limit
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            LinearSVM().predict(np.zeros((1, 2)))
+
+
+class TestMLP:
+    def test_learns_separable(self):
+        X, y = linearly_separable()
+        model = MLPClassifier(hidden_layer_sizes=(16,), max_iter=300).fit(X, y)
+        assert accuracy(y, model.predict(X)) > 0.95
+
+    def test_learns_xor_unlike_linear_models(self):
+        X, y = xor_data()
+        model = MLPClassifier(
+            hidden_layer_sizes=(32, 16), max_iter=500, learning_rate=2e-2
+        ).fit(X, y)
+        assert accuracy(y, model.predict(X)) > 0.9
+
+    def test_paper_architecture_accepted(self):
+        X, y = linearly_separable(60)
+        model = MLPClassifier(hidden_layer_sizes=(50, 10, 2), max_iter=50).fit(X, y)
+        # (input->50->10->2->2): 4 weight matrices
+        assert len(model.weights_) == 4
+
+    def test_probabilities_sum_to_one(self):
+        X, y = linearly_separable()
+        probs = MLPClassifier(max_iter=50).fit(X, y).predict_proba(X)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            MLPClassifier().predict(np.zeros((1, 2)))
+
+    def test_loss_decreases(self):
+        X, y = linearly_separable()
+        model = MLPClassifier(max_iter=80).fit(X, y)
+        assert model.loss_history_[-1] < model.loss_history_[0]

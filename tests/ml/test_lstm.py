@@ -1,0 +1,168 @@
+"""Unit tests for the batched LSTM and the sequence classifiers."""
+
+import numpy as np
+import pytest
+
+from repro.ml import LSTMCRFTagger, LSTMSequenceClassifier, precision_recall_f1
+from repro.ml.lstm import LSTMLayer, LSTMTagger
+
+
+class TestLSTMLayer:
+    def test_forward_shapes(self):
+        rng = np.random.default_rng(0)
+        layer = LSTMLayer(3, 5, rng)
+        out = layer.forward(rng.normal(size=(4, 7, 3)))
+        assert out.shape == (4, 7, 5)
+
+    def test_hidden_bounded(self):
+        rng = np.random.default_rng(0)
+        layer = LSTMLayer(3, 5, rng)
+        out = layer.forward(rng.normal(size=(2, 9, 3)) * 10)
+        assert np.all(np.abs(out) <= 1.0)  # o * tanh(c) in (-1, 1)
+
+    def test_backward_before_forward(self):
+        layer = LSTMLayer(2, 3, np.random.default_rng(0))
+        with pytest.raises(RuntimeError):
+            layer.backward(np.zeros((1, 2, 3)))
+
+    def test_gradient_check(self):
+        """Numeric gradient check of the full BPTT pass."""
+        rng = np.random.default_rng(1)
+        layer = LSTMLayer(2, 3, rng)
+        x = rng.normal(size=(2, 4, 2))
+        target = rng.normal(size=(2, 4, 3))
+
+        def loss_of():
+            out = layer.forward(x)
+            return 0.5 * float(np.sum((out - target) ** 2))
+
+        out = layer.forward(x)
+        d_x, grads = layer.backward(out - target)
+        eps = 1e-6
+        for param, grad in zip(layer.params, grads):
+            flat = param.ravel()
+            flat_grad = grad.ravel()
+            for idx in range(0, flat.size, max(1, flat.size // 7)):
+                flat[idx] += eps
+                up = loss_of()
+                flat[idx] -= 2 * eps
+                down = loss_of()
+                flat[idx] += eps
+                numeric = (up - down) / (2 * eps)
+                assert flat_grad[idx] == pytest.approx(numeric, abs=1e-4)
+        # input gradient too
+        x_flat = x.ravel()
+        for idx in range(0, x_flat.size, max(1, x_flat.size // 5)):
+            x_flat[idx] += eps
+            up = loss_of()
+            x_flat[idx] -= 2 * eps
+            down = loss_of()
+            x_flat[idx] += eps
+            assert d_x.ravel()[idx] == pytest.approx(
+                (up - down) / (2 * eps), abs=1e-4
+            )
+
+
+class TestTagger:
+    def test_single_sequence_api(self):
+        tagger = LSTMTagger(input_size=3, hidden_size=4, num_layers=2)
+        logits = tagger.forward(np.zeros((6, 3)))
+        assert logits.shape == (6, 2)
+
+    def test_batched_api(self):
+        tagger = LSTMTagger(input_size=3, hidden_size=4, num_layers=1)
+        logits = tagger.forward(np.zeros((5, 6, 3)))
+        assert logits.shape == (5, 6, 2)
+
+    def test_param_count(self):
+        tagger = LSTMTagger(input_size=3, hidden_size=4, num_layers=2)
+        assert len(tagger.params) == 2 * 3 + 2  # per-layer (wx, wh, b) + head
+
+    def test_backward_matches_param_order(self):
+        tagger = LSTMTagger(input_size=2, hidden_size=3, num_layers=1)
+        logits = tagger.forward(np.zeros((2, 4, 2)))
+        grads = tagger.backward(np.ones_like(logits))
+        assert len(grads) == len(tagger.params)
+        for g, p in zip(grads, tagger.params):
+            assert g.shape == p.shape
+
+
+def _persistence_task(n, seed=0, T=8):
+    """Label = 1 iff recent counts are high; last step count masked."""
+    rng = np.random.default_rng(seed)
+    seqs, labs = [], []
+    for _ in range(n):
+        hot = rng.random() < 0.5
+        counts = rng.poisson(4 if hot else 0.3, size=T).astype(float)
+        x = np.stack(
+            [counts, np.log1p(counts), np.arange(T, 0, -1, dtype=float)], axis=1
+        )
+        y = (np.ones(T, dtype=int) if hot else np.zeros(T, dtype=int))
+        x[-1, :] = [-1.0, -1.0, 0.0]
+        seqs.append(x)
+        labs.append(y)
+    return seqs, labs
+
+
+class TestSequenceClassifiers:
+    def test_lstm_learns_persistence(self):
+        seqs, labs = _persistence_task(300, seed=2)
+        model = LSTMSequenceClassifier(
+            input_size=3, hidden_size=16, num_layers=1, epochs=8, seed=0
+        )
+        model.fit(seqs[:250], labs[:250])
+        true = np.array([l[-1] for l in labs[250:]])
+        prf = precision_recall_f1(true, model.predict_last(seqs[250:]))
+        assert prf.f1 > 0.9
+
+    def test_lstm_crf_learns_persistence(self):
+        seqs, labs = _persistence_task(300, seed=2)
+        model = LSTMCRFTagger(
+            input_size=3, hidden_size=16, num_layers=1, epochs=8, seed=0
+        )
+        model.fit(seqs[:250], labs[:250])
+        true = np.array([l[-1] for l in labs[250:]])
+        prf = precision_recall_f1(true, model.predict_last(seqs[250:]))
+        assert prf.f1 > 0.9
+
+    def test_loss_decreases(self):
+        seqs, labs = _persistence_task(100)
+        model = LSTMSequenceClassifier(
+            input_size=3, hidden_size=8, num_layers=1, epochs=5
+        )
+        model.fit(seqs, labs)
+        assert model.loss_history_[-1] < model.loss_history_[0]
+
+    def test_crf_loss_decreases(self):
+        seqs, labs = _persistence_task(100)
+        model = LSTMCRFTagger(input_size=3, hidden_size=8, num_layers=1, epochs=5)
+        model.fit(seqs, labs)
+        assert model.loss_history_[-1] < model.loss_history_[0]
+
+    def test_empty_fit_noop(self):
+        model = LSTMSequenceClassifier(input_size=3)
+        model.fit([], [])
+        assert model.predict_last([]).size == 0
+
+    def test_length_mismatch(self):
+        model = LSTMSequenceClassifier(input_size=3)
+        with pytest.raises(ValueError):
+            model.fit([np.zeros((2, 3))], [])
+
+    def test_predict_sequence_shape(self):
+        seqs, labs = _persistence_task(30)
+        model = LSTMSequenceClassifier(
+            input_size=3, hidden_size=8, num_layers=1, epochs=2
+        )
+        model.fit(seqs, labs)
+        out = model.predict_sequence(seqs[0])
+        assert out.shape == (8,)
+        assert set(np.unique(out)) <= {0, 1}
+
+    def test_deterministic_given_seed(self):
+        seqs, labs = _persistence_task(50)
+        a = LSTMSequenceClassifier(input_size=3, hidden_size=8, num_layers=1, epochs=2, seed=9)
+        b = LSTMSequenceClassifier(input_size=3, hidden_size=8, num_layers=1, epochs=2, seed=9)
+        a.fit(seqs, labs)
+        b.fit(seqs, labs)
+        assert np.array_equal(a.predict_last(seqs), b.predict_last(seqs))

@@ -1,0 +1,131 @@
+"""Unit tests for optimisers, metrics, and preprocessing."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    SGD,
+    Adam,
+    PRF,
+    StandardScaler,
+    accuracy,
+    clip_gradients,
+    confusion_counts,
+    one_hot,
+    precision_recall_f1,
+    train_val_test_split,
+)
+
+
+class TestMetrics:
+    def test_perfect(self):
+        prf = precision_recall_f1([1, 0, 1], [1, 0, 1])
+        assert prf == PRF(1.0, 1.0, 1.0)
+
+    def test_counts(self):
+        tp, fp, fn, tn = confusion_counts(
+            np.array([1, 1, 0, 0]), np.array([1, 0, 1, 0])
+        )
+        assert (tp, fp, fn, tn) == (1, 1, 1, 1)
+
+    def test_zero_division_convention(self):
+        prf = precision_recall_f1([0, 0], [0, 0])
+        assert prf == PRF(0.0, 0.0, 0.0)
+
+    def test_precision_recall(self):
+        # 2 predicted positives, 1 correct; 2 actual positives.
+        prf = precision_recall_f1([1, 1, 0, 0], [1, 0, 1, 0])
+        assert prf.precision == 0.5
+        assert prf.recall == 0.5
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            precision_recall_f1([1, 0], [1])
+
+    def test_accuracy(self):
+        assert accuracy([1, 0, 1], [1, 1, 1]) == pytest.approx(2 / 3)
+        assert accuracy([], []) == 0.0
+
+    def test_as_row_rounding(self):
+        row = PRF(0.12345, 0.9, 0.5).as_row()
+        assert row["precision"] == 0.123
+
+
+class TestOptimisers:
+    def test_sgd_minimises_quadratic(self):
+        w = np.array([5.0])
+        opt = SGD(learning_rate=0.1)
+        for _ in range(100):
+            opt.step([w], [2 * w])  # d/dw w^2
+        assert abs(w[0]) < 1e-3
+
+    def test_sgd_momentum(self):
+        w = np.array([5.0])
+        opt = SGD(learning_rate=0.05, momentum=0.9)
+        for _ in range(200):
+            opt.step([w], [2 * w])
+        # underdamped but converging
+        assert abs(w[0]) < 0.1
+
+    def test_adam_minimises_quadratic(self):
+        w = np.array([5.0, -3.0])
+        opt = Adam(learning_rate=0.2)
+        for _ in range(200):
+            opt.step([w], [2 * w])
+        assert np.all(np.abs(w) < 1e-2)
+
+    def test_weight_decay_shrinks(self):
+        w = np.array([1.0])
+        opt = SGD(learning_rate=0.1, weight_decay=1.0)
+        opt.step([w], [np.array([0.0])])
+        assert w[0] < 1.0
+
+    def test_updates_in_place(self):
+        w = np.array([1.0])
+        ref = w
+        Adam().step([w], [np.array([1.0])])
+        assert ref is w
+
+    def test_clip_gradients(self):
+        grads = [np.array([3.0, 4.0])]  # norm 5
+        norm = clip_gradients(grads, 1.0)
+        assert norm == pytest.approx(5.0)
+        assert np.linalg.norm(grads[0]) == pytest.approx(1.0)
+
+    def test_clip_noop_under_limit(self):
+        grads = [np.array([0.3])]
+        clip_gradients(grads, 1.0)
+        assert grads[0][0] == pytest.approx(0.3)
+
+
+class TestPreprocessing:
+    def test_scaler(self):
+        X = np.array([[1.0, 10.0], [3.0, 10.0]])
+        scaled = StandardScaler().fit_transform(X)
+        assert np.allclose(scaled.mean(axis=0), 0.0)
+        # constant column passes through zero-centred, not NaN
+        assert np.all(np.isfinite(scaled))
+
+    def test_scaler_before_fit(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.zeros((2, 2)))
+
+    def test_split_fractions(self):
+        tr, va, te = train_val_test_split(100, 0.7, 0.2, seed=1)
+        assert len(tr) == 70 and len(va) == 20 and len(te) == 10
+        assert len(set(tr) | set(va) | set(te)) == 100
+
+    def test_split_deterministic(self):
+        a = train_val_test_split(50, seed=3)
+        b = train_val_test_split(50, seed=3)
+        assert all(np.array_equal(x, y) for x, y in zip(a, b))
+
+    def test_split_invalid(self):
+        with pytest.raises(ValueError):
+            train_val_test_split(10, train=0.9, val=0.2)
+
+    def test_one_hot(self):
+        out = one_hot(np.array([0, 2, 5]), 3)
+        assert out.shape == (3, 3)
+        assert out[0, 0] == 1 and out[1, 2] == 1
+        assert out[2].sum() == 0  # out of range -> all zeros

@@ -1,0 +1,171 @@
+"""Unit tests for the ORC-like file format."""
+
+import pytest
+
+from repro.storage import (
+    DataType,
+    OrcError,
+    OrcFileReader,
+    OrcWriter,
+    Schema,
+)
+
+
+def make_schema() -> Schema:
+    return Schema.of(
+        ("id", DataType.INT64),
+        ("name", DataType.STRING),
+        ("score", DataType.FLOAT64),
+        ("ok", DataType.BOOL),
+    )
+
+
+def write_rows(rows, row_group_size=4, stripe_bytes=1 << 20) -> bytes:
+    writer = OrcWriter(
+        make_schema(), row_group_size=row_group_size, stripe_bytes=stripe_bytes
+    )
+    writer.write_rows(rows)
+    return writer.finish()
+
+
+def sample_rows(n):
+    return [(i, f"name{i}", i * 0.5, i % 2 == 0) for i in range(n)]
+
+
+class TestRoundTrip:
+    def test_basic(self):
+        rows = sample_rows(10)
+        reader = OrcFileReader(write_rows(rows))
+        assert reader.row_count == 10
+        assert reader.read_rows() == rows
+
+    def test_empty_file(self):
+        reader = OrcFileReader(write_rows([]))
+        assert reader.row_count == 0
+        assert reader.read_rows() == []
+
+    def test_nulls_survive(self):
+        rows = [(None, None, None, None), (1, "a", 1.0, True)]
+        reader = OrcFileReader(write_rows(rows))
+        assert reader.read_rows() == rows
+
+    def test_schema_preserved(self):
+        reader = OrcFileReader(write_rows(sample_rows(1)))
+        assert reader.schema.names == ["id", "name", "score", "ok"]
+        assert reader.schema.field("score").dtype == DataType.FLOAT64
+
+    def test_column_projection(self):
+        reader = OrcFileReader(write_rows(sample_rows(5)))
+        columns, _ = reader.read_columns(["name", "id"])
+        assert set(columns) == {"name", "id"}
+        assert columns["id"] == list(range(5))
+
+    def test_unknown_column_raises(self):
+        reader = OrcFileReader(write_rows(sample_rows(1)))
+        with pytest.raises(Exception):
+            reader.read_columns(["nope"])
+
+
+class TestRowGroups:
+    def test_group_layout(self):
+        reader = OrcFileReader(write_rows(sample_rows(10), row_group_size=4))
+        layout = reader.row_group_layout()
+        assert [rg.row_count for rg in layout] == [4, 4, 2]
+
+    def test_group_statistics(self):
+        reader = OrcFileReader(write_rows(sample_rows(8), row_group_size=4))
+        layout = reader.row_group_layout()
+        first = layout[0].column_stats["id"]
+        assert (first.minimum, first.maximum) == (0, 3)
+        second = layout[1].column_stats["id"]
+        assert (second.minimum, second.maximum) == (4, 7)
+
+    def test_null_stats(self):
+        rows = [(None, "a", 1.0, True), (None, "b", 2.0, False)]
+        reader = OrcFileReader(write_rows(rows))
+        stats = reader.row_group_layout()[0].column_stats["id"]
+        assert stats.all_null
+        assert stats.null_count == 2
+
+    def test_mask_skips_groups(self):
+        reader = OrcFileReader(write_rows(sample_rows(12), row_group_size=4))
+        columns, _ = reader.read_columns(["id"], row_group_mask=[True, False, True])
+        assert columns["id"] == [0, 1, 2, 3, 8, 9, 10, 11]
+
+    def test_skipped_groups_cost_no_bytes(self):
+        reader = OrcFileReader(write_rows(sample_rows(12), row_group_size=4))
+        _, all_bytes = reader.read_columns(["id"])
+        _, some_bytes = reader.read_columns(
+            ["id"], row_group_mask=[True, False, False]
+        )
+        assert some_bytes < all_bytes
+
+    def test_projection_cost_less_than_full(self):
+        reader = OrcFileReader(write_rows(sample_rows(20)))
+        _, full = reader.read_columns()
+        _, one = reader.read_columns(["id"])
+        assert one < full
+
+
+class TestStripes:
+    def test_small_stripe_budget_multiple_stripes(self):
+        data = write_rows(sample_rows(50), row_group_size=5, stripe_bytes=200)
+        reader = OrcFileReader(data)
+        assert reader.stripe_count > 1
+        assert reader.row_count == 50
+        assert reader.read_rows() == sample_rows(50)
+
+    def test_default_single_stripe(self):
+        reader = OrcFileReader(write_rows(sample_rows(50)))
+        assert reader.stripe_count == 1
+
+
+class TestWriterErrors:
+    def test_wrong_arity(self):
+        writer = OrcWriter(make_schema())
+        with pytest.raises(OrcError):
+            writer.write_row((1, "a"))
+
+    def test_type_mismatch(self):
+        writer = OrcWriter(make_schema())
+        with pytest.raises(Exception):
+            writer.write_row(("not-int", "a", 1.0, True))
+
+    def test_int_ok_in_float_column(self):
+        writer = OrcWriter(make_schema())
+        writer.write_row((1, "a", 2, True))  # int into FLOAT64
+        reader = OrcFileReader(writer.finish())
+        assert reader.read_rows()[0][2] == 2
+
+    def test_double_finish(self):
+        writer = OrcWriter(make_schema())
+        writer.finish()
+        with pytest.raises(OrcError):
+            writer.finish()
+
+    def test_write_after_finish(self):
+        writer = OrcWriter(make_schema())
+        writer.finish()
+        with pytest.raises(OrcError):
+            writer.write_row((1, "a", 1.0, True))
+
+    def test_bad_row_group_size(self):
+        with pytest.raises(OrcError):
+            OrcWriter(make_schema(), row_group_size=0)
+
+
+class TestCorruption:
+    def test_bad_magic(self):
+        with pytest.raises(OrcError):
+            OrcFileReader(b"NOPE" + b"\x00" * 32)
+
+    def test_truncated_tail(self):
+        data = write_rows(sample_rows(3))
+        with pytest.raises(OrcError):
+            OrcFileReader(data[:-3])
+
+    def test_corrupt_footer_length(self):
+        data = bytearray(write_rows(sample_rows(3)))
+        data[-5] = 0xFF  # blow up the footer length field
+        with pytest.raises(OrcError):
+            OrcFileReader(bytes(data))

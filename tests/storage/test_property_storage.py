@@ -1,0 +1,93 @@
+"""Property-based tests on the storage layer (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage import (
+    ColumnStats,
+    ComparisonSarg,
+    DataType,
+    OrcFileReader,
+    OrcWriter,
+    SargOp,
+    Schema,
+)
+
+rows_strategy = st.lists(
+    st.tuples(
+        st.one_of(st.none(), st.integers(min_value=-(2**40), max_value=2**40)),
+        st.one_of(st.none(), st.text(max_size=20)),
+        st.one_of(
+            st.none(),
+            st.floats(allow_nan=False, allow_infinity=False, width=32),
+        ),
+        st.one_of(st.none(), st.booleans()),
+    ),
+    max_size=60,
+)
+
+
+def _schema() -> Schema:
+    return Schema.of(
+        ("i", DataType.INT64),
+        ("s", DataType.STRING),
+        ("f", DataType.FLOAT64),
+        ("b", DataType.BOOL),
+    )
+
+
+@given(rows_strategy, st.integers(min_value=1, max_value=7))
+@settings(max_examples=60, deadline=None)
+def test_orc_round_trip_any_rows(rows, row_group_size):
+    writer = OrcWriter(_schema(), row_group_size=row_group_size)
+    writer.write_rows(rows)
+    reader = OrcFileReader(writer.finish())
+    assert reader.read_rows() == rows
+    assert reader.row_count == len(rows)
+
+
+@given(
+    st.lists(st.integers(min_value=-100, max_value=100), min_size=1, max_size=50),
+    st.integers(min_value=-100, max_value=100),
+    st.sampled_from(list(SargOp)[:5]),
+    st.integers(min_value=1, max_value=9),
+)
+@settings(max_examples=120, deadline=None)
+def test_sarg_elimination_is_sound(values, literal, op, row_group_size):
+    """A SARG-skipped row group must contain zero rows matching the
+    corresponding exact predicate."""
+    schema = Schema.of(("i", DataType.INT64))
+    writer = OrcWriter(schema, row_group_size=row_group_size)
+    writer.write_rows([(v,) for v in values])
+    reader = OrcFileReader(writer.finish())
+    predicate = {
+        SargOp.EQ: lambda v: v == literal,
+        SargOp.LT: lambda v: v < literal,
+        SargOp.LE: lambda v: v <= literal,
+        SargOp.GT: lambda v: v > literal,
+        SargOp.GE: lambda v: v >= literal,
+    }[op]
+    sarg = ComparisonSarg("i", op, literal)
+    layout = reader.row_group_layout()
+    start = 0
+    for rg in layout:
+        chunk = values[start : start + rg.row_count]
+        if not sarg.may_match(rg.column_stats):
+            assert not any(predicate(v) for v in chunk)
+        start += rg.row_count
+
+
+@given(st.lists(st.one_of(st.none(), st.integers(-50, 50)), max_size=40))
+@settings(max_examples=100, deadline=None)
+def test_column_stats_bound_values(values):
+    stats = ColumnStats.of(values)
+    non_null = [v for v in values if v is not None]
+    assert stats.value_count == len(values)
+    assert stats.null_count == len(values) - len(non_null)
+    if non_null:
+        assert stats.minimum == min(non_null)
+        assert stats.maximum == max(non_null)
+        for v in non_null:
+            assert stats.minimum <= v <= stats.maximum
+    else:
+        assert stats.all_null

@@ -1,0 +1,90 @@
+"""Unit tests for the SARG-aware OrcReader."""
+
+import pytest
+
+from repro.storage import (
+    BlockFileSystem,
+    ComparisonSarg,
+    DataType,
+    OrcError,
+    OrcReader,
+    OrcWriter,
+    SargOp,
+    Schema,
+)
+
+
+def load_file(fs: BlockFileSystem, n=20, row_group_size=5, stripe_bytes=1 << 20):
+    schema = Schema.of(("id", DataType.INT64), ("tag", DataType.STRING))
+    writer = OrcWriter(schema, row_group_size=row_group_size, stripe_bytes=stripe_bytes)
+    writer.write_rows([(i, f"t{i % 3}") for i in range(n)])
+    fs.create("/t/part-00000.orc", writer.finish())
+    return "/t/part-00000.orc"
+
+
+class TestPlainRead:
+    def test_full_read(self, fs):
+        path = load_file(fs)
+        result = OrcReader(fs, path).read()
+        assert result.rows_read == 20
+        assert result.row_groups_read == 4
+        assert result.row_groups_skipped == 0
+
+    def test_column_pruning(self, fs):
+        path = load_file(fs)
+        reader = OrcReader(fs, path, columns=["id"])
+        result = reader.read()
+        assert set(result.columns) == {"id"}
+
+    def test_read_rows_order(self, fs):
+        path = load_file(fs, n=6)
+        reader = OrcReader(fs, path, columns=["tag", "id"])
+        rows = reader.read_rows()
+        assert rows[0] == ("t0", 0)
+
+
+class TestSargElimination:
+    def test_groups_skipped(self, fs):
+        path = load_file(fs)  # ids 0..19, groups of 5
+        reader = OrcReader(fs, path, sarg=ComparisonSarg("id", SargOp.GE, 10))
+        result = reader.read()
+        assert result.row_groups_read == 2
+        assert result.columns["id"] == list(range(10, 20))
+
+    def test_mask_exposed(self, fs):
+        path = load_file(fs)
+        reader = OrcReader(fs, path, sarg=ComparisonSarg("id", SargOp.LT, 5))
+        assert reader.row_group_mask == [True, False, False, False]
+
+    def test_elimination_saves_bytes(self, fs):
+        path = load_file(fs)
+        full = OrcReader(fs, path).read()
+        some = OrcReader(fs, path, sarg=ComparisonSarg("id", SargOp.GE, 15)).read()
+        assert some.bytes_read < full.bytes_read
+
+
+class TestSharedMask:
+    def test_share_and_intersect(self, fs):
+        path = load_file(fs)
+        reader = OrcReader(fs, path, sarg=ComparisonSarg("id", SargOp.GE, 5))
+        # own mask: F T T T ; shared: T T F F -> combined F T F F
+        reader.share_row_group_mask([True, True, False, False])
+        assert reader.row_group_mask == [False, True, False, False]
+        assert reader.read().columns["id"] == list(range(5, 10))
+
+    def test_share_length_mismatch_raises(self, fs):
+        path = load_file(fs)
+        reader = OrcReader(fs, path)
+        reader.share_row_group_mask([True])
+        with pytest.raises(OrcError):
+            _ = reader.row_group_mask
+
+    def test_can_align_single_stripe(self, fs):
+        path = load_file(fs)
+        assert OrcReader(fs, path).can_align_row_groups()
+
+    def test_cannot_align_multi_stripe(self, fs):
+        path = load_file(fs, n=200, row_group_size=10, stripe_bytes=500)
+        reader = OrcReader(fs, path)
+        assert reader.stripe_count > 1
+        assert not reader.can_align_row_groups()

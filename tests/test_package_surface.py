@@ -1,0 +1,115 @@
+"""Smoke tests of the public package surface."""
+
+import pytest
+
+
+class TestRoot:
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+    def test_lazy_maxson_system(self):
+        import repro
+
+        assert repro.MaxsonSystem.__name__ == "MaxsonSystem"
+
+    def test_unknown_attribute(self):
+        import repro
+
+        with pytest.raises(AttributeError):
+            repro.not_a_thing
+
+
+class TestAllExports:
+    @pytest.mark.parametrize(
+        "module_name",
+        [
+            "repro.jsonlib",
+            "repro.xmllib",
+            "repro.storage",
+            "repro.engine",
+            "repro.ml",
+            "repro.workload",
+            "repro.core",
+        ],
+    )
+    def test_all_names_resolve(self, module_name):
+        import importlib
+
+        module = importlib.import_module(module_name)
+        for name in module.__all__:
+            assert getattr(module, name) is not None, f"{module_name}.{name}"
+
+    def test_no_duplicate_exports(self):
+        import importlib
+
+        for module_name in ("repro.jsonlib", "repro.engine", "repro.core"):
+            module = importlib.import_module(module_name)
+            assert len(module.__all__) == len(set(module.__all__))
+
+
+class TestDocstrings:
+    @pytest.mark.parametrize(
+        "module_name",
+        [
+            "repro",
+            "repro.jsonlib.jackson",
+            "repro.jsonlib.mison",
+            "repro.jsonlib.sparser",
+            "repro.jsonlib.jsonpath",
+            "repro.xmllib.parser",
+            "repro.xmllib.xpath",
+            "repro.storage.fs",
+            "repro.storage.orc",
+            "repro.storage.sargs",
+            "repro.engine.sqlparser",
+            "repro.engine.planner",
+            "repro.engine.physical",
+            "repro.engine.functions",
+            "repro.engine.rawfilter",
+            "repro.ml.lstm",
+            "repro.ml.crf",
+            "repro.ml.lstm_crf",
+            "repro.workload.trace",
+            "repro.workload.nobench",
+            "repro.core.collector",
+            "repro.core.predictor",
+            "repro.core.scoring",
+            "repro.core.cacher",
+            "repro.core.maxson_parser",
+            "repro.core.combiner",
+            "repro.core.pushdown",
+            "repro.core.system",
+            "repro.cli",
+            "repro.reporting",
+        ],
+    )
+    def test_module_documented(self, module_name):
+        import importlib
+
+        module = importlib.import_module(module_name)
+        assert module.__doc__ and len(module.__doc__.strip()) > 40
+
+    def test_key_classes_documented(self):
+        from repro.core import (
+            JsonPathCacher,
+            JsonPathCollector,
+            JsonPathPredictor,
+            MaxsonSystem,
+            ScoringFunction,
+        )
+        from repro.engine import Session
+        from repro.jsonlib import JacksonParser, MisonParser
+
+        for cls in (
+            MaxsonSystem,
+            JsonPathCollector,
+            JsonPathPredictor,
+            ScoringFunction,
+            JsonPathCacher,
+            Session,
+            JacksonParser,
+            MisonParser,
+        ):
+            assert cls.__doc__ and cls.__doc__.strip()

@@ -1,0 +1,71 @@
+"""Repository-level consistency checks."""
+
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).parent.parent
+
+
+class TestVersionConsistency:
+    def test_pyproject_matches_package(self):
+        import repro
+
+        pyproject = (ROOT / "pyproject.toml").read_text()
+        assert f'version = "{repro.__version__}"' in pyproject
+
+
+class TestDocumentationFiles:
+    @pytest.mark.parametrize("name", ["README.md", "DESIGN.md", "EXPERIMENTS.md"])
+    def test_required_docs_exist(self, name):
+        path = ROOT / name
+        assert path.exists()
+        assert len(path.read_text()) > 1000
+
+    def test_design_covers_every_figure_and_table(self):
+        design = (ROOT / "DESIGN.md").read_text().lower()
+        for artefact in (
+            "fig2", "fig3", "fig4", "tab3", "tab4",
+            "fig11", "tab5", "fig12", "fig13", "fig14", "fig15",
+        ):
+            assert artefact in design, artefact
+
+    def test_experiments_covers_every_figure_and_table(self):
+        experiments = (ROOT / "EXPERIMENTS.md").read_text()
+        for artefact in (
+            "Fig 2", "Fig 3", "Fig 4", "Table III", "Table IV",
+            "Fig 11", "Table V", "Fig 12", "Fig 13", "Fig 14", "Fig 15",
+        ):
+            assert artefact in experiments, artefact
+
+
+class TestBenchmarkCoverage:
+    def test_one_bench_per_artefact(self):
+        benches = {p.name for p in (ROOT / "benchmarks").glob("test_*.py")}
+        for required in (
+            "test_fig2_update_times.py",
+            "test_fig3_parse_cost.py",
+            "test_fig4_path_popularity.py",
+            "test_table3_models.py",
+            "test_table4_windows.py",
+            "test_fig11_cache_budget.py",
+            "test_table5_cached_paths.py",
+            "test_fig12_breakdown.py",
+            "test_fig13_plan_time.py",
+            "test_fig14_online_lru.py",
+            "test_fig15_parsers.py",
+        ):
+            assert required in benches, required
+
+
+class TestExamples:
+    def test_at_least_three_runnable_examples(self):
+        examples = list((ROOT / "examples").glob("*.py"))
+        assert len(examples) >= 3
+        assert (ROOT / "examples" / "quickstart.py").exists()
+
+    def test_examples_have_main_guard_and_docstring(self):
+        for path in (ROOT / "examples").glob("*.py"):
+            text = path.read_text()
+            assert '__name__ == "__main__"' in text, path.name
+            assert text.startswith('"""'), path.name

@@ -1,0 +1,86 @@
+"""Tests for the benchmark-results reporting module."""
+
+import json
+
+import pytest
+
+from repro.reporting import load_results, main, render_report
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    (tmp_path / "fig11_summary.json").write_text(
+        json.dumps({"no_cache": {"total_seconds": 45.2}, "score/400GB": {"total_seconds": 0.4}})
+    )
+    (tmp_path / "fig11_score_100GB.json").write_text(json.dumps({"total_seconds": 12.3}))
+    (tmp_path / "table3_summary.json").write_text(
+        json.dumps({"rows": {"lr": {"f1": 0.795}}})
+    )
+    (tmp_path / "misc.json").write_text(json.dumps({"x": [1, 2, 3]}))
+    return tmp_path
+
+
+class TestLoadResults:
+    def test_loads_all(self, results_dir):
+        results = load_results(results_dir)
+        assert set(results) == {
+            "fig11_summary",
+            "fig11_score_100GB",
+            "table3_summary",
+            "misc",
+        }
+
+    def test_empty_dir(self, tmp_path):
+        assert load_results(tmp_path) == {}
+
+    def test_corrupt_file_raises(self, tmp_path):
+        (tmp_path / "bad.json").write_text("{not json")
+        with pytest.raises(ValueError):
+            load_results(tmp_path)
+
+
+class TestRenderReport:
+    def test_sections_present(self, results_dir):
+        report = render_report(load_results(results_dir))
+        assert "# Benchmark results" in report
+        assert "Fig 11" in report
+        assert "Table III" in report
+
+    def test_summary_rendered_as_table(self, results_dir):
+        report = render_report(load_results(results_dir))
+        assert "| no_cache.total_seconds | 45.2 |" in report
+        assert "| rows.lr.f1 | 0.795 |" in report
+
+    def test_detail_files_listed_not_expanded(self, results_dir):
+        report = render_report(load_results(results_dir))
+        assert "`fig11_score_100GB`" in report
+        assert "12.3" not in report  # details not expanded
+
+    def test_short_lists_inlined(self, results_dir):
+        report = render_report(load_results(results_dir))
+        assert "1, 2, 3" in report
+
+    def test_long_lists_summarised(self, tmp_path):
+        (tmp_path / "fig2_update_times.json").write_text(
+            json.dumps({"histogram": list(range(24))})
+        )
+        report = render_report(load_results(tmp_path))
+        assert "[24 values]" in report
+
+
+class TestMain:
+    def test_renders_directory(self, results_dir, capsys):
+        assert main([str(results_dir)]) == 0
+        assert "# Benchmark results" in capsys.readouterr().out
+
+    def test_missing_directory(self, tmp_path, capsys):
+        assert main([str(tmp_path)]) == 1
+
+    def test_real_results_render(self, capsys):
+        """The actual benchmark output directory must render cleanly."""
+        from pathlib import Path
+
+        directory = Path(__file__).parent.parent / "benchmarks" / "results"
+        if not directory.exists() or not any(directory.glob("*.json")):
+            pytest.skip("no benchmark results present")
+        assert main([str(directory)]) == 0

@@ -1,0 +1,57 @@
+"""Tests for the workload analysis module."""
+
+import pytest
+
+from repro.workload import SyntheticTrace, TraceConfig, analyze, format_report
+
+
+@pytest.fixture(scope="module")
+def report():
+    return analyze(SyntheticTrace(TraceConfig(days=35, users=20, tables=12, seed=2)))
+
+
+class TestAnalyze:
+    def test_totals(self, report):
+        assert report.total_queries > 0
+        assert report.total_paths > 0
+        assert report.days == 35
+
+    def test_recurring_near_paper(self, report):
+        assert 0.7 <= report.recurring_fraction <= 0.92
+
+    def test_kind_shares_sum_to_one(self, report):
+        total = (
+            report.daily_fraction_of_recurring
+            + report.weekly_fraction_of_recurring
+            + report.multiday_window_fraction_of_recurring
+        )
+        assert abs(total - 1.0) < 1e-9
+
+    def test_weekly_share_near_paper(self, report):
+        assert 0.05 <= report.weekly_fraction_of_recurring <= 0.35
+
+    def test_duplicate_fraction_matches_collector(self, report):
+        from repro.core import JsonPathCollector
+
+        trace = SyntheticTrace(TraceConfig(days=35, users=20, tables=12, seed=2))
+        collector = JsonPathCollector()
+        collector.ingest_trace(trace)
+        assert report.duplicate_parse_fraction == pytest.approx(
+            collector.duplicate_parse_fraction()
+        )
+
+    def test_histogram_covers_24_hours(self, report):
+        assert len(report.update_histogram) == 24
+        assert report.peak_update_hour in range(24)
+
+    def test_paper_deltas_structure(self, report):
+        deltas = report.paper_deltas()
+        assert "traffic_share_top_27pct" in deltas
+        measured, paper = deltas["recurring_fraction"]
+        assert paper == 0.82
+
+    def test_format_report_renders(self, report):
+        text = format_report(report)
+        assert "recurring_fraction" in text
+        assert "measured" in text
+        assert str(report.days) in text

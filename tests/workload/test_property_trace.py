@@ -1,0 +1,69 @@
+"""Property tests: trace invariants hold across seeds and scales."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workload import SyntheticTrace, TraceConfig
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    days=st.integers(min_value=8, max_value=24),
+    users=st.integers(min_value=3, max_value=12),
+    tables=st.integers(min_value=2, max_value=8),
+)
+@settings(max_examples=15, deadline=None)
+def test_trace_structural_invariants(seed, days, users, tables):
+    trace = SyntheticTrace(
+        TraceConfig(days=days, users=users, tables=tables, seed=seed)
+    )
+    universe = set(trace.path_universe)
+    assert len(universe) == len(trace.path_universe)  # no duplicates
+
+    last_day = -1
+    for query in trace.queries:
+        # chronological, in-range, with valid path sets
+        assert 0 <= query.day < days
+        assert query.day >= last_day
+        last_day = query.day
+        assert 0 <= query.seconds < 86400
+        assert query.paths  # never empty
+        assert len(set(query.paths)) == len(query.paths)
+        assert set(query.paths) <= universe
+        if query.kind == "adhoc":
+            assert query.template_id == -1
+        else:
+            assert query.template_id >= 0
+
+    # exactly one update per table per day
+    seen = {(u.day, u.table) for u in trace.updates}
+    assert len(seen) == len(trace.updates) == days * tables
+
+    # every weekly firing lands on its template's weekday
+    by_id = {t.template_id: t for t in trace.templates}
+    for query in trace.queries:
+        if query.kind == "weekly":
+            assert query.day % 7 == by_id[query.template_id].weekday
+
+
+@given(seed=st.integers(min_value=0, max_value=1000))
+@settings(max_examples=10, deadline=None)
+def test_trace_statistics_stay_in_published_regime(seed):
+    trace = SyntheticTrace(TraceConfig(days=30, users=15, tables=10, seed=seed))
+    if not trace.queries:
+        return
+    # recurring share near the paper's 82% for any seed
+    assert 0.6 <= trace.recurring_fraction() <= 0.95
+    # popularity always heavy-tailed
+    assert trace.traffic_concentration(0.27) >= 0.5
+
+
+@given(seed=st.integers(min_value=0, max_value=1000))
+@settings(max_examples=8, deadline=None)
+def test_mpjp_labels_consistent_with_counts(seed):
+    trace = SyntheticTrace(TraceConfig(days=12, users=8, tables=5, seed=seed))
+    day = 6
+    counts = trace.daily_path_counts(day)
+    labels = trace.mpjp_labels(day)
+    for key, label in labels.items():
+        assert label == (1 if counts.get(key, 0) >= 2 else 0)

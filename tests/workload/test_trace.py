@@ -1,0 +1,136 @@
+"""Unit tests for the synthetic trace generator — the published trace
+statistics are the contract."""
+
+import numpy as np
+import pytest
+
+from repro.workload import PathKey, SyntheticTrace, TraceConfig
+
+
+@pytest.fixture(scope="module")
+def trace() -> SyntheticTrace:
+    return SyntheticTrace(TraceConfig(days=45, users=25, tables=15, seed=3))
+
+
+class TestShape:
+    def test_deterministic(self):
+        a = SyntheticTrace(TraceConfig(days=10, users=5, tables=4, seed=9))
+        b = SyntheticTrace(TraceConfig(days=10, users=5, tables=4, seed=9))
+        assert a.queries == b.queries
+        assert a.updates == b.updates
+
+    def test_different_seeds_differ(self):
+        a = SyntheticTrace(TraceConfig(days=10, users=5, tables=4, seed=1))
+        b = SyntheticTrace(TraceConfig(days=10, users=5, tables=4, seed=2))
+        assert a.queries != b.queries
+
+    def test_queries_day_ordered(self, trace):
+        days = [q.day for q in trace.queries]
+        assert days == sorted(days)
+
+    def test_within_day_time_ordered(self, trace):
+        for day in (5, 20):
+            seconds = [q.seconds for q in trace.queries_on_day(day)]
+            assert seconds == sorted(seconds)
+
+    def test_paths_belong_to_universe(self, trace):
+        universe = set(trace.path_universe)
+        for query in trace.queries[:500]:
+            assert set(query.paths) <= universe
+
+    def test_update_one_per_table_per_day(self, trace):
+        day0 = [u for u in trace.updates if u.day == 0]
+        assert len(day0) == trace.config.tables
+
+
+class TestPublishedStatistics:
+    def test_recurring_fraction_near_82_percent(self, trace):
+        # paper §II-D1: 82% of queries are recurring
+        assert 0.70 <= trace.recurring_fraction() <= 0.92
+
+    def test_traffic_concentration(self, trace):
+        # paper §II-D2: 89% of traffic on 27% of paths; accept the same
+        # heavy-skew regime
+        assert trace.traffic_concentration(0.27) > 0.6
+
+    def test_updates_peak_midday_rare_midnight(self, trace):
+        # paper Fig 2
+        hist = trace.update_hour_histogram()
+        assert hist[0] + hist[1] < hist[11] + hist[12] + hist[13]
+        assert int(np.argmax(hist)) in range(9, 16)
+
+    def test_recurrence_kind_mix(self, trace):
+        # The paper's shares are of *query volume*: ~71% daily, ~17% weekly.
+        recurring = [q for q in trace.queries if q.recurring]
+        daily = sum(1 for q in recurring if q.kind.startswith("daily"))
+        weekly = sum(1 for q in recurring if q.kind == "weekly")
+        assert daily / len(recurring) > 0.5
+        assert 0.05 <= weekly / len(recurring) <= 0.35
+
+    def test_duplicate_parsing_dominates(self, trace):
+        from repro.core import JsonPathCollector
+
+        collector = JsonPathCollector()
+        collector.ingest_trace(trace)
+        # the paper reports 89% of traffic is repetitive; the synthetic
+        # trace must at least be majority-redundant
+        assert collector.duplicate_parse_fraction() > 0.5
+
+
+class TestAccessors:
+    def test_daily_path_counts_matches_queries(self, trace):
+        day = 10
+        counts = trace.daily_path_counts(day)
+        manual = {}
+        for q in trace.queries_on_day(day):
+            for p in q.paths:
+                manual[p] = manual.get(p, 0) + 1
+        assert dict(counts) == manual
+
+    def test_path_count_matrix_shape(self, trace):
+        paths, matrix = trace.path_count_matrix()
+        assert matrix.shape == (trace.config.days, len(paths))
+        assert matrix.sum() == sum(len(q.paths) for q in trace.queries)
+
+    def test_mpjp_labels_threshold(self, trace):
+        day = 12
+        labels = trace.mpjp_labels(day, threshold=2)
+        counts = trace.daily_path_counts(day)
+        for key, label in labels.items():
+            assert label == int(counts.get(key, 0) >= 2)
+
+    def test_queries_per_path_counts_queries_once(self, trace):
+        counts = trace.queries_per_path()
+        some_key = trace.queries[0].paths[0]
+        manual = sum(1 for q in trace.queries if some_key in q.paths)
+        assert counts[some_key] == manual
+
+    def test_weekly_templates_fire_weekly(self, trace):
+        weekly = [t for t in trace.templates if t.kind == "weekly"]
+        if not weekly:
+            pytest.skip("no weekly templates in this seed")
+        template = weekly[0]
+        fired_days = [
+            q.day
+            for q in trace.queries
+            if q.template_id == template.template_id
+        ]
+        assert all(d % 7 == template.weekday for d in fired_days)
+
+    def test_burst_templates_respect_phase(self, trace):
+        bursty = [t for t in trace.templates if t.burst_period]
+        if not bursty:
+            pytest.skip("no burst templates in this seed")
+        template = bursty[0]
+        fired = {
+            q.day for q in trace.queries if q.template_id == template.template_id
+        }
+        for day in fired:
+            phase = (day - template.start_day) % (2 * template.burst_period)
+            assert phase < template.burst_period
+
+    def test_pathkey_ordering_and_hash(self):
+        a = PathKey("db", "t", "c", "$.a")
+        b = PathKey("db", "t", "c", "$.b")
+        assert a < b
+        assert len({a, b, PathKey("db", "t", "c", "$.a")}) == 2

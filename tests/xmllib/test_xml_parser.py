@@ -1,0 +1,111 @@
+"""Unit tests for the XML parser."""
+
+import pytest
+
+from repro.xmllib import XmlParseError, XmlParser, parse_xml
+
+
+class TestBasics:
+    def test_single_element(self):
+        root = parse_xml("<a/>")
+        assert root.tag == "a"
+        assert root.children == []
+
+    def test_text_content(self):
+        assert parse_xml("<a>hello</a>").text == "hello"
+
+    def test_attributes(self):
+        root = parse_xml('<a x="1" y=\'two\'/>')
+        assert root.attributes == {"x": "1", "y": "two"}
+
+    def test_nested_children(self):
+        root = parse_xml("<a><b>1</b><c><d/></c><b>2</b></a>")
+        assert [child.tag for child in root.children] == ["b", "c", "b"]
+        assert root.find("c").children[0].tag == "d"
+
+    def test_find_all(self):
+        root = parse_xml("<a><b>1</b><c/><b>2</b></a>")
+        assert [el.text for el in root.find_all("b")] == ["1", "2"]
+        assert root.find("zzz") is None
+
+    def test_full_text(self):
+        root = parse_xml("<a>x<b>y</b>z</a>")
+        # own text first, then children, document order for descendants
+        assert root.text == "xz"
+        assert root.full_text() == "xzy"
+
+    def test_xml_declaration_skipped(self):
+        root = parse_xml('<?xml version="1.0" encoding="UTF-8"?><a/>')
+        assert root.tag == "a"
+
+    def test_comments_skipped(self):
+        root = parse_xml("<!-- before --><a><!-- inside --><b/></a>")
+        assert root.find("b") is not None
+
+    def test_cdata(self):
+        root = parse_xml("<a><![CDATA[<not & parsed>]]></a>")
+        assert root.text == "<not & parsed>"
+
+    def test_entities(self):
+        root = parse_xml("<a>&lt;&amp;&gt;&quot;&apos;</a>")
+        assert root.text == "<&>\"'"
+
+    def test_numeric_character_references(self):
+        assert parse_xml("<a>&#65;&#x42;</a>").text == "AB"
+
+    def test_entity_in_attribute(self):
+        assert parse_xml('<a v="&amp;"/>').attributes["v"] == "&"
+
+    def test_whitespace_between_elements_kept_in_text(self):
+        root = parse_xml("<a> <b/> </a>")
+        assert root.text == "  "
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "<a>",
+            "<a></b>",
+            "<a><b></a></b>",
+            "plain text",
+            "<a x=1/>",
+            '<a x="1" x="2"/>',
+            "<a>&undefined;</a>",
+            "<a>&#xzz;</a>",
+            "<a/><b/>",
+            "<a><!-- unterminated </a>",
+            '<a x="unterminated/>',
+            "<1bad/>",
+        ],
+    )
+    def test_malformed(self, bad):
+        with pytest.raises(XmlParseError):
+            parse_xml(bad)
+
+    def test_depth_limit(self):
+        deep = "<a>" * 50 + "</a>" * 50
+        with pytest.raises(XmlParseError):
+            XmlParser(max_depth=10).parse(deep)
+
+    def test_error_position(self):
+        with pytest.raises(XmlParseError) as err:
+            parse_xml("<a></b>")
+        assert err.value.position >= 0
+
+
+class TestStats:
+    def test_counters(self):
+        parser = XmlParser()
+        parser.parse("<a>1</a>")
+        parser.parse("<b/>")
+        assert parser.stats.documents == 2
+        assert parser.stats.bytes_scanned == len("<a>1</a>") + len("<b/>")
+        assert parser.stats.seconds > 0
+
+    def test_errors_counted(self):
+        parser = XmlParser()
+        with pytest.raises(XmlParseError):
+            parser.parse("<oops>")
+        assert parser.stats.errors == 1

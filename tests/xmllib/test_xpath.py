@@ -1,0 +1,107 @@
+"""Unit tests for the XPath-like dialect."""
+
+import pytest
+
+from repro.xmllib import (
+    XPathError,
+    evaluate_xpath,
+    get_xml_object,
+    parse_xpath,
+    parse_xml,
+)
+
+DOC = parse_xml(
+    '<order id="42" status="paid">'
+    "<item sku='a1'><name>apple</name><qty>3</qty><price>2.5</price></item>"
+    "<item sku='b2'><name>pear</name><qty>1</qty><price>4</price></item>"
+    "<note>rush </note><note>fragile</note>"
+    "</order>"
+)
+
+
+class TestParsePath:
+    def test_simple(self):
+        path = parse_xpath("/order/item/name")
+        assert len(path.steps) == 3
+        assert path.leaf == "name"
+
+    def test_attribute_leaf(self):
+        assert parse_xpath("/order/@id").leaf == "id"
+
+    def test_index(self):
+        path = parse_xpath("/order/item[1]/name")
+        assert path.steps[1].index == 1
+
+    def test_memoised(self):
+        assert parse_xpath("/a/b") is parse_xpath("/a/b")
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "order/item",
+            "/",
+            "//a",
+            "/a/@",
+            "/a/@id/b",
+            "/a/text()/b",
+            "/a[x]",
+            "/a[-1]",
+            "/a/b]",
+        ],
+    )
+    def test_malformed(self, bad):
+        with pytest.raises(XPathError):
+            parse_xpath(bad)
+
+
+class TestEvaluate:
+    def test_first_match_default(self):
+        assert evaluate_xpath("/order/item/name", DOC) == "apple"
+
+    def test_indexed(self):
+        assert evaluate_xpath("/order/item[1]/name", DOC) == "pear"
+
+    def test_attribute(self):
+        assert evaluate_xpath("/order/@id", DOC) == 42  # numeric coercion
+        assert evaluate_xpath("/order/@status", DOC) == "paid"
+        assert evaluate_xpath("/order/item/@sku", DOC) == "a1"
+
+    def test_text_function(self):
+        # raw character data is preserved (no stripping)
+        assert evaluate_xpath("/order/note/text()", DOC) == "rush "
+
+    def test_numeric_coercion(self):
+        assert evaluate_xpath("/order/item/qty", DOC) == 3
+        assert evaluate_xpath("/order/item/price", DOC) == 2.5
+        assert evaluate_xpath("/order/item[1]/price", DOC) == 4
+
+    def test_missing_paths_yield_none(self):
+        assert evaluate_xpath("/order/ghost", DOC) is None
+        assert evaluate_xpath("/order/item[9]/name", DOC) is None
+        assert evaluate_xpath("/order/@ghost", DOC) is None
+        assert evaluate_xpath("/wrongroot/item", DOC) is None
+
+    def test_root_index_zero_ok(self):
+        assert evaluate_xpath("/order[0]/@id", DOC) == 42
+        assert evaluate_xpath("/order[1]/@id", DOC) is None
+
+
+class TestGetXmlObject:
+    def test_basic(self):
+        assert get_xml_object("<a><b>7</b></a>", "/a/b") == 7
+
+    def test_null_contract(self):
+        assert get_xml_object(None, "/a/b") is None
+        assert get_xml_object("<broken", "/a/b") is None
+        assert get_xml_object("<a/>", "/a/ghost") is None
+
+    def test_bad_path_raises(self):
+        with pytest.raises(XPathError):
+            get_xml_object("<a/>", "no-slash")
+
+    def test_parser_stats_attributed(self):
+        from repro.xmllib import XmlParser
+
+        parser = XmlParser()
+        get_xml_object("<a>1</a>", "/a", parser=parser)
+        assert parser.stats.documents == 1
