@@ -11,7 +11,7 @@ import time
 
 import pytest
 
-from repro.core import CACHE_DATABASE, cache_table_name
+from repro.core import CACHE_DATABASE
 from repro.engine import EvalContext
 from repro.storage.readers import OrcReader
 
@@ -35,7 +35,14 @@ def _join_based_run(env, query):
     """
     catalog = env.system.catalog
     started = time.perf_counter()
-    cache_table = cache_table_name(query.database, query.table)
+    # The live generation's cache table for this raw table (generation
+    # swaps suffix the physical name, so resolve it via the registry).
+    cache_table = next(
+        entry.cache_table
+        for entry in env.system.registry.entries()
+        if entry.key.database == query.database
+        and entry.key.table == query.table
+    )
     raw_files = catalog.table_files(query.database, query.table)
     cache_files = catalog.table_files(CACHE_DATABASE, cache_table)
     rows = []

@@ -1,0 +1,80 @@
+"""Server throughput: queries/sec and latency percentiles vs concurrency.
+
+Drives the concurrent :class:`~repro.server.MaxsonServer` with the ten
+Table II queries at client concurrency 1, 4 and 8 over a warmed cache
+(the steady state between midnight cycles) and records queries/sec plus
+p50/p95 latency per level. The paper's deployment serves "hundreds of
+machines"; this regenerates the single-process shape of that curve —
+throughput should rise with concurrency until the engine saturates.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.server import MaxsonServer, ServerConfig
+from repro.server.status import percentile
+
+from .conftest import once, save_result
+
+CONCURRENCY_LEVELS = (1, 4, 8)
+REQUESTS_PER_LEVEL = 48
+
+
+def _run_level(env, concurrency: int) -> dict[str, float]:
+    server = MaxsonServer(
+        env.system,
+        ServerConfig(
+            max_workers=concurrency,
+            per_tenant_limit=concurrency,
+            queue_capacity=4 * REQUESTS_PER_LEVEL,
+            admission_timeout_seconds=120.0,
+        ),
+    )
+    queries = list(env.queries.values())
+    started = time.perf_counter()
+    futures = [
+        server.submit(
+            queries[i % len(queries)].sql, tenant=f"tenant-{i % 4}"
+        )
+        for i in range(REQUESTS_PER_LEVEL)
+    ]
+    latencies = []
+    for future in futures:
+        result = future.result()
+        latencies.append(result.metrics.total_seconds)
+    wall = time.perf_counter() - started
+    server.shutdown()
+    latencies.sort()
+    return {
+        "concurrency": concurrency,
+        "requests": REQUESTS_PER_LEVEL,
+        "wall_seconds": wall,
+        "qps": REQUESTS_PER_LEVEL / wall,
+        "p50_seconds": percentile(latencies, 0.50),
+        "p95_seconds": percentile(latencies, 0.95),
+        "max_seconds": latencies[-1],
+    }
+
+
+def test_server_throughput(benchmark, env):
+    env.cache_with_budget(env.total_candidate_bytes(), "score")
+
+    def run_all_levels():
+        return [_run_level(env, c) for c in CONCURRENCY_LEVELS]
+
+    levels = once(benchmark, run_all_levels)
+    payload = {
+        "levels": levels,
+        "paper_claim": "Maxson serves concurrent clients from shared "
+        "cache tables; throughput scales with client concurrency until "
+        "the engine saturates",
+    }
+    save_result("server_throughput", payload)
+    for level in levels:
+        assert level["qps"] > 0
+        assert level["p95_seconds"] >= level["p50_seconds"]
+    # concurrency must help at least somewhat over serial dispatch
+    serial = levels[0]["qps"]
+    best = max(level["qps"] for level in levels[1:])
+    assert best > serial * 0.8

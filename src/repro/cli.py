@@ -6,6 +6,7 @@ Subcommands::
     python -m repro.cli predict    # train a predictor, report P/R/F1
     python -m repro.cli demo       # run a query with and without Maxson
     python -m repro.cli bench-cache  # scoring vs random vs no-cache sweep
+    python -m repro.cli replay-serve # concurrent server replay + status
 
 All commands operate on the in-memory simulator and are seeded, so runs
 are reproducible; they exist to make the system explorable without
@@ -152,6 +153,46 @@ def cmd_bench_cache(args) -> int:
     return 0
 
 
+def cmd_replay_serve(args) -> int:
+    from .core import MaxsonConfig, MaxsonSystem, PredictorConfig
+    from .server import MaxsonServer, ServerConfig, build_replay_workload, replay
+    from .workload import build_queries, load_tables
+
+    system = MaxsonSystem(
+        config=MaxsonConfig(predictor=PredictorConfig(model=args.model))
+    )
+    factories = load_tables(
+        system.catalog, rows_per_table=args.rows, days=args.days
+    )
+    queries = build_queries(factories)
+    config = ServerConfig(
+        max_workers=args.concurrency,
+        per_tenant_limit=max(1, args.concurrency // 2),
+        queue_capacity=args.queue_capacity,
+        admission_timeout_seconds=args.admission_timeout,
+        refresh_interval_seconds=args.refresh_interval,
+    )
+    with MaxsonServer(system, config) as server:
+        requests = build_replay_workload(
+            queries,
+            days=args.days,
+            per_day=args.per_day,
+            tenants=args.tenants,
+            seed=args.seed,
+        )
+        report = replay(server, requests)
+        status = report.status
+        print(
+            f"replayed {report.requests} requests over {report.days} days "
+            f"({report.completed} completed, {report.failed} failed, "
+            f"{report.shed} shed) in {report.wall_seconds:.2f}s"
+        )
+        print(status.format())
+    if report.failed or report.completed == 0:
+        return 1
+    return 0
+
+
 def cmd_report(args) -> int:
     from .reporting import main as report_main
 
@@ -195,6 +236,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_bench.add_argument("--rows", type=int, default=600)
     p_bench.set_defaults(func=cmd_bench_cache)
+
+    p_serve = sub.add_parser(
+        "replay-serve",
+        aliases=["serve"],
+        help="replay a multi-day workload through the concurrent server",
+    )
+    p_serve.add_argument("--concurrency", type=int, default=8)
+    p_serve.add_argument("--days", type=int, default=3)
+    p_serve.add_argument("--per-day", type=int, default=24)
+    p_serve.add_argument("--tenants", type=int, default=4)
+    p_serve.add_argument("--rows", type=int, default=200)
+    p_serve.add_argument("--seed", type=int, default=7)
+    p_serve.add_argument("--queue-capacity", type=int, default=64)
+    p_serve.add_argument("--admission-timeout", type=float, default=30.0)
+    p_serve.add_argument("--refresh-interval", type=float, default=0.0)
+    p_serve.add_argument(
+        "--model",
+        default="always",
+        choices=["lr", "svm", "mlp", "lstm", "lstm_crf", "oracle", "always"],
+        help="predictor driving the midnight cycles",
+    )
+    p_serve.set_defaults(func=cmd_replay_serve)
 
     p_report = sub.add_parser(
         "report", help="render benchmarks/results as Markdown"

@@ -20,6 +20,7 @@ structured values fall back to JSON-serialised strings.
 from __future__ import annotations
 
 import re
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -75,50 +76,80 @@ class CacheBuildReport:
 
 class CacheRegistry:
     """In-memory registry of valid cache entries (the paper keeps this in
-    the metadata store consulted at plan time)."""
+    the metadata store consulted at plan time).
+
+    Safe under concurrent readers and writers: the plan modifier looks
+    entries up (and marks tables invalid) from query threads while the
+    midnight cycle registers a new generation's entries, so every method
+    takes an internal lock. Entries themselves are frozen dataclasses —
+    a reader that obtained one keeps a consistent view regardless of
+    later registrations.
+    """
 
     def __init__(self) -> None:
         self._entries: dict[PathKey, CacheEntry] = {}
         self._invalid: set[str] = set()  # cache table names marked invalid
+        self._lock = threading.RLock()
 
     def register(self, entry: CacheEntry) -> None:
-        self._entries[entry.key] = entry
+        with self._lock:
+            self._entries[entry.key] = entry
 
     def lookup(self, key: PathKey) -> CacheEntry | None:
-        entry = self._entries.get(key)
-        if entry is None or entry.cache_table in self._invalid:
-            return None
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None or entry.cache_table in self._invalid:
+                return None
+            return entry
 
     def mark_table_invalid(self, cache_table: str) -> None:
         """Algorithm 1 line 19: raw table changed after caching."""
-        self._invalid.add(cache_table)
+        with self._lock:
+            self._invalid.add(cache_table)
 
     def revalidate_table(self, cache_table: str) -> None:
         """Clear the invalid mark after a successful rebuild/refresh."""
-        self._invalid.discard(cache_table)
+        with self._lock:
+            self._invalid.discard(cache_table)
 
     def entries_including_invalid(self, cache_table: str) -> list[CacheEntry]:
         """Entries of one cache table, whether or not it is marked invalid
         (the refresh path repairs invalidated tables in place)."""
-        return [
-            e for e in self._entries.values() if e.cache_table == cache_table
-        ]
+        with self._lock:
+            return [
+                e for e in self._entries.values() if e.cache_table == cache_table
+            ]
+
+    def all_entries(self) -> list[CacheEntry]:
+        """Every registered entry, including those of invalidated tables."""
+        with self._lock:
+            return list(self._entries.values())
+
+    def cache_tables(self) -> set[str]:
+        """Names of every cache table with at least one entry (valid or
+        not) — the set a generation swap must retire."""
+        with self._lock:
+            return {e.cache_table for e in self._entries.values()}
 
     def invalid_tables(self) -> set[str]:
-        return set(self._invalid)
+        with self._lock:
+            return set(self._invalid)
 
     def entries(self) -> list[CacheEntry]:
-        return [
-            e for e in self._entries.values() if e.cache_table not in self._invalid
-        ]
+        with self._lock:
+            return [
+                e
+                for e in self._entries.values()
+                if e.cache_table not in self._invalid
+            ]
 
     def total_bytes(self) -> int:
         return sum(e.bytes_on_disk_share for e in self.entries())
 
     def clear(self) -> None:
-        self._entries.clear()
-        self._invalid.clear()
+        with self._lock:
+            self._entries.clear()
+            self._invalid.clear()
 
 
 def _infer_dtype(values: list[object]) -> DataType:
@@ -181,11 +212,20 @@ class JsonPathCacher:
         registry: CacheRegistry | None = None,
         row_group_size: int = 100,
         type_sample_rows: int = 64,
+        table_suffix: str = "",
     ) -> None:
         self.catalog = catalog
         self.registry = registry or CacheRegistry()
         self.row_group_size = row_group_size
         self.type_sample_rows = type_sample_rows
+        #: Appended to every cache table name. The generation-swap
+        #: protocol builds generation N into ``{db}__{table}__gN`` so the
+        #: next generation never collides with tables in-flight queries
+        #: are still reading.
+        self.table_suffix = table_suffix
+
+    def _table_name(self, database: str, table: str) -> str:
+        return cache_table_name(database, table) + self.table_suffix
 
     # ------------------------------------------------------------------
     def drop_all(self) -> None:
@@ -229,7 +269,7 @@ class JsonPathCacher:
         for key in keys:
             groups.setdefault((key.database, key.table), []).append(key)
         for (database, table), group in sorted(groups.items()):
-            cache_table = cache_table_name(database, table)
+            cache_table = self._table_name(database, table)
             # Invalidated-but-intact cache tables are refreshable in place:
             # appending the missing partitions is exactly the repair the
             # append-only update pattern calls for.
@@ -255,7 +295,7 @@ class JsonPathCacher:
         report: CacheBuildReport,
     ) -> None:
         keys = sorted(keys)  # must match the cache table's field order
-        cache_table = cache_table_name(database, table)
+        cache_table = self._table_name(database, table)
         raw_files = self.catalog.table_files(database, table)
         cache_files = self.catalog.table_files(CACHE_DATABASE, cache_table)
         if len(cache_files) > len(raw_files):
@@ -382,7 +422,7 @@ class JsonPathCacher:
             for key in keys
         )
         schema = Schema(fields)
-        cache_table = cache_table_name(database, table)
+        cache_table = self._table_name(database, table)
         if self.catalog.table_exists(CACHE_DATABASE, cache_table):
             self.catalog.drop_table(CACHE_DATABASE, cache_table)
         info = self.catalog.create_table(CACHE_DATABASE, cache_table, schema)

@@ -11,10 +11,16 @@ Two ingestion routes exist:
   used when replaying the synthetic trace;
 * :meth:`JsonPathCollector.record_planned` — a planned SQL query's
   ``referenced_json_paths``, used when collecting from the live engine.
+
+The collector is shared mutable state between query threads and the
+midnight cycle in server mode, so every method takes an internal lock:
+ingestion from N concurrent clients never loses counts, and readers see
+a consistent snapshot.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import Counter, defaultdict
 from dataclasses import dataclass
 
@@ -38,6 +44,7 @@ class JsonPathCollector:
         self._daily_counts: dict[int, Counter] = defaultdict(Counter)
         self._queries: dict[int, list[QueryRecord]] = defaultdict(list)
         self._universe: set[PathKey] = set()
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # ingestion
@@ -45,9 +52,10 @@ class JsonPathCollector:
     def record_query(self, day: int, paths: tuple[PathKey, ...] | list[PathKey]) -> None:
         """Record one executed query touching ``paths`` on ``day``."""
         paths = tuple(paths)
-        self._daily_counts[day].update(paths)
-        self._queries[day].append(QueryRecord(day=day, paths=paths))
-        self._universe.update(paths)
+        with self._lock:
+            self._daily_counts[day].update(paths)
+            self._queries[day].append(QueryRecord(day=day, paths=paths))
+            self._universe.update(paths)
 
     def record_planned(self, day: int, referenced: list[tuple[str, str, str, str]]) -> None:
         """Record a planned query's (db, table, column, path) references."""
@@ -65,17 +73,21 @@ class JsonPathCollector:
     # ------------------------------------------------------------------
     @property
     def days(self) -> list[int]:
-        return sorted(self._daily_counts)
+        with self._lock:
+            return sorted(self._daily_counts)
 
     @property
     def universe(self) -> list[PathKey]:
-        return sorted(self._universe)
+        with self._lock:
+            return sorted(self._universe)
 
     def count(self, key: PathKey, day: int) -> int:
-        return self._daily_counts.get(day, Counter()).get(key, 0)
+        with self._lock:
+            return self._daily_counts.get(day, Counter()).get(key, 0)
 
     def counts_on(self, day: int) -> Counter:
-        return Counter(self._daily_counts.get(day, Counter()))
+        with self._lock:
+            return Counter(self._daily_counts.get(day, Counter()))
 
     def count_sequence(self, key: PathKey, days: list[int]) -> list[int]:
         """Access counts of ``key`` over the given days (paper's Count
@@ -83,37 +95,42 @@ class JsonPathCollector:
         return [self.count(key, day) for day in days]
 
     def queries_on(self, day: int) -> list[QueryRecord]:
-        return list(self._queries.get(day, ()))
+        with self._lock:
+            return list(self._queries.get(day, ()))
 
     def queries_between(self, first_day: int, last_day: int) -> list[QueryRecord]:
         """Records with first_day <= day <= last_day."""
-        out: list[QueryRecord] = []
-        for day in range(first_day, last_day + 1):
-            out.extend(self._queries.get(day, ()))
-        return out
+        with self._lock:
+            out: list[QueryRecord] = []
+            for day in range(first_day, last_day + 1):
+                out.extend(self._queries.get(day, ()))
+            return out
 
     def mpjp_on(self, day: int, threshold: int = 2) -> set[PathKey]:
         """Paths parsed >= threshold times on ``day`` (the MPJP set)."""
-        counts = self._daily_counts.get(day, Counter())
-        return {key for key, value in counts.items() if value >= threshold}
+        with self._lock:
+            counts = self._daily_counts.get(day, Counter())
+            return {key for key, value in counts.items() if value >= threshold}
 
     def mpjp_label(self, key: PathKey, day: int, threshold: int = 2) -> int:
         return int(self.count(key, day) >= threshold)
 
     def total_parses(self) -> Counter:
         """PathKey -> total parse count over all collected days."""
-        out: Counter = Counter()
-        for counts in self._daily_counts.values():
-            out.update(counts)
-        return out
+        with self._lock:
+            out: Counter = Counter()
+            for counts in self._daily_counts.values():
+                out.update(counts)
+            return out
 
     def duplicate_parse_fraction(self) -> float:
         """Fraction of parse traffic that is redundant (beyond the first
         parse of each path each day) — the paper's 89% headline measure."""
-        total = 0
-        redundant = 0
-        for counts in self._daily_counts.values():
-            for value in counts.values():
-                total += value
-                redundant += max(0, value - 1)
-        return redundant / total if total else 0.0
+        with self._lock:
+            total = 0
+            redundant = 0
+            for counts in self._daily_counts.values():
+                for value in counts.values():
+                    total += value
+                    redundant += max(0, value - 1)
+            return redundant / total if total else 0.0

@@ -133,6 +133,10 @@ class MaxsonPlanModifier:
         plan = planned.physical
         report = RewriteReport()
         self.last_report = report
+        # Snapshot the registry reference once: a concurrent generation
+        # swap replaces ``self.registry`` wholesale, and one query must
+        # resolve every expression against a single consistent registry.
+        registry = self.registry
         scans = [n for n in _walk_plan(plan) if isinstance(n, ScanExec)]
         if not scans:
             return plan
@@ -154,7 +158,7 @@ class MaxsonPlanModifier:
                 return None
             scan, column_name = resolved
             key = PathKey(scan.database, scan.table, column_name, expr.path)
-            entry = self.registry.lookup(key)
+            entry = registry.lookup(key)
             if entry is None:
                 report.misses += 1
                 return None
@@ -163,7 +167,7 @@ class MaxsonPlanModifier:
                 scan.database, scan.table
             )
             if modify_time > entry.cache_time:
-                self.registry.mark_table_invalid(entry.cache_table)
+                registry.mark_table_invalid(entry.cache_table)
                 report.invalidated_tables.append(entry.cache_table)
                 report.misses += 1
                 return None
@@ -182,6 +186,10 @@ class MaxsonPlanModifier:
 
         for holder, slot in list(_expression_slots(plan)):
             _set_slot(holder, slot, transform(_get_slot(holder, slot), rewrite))
+
+        # Misses are counted at plan time (hits land in the metrics when
+        # the combiner actually reads cached values at execution).
+        state.metrics.cache_misses += report.misses
 
         if report.hits == 0:
             return plan

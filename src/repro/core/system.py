@@ -15,10 +15,23 @@ Wires the components into the nightly cycle the paper describes:
 
 Queries run through :meth:`MaxsonSystem.sql`, which both executes them
 and feeds the collector — the feedback loop of the production system.
+
+**Cache generations.** The paper drops yesterday's cache before
+re-populating; in a live service that would leave a window in which
+concurrent queries observe an empty or half-built cache. The system
+instead *double-buffers*: each midnight cycle builds generation ``N+1``
+into its own cache tables (``{db}__{table}__g{N+1}``) while generation
+``N`` keeps serving, then atomically swaps the registry the plan
+modifier consults and retires the old generation's tables. With a
+:class:`~repro.server.generation.GenerationGuard` installed
+(``generation_guard``), retirement is deferred until the last in-flight
+query leasing the old generation completes, so no query ever sees a
+torn cache.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from ..engine.catalog import Catalog
@@ -26,7 +39,12 @@ from ..engine.metrics import QueryMetrics
 from ..engine.session import QueryResult, Session
 from ..storage.fs import BlockFileSystem
 from ..workload.trace import PathKey
-from .cacher import CacheBuildReport, CacheRegistry, JsonPathCacher
+from .cacher import (
+    CACHE_DATABASE,
+    CacheBuildReport,
+    CacheRegistry,
+    JsonPathCacher,
+)
 from .collector import JsonPathCollector
 from .maxson_parser import MaxsonPlanModifier
 from .predictor import JsonPathPredictor, PredictorConfig
@@ -90,6 +108,14 @@ class MaxsonSystem:
         self.session.add_plan_modifier(self.modifier)
         self.current_day = 0
         self.cache_build_metrics = QueryMetrics()
+        #: Monotonic cache-generation counter; bumped by every swap.
+        self.generation = 0
+        #: Optional :class:`~repro.server.generation.GenerationGuard`; when
+        #: set, old-generation retirement waits for in-flight leases.
+        self.generation_guard = None
+        self._generation_lock = threading.RLock()
+        self._baseline_lock = threading.RLock()
+        self._baseline_depth = 0
 
     # ------------------------------------------------------------------
     # convenience constructors
@@ -121,12 +147,94 @@ class MaxsonSystem:
         return self.session.sql(sql)
 
     def baseline_sql(self, sql: str) -> QueryResult:
-        """Execute without Maxson (plain engine), for comparisons."""
-        self.session.remove_plan_modifier(self.modifier)
+        """Execute without Maxson (plain engine), for comparisons.
+
+        Safe to nest and to call re-entrantly: a depth counter keeps the
+        modifier uninstalled until the outermost call finishes, and both
+        install and removal are idempotent on the session.
+        """
+        with self._baseline_lock:
+            self._baseline_depth += 1
+            self.session.remove_plan_modifier(self.modifier)
         try:
             return self.session.sql(sql)
         finally:
-            self.session.add_plan_modifier(self.modifier)
+            with self._baseline_lock:
+                self._baseline_depth -= 1
+                if self._baseline_depth == 0:
+                    self.session.add_plan_modifier(self.modifier)
+
+    # ------------------------------------------------------------------
+    # cache generations (double-buffered swap)
+    # ------------------------------------------------------------------
+    def _swap_generation(self, keys: list[PathKey]) -> CacheBuildReport:
+        """Build the next cache generation off to the side and swap it in.
+
+        The new generation's tables carry a ``__g{N}`` suffix so the
+        build never touches tables the current generation is serving
+        from. Once built, the registry/cacher references are swapped (a
+        plan modifier snapshots ``modifier.registry`` once per query, so
+        the swap is atomic from a query's point of view) and the old
+        generation is retired — immediately when no
+        :attr:`generation_guard` is installed, otherwise as soon as the
+        last query leasing the old generation drains.
+        """
+        with self._generation_lock:
+            next_generation = self.generation + 1
+            new_registry = CacheRegistry()
+            new_cacher = JsonPathCacher(
+                self.catalog,
+                new_registry,
+                row_group_size=self.cacher.row_group_size,
+                type_sample_rows=self.cacher.type_sample_rows,
+                table_suffix=f"__g{next_generation}",
+            )
+            build = new_cacher.populate(keys)
+            old_registry = self.registry
+            old_tables = old_registry.cache_tables()
+
+            def install() -> None:
+                self.registry = new_registry
+                self.cacher = new_cacher
+                self.modifier.registry = new_registry
+                self.generation = next_generation
+
+            def retire() -> None:
+                for table in sorted(old_tables):
+                    if self.catalog.table_exists(CACHE_DATABASE, table):
+                        self.catalog.drop_table(CACHE_DATABASE, table)
+                old_registry.clear()
+
+            guard = self.generation_guard
+            if guard is None:
+                install()
+                retire()
+            else:
+                guard.complete_swap(
+                    self.generation, next_generation, install, retire
+                )
+            self.cache_build_metrics.extra["build_seconds"] = (
+                self.cache_build_metrics.extra.get("build_seconds", 0.0)
+                + build.build_seconds
+            )
+            self.cache_build_metrics.extra["generations_built"] = (
+                self.cache_build_metrics.extra.get("generations_built", 0.0)
+                + 1.0
+            )
+            return build
+
+    def refresh_cache(self) -> CacheBuildReport:
+        """Incrementally extend the current generation's cache tables to
+        cover raw files appended since the build (repairing invalidated
+        tables in place); see :meth:`JsonPathCacher.refresh`."""
+        with self._generation_lock:
+            keys = [entry.key for entry in self.registry.all_entries()]
+            build = self.cacher.refresh(keys)
+            self.cache_build_metrics.extra["build_seconds"] = (
+                self.cache_build_metrics.extra.get("build_seconds", 0.0)
+                + build.build_seconds
+            )
+            return build
 
     # ------------------------------------------------------------------
     # the midnight cycle
@@ -168,12 +276,7 @@ class MaxsonSystem:
             selected = self.scoring.select_within_budget(
                 scored, self.config.cache_budget_bytes
             )
-        self.cacher.drop_all()
-        build = self.cacher.populate([sp.key for sp in selected])
-        self.cache_build_metrics.extra["build_seconds"] = (
-            self.cache_build_metrics.extra.get("build_seconds", 0.0)
-            + build.build_seconds
-        )
+        build = self._swap_generation([sp.key for sp in selected])
         self.current_day = target_day
         return MidnightReport(
             day=target_day,
@@ -215,8 +318,7 @@ class MaxsonSystem:
             )
         else:
             selected = self.scoring.select_within_budget(scored, budget)
-        self.cacher.drop_all()
-        build = self.cacher.populate([sp.key for sp in selected])
+        build = self._swap_generation([sp.key for sp in selected])
         return MidnightReport(
             day=self.current_day,
             predicted_mpjp=len(keys),
@@ -234,4 +336,8 @@ class MaxsonSystem:
             "cache_tables": len({e.cache_table for e in entries}),
             "cache_bytes": self.registry.total_bytes(),
             "invalid_tables": sorted(self.registry.invalid_tables()),
+            "generation": self.generation,
+            "build_seconds": self.cache_build_metrics.extra.get(
+                "build_seconds", 0.0
+            ),
         }

@@ -9,6 +9,7 @@ cache timestamps to decide cache validity (paper Algorithm 1, lines 16-19).
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from ..storage.fs import BlockFileSystem
@@ -48,6 +49,9 @@ class Catalog:
         self.fs = fs
         self.warehouse_root = warehouse_root.rstrip("/")
         self._tables: dict[tuple[str, str], TableInfo] = {}
+        # DDL and lookups run concurrently in server mode (cache builds
+        # create/drop tables while query threads resolve scans).
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # DDL
@@ -60,41 +64,46 @@ class Catalog:
         properties: dict[str, str] | None = None,
     ) -> TableInfo:
         key = (database, name)
-        if key in self._tables:
-            raise CatalogError(f"table exists: {database}.{name}")
-        info = TableInfo(
-            database=database,
-            name=name,
-            schema=schema,
-            location=f"{self.warehouse_root}/{database}/{name}",
-            properties=dict(properties or {}),
-        )
-        self._tables[key] = info
-        return info
+        with self._lock:
+            if key in self._tables:
+                raise CatalogError(f"table exists: {database}.{name}")
+            info = TableInfo(
+                database=database,
+                name=name,
+                schema=schema,
+                location=f"{self.warehouse_root}/{database}/{name}",
+                properties=dict(properties or {}),
+            )
+            self._tables[key] = info
+            return info
 
     def drop_table(self, database: str, name: str) -> None:
         key = (database, name)
-        if key not in self._tables:
-            raise CatalogError(f"no such table: {database}.{name}")
-        info = self._tables.pop(key)
+        with self._lock:
+            if key not in self._tables:
+                raise CatalogError(f"no such table: {database}.{name}")
+            info = self._tables.pop(key)
         if self.fs.exists(info.location):
             self.fs.delete(info.location)
 
     def get_table(self, database: str, name: str) -> TableInfo:
-        try:
-            return self._tables[(database, name)]
-        except KeyError:
-            raise CatalogError(f"no such table: {database}.{name}") from None
+        with self._lock:
+            try:
+                return self._tables[(database, name)]
+            except KeyError:
+                raise CatalogError(f"no such table: {database}.{name}") from None
 
     def table_exists(self, database: str, name: str) -> bool:
-        return (database, name) in self._tables
+        with self._lock:
+            return (database, name) in self._tables
 
     def list_tables(self, database: str | None = None) -> list[TableInfo]:
-        return [
-            info
-            for (db, _), info in sorted(self._tables.items())
-            if database is None or db == database
-        ]
+        with self._lock:
+            return [
+                info
+                for (db, _), info in sorted(self._tables.items())
+                if database is None or db == database
+            ]
 
     # ------------------------------------------------------------------
     # data
@@ -114,12 +123,6 @@ class Catalog:
         together lands in the same file and is never modified afterwards.
         """
         info = self.get_table(database, name)
-        existing = (
-            self.fs.list_directory(info.location)
-            if self.fs.exists(info.location)
-            else []
-        )
-        path = f"{info.location}/part-{len(existing):05d}.orc"
         kwargs = {}
         if row_group_size is not None:
             kwargs["row_group_size"] = row_group_size
@@ -127,7 +130,17 @@ class Catalog:
             kwargs["stripe_bytes"] = stripe_bytes
         writer = OrcWriter(info.schema, **kwargs)
         writer.write_rows(rows)
-        self.fs.create(path, writer.finish())
+        data = writer.finish()
+        # Choosing the next part index and creating the file must be one
+        # atomic step or two concurrent appends would collide on a name.
+        with self._lock:
+            existing = (
+                self.fs.list_directory(info.location)
+                if self.fs.exists(info.location)
+                else []
+            )
+            path = f"{info.location}/part-{len(existing):05d}.orc"
+            self.fs.create(path, data)
         return path
 
     def table_files(self, database: str, name: str) -> list[str]:

@@ -56,6 +56,43 @@ class QueryMetrics:
             "compute": self.compute_seconds,
         }
 
+    @property
+    def cache_hit_ratio(self) -> float:
+        """Cache hits over all cache-eligible extraction calls."""
+        total = self.cache_hits + self.cache_misses
+        if total <= 0:
+            return 0.0
+        return self.cache_hits / total
+
+    def to_dict(self) -> dict[str, object]:
+        """A JSON-serialisable snapshot of every counter plus the derived
+        rates — the payload of the server's status endpoint."""
+        return {
+            "total_seconds": self.total_seconds,
+            "plan_seconds": self.plan_seconds,
+            "read_seconds": self.read_seconds,
+            "parse_seconds": self.parse_seconds,
+            "compute_seconds": self.compute_seconds,
+            "parse_fraction": self.parse_fraction,
+            "bytes_read": self.bytes_read,
+            "rows_scanned": self.rows_scanned,
+            "rows_output": self.rows_output,
+            "row_groups_total": self.row_groups_total,
+            "row_groups_skipped": self.row_groups_skipped,
+            "parse_documents": self.parse_documents,
+            "parse_bytes": self.parse_bytes,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_ratio": self.cache_hit_ratio,
+            "extra": dict(self.extra),
+        }
+
+    def snapshot(self) -> "QueryMetrics":
+        """An independent copy (accumulators keep mutating the original)."""
+        copy = QueryMetrics()
+        copy.merge(self)
+        return copy
+
     def merge(self, other: "QueryMetrics") -> None:
         """Accumulate another query's counters into this one."""
         self.total_seconds += other.total_seconds

@@ -13,6 +13,7 @@ modifiers installed.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -64,6 +65,7 @@ class Session:
             self.catalog = Catalog(self.fs)
         self.planner = Planner(self.catalog)
         self._plan_modifiers: list = []
+        self._lock = threading.RLock()
         #: accumulated across queries; reset with `reset_session_metrics`
         self.session_metrics = QueryMetrics()
 
@@ -71,11 +73,22 @@ class Session:
     # plan modifiers (the Maxson hook)
     # ------------------------------------------------------------------
     def add_plan_modifier(self, modifier) -> None:
-        """Register an object with ``modify(planned, state) -> PhysicalPlan``."""
-        self._plan_modifiers.append(modifier)
+        """Register an object with ``modify(planned, state) -> PhysicalPlan``.
+
+        Idempotent: registering an already-installed modifier is a no-op,
+        so nested install/remove pairs (e.g. re-entrant ``baseline_sql``)
+        cannot double-apply a modifier.
+        """
+        with self._lock:
+            if modifier not in self._plan_modifiers:
+                self._plan_modifiers.append(modifier)
 
     def remove_plan_modifier(self, modifier) -> None:
-        self._plan_modifiers.remove(modifier)
+        """Deregister a modifier. Idempotent: removing a modifier that is
+        not installed is a no-op rather than a ``ValueError``."""
+        with self._lock:
+            if modifier in self._plan_modifiers:
+                self._plan_modifiers.remove(modifier)
 
     # ------------------------------------------------------------------
     def compile(self, sql: str) -> PlannedQuery:
@@ -95,7 +108,9 @@ class Session:
         if self.projection_parser_factory is not None:
             context.projection_parser = self.projection_parser_factory()
         state = ExecState(catalog=self.catalog, context=context)
-        for modifier in self._plan_modifiers:
+        with self._lock:
+            modifiers = list(self._plan_modifiers)
+        for modifier in modifiers:
             planned.physical = modifier.modify(planned, state)
         plan_seconds = time.perf_counter() - started
         return planned, state, plan_seconds
@@ -122,8 +137,10 @@ class Session:
                 metrics.parse_seconds += extra_parser.stats.seconds
                 metrics.parse_documents += extra_parser.stats.documents
                 metrics.parse_bytes += extra_parser.stats.bytes_scanned
-        self.session_metrics.merge(metrics)
+        with self._lock:
+            self.session_metrics.merge(metrics)
         return QueryResult(rows=rows, metrics=metrics, plan=planned.physical)
 
     def reset_session_metrics(self) -> None:
-        self.session_metrics = QueryMetrics()
+        with self._lock:
+            self.session_metrics = QueryMetrics()

@@ -1,0 +1,41 @@
+"""Concurrent Maxson query service.
+
+The :mod:`repro.server` package turns the batch-oriented
+:class:`~repro.core.system.MaxsonSystem` into a long-running service:
+:class:`MaxsonServer` executes SQL from many logical tenants on a thread
+pool behind admission control, ingests path statistics online, and keeps
+serving while a :class:`MaintenanceScheduler` builds the next cache
+generation and swaps it in atomically (retirement deferred by
+:class:`GenerationGuard` until the last in-flight query drains).
+"""
+
+from .admission import (
+    AdmissionController,
+    AdmissionError,
+    AdmissionTimeout,
+    QueueFullError,
+)
+from .config import ServerConfig
+from .generation import GenerationGuard
+from .replay import ReplayReport, ReplayRequest, build_replay_workload, replay
+from .scheduler import MaintenanceScheduler, VirtualClock
+from .service import MaxsonServer
+from .status import ServerStatus, percentile
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionError",
+    "AdmissionTimeout",
+    "QueueFullError",
+    "ServerConfig",
+    "GenerationGuard",
+    "MaintenanceScheduler",
+    "VirtualClock",
+    "MaxsonServer",
+    "ServerStatus",
+    "percentile",
+    "ReplayRequest",
+    "ReplayReport",
+    "build_replay_workload",
+    "replay",
+]

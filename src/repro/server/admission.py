@@ -1,0 +1,145 @@
+"""Admission control: per-tenant concurrency limits with a bounded queue.
+
+Every request first passes the :class:`AdmissionController`:
+
+* if the number of requests already *waiting* has reached the queue
+  capacity, the request is **shed** immediately (:class:`QueueFullError`)
+  — the load-shedding behaviour a saturated service needs to stay live;
+* otherwise it waits until its tenant has a free slot, up to the
+  admission timeout (:class:`AdmissionTimeout`);
+* once admitted it occupies one tenant slot until released.
+
+The controller is a single condition variable over per-tenant counters —
+deliberately simple and fair-enough (wakeups race, but a tenant can
+never exceed its limit and counters never drift)."""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+
+__all__ = [
+    "AdmissionError",
+    "QueueFullError",
+    "AdmissionTimeout",
+    "AdmissionController",
+]
+
+
+class AdmissionError(RuntimeError):
+    """Base class: the request was not admitted."""
+
+
+class QueueFullError(AdmissionError):
+    """Shed on arrival: the admission queue was at capacity."""
+
+
+class AdmissionTimeout(AdmissionError):
+    """Gave up waiting for a tenant slot."""
+
+
+class AdmissionController:
+    """Bounded admission queue with per-tenant concurrency limits."""
+
+    def __init__(
+        self,
+        per_tenant_limit: int,
+        queue_capacity: int,
+        timeout_seconds: float = 30.0,
+    ) -> None:
+        self.per_tenant_limit = per_tenant_limit
+        self.queue_capacity = queue_capacity
+        self.timeout_seconds = timeout_seconds
+        self._cond = threading.Condition()
+        self._active: dict[str, int] = {}
+        self._waiting = 0
+        # counters (guarded by the condition's lock)
+        self.admitted = 0
+        self.shed = 0
+        self.timed_out = 0
+        self.peak_waiting = 0
+        self.per_tenant_admitted: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def acquire(self, tenant: str, timeout: float | None = None) -> None:
+        """Block until ``tenant`` has a free slot; raise on shed/timeout."""
+        limit = self.per_tenant_limit
+        timeout = self.timeout_seconds if timeout is None else timeout
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            if self._active.get(tenant, 0) < limit and self._waiting == 0:
+                self._admit(tenant)
+                return
+            if self._waiting >= self.queue_capacity:
+                self.shed += 1
+                raise QueueFullError(
+                    f"admission queue full ({self.queue_capacity} waiting)"
+                )
+            self._waiting += 1
+            self.peak_waiting = max(self.peak_waiting, self._waiting)
+            try:
+                while self._active.get(tenant, 0) >= limit:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        self.timed_out += 1
+                        raise AdmissionTimeout(
+                            f"tenant {tenant!r} waited {timeout:.3f}s "
+                            f"for a slot (limit {limit})"
+                        )
+                    self._cond.wait(remaining)
+                self._admit(tenant)
+            finally:
+                self._waiting -= 1
+
+    def _admit(self, tenant: str) -> None:
+        self._active[tenant] = self._active.get(tenant, 0) + 1
+        self.admitted += 1
+        self.per_tenant_admitted[tenant] = (
+            self.per_tenant_admitted.get(tenant, 0) + 1
+        )
+
+    def release(self, tenant: str) -> None:
+        with self._cond:
+            count = self._active.get(tenant, 0)
+            if count <= 1:
+                self._active.pop(tenant, None)
+            else:
+                self._active[tenant] = count - 1
+            self._cond.notify_all()
+
+    @contextmanager
+    def admit(self, tenant: str, timeout: float | None = None):
+        """``with controller.admit(tenant): ...`` — acquire + release."""
+        self.acquire(tenant, timeout)
+        try:
+            yield
+        finally:
+            self.release(tenant)
+
+    # ------------------------------------------------------------------
+    @property
+    def waiting(self) -> int:
+        with self._cond:
+            return self._waiting
+
+    @property
+    def active(self) -> int:
+        with self._cond:
+            return sum(self._active.values())
+
+    def snapshot(self) -> dict[str, object]:
+        """Serializable queue/limit statistics."""
+        with self._cond:
+            return {
+                "admitted": self.admitted,
+                "shed": self.shed,
+                "timed_out": self.timed_out,
+                "waiting": self._waiting,
+                "peak_waiting": self.peak_waiting,
+                "active": sum(self._active.values()),
+                "active_by_tenant": dict(self._active),
+                "admitted_by_tenant": dict(self.per_tenant_admitted),
+                "per_tenant_limit": self.per_tenant_limit,
+                "queue_capacity": self.queue_capacity,
+            }

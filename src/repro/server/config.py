@@ -1,0 +1,62 @@
+"""Server configuration knobs.
+
+:class:`ServerConfig` sizes the three throttles of the query service:
+
+* **worker pool** — how many queries execute simultaneously
+  (``max_workers``);
+* **per-tenant concurrency** — how many of those one logical client may
+  occupy at once (``per_tenant_limit``), the noisy-neighbour guard;
+* **admission queue** — how many requests may wait for a tenant slot
+  (``queue_capacity``) and for how long (``admission_timeout_seconds``)
+  before being shed.
+
+Defaults are sized for the in-process simulator; a production deployment
+would scale them with the executor fleet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ServerConfig"]
+
+
+@dataclass
+class ServerConfig:
+    """Knobs for :class:`~repro.server.service.MaxsonServer`."""
+
+    max_workers: int = 8
+    """Size of the query-execution thread pool."""
+
+    per_tenant_limit: int = 4
+    """Queries one tenant may have executing concurrently."""
+
+    queue_capacity: int = 64
+    """Requests allowed to wait for admission before new ones are shed."""
+
+    admission_timeout_seconds: float = 10.0
+    """How long a request may wait for a tenant slot before timing out."""
+
+    default_tenant: str = "default"
+    """Tenant used when a request names none."""
+
+    midnight_history_days: int = 7
+    """Scoring window handed to the midnight cycle."""
+
+    refresh_interval_seconds: float = 0.0
+    """Virtual seconds between incremental cache refreshes (0 = off)."""
+
+    seconds_per_day: float = 86400.0
+    """Length of one virtual day on the maintenance clock."""
+
+    def __post_init__(self) -> None:
+        if self.max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        if self.per_tenant_limit < 1:
+            raise ValueError("per_tenant_limit must be >= 1")
+        if self.queue_capacity < 0:
+            raise ValueError("queue_capacity must be >= 0")
+        if self.admission_timeout_seconds < 0:
+            raise ValueError("admission_timeout_seconds must be >= 0")
+        if self.seconds_per_day <= 0:
+            raise ValueError("seconds_per_day must be positive")

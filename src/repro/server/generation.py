@@ -1,0 +1,112 @@
+"""Generation leases: safe retirement of swapped-out cache generations.
+
+The midnight cycle builds cache generation ``N+1`` beside the live
+generation ``N`` and swaps the registry atomically
+(:meth:`repro.core.system.MaxsonSystem._swap_generation`). What remains
+unsafe without coordination is *retirement*: dropping generation ``N``'s
+tables while a query planned against them is still reading.
+
+:class:`GenerationGuard` closes that window with reference counting:
+
+* every query takes a :meth:`lease` on the current generation before
+  planning and holds it through execution;
+* :meth:`complete_swap` (called by the system, with the build already
+  done) installs the new generation and then retires the old one
+  immediately if idle, or parks the retirement until the last lease on
+  it drains.
+
+Ordering argument: lease acquisition and swap installation serialise on
+one lock. A query that leased before the swap keeps the old tables alive
+(refcount > 0 defers the drop); a query that leases after the swap plans
+against the already-installed new registry and never touches the old
+tables. Either way, no query observes a torn or missing cache.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Callable
+
+__all__ = ["GenerationGuard"]
+
+
+class GenerationGuard:
+    """Reference-counted leases over a system's cache generations."""
+
+    def __init__(self, system) -> None:
+        self.system = system
+        self._lock = threading.RLock()
+        self._active: dict[int, int] = {}  # generation -> live leases
+        self._pending_retire: dict[int, Callable[[], None]] = {}
+        # counters (guarded by _lock)
+        self.leases_granted = 0
+        self.swaps = 0
+        self.retired_immediately = 0
+        self.retired_deferred = 0
+        system.generation_guard = self
+
+    # ------------------------------------------------------------------
+    @contextmanager
+    def lease(self):
+        """Pin the current generation for the duration of one query."""
+        with self._lock:
+            generation = self.system.generation
+            self._active[generation] = self._active.get(generation, 0) + 1
+            self.leases_granted += 1
+        try:
+            yield generation
+        finally:
+            retire: Callable[[], None] | None = None
+            with self._lock:
+                remaining = self._active.get(generation, 0) - 1
+                if remaining <= 0:
+                    self._active.pop(generation, None)
+                    retire = self._pending_retire.pop(generation, None)
+                    if retire is not None:
+                        self.retired_deferred += 1
+                else:
+                    self._active[generation] = remaining
+            if retire is not None:
+                retire()
+
+    def complete_swap(
+        self,
+        old_generation: int,
+        new_generation: int,
+        install: Callable[[], None],
+        retire: Callable[[], None],
+    ) -> None:
+        """Install the built generation and retire (or park) the old one.
+
+        Called by :meth:`MaxsonSystem._swap_generation` after the new
+        generation's tables are fully built."""
+        run_retire = False
+        with self._lock:
+            install()
+            self.swaps += 1
+            if self._active.get(old_generation, 0) == 0:
+                self.retired_immediately += 1
+                run_retire = True
+            else:
+                self._pending_retire[old_generation] = retire
+        if run_retire:
+            retire()
+
+    # ------------------------------------------------------------------
+    def active_leases(self) -> int:
+        with self._lock:
+            return sum(self._active.values())
+
+    def snapshot(self) -> dict[str, object]:
+        """Serializable lease/retirement statistics."""
+        with self._lock:
+            return {
+                "generation": self.system.generation,
+                "active_leases": sum(self._active.values()),
+                "leases_granted": self.leases_granted,
+                "swaps": self.swaps,
+                "retired_immediately": self.retired_immediately,
+                "retired_deferred": self.retired_deferred,
+                "pending_retirements": len(self._pending_retire),
+            }

@@ -1,0 +1,198 @@
+"""MaxsonServer: the concurrent query service.
+
+Turns a :class:`~repro.core.system.MaxsonSystem` (batch facade) into a
+long-running service:
+
+* SQL requests from many logical clients execute on a thread pool
+  (:meth:`submit` returns a future; :meth:`execute` is the synchronous
+  path the pool workers run);
+* every request passes **admission control** (per-tenant concurrency
+  limit, bounded wait queue with shed/timeout) and then takes a
+  **generation lease** so the cache generation it plans against cannot
+  be retired under it;
+* statistics ingestion is online: executed queries feed the collector
+  through ``system.sql`` and replayed trace events through
+  :meth:`ingest`, concurrently and without losing counts;
+* the **maintenance scheduler** drives midnight cycles (build next
+  generation → atomic swap) and incremental refreshes off a virtual
+  clock while queries keep flowing;
+* :meth:`status` returns a serializable snapshot (QPS, latency
+  percentiles, hit ratio, queue depth, cache generation, build seconds).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+
+from ..core.system import MaxsonSystem, MidnightReport
+from ..engine.metrics import QueryMetrics
+from ..engine.session import QueryResult
+from ..workload.trace import PathKey
+from .admission import AdmissionController
+from .config import ServerConfig
+from .generation import GenerationGuard
+from .scheduler import MaintenanceScheduler, VirtualClock
+from .status import ServerStatus, percentile
+
+__all__ = ["MaxsonServer"]
+
+#: Latency samples kept for percentile estimation (newest win).
+_MAX_LATENCY_SAMPLES = 65536
+
+
+class MaxsonServer:
+    """A concurrent Maxson query service over one :class:`MaxsonSystem`."""
+
+    def __init__(
+        self,
+        system: MaxsonSystem | None = None,
+        config: ServerConfig | None = None,
+    ) -> None:
+        self.system = system or MaxsonSystem()
+        self.config = config or ServerConfig()
+        self.admission = AdmissionController(
+            per_tenant_limit=self.config.per_tenant_limit,
+            queue_capacity=self.config.queue_capacity,
+            timeout_seconds=self.config.admission_timeout_seconds,
+        )
+        self.generation_guard = GenerationGuard(self.system)
+        self.scheduler = MaintenanceScheduler(
+            self,
+            clock=VirtualClock(seconds_per_day=self.config.seconds_per_day),
+            refresh_interval_seconds=self.config.refresh_interval_seconds,
+            history_days=self.config.midnight_history_days,
+        )
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.config.max_workers, thread_name_prefix="maxson"
+        )
+        self._lock = threading.Lock()
+        self._totals = QueryMetrics()
+        self._latencies: list[float] = []
+        self._completed = 0
+        self._failed = 0
+        self._stats_events = 0
+        self._per_tenant_completed: dict[str, int] = {}
+        self._started = time.perf_counter()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # request path
+    # ------------------------------------------------------------------
+    def execute(
+        self, sql: str, tenant: str | None = None, day: int | None = None
+    ) -> QueryResult:
+        """Admit, lease the cache generation, execute, account.
+
+        Raises :class:`QueueFullError` / :class:`AdmissionTimeout` when
+        the request is shed, and re-raises engine errors after counting
+        them as failures.
+        """
+        tenant = tenant or self.config.default_tenant
+        started = time.perf_counter()
+        with self.admission.admit(tenant):
+            with self.generation_guard.lease():
+                try:
+                    result = self.system.sql(sql, day=day)
+                except Exception:
+                    with self._lock:
+                        self._failed += 1
+                    raise
+        elapsed = time.perf_counter() - started
+        with self._lock:
+            self._completed += 1
+            self._per_tenant_completed[tenant] = (
+                self._per_tenant_completed.get(tenant, 0) + 1
+            )
+            self._totals.merge(result.metrics)
+            self._latencies.append(elapsed)
+            if len(self._latencies) > _MAX_LATENCY_SAMPLES:
+                del self._latencies[: -_MAX_LATENCY_SAMPLES // 2]
+        return result
+
+    def submit(
+        self, sql: str, tenant: str | None = None, day: int | None = None
+    ) -> Future:
+        """Queue a request on the worker pool; the future resolves to a
+        :class:`QueryResult` or raises the admission/engine error."""
+        if self._closed:
+            raise RuntimeError("server is shut down")
+        return self._pool.submit(self.execute, sql, tenant, day)
+
+    def ingest(self, day: int, paths: tuple[PathKey, ...] | list[PathKey]) -> None:
+        """Online statistics ingestion for non-SQL events (trace replay)."""
+        self.system.collector.record_query(day, paths)
+        with self._lock:
+            self._stats_events += 1
+
+    # ------------------------------------------------------------------
+    # maintenance path (called by the scheduler, or directly)
+    # ------------------------------------------------------------------
+    def run_midnight_cycle(
+        self, day: int | None = None, history_days: int = 7
+    ) -> MidnightReport:
+        """Build and atomically swap in the next cache generation."""
+        return self.system.run_midnight_cycle(day=day, history_days=history_days)
+
+    def refresh_cache(self):
+        """Incrementally extend the live generation's cache tables."""
+        return self.system.refresh_cache()
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def status(self) -> ServerStatus:
+        uptime = time.perf_counter() - self._started
+        with self._lock:
+            completed = self._completed
+            failed = self._failed
+            stats_events = self._stats_events
+            tenants = dict(self._per_tenant_completed)
+            totals = self._totals.snapshot()
+            latencies = sorted(self._latencies)
+        admission = self.admission.snapshot()
+        guard = self.generation_guard.snapshot()
+        maintenance = self.scheduler.snapshot()
+        summary = self.system.cache_summary()
+        return ServerStatus(
+            uptime_seconds=uptime,
+            queries_completed=completed,
+            queries_failed=failed,
+            queries_shed=int(admission["shed"]),
+            queries_timed_out=int(admission["timed_out"]),
+            stats_events_ingested=stats_events,
+            qps=completed / uptime if uptime > 0 else 0.0,
+            latency_p50_seconds=percentile(latencies, 0.50),
+            latency_p95_seconds=percentile(latencies, 0.95),
+            latency_max_seconds=latencies[-1] if latencies else 0.0,
+            cache_hits=totals.cache_hits,
+            cache_misses=totals.cache_misses,
+            cache_hit_ratio=totals.cache_hit_ratio,
+            generation=int(summary["generation"]),
+            cached_paths=int(summary["cached_paths"]),
+            cache_bytes=int(summary["cache_bytes"]),
+            build_seconds=float(summary["build_seconds"]),
+            midnight_cycles=int(maintenance["midnight_cycles"]),
+            refreshes=int(maintenance["refreshes"]),
+            queue_depth=int(admission["waiting"]),
+            peak_queue_depth=int(admission["peak_waiting"]),
+            active_queries=int(admission["active"]),
+            active_leases=int(guard["active_leases"]),
+            tenants=tenants,
+            totals=totals.to_dict(),
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting work and (optionally) drain the pool."""
+        self._closed = True
+        self._pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "MaxsonServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown(wait=True)

@@ -1,0 +1,94 @@
+"""Serializable server status snapshots.
+
+:class:`ServerStatus` is the one-call observability surface of the
+query service: throughput (QPS), latency percentiles, cache
+effectiveness (hit ratio, generation, build seconds), admission-queue
+health and the aggregate :class:`~repro.engine.metrics.QueryMetrics` of
+everything executed so far. ``to_dict`` is JSON-safe for scraping;
+``format`` renders the human snapshot the CLI prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["percentile", "ServerStatus"]
+
+
+def percentile(sorted_values: list[float], fraction: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample (0.0 if empty)."""
+    if not sorted_values:
+        return 0.0
+    if fraction <= 0:
+        return sorted_values[0]
+    rank = min(len(sorted_values) - 1, int(fraction * len(sorted_values)))
+    return sorted_values[rank]
+
+
+@dataclass
+class ServerStatus:
+    """One consistent snapshot of a running :class:`MaxsonServer`."""
+
+    uptime_seconds: float
+    queries_completed: int
+    queries_failed: int
+    queries_shed: int
+    queries_timed_out: int
+    stats_events_ingested: int
+    qps: float
+    latency_p50_seconds: float
+    latency_p95_seconds: float
+    latency_max_seconds: float
+    cache_hits: int
+    cache_misses: int
+    cache_hit_ratio: float
+    generation: int
+    cached_paths: int
+    cache_bytes: int
+    build_seconds: float
+    midnight_cycles: int
+    refreshes: int
+    queue_depth: int
+    peak_queue_depth: int
+    active_queries: int
+    active_leases: int
+    tenants: dict[str, int] = field(default_factory=dict)
+    totals: dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serialisable form (fields are already plain types)."""
+        out = dict(self.__dict__)
+        out["tenants"] = dict(self.tenants)
+        out["totals"] = dict(self.totals)
+        return out
+
+    def format(self) -> str:
+        """The multi-line snapshot the ``replay-serve`` CLI prints."""
+        lines = [
+            "== Maxson server status ==",
+            f"  uptime:        {self.uptime_seconds:8.2f}s",
+            f"  queries:       {self.queries_completed} completed, "
+            f"{self.queries_failed} failed, {self.queries_shed} shed, "
+            f"{self.queries_timed_out} timed out",
+            f"  stats events:  {self.stats_events_ingested}",
+            f"  qps:           {self.qps:8.2f}",
+            f"  latency:       p50={self.latency_p50_seconds * 1000:.1f}ms  "
+            f"p95={self.latency_p95_seconds * 1000:.1f}ms  "
+            f"max={self.latency_max_seconds * 1000:.1f}ms",
+            f"  cache:         hit_ratio={self.cache_hit_ratio:.1%} "
+            f"({self.cache_hits} hits / {self.cache_misses} misses)",
+            f"  generation:    {self.generation} "
+            f"({self.cached_paths} paths, {self.cache_bytes:,} bytes, "
+            f"built in {self.build_seconds:.3f}s)",
+            f"  maintenance:   {self.midnight_cycles} midnight cycles, "
+            f"{self.refreshes} refreshes",
+            f"  admission:     depth={self.queue_depth} "
+            f"peak={self.peak_queue_depth} active={self.active_queries} "
+            f"leases={self.active_leases}",
+        ]
+        if self.tenants:
+            per_tenant = ", ".join(
+                f"{tenant}={count}" for tenant, count in sorted(self.tenants.items())
+            )
+            lines.append(f"  tenants:       {per_tenant}")
+        return "\n".join(lines)

@@ -13,6 +13,7 @@ sizes (paper Fig 12b/12d).
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -88,6 +89,12 @@ class BlockFileSystem:
     clock: object = None  # callable () -> float; defaults to time.time
     _files: dict[str, _File] = field(default_factory=dict)
     stats: IoStats = field(default_factory=IoStats)
+    # Server mode reads and writes from many threads; the lock keeps
+    # directory listings consistent with concurrent creates/deletes and
+    # the io counters exact.
+    _lock: threading.RLock = field(
+        default_factory=threading.RLock, repr=False, compare=False
+    )
 
     def _now(self) -> float:
         if self.clock is not None:
@@ -100,38 +107,41 @@ class BlockFileSystem:
     def create(self, path: str, data: bytes) -> FileStatus:
         """Create a new file. Fails if the path already exists."""
         path = _normalise(path)
-        if path in self._files:
-            raise FsError(f"file exists: {path}")
-        self._files[path] = _File(data=data, modification_time=self._now())
-        self.stats.bytes_written += len(data)
-        self.stats.writes += 1
-        return self.status(path)
+        with self._lock:
+            if path in self._files:
+                raise FsError(f"file exists: {path}")
+            self._files[path] = _File(data=data, modification_time=self._now())
+            self.stats.bytes_written += len(data)
+            self.stats.writes += 1
+            return self.status(path)
 
     def append(self, path: str, data: bytes) -> FileStatus:
         """Append to an existing file (the only permitted mutation)."""
         path = _normalise(path)
-        if path not in self._files:
-            raise FsError(f"no such file: {path}")
-        existing = self._files[path]
-        self._files[path] = _File(
-            data=existing.data + data, modification_time=self._now()
-        )
-        self.stats.bytes_written += len(data)
-        self.stats.writes += 1
-        return self.status(path)
+        with self._lock:
+            if path not in self._files:
+                raise FsError(f"no such file: {path}")
+            existing = self._files[path]
+            self._files[path] = _File(
+                data=existing.data + data, modification_time=self._now()
+            )
+            self.stats.bytes_written += len(data)
+            self.stats.writes += 1
+            return self.status(path)
 
     def delete(self, path: str) -> None:
         """Delete a file, or a directory recursively."""
         path = _normalise(path)
-        if path in self._files:
-            del self._files[path]
-            return
-        prefix = path.rstrip("/") + "/"
-        doomed = [p for p in self._files if p.startswith(prefix)]
-        if not doomed:
-            raise FsError(f"no such file or directory: {path}")
-        for p in doomed:
-            del self._files[p]
+        with self._lock:
+            if path in self._files:
+                del self._files[path]
+                return
+            prefix = path.rstrip("/") + "/"
+            doomed = [p for p in self._files if p.startswith(prefix)]
+            if not doomed:
+                raise FsError(f"no such file or directory: {path}")
+            for p in doomed:
+                del self._files[p]
 
     # ------------------------------------------------------------------
     # reads
@@ -139,38 +149,41 @@ class BlockFileSystem:
     def read(self, path: str, offset: int = 0, length: int | None = None) -> bytes:
         """Read ``length`` bytes (default: to EOF) starting at ``offset``."""
         path = _normalise(path)
-        if path not in self._files:
-            raise FsError(f"no such file: {path}")
         started = time.perf_counter()
-        data = self._files[path].data
-        if length is None:
-            chunk = data[offset:]
-        else:
-            chunk = data[offset : offset + length]
-        self.stats.bytes_read += len(chunk)
-        self.stats.reads += 1
-        self.stats.seconds_read += time.perf_counter() - started
-        return chunk
+        with self._lock:
+            if path not in self._files:
+                raise FsError(f"no such file: {path}")
+            data = self._files[path].data
+            if length is None:
+                chunk = data[offset:]
+            else:
+                chunk = data[offset : offset + length]
+            self.stats.bytes_read += len(chunk)
+            self.stats.reads += 1
+            self.stats.seconds_read += time.perf_counter() - started
+            return chunk
 
     def exists(self, path: str) -> bool:
         path = _normalise(path)
-        if path in self._files:
-            return True
-        prefix = path.rstrip("/") + "/"
-        return any(p.startswith(prefix) for p in self._files)
+        with self._lock:
+            if path in self._files:
+                return True
+            prefix = path.rstrip("/") + "/"
+            return any(p.startswith(prefix) for p in self._files)
 
     def status(self, path: str) -> FileStatus:
         path = _normalise(path)
-        if path not in self._files:
-            raise FsError(f"no such file: {path}")
-        f = self._files[path]
-        blocks = max(1, -(-len(f.data) // self.block_size)) if f.data else 0
-        return FileStatus(
-            path=path,
-            length=len(f.data),
-            block_count=blocks,
-            modification_time=f.modification_time,
-        )
+        with self._lock:
+            if path not in self._files:
+                raise FsError(f"no such file: {path}")
+            f = self._files[path]
+            blocks = max(1, -(-len(f.data) // self.block_size)) if f.data else 0
+            return FileStatus(
+                path=path,
+                length=len(f.data),
+                block_count=blocks,
+                modification_time=f.modification_time,
+            )
 
     def list_directory(self, path: str) -> list[FileStatus]:
         """Statuses of the files directly inside directory ``path``, sorted.
@@ -180,12 +193,13 @@ class BlockFileSystem:
         to file index *i* of the raw table.
         """
         prefix = _normalise(path).rstrip("/") + "/"
-        names = [
-            p
-            for p in self._files
-            if p.startswith(prefix) and "/" not in p[len(prefix) :]
-        ]
-        return [self.status(p) for p in sorted(names)]
+        with self._lock:
+            names = [
+                p
+                for p in self._files
+                if p.startswith(prefix) and "/" not in p[len(prefix) :]
+            ]
+            return [self.status(p) for p in sorted(names)]
 
     def directory_mtime(self, path: str) -> float:
         """Latest modification time across a directory's files."""

@@ -119,6 +119,96 @@ class TestBudgetAndStrategy:
         assert summary["cache_tables"] == 1
         assert summary["cache_bytes"] > 0
 
+    def test_cache_summary_build_metrics(self):
+        system = build_system()
+        assert system.cache_summary()["build_seconds"] == 0.0
+        system.cache_paths_directly(
+            [PathKey("db", "t", "payload", "$.hot")], budget_bytes=10**9
+        )
+        first = system.cache_summary()["build_seconds"]
+        assert first > 0
+        system.cache_paths_directly(
+            [PathKey("db", "t", "payload", "$.cold")], budget_bytes=10**9
+        )
+        assert system.cache_summary()["build_seconds"] > first  # accumulates
+
+
+class TestGenerationSwap:
+    def test_cycle_increments_generation(self):
+        system = build_system()
+        assert system.generation == 0
+        system.collector.record_planned(1, [("db", "t", "payload", "$.hot")])
+        system.collector.record_planned(1, [("db", "t", "payload", "$.hot")])
+        system.run_midnight_cycle(day=1)
+        assert system.generation == 1
+        assert system.cache_summary()["generation"] == 1
+
+    def test_old_generation_tables_dropped(self):
+        from repro.core.cacher import CACHE_DATABASE
+
+        system = build_system()
+        for day in (1, 2):
+            system.collector.record_planned(day, [("db", "t", "payload", "$.hot")])
+            system.collector.record_planned(day, [("db", "t", "payload", "$.hot")])
+        system.run_midnight_cycle(day=1)
+        system.run_midnight_cycle(day=2)
+        on_disk = {t.name for t in system.catalog.list_tables(CACHE_DATABASE)}
+        assert on_disk == system.registry.cache_tables()
+        assert len(on_disk) == 1  # only the live generation remains
+
+    def test_modifier_follows_swapped_registry(self):
+        system = build_system()
+        system.collector.record_planned(1, [("db", "t", "payload", "$.hot")])
+        system.collector.record_planned(1, [("db", "t", "payload", "$.hot")])
+        system.run_midnight_cycle(day=1)
+        assert system.modifier.registry is system.registry
+        assert system.cacher.registry is system.registry
+
+
+class TestBaselineNesting:
+    def test_back_to_back_baselines_restore_modifier(self):
+        system = build_system()
+        system.cache_paths_directly(
+            [PathKey("db", "t", "payload", "$.hot")], budget_bytes=10**9
+        )
+        assert system.baseline_sql(HOT_SQL).metrics.parse_documents > 0
+        system.baseline_sql(COLD_SQL)
+        assert system.sql(HOT_SQL).metrics.parse_documents == 0
+
+    def test_overlapping_baselines_keep_modifier_out(self):
+        import threading
+
+        system = build_system()
+        system.cache_paths_directly(
+            [PathKey("db", "t", "payload", "$.hot")], budget_bytes=10**9
+        )
+        entered = threading.Event()
+        release = threading.Event()
+        real_sql = system.session.sql
+
+        def slow_sql(sql):
+            if "cold" in sql:
+                entered.set()
+                assert release.wait(10)
+            return real_sql(sql)
+
+        system.session.sql = slow_sql
+        try:
+            outer = threading.Thread(
+                target=lambda: system.baseline_sql(COLD_SQL)
+            )
+            outer.start()
+            assert entered.wait(10)
+            # nested baseline while the outer one is still executing
+            inner = system.baseline_sql(HOT_SQL)
+            assert inner.metrics.parse_documents > 0
+            release.set()
+            outer.join(10)
+        finally:
+            system.session.sql = real_sql
+        # modifier reinstalled exactly once the outermost baseline ends
+        assert system.sql(HOT_SQL).metrics.parse_documents == 0
+
 
 class TestBaselineToggle:
     def test_baseline_sql_ignores_cache(self):

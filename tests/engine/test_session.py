@@ -54,6 +54,22 @@ class TestPlanModifiers:
         tiny_session.sql("select a from db.t")
         assert tagger.calls == 0
 
+    def test_remove_is_idempotent(self, tiny_session):
+        tagger = self._Tagger()
+        tiny_session.add_plan_modifier(tagger)
+        tiny_session.remove_plan_modifier(tagger)
+        tiny_session.remove_plan_modifier(tagger)  # no ValueError
+        tiny_session.remove_plan_modifier(self._Tagger())  # never added
+        tiny_session.sql("select a from db.t")
+        assert tagger.calls == 0
+
+    def test_add_is_idempotent(self, tiny_session):
+        tagger = self._Tagger()
+        tiny_session.add_plan_modifier(tagger)
+        tiny_session.add_plan_modifier(tagger)  # registered once
+        tiny_session.sql("select a from db.t")
+        assert tagger.calls == 1
+
     def test_modifiers_run_in_order(self, tiny_session):
         order = []
 

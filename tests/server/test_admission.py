@@ -1,0 +1,111 @@
+"""Unit tests for the admission controller."""
+
+import threading
+import time
+
+import pytest
+
+from repro.server import AdmissionController, AdmissionTimeout, QueueFullError
+
+
+class TestFastPath:
+    def test_admit_and_release(self):
+        ctrl = AdmissionController(per_tenant_limit=2, queue_capacity=4)
+        with ctrl.admit("a"):
+            assert ctrl.active == 1
+        assert ctrl.active == 0
+        snap = ctrl.snapshot()
+        assert snap["admitted"] == 1
+        assert snap["shed"] == 0
+
+    def test_distinct_tenants_independent(self):
+        ctrl = AdmissionController(per_tenant_limit=1, queue_capacity=4)
+        ctrl.acquire("a")
+        ctrl.acquire("b")  # b is under its own limit
+        assert ctrl.active == 2
+        ctrl.release("a")
+        ctrl.release("b")
+
+
+class TestLimits:
+    def test_per_tenant_limit_blocks_then_proceeds(self):
+        ctrl = AdmissionController(
+            per_tenant_limit=1, queue_capacity=4, timeout_seconds=5.0
+        )
+        ctrl.acquire("a")
+        admitted = threading.Event()
+
+        def second():
+            ctrl.acquire("a")
+            admitted.set()
+            ctrl.release("a")
+
+        t = threading.Thread(target=second)
+        t.start()
+        time.sleep(0.05)
+        assert not admitted.is_set()  # still waiting behind the limit
+        ctrl.release("a")
+        t.join(timeout=5)
+        assert admitted.is_set()
+
+    def test_limit_never_exceeded_under_contention(self):
+        ctrl = AdmissionController(
+            per_tenant_limit=3, queue_capacity=64, timeout_seconds=10.0
+        )
+        peak = [0]
+        peak_lock = threading.Lock()
+        active = [0]
+
+        def work():
+            with ctrl.admit("a"):
+                with peak_lock:
+                    active[0] += 1
+                    peak[0] = max(peak[0], active[0])
+                time.sleep(0.005)
+                with peak_lock:
+                    active[0] -= 1
+
+        threads = [threading.Thread(target=work) for _ in range(16)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert peak[0] <= 3
+        assert ctrl.snapshot()["admitted"] == 16
+
+
+class TestShedAndTimeout:
+    def test_queue_full_sheds(self):
+        ctrl = AdmissionController(
+            per_tenant_limit=1, queue_capacity=1, timeout_seconds=5.0
+        )
+        ctrl.acquire("a")
+        waiter_started = threading.Event()
+        waiter_done = threading.Event()
+
+        def waiter():
+            waiter_started.set()
+            ctrl.acquire("a", timeout=5.0)
+            ctrl.release("a")
+            waiter_done.set()
+
+        t = threading.Thread(target=waiter)
+        t.start()
+        waiter_started.wait()
+        time.sleep(0.05)  # let the waiter enter the queue
+        with pytest.raises(QueueFullError):
+            ctrl.acquire("a")
+        assert ctrl.snapshot()["shed"] == 1
+        ctrl.release("a")
+        t.join(timeout=5)
+        assert waiter_done.is_set()
+
+    def test_timeout(self):
+        ctrl = AdmissionController(
+            per_tenant_limit=1, queue_capacity=4, timeout_seconds=0.05
+        )
+        ctrl.acquire("a")
+        with pytest.raises(AdmissionTimeout):
+            ctrl.acquire("a")
+        assert ctrl.snapshot()["timed_out"] == 1
+        ctrl.release("a")

@@ -1,0 +1,106 @@
+"""Unit tests for generation leases and deferred retirement."""
+
+import threading
+
+from repro.server import GenerationGuard
+
+
+class FakeSystem:
+    def __init__(self):
+        self.generation = 0
+        self.generation_guard = None
+
+
+def make_guard():
+    system = FakeSystem()
+    guard = GenerationGuard(system)
+    assert system.generation_guard is guard
+    return system, guard
+
+
+class TestLeases:
+    def test_lease_pins_current_generation(self):
+        system, guard = make_guard()
+        with guard.lease() as generation:
+            assert generation == 0
+            assert guard.active_leases() == 1
+        assert guard.active_leases() == 0
+
+    def test_lease_after_swap_pins_new_generation(self):
+        system, guard = make_guard()
+        guard.complete_swap(
+            0, 1, install=lambda: setattr(system, "generation", 1),
+            retire=lambda: None,
+        )
+        with guard.lease() as generation:
+            assert generation == 1
+
+
+class TestRetirement:
+    def test_idle_swap_retires_immediately(self):
+        system, guard = make_guard()
+        retired = []
+        guard.complete_swap(
+            0, 1, install=lambda: setattr(system, "generation", 1),
+            retire=lambda: retired.append(0),
+        )
+        assert retired == [0]
+        assert guard.snapshot()["retired_immediately"] == 1
+
+    def test_active_lease_defers_retirement(self):
+        system, guard = make_guard()
+        retired = []
+        lease = guard.lease()
+        lease.__enter__()
+        guard.complete_swap(
+            0, 1, install=lambda: setattr(system, "generation", 1),
+            retire=lambda: retired.append(0),
+        )
+        # old generation still leased: tables must survive
+        assert retired == []
+        assert guard.snapshot()["pending_retirements"] == 1
+        lease.__exit__(None, None, None)
+        assert retired == [0]
+        assert guard.snapshot()["retired_deferred"] == 1
+
+    def test_retirement_waits_for_last_of_many_leases(self):
+        system, guard = make_guard()
+        retired = []
+        first, second = guard.lease(), guard.lease()
+        first.__enter__()
+        second.__enter__()
+        guard.complete_swap(
+            0, 1, install=lambda: setattr(system, "generation", 1),
+            retire=lambda: retired.append(0),
+        )
+        first.__exit__(None, None, None)
+        assert retired == []  # one lease still out
+        second.__exit__(None, None, None)
+        assert retired == [0]
+
+    def test_concurrent_leases_and_swaps(self):
+        system, guard = make_guard()
+        retired = []
+        stop = threading.Event()
+
+        def client():
+            while not stop.is_set():
+                with guard.lease():
+                    pass
+
+        threads = [threading.Thread(target=client) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for old in range(20):
+            guard.complete_swap(
+                old,
+                old + 1,
+                install=lambda g=old + 1: setattr(system, "generation", g),
+                retire=lambda g=old: retired.append(g),
+            )
+        stop.set()
+        for t in threads:
+            t.join()
+        # every one of the 20 generations was retired exactly once
+        assert sorted(retired) == list(range(20))
+        assert guard.active_leases() == 0

@@ -1,0 +1,92 @@
+"""Tests for the replay driver (workload building + day-by-day replay)."""
+
+from repro.core import MaxsonConfig, MaxsonSystem, PredictorConfig
+from repro.server import (
+    MaxsonServer,
+    ServerConfig,
+    build_replay_workload,
+    replay,
+)
+from repro.workload import PathKey, build_queries, load_tables
+
+
+def make_server(rows=80):
+    system = MaxsonSystem(
+        config=MaxsonConfig(predictor=PredictorConfig(model="always"))
+    )
+    factories = load_tables(system.catalog, rows_per_table=rows, days=2)
+    queries = build_queries(factories)
+    server = MaxsonServer(
+        system, ServerConfig(max_workers=4, per_tenant_limit=2)
+    )
+    return server, queries
+
+
+class TestWorkload:
+    def test_deterministic_for_seed(self):
+        server, queries = make_server()
+        try:
+            a = build_replay_workload(queries, days=2, per_day=10, tenants=3, seed=5)
+            b = build_replay_workload(queries, days=2, per_day=10, tenants=3, seed=5)
+            assert a == b
+            c = build_replay_workload(queries, days=2, per_day=10, tenants=3, seed=6)
+            assert a != c
+        finally:
+            server.shutdown()
+
+    def test_shape(self):
+        server, queries = make_server()
+        try:
+            requests = build_replay_workload(
+                queries, days=2, per_day=10, tenants=3, seed=5
+            )
+            assert len(requests) == 20
+            assert {r.day for r in requests} == {0, 1}
+            assert all(r.tenant.startswith("tenant-") for r in requests)
+            assert all(r.query_id in queries for r in requests)
+        finally:
+            server.shutdown()
+
+
+class TestReplay:
+    def test_replay_runs_cycles_between_days(self):
+        server, queries = make_server()
+        try:
+            requests = build_replay_workload(
+                queries, days=2, per_day=8, tenants=2, seed=3
+            )
+            report = replay(server, requests)
+            assert report.completed == 16
+            assert report.failed == 0
+            assert report.days == 2
+            # one midnight boundary between day 0 and day 1
+            assert len(report.midnight_reports) == 1
+            assert report.status.generation == 1
+            assert report.status.qps > 0
+            assert report.status.cache_hit_ratio > 0
+        finally:
+            server.shutdown()
+
+    def test_replay_interleaves_stats_events(self):
+        server, queries = make_server()
+        try:
+            key = PathKey("prod", "events", "payload", "$.synthetic")
+            requests = build_replay_workload(
+                queries, days=1, per_day=4, tenants=2, seed=3
+            )
+            report = replay(
+                server, requests, stats_events=[(0, (key, key)), (0, (key,))]
+            )
+            assert report.status.stats_events_ingested == 2
+            assert server.system.collector.count(key, 0) == 3
+        finally:
+            server.shutdown()
+
+    def test_empty_replay(self):
+        server, _ = make_server(rows=40)
+        try:
+            report = replay(server, [])
+            assert report.requests == 0
+            assert report.status is not None
+        finally:
+            server.shutdown()

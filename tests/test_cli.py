@@ -24,6 +24,17 @@ class TestParser:
         assert args.query == "Q7"
         assert args.rows == 50
 
+    def test_replay_serve_defaults(self):
+        args = build_parser().parse_args(["replay-serve"])
+        assert args.concurrency == 8
+        assert args.days == 3
+        assert args.model == "always"
+
+    def test_serve_alias(self):
+        args = build_parser().parse_args(["serve", "--concurrency", "4"])
+        assert args.func.__name__ == "cmd_replay_serve"
+        assert args.concurrency == 4
+
 
 class TestCommands:
     def test_analyze_runs(self, capsys):
@@ -53,3 +64,19 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "speedup" in out
         assert "parse  0.0%" in out or "parse 0.0%" in out.replace("  ", " ")
+
+    def test_replay_serve_runs(self, capsys):
+        code = main(
+            [
+                "replay-serve",
+                "--concurrency", "4",
+                "--days", "2",
+                "--per-day", "8",
+                "--rows", "60",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Maxson server status" in out
+        assert "hit_ratio" in out
+        assert "midnight cycles" in out

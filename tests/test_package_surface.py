@@ -32,6 +32,7 @@ class TestAllExports:
             "repro.ml",
             "repro.workload",
             "repro.core",
+            "repro.server",
         ],
     )
     def test_all_names_resolve(self, module_name):
@@ -81,6 +82,13 @@ class TestDocstrings:
             "repro.core.combiner",
             "repro.core.pushdown",
             "repro.core.system",
+            "repro.server.admission",
+            "repro.server.generation",
+            "repro.server.scheduler",
+            "repro.server.service",
+            "repro.server.status",
+            "repro.server.replay",
+            "repro.server.config",
             "repro.cli",
             "repro.reporting",
         ],
