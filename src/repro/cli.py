@@ -155,22 +155,33 @@ def cmd_bench_cache(args) -> int:
 
 def cmd_replay_serve(args) -> int:
     from .core import MaxsonConfig, MaxsonSystem, PredictorConfig
+    from .engine import Session
+    from .faults import FaultPolicy, FaultyFileSystem, parse_fault_profile
     from .server import MaxsonServer, ServerConfig, build_replay_workload, replay
     from .workload import build_queries, load_tables
 
+    session = None
+    if args.fault_profile:
+        # Quiet policy while fixtures load; the profile arms afterwards
+        # so raw data on disk is intact and the baseline is trustworthy.
+        session = Session(fs=FaultyFileSystem(policy=FaultPolicy()))
     system = MaxsonSystem(
-        config=MaxsonConfig(predictor=PredictorConfig(model=args.model))
+        session=session,
+        config=MaxsonConfig(predictor=PredictorConfig(model=args.model)),
     )
     factories = load_tables(
         system.catalog, rows_per_table=args.rows, days=args.days
     )
     queries = build_queries(factories)
+    if args.fault_profile:
+        system.session.fs.policy = parse_fault_profile(args.fault_profile)
     config = ServerConfig(
         max_workers=args.concurrency,
         per_tenant_limit=max(1, args.concurrency // 2),
         queue_capacity=args.queue_capacity,
         admission_timeout_seconds=args.admission_timeout,
         refresh_interval_seconds=args.refresh_interval,
+        max_query_retries=args.retries,
     )
     with MaxsonServer(system, config) as server:
         requests = build_replay_workload(
@@ -180,15 +191,24 @@ def cmd_replay_serve(args) -> int:
             tenants=args.tenants,
             seed=args.seed,
         )
-        report = replay(server, requests)
+        report = replay(server, requests, verify=args.verify)
         status = report.status
         print(
             f"replayed {report.requests} requests over {report.days} days "
             f"({report.completed} completed, {report.failed} failed, "
             f"{report.shed} shed) in {report.wall_seconds:.2f}s"
         )
+        if args.verify:
+            print(
+                f"verified {report.verified} results against the plain "
+                f"engine ({report.mismatched} mismatched)"
+            )
+        if args.fault_profile:
+            print(f"injected faults: {system.session.fs.policy.counters.to_dict()}")
         print(status.format())
     if report.failed or report.completed == 0:
+        return 1
+    if args.verify and report.mismatched:
         return 1
     return 0
 
@@ -256,6 +276,27 @@ def build_parser() -> argparse.ArgumentParser:
         default="always",
         choices=["lr", "svm", "mlp", "lstm", "lstm_crf", "oracle", "always"],
         help="predictor driving the midnight cycles",
+    )
+    p_serve.add_argument(
+        "--fault-profile",
+        default="",
+        metavar="SPEC",
+        help="inject seeded faults, e.g. "
+        "'corrupt=0.05,read_error=0.02,seed=3' "
+        "(keys: seed, read_error, write_error, corrupt, torn_append, "
+        "latency, error_prefix, corrupt_prefix, crash_after, crash_prefix)",
+    )
+    p_serve.add_argument(
+        "--verify",
+        action="store_true",
+        help="check every result against the plain engine (wrong-answer "
+        "detector for fault runs)",
+    )
+    p_serve.add_argument(
+        "--retries",
+        type=int,
+        default=6,
+        help="transient-fault retries per query",
     )
     p_serve.set_defaults(func=cmd_replay_serve)
 

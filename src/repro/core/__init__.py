@@ -13,15 +13,18 @@ from .cacher import (
     JsonPathCacher,
     cache_field_name,
     cache_table_name,
+    coerce_cache_value,
     mangle_path,
 )
 from .collector import JsonPathCollector, QueryRecord
 from .combiner import CachedFieldRequest, MaxsonScanExec
 from .features import FeatureConfig, FeatureExtractor, LabelledDataset
+from .journal import JOURNAL_PATH, BuildJournal
 from .maxson_parser import MaxsonPlanModifier, RewriteReport
 from .online_cache import LruCache, OnlineCacheSimulator, OnlineCacheStats
 from .predictor import MODEL_NAMES, JsonPathPredictor, PredictorConfig
 from .pushdown import extract_cache_sarg
+from .resilience import CacheCircuitBreaker, ResilienceStats
 from .scoring import PathStats, ScoredPath, ScoringFunction
 from .stats_store import META_DATABASE, StatsStore
 from .system import MaxsonConfig, MaxsonSystem, MidnightReport
@@ -45,7 +48,12 @@ __all__ = [
     "CACHE_DATABASE",
     "cache_table_name",
     "cache_field_name",
+    "coerce_cache_value",
     "mangle_path",
+    "BuildJournal",
+    "JOURNAL_PATH",
+    "CacheCircuitBreaker",
+    "ResilienceStats",
     "MaxsonPlanModifier",
     "RewriteReport",
     "MaxsonScanExec",

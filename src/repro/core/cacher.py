@@ -31,7 +31,13 @@ from ..storage.schema import DataType, Field, Schema
 from ..workload.trace import PathKey
 from .extraction import ValueExtractor, path_format
 
-__all__ = ["CacheEntry", "CacheBuildReport", "CacheRegistry", "JsonPathCacher"]
+__all__ = [
+    "CacheEntry",
+    "CacheBuildReport",
+    "CacheRegistry",
+    "JsonPathCacher",
+    "coerce_cache_value",
+]
 
 #: Database holding every cache table.
 CACHE_DATABASE = "maxson_cache"
@@ -72,6 +78,10 @@ class CacheBuildReport:
     rows_parsed: int = 0
     build_seconds: float = 0.0
     bytes_written: int = 0
+    failed: bool = False
+    """True when the build aborted; the previous generation kept serving."""
+    error: str = ""
+    """Abbreviated reason when ``failed`` is set."""
 
 
 class CacheRegistry:
@@ -181,7 +191,13 @@ def _infer_dtype(values: list[object]) -> DataType:
     return DataType.STRING
 
 
-def _coerce(value: object, dtype: DataType) -> object:
+def coerce_cache_value(value: object, dtype: DataType) -> object:
+    """Coerce one extracted value to a cache column's type.
+
+    Public because the graceful-degradation path (combiner fallback)
+    must reproduce the cacher's exact coercions so raw-parsed values are
+    byte-identical to what the cache table would have returned.
+    """
     if value is None:
         return None
     if dtype is DataType.STRING:
@@ -369,7 +385,7 @@ class JsonPathCacher:
                     raw_columns[column][row_index], formats_by_column[column]
                 )
             row = tuple(
-                _coerce(
+                coerce_cache_value(
                     extractor.evaluate(decoded[key.column], key.path),
                     dtypes[key],
                 )

@@ -17,6 +17,15 @@ Predicate pushdown (Algorithm 3) plugs in here: an optional SARG over
 cached fields is evaluated on the cache file's row-group statistics and
 the resulting skip mask is shared with the primary reader when the file
 is single-stripe (§IV-F's precondition).
+
+**Graceful degradation.** A cache file that cannot be read — missing,
+misaligned with the raw table, transiently erroring, or failing its
+stripe/footer checksum — never fails the query and never leaks garbage:
+the affected split falls back to parsing the raw JSON column directly,
+re-deriving exactly the values the cache would have held (same
+extraction, same type coercion). The failure trips the system's circuit
+breaker so subsequent queries skip the broken table at plan time until
+its quarantine half-opens for a re-probe.
 """
 
 from __future__ import annotations
@@ -24,11 +33,14 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-from ..engine.errors import ExecutionError
+from ..engine.errors import CatalogError, ExecutionError
 from ..engine.physical import ExecState, ScanExec
+from ..storage.fs import FsError
+from ..storage.orc import CorruptStripeError, OrcError
 from ..storage.readers import OrcReader
 from ..storage.sargs import Sarg
-from .cacher import CACHE_DATABASE, CacheEntry
+from .cacher import CACHE_DATABASE, CacheEntry, coerce_cache_value
+from .extraction import ValueExtractor, path_format
 
 __all__ = ["CachedFieldRequest", "MaxsonScanExec"]
 
@@ -53,6 +65,10 @@ class MaxsonScanExec(ScanExec):
     cache_sarg: Sarg | None = None
     """SARG over cached fields (pushed by Algorithm 3)."""
     share_mask_with_primary: bool = True
+    breaker: object = None
+    """Optional :class:`~repro.core.resilience.CacheCircuitBreaker`."""
+    resilience: object = None
+    """Optional :class:`~repro.core.resilience.ResilienceStats`."""
 
     def _label(self) -> str:
         cached = ", ".join(r.entry.field_name for r in self.cached_fields)
@@ -74,28 +90,114 @@ class MaxsonScanExec(ScanExec):
                     "cached fields of one scan must come from one cache table"
                 )
         raw_files = state.catalog.table_files(self.database, self.table)
-        cache_files = state.catalog.table_files(CACHE_DATABASE, cache_table)
-        if len(raw_files) != len(cache_files):
-            raise ExecutionError(
-                f"cache misalignment: {len(raw_files)} raw files vs "
-                f"{len(cache_files)} cache files for {self.database}.{self.table}"
-            )
+        try:
+            cache_files = state.catalog.table_files(CACHE_DATABASE, cache_table)
+        except (CatalogError, FsError):
+            cache_files = None
         field_names = [r.entry.field_name for r in self.cached_fields]
         env_keys = [r.env_key for r in self.cached_fields]
         rows: list[dict] = []
-        for split_index in range(len(raw_files)):
-            rows.extend(
-                self._read_split(
-                    state,
-                    raw_files[split_index],
-                    cache_files[split_index],
-                    field_names,
-                    env_keys,
-                )
-            )
+        fallback_splits = 0
+        if cache_files is None or len(cache_files) != len(raw_files):
+            # The cache table vanished or is file-misaligned (e.g. a
+            # refresh died mid-append). Raw parsing answers the whole
+            # scan; the breaker quarantines the table.
+            self._note_cache_failure(cache_table, None)
+            for raw_path in raw_files:
+                rows.extend(self._read_split_fallback(state, raw_path))
+            fallback_splits = len(raw_files)
+        else:
+            for split_index in range(len(raw_files)):
+                try:
+                    split_rows = self._read_split(
+                        state,
+                        raw_files[split_index],
+                        cache_files[split_index],
+                        field_names,
+                        env_keys,
+                    )
+                except (FsError, OrcError, ExecutionError) as exc:
+                    # Cache-side failure on this split only: transient fs
+                    # error, checksum mismatch, corrupt file structure or
+                    # a row-count mismatch. Degrade, never guess.
+                    self._note_cache_failure(cache_table, exc)
+                    fallback_splits += 1
+                    split_rows = self._read_split_fallback(
+                        state, raw_files[split_index]
+                    )
+                rows.extend(split_rows)
+        if fallback_splits:
+            if self.resilience is not None:
+                self.resilience.add("fallback_queries")
+                self.resilience.add("fallback_splits", fallback_splits)
+        else:
+            state.metrics.cache_hits += len(self.cached_fields)
+            if self.breaker is not None:
+                # A fully-validated read: closes an open/half-open breaker
+                # (the successful re-probe) and is a no-op otherwise.
+                self.breaker.record_success(cache_table)
         state.metrics.rows_scanned += len(rows)
-        state.metrics.cache_hits += len(self.cached_fields)
         state.metrics.read_seconds += time.perf_counter() - started
+        return rows
+
+    def _note_cache_failure(self, cache_table: str, exc: Exception | None) -> None:
+        if self.breaker is not None:
+            self.breaker.record_failure(cache_table)
+        if self.resilience is not None and isinstance(
+            exc, (CorruptStripeError, OrcError)
+        ):
+            self.resilience.add("corruption_events")
+
+    # ------------------------------------------------------------------
+    def _read_split_fallback(self, state: ExecState, raw_path: str) -> list[dict]:
+        """Answer one split without its cache file: parse the raw column.
+
+        Re-derives exactly the values the cache file would have held —
+        same extraction, same :func:`coerce_cache_value` coercion — so a
+        degraded query is row-identical to the cached one, just slower.
+        """
+        read_columns = list(self.columns)
+        formats_by_column: dict[str, set[str]] = {}
+        for request in self.cached_fields:
+            column = request.entry.key.column
+            if column not in read_columns:
+                read_columns.append(column)
+            formats_by_column.setdefault(column, set()).add(
+                path_format(request.entry.key.path)
+            )
+        reader = OrcReader(
+            state.catalog.fs, raw_path, columns=read_columns, sarg=self.sarg
+        )
+        result = reader.read()
+        state.metrics.bytes_read += result.bytes_read
+        state.metrics.row_groups_total += result.row_groups_total
+        state.metrics.row_groups_skipped += result.row_groups_skipped
+        series = {name: result.columns[name] for name in read_columns}
+        extractor = ValueExtractor()
+        rows: list[dict] = []
+        for i in range(result.rows_read):
+            row: dict = {}
+            for name in self.columns:
+                value = series[name][i]
+                row[name] = value
+                if self.alias:
+                    row[f"{self.alias}.{name}"] = value
+            documents = {
+                column: extractor.decode(series[column][i], formats)
+                for column, formats in formats_by_column.items()
+            }
+            for request in self.cached_fields:
+                value = extractor.evaluate(
+                    documents[request.entry.key.column], request.entry.key.path
+                )
+                row[request.env_key] = coerce_cache_value(
+                    value, request.entry.dtype
+                )
+            rows.append(row)
+        for parser in (extractor.json_parser, extractor.xml_parser):
+            state.metrics.parse_seconds += parser.stats.seconds
+            state.metrics.parse_documents += parser.stats.documents
+            state.metrics.parse_bytes += parser.stats.bytes_scanned
         return rows
 
     # ------------------------------------------------------------------

@@ -1,0 +1,129 @@
+"""Crash-safe cache-build journal.
+
+A generation build is multi-step (create tables, write one cache file
+per raw file, register entries) and a crash mid-build strands orphan
+``__g{N}`` tables that no registry references. The journal is the
+write-ahead record that makes those orphans detectable after a restart:
+
+* :meth:`BuildJournal.begin` appends ``begin {N}`` *before* the first
+  table of generation ``N`` is created;
+* :meth:`BuildJournal.commit` / :meth:`BuildJournal.abort` append the
+  terminal record once the build installed or was cleaned up;
+* :meth:`BuildJournal.pending` replays the log — any ``begin`` without
+  a terminal record marks a generation to garbage-collect
+  (:meth:`~repro.core.system.MaxsonSystem.recover_orphan_generations`).
+
+The journal lives in the same (possibly faulty) file system as the data,
+so it must itself be robust: writes retry transient errors a bounded
+number of times and then degrade to best-effort (recovery falls back to
+registry-reference scanning), and the parser ignores torn trailing
+records — an append that died mid-line must not poison replay.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..storage.fs import BlockFileSystem, FsError
+
+__all__ = ["BuildJournal", "JOURNAL_PATH"]
+
+#: Default journal location, beside (not inside) the warehouse tables.
+JOURNAL_PATH = "/system/maxson_build_journal"
+
+_TERMINAL = {"commit", "abort"}
+_WRITE_ATTEMPTS = 5
+
+
+class BuildJournal:
+    """Append-only begin/commit/abort log for cache-generation builds."""
+
+    def __init__(
+        self,
+        fs: BlockFileSystem,
+        path: str = JOURNAL_PATH,
+        on_write_failure=None,
+    ) -> None:
+        self.fs = fs
+        self.path = path
+        #: Called with the failed record when all write attempts fail
+        #: (wired to a ResilienceStats counter by the system).
+        self.on_write_failure = on_write_failure
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    def begin(self, generation: int) -> None:
+        self._append(f"begin {generation}\n")
+
+    def commit(self, generation: int) -> None:
+        self._append(f"commit {generation}\n")
+
+    def abort(self, generation: int) -> None:
+        self._append(f"abort {generation}\n")
+
+    def _append(self, record: str) -> None:
+        data = record.encode("utf-8")
+        with self._lock:
+            for attempt in range(_WRITE_ATTEMPTS):
+                try:
+                    if self.fs.exists(self.path):
+                        self.fs.append(self.path, data)
+                    else:
+                        self.fs.create(self.path, data)
+                    return
+                except FsError:
+                    # Transient write fault or torn append. A torn append
+                    # leaves a partial line the parser will discard, and
+                    # the full record is retried on a fresh line below.
+                    try:
+                        self._terminate_torn_line()
+                    except FsError:
+                        pass
+            if self.on_write_failure is not None:
+                self.on_write_failure(record.strip())
+
+    def _terminate_torn_line(self) -> None:
+        """If the log's tail is a partial record, close it with a newline
+        so the retried record starts cleanly."""
+        if not self.fs.exists(self.path):
+            return
+        tail = self.fs.read(self.path)
+        if tail and not tail.endswith(b"\n"):
+            self.fs.append(self.path, b"\n")
+
+    # ------------------------------------------------------------------
+    # replay
+    # ------------------------------------------------------------------
+    def records(self) -> list[tuple[str, int]]:
+        """Parsed (op, generation) records, malformed lines skipped."""
+        if not self.fs.exists(self.path):
+            return []
+        try:
+            text = self.fs.read(self.path).decode("utf-8", errors="replace")
+        except FsError:
+            return []
+        out: list[tuple[str, int]] = []
+        for line in text.split("\n"):
+            parts = line.strip().split()
+            if len(parts) != 2:
+                continue  # torn/partial record: ignore
+            op, raw = parts
+            if op != "begin" and op not in _TERMINAL:
+                continue
+            try:
+                out.append((op, int(raw)))
+            except ValueError:
+                continue
+        return out
+
+    def pending(self) -> list[int]:
+        """Generations with a ``begin`` but no ``commit``/``abort``."""
+        open_builds: set[int] = set()
+        for op, generation in self.records():
+            if op == "begin":
+                open_builds.add(generation)
+            else:
+                open_builds.discard(generation)
+        return sorted(open_builds)

@@ -123,9 +123,21 @@ class MaxsonPlanModifier:
         Algorithm 3 on/off (an ablation knob; the paper has it on).
     """
 
-    def __init__(self, registry: CacheRegistry, enable_pushdown: bool = True) -> None:
+    def __init__(
+        self,
+        registry: CacheRegistry,
+        enable_pushdown: bool = True,
+        breaker=None,
+        resilience=None,
+    ) -> None:
         self.registry = registry
         self.enable_pushdown = enable_pushdown
+        #: Optional :class:`~repro.core.resilience.CacheCircuitBreaker`;
+        #: quarantined cache tables are treated as misses at plan time so
+        #: queries degrade to raw parsing without re-paying the failure.
+        self.breaker = breaker
+        #: Optional :class:`~repro.core.resilience.ResilienceStats`.
+        self.resilience = resilience
         self.last_report = RewriteReport()
 
     # ------------------------------------------------------------------
@@ -160,6 +172,17 @@ class MaxsonPlanModifier:
             key = PathKey(scan.database, scan.table, column_name, expr.path)
             entry = registry.lookup(key)
             if entry is None:
+                report.misses += 1
+                return None
+            # Circuit breaker: a quarantined cache table is a planned
+            # miss — the query parses raw instead of re-hitting a read
+            # path known to be failing. allows() also half-opens an
+            # expired quarantine, making this read the re-probe.
+            if self.breaker is not None and not self.breaker.allows(
+                entry.cache_table
+            ):
+                if self.resilience is not None:
+                    self.resilience.add("quarantine_skips")
                 report.misses += 1
                 return None
             # Validity: cache must be newer than the raw table (lines 16-19).
@@ -225,6 +248,8 @@ class MaxsonPlanModifier:
                 cached_fields=sorted(
                     scan_requests.values(), key=lambda r: r.env_key
                 ),
+                breaker=self.breaker,
+                resilience=self.resilience,
             )
 
         plan = plan.transform_nodes(replace_scan)

@@ -1,0 +1,146 @@
+"""Degraded-mode bookkeeping: circuit breaker + resilience counters.
+
+Maxson's correctness story under failure is *fall back, don't lie*: a
+cache table that cannot be read (or fails checksum validation) is
+answered from raw parsing instead. Two pieces make that cheap and
+observable:
+
+:class:`CacheCircuitBreaker`
+    Quarantines a cache table after read failures so subsequent queries
+    skip it at *plan* time (the modifier treats it as a miss) instead of
+    re-paying the failed read per query. After ``quarantine_seconds``
+    the breaker half-opens: the next query re-probes the table; success
+    closes the breaker, another failure re-quarantines it. Generation
+    swaps rename tables (``__g{N}``), so a fresh generation starts with
+    a clean breaker state by construction.
+
+:class:`ResilienceStats`
+    Thread-safe counters for every degraded-mode event — fallbacks,
+    corruption detections, quarantine skips, retries, build failures and
+    recovery actions — surfaced through ``cache_summary()`` and the
+    server's ``status()``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+__all__ = ["CacheCircuitBreaker", "ResilienceStats"]
+
+
+@dataclass
+class _BreakerEntry:
+    state: str  # "closed" (counting failures), "open" or "half_open"
+    failures: int
+    opened_at: float
+
+
+class CacheCircuitBreaker:
+    """Per-cache-table quarantine with timed half-open re-probe."""
+
+    def __init__(
+        self,
+        quarantine_seconds: float = 30.0,
+        failure_threshold: int = 1,
+        clock=time.monotonic,
+    ) -> None:
+        if quarantine_seconds < 0:
+            raise ValueError("quarantine_seconds must be >= 0")
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.quarantine_seconds = quarantine_seconds
+        self.failure_threshold = failure_threshold
+        self.clock = clock
+        self._entries: dict[str, _BreakerEntry] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def allows(self, cache_table: str) -> bool:
+        """May the planner rewrite against this cache table right now?
+
+        Closed tables always pass. An open table passes only once its
+        quarantine elapsed — and that pass flips it to half-open, so the
+        caller's read doubles as the probe.
+        """
+        with self._lock:
+            entry = self._entries.get(cache_table)
+            if entry is None or entry.state in ("closed", "half_open"):
+                return True
+            if self.clock() - entry.opened_at >= self.quarantine_seconds:
+                entry.state = "half_open"
+                return True
+            return False
+
+    def record_failure(self, cache_table: str) -> None:
+        with self._lock:
+            entry = self._entries.get(cache_table)
+            if entry is None:
+                entry = _BreakerEntry(state="closed", failures=0, opened_at=0.0)
+                self._entries[cache_table] = entry
+            entry.failures += 1
+            if entry.failures >= self.failure_threshold:
+                entry.state = "open"
+                entry.opened_at = self.clock()
+
+    def record_success(self, cache_table: str) -> None:
+        """A full, validated read succeeded: close the breaker."""
+        with self._lock:
+            self._entries.pop(cache_table, None)
+
+    # ------------------------------------------------------------------
+    def quarantined_tables(self) -> list[str]:
+        with self._lock:
+            return sorted(
+                name
+                for name, entry in self._entries.items()
+                if entry.state == "open"
+            )
+
+    def snapshot(self) -> dict[str, object]:
+        with self._lock:
+            return {
+                "quarantined": sorted(
+                    n for n, e in self._entries.items() if e.state == "open"
+                ),
+                "half_open": sorted(
+                    n for n, e in self._entries.items() if e.state == "half_open"
+                ),
+            }
+
+
+class ResilienceStats:
+    """Monotonic counters for degraded-mode events (thread-safe)."""
+
+    FIELDS = (
+        "fallback_queries",
+        "fallback_splits",
+        "corruption_events",
+        "quarantine_skips",
+        "query_retries",
+        "build_failures",
+        "recovery_actions",
+        "journal_write_failures",
+    )
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts = {name: 0 for name in self.FIELDS}
+
+    def add(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counts[name] += amount
+
+    def get(self, name: str) -> int:
+        with self._lock:
+            return self._counts[name]
+
+    def snapshot(self) -> dict[str, int]:
+        with self._lock:
+            return dict(self._counts)
+
+    @property
+    def total_degraded_events(self) -> int:
+        with self._lock:
+            return sum(self._counts.values())

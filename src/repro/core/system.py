@@ -46,8 +46,10 @@ from .cacher import (
     JsonPathCacher,
 )
 from .collector import JsonPathCollector
+from .journal import BuildJournal
 from .maxson_parser import MaxsonPlanModifier
 from .predictor import JsonPathPredictor, PredictorConfig
+from .resilience import CacheCircuitBreaker, ResilienceStats
 from .scoring import ScoredPath, ScoringFunction
 
 __all__ = ["MaxsonConfig", "MidnightReport", "MaxsonSystem"]
@@ -65,6 +67,11 @@ class MaxsonConfig:
     predictor: PredictorConfig = field(default_factory=PredictorConfig)
     scoring_sample_rows: int = 64
     random_seed: int = 0
+    quarantine_seconds: float = 30.0
+    """How long the circuit breaker quarantines a failing cache table
+    before half-opening for a re-probe."""
+    breaker_failure_threshold: int = 1
+    """Cache-read failures before a table is quarantined."""
 
 
 @dataclass
@@ -102,8 +109,26 @@ class MaxsonSystem:
             mpjp_threshold=self.config.mpjp_threshold,
         )
         self.predictor = JsonPathPredictor(self.config.predictor)
+        #: Degraded-mode counters shared by the modifier, the combiner,
+        #: the build/recovery paths and the server's status surface.
+        self.resilience = ResilienceStats()
+        #: Quarantines failing cache tables; survives generation swaps
+        #: (new generations use new table names, so they start clean).
+        self.breaker = CacheCircuitBreaker(
+            quarantine_seconds=self.config.quarantine_seconds,
+            failure_threshold=self.config.breaker_failure_threshold,
+        )
+        self.journal = BuildJournal(
+            self.session.catalog.fs,
+            on_write_failure=lambda _record: self.resilience.add(
+                "journal_write_failures"
+            ),
+        )
         self.modifier = MaxsonPlanModifier(
-            self.registry, enable_pushdown=self.config.enable_pushdown
+            self.registry,
+            enable_pushdown=self.config.enable_pushdown,
+            breaker=self.breaker,
+            resilience=self.resilience,
         )
         self.session.add_plan_modifier(self.modifier)
         self.current_day = 0
@@ -189,7 +214,29 @@ class MaxsonSystem:
                 type_sample_rows=self.cacher.type_sample_rows,
                 table_suffix=f"__g{next_generation}",
             )
-            build = new_cacher.populate(keys)
+            # Write-ahead: record the build before its first table exists
+            # so a crash mid-build leaves a pending journal entry that
+            # recover_orphan_generations() can act on after restart.
+            self.journal.begin(next_generation)
+            try:
+                build = new_cacher.populate(keys)
+            except Exception as exc:
+                # Build failed (fs fault, corrupt raw read, ...): GC the
+                # half-built generation and keep the old one serving.
+                # A simulated process crash (InjectedCrash) is a
+                # BaseException and deliberately NOT caught here.
+                self._gc_generation(next_generation, new_registry)
+                self.journal.abort(next_generation)
+                self.resilience.add("build_failures")
+                failed = CacheBuildReport()
+                failed.failed = True
+                failed.error = f"{type(exc).__name__}: {exc}"
+                self.cache_build_metrics.extra["failed_builds"] = (
+                    self.cache_build_metrics.extra.get("failed_builds", 0.0)
+                    + 1.0
+                )
+                return failed
+            self.journal.commit(next_generation)
             old_registry = self.registry
             old_tables = old_registry.cache_tables()
 
@@ -223,13 +270,64 @@ class MaxsonSystem:
             )
             return build
 
+    def _gc_generation(self, generation: int, registry: CacheRegistry) -> None:
+        """Drop every cache table of a failed/orphaned generation."""
+        suffix = f"__g{generation}"
+        dropped = 0
+        for info in list(self.catalog.list_tables(CACHE_DATABASE)):
+            if info.name.endswith(suffix):
+                self.catalog.drop_table(info.database, info.name)
+                dropped += 1
+        registry.clear()
+        if dropped:
+            self.resilience.add("recovery_actions", dropped)
+
+    def recover_orphan_generations(self) -> list[str]:
+        """Garbage-collect cache tables stranded by a crashed build.
+
+        Run at startup (the server does this automatically) or after a
+        simulated crash: any ``maxson_cache`` table not referenced by
+        the live registry is unreachable by the plan modifier — either a
+        half-built generation whose journal entry never committed, or a
+        leftover the retirement path did not get to. Both are dropped,
+        pending journal entries are closed with ``abort`` records, and
+        the dropped table names are returned.
+        """
+        with self._generation_lock:
+            live = self.registry.cache_tables()
+            dropped: list[str] = []
+            for info in list(self.catalog.list_tables(CACHE_DATABASE)):
+                if info.name in live:
+                    continue
+                self.catalog.drop_table(info.database, info.name)
+                dropped.append(info.name)
+            for generation in self.journal.pending():
+                self.journal.abort(generation)
+            if dropped:
+                self.resilience.add("recovery_actions", len(dropped))
+            return dropped
+
     def refresh_cache(self) -> CacheBuildReport:
         """Incrementally extend the current generation's cache tables to
         cover raw files appended since the build (repairing invalidated
-        tables in place); see :meth:`JsonPathCacher.refresh`."""
+        tables in place); see :meth:`JsonPathCacher.refresh`.
+
+        A failed refresh (fs fault mid-append) returns a ``failed``
+        report instead of raising: the registry still points at the
+        previous intact state, and any torn cache file the failure left
+        behind is caught at read time (checksums / file-count alignment)
+        and answered through the raw-parsing fallback.
+        """
         with self._generation_lock:
             keys = [entry.key for entry in self.registry.all_entries()]
-            build = self.cacher.refresh(keys)
+            try:
+                build = self.cacher.refresh(keys)
+            except Exception as exc:
+                self.resilience.add("build_failures")
+                failed = CacheBuildReport()
+                failed.failed = True
+                failed.error = f"{type(exc).__name__}: {exc}"
+                return failed
             self.cache_build_metrics.extra["build_seconds"] = (
                 self.cache_build_metrics.extra.get("build_seconds", 0.0)
                 + build.build_seconds
@@ -340,4 +438,9 @@ class MaxsonSystem:
             "build_seconds": self.cache_build_metrics.extra.get(
                 "build_seconds", 0.0
             ),
+            "failed_builds": int(
+                self.cache_build_metrics.extra.get("failed_builds", 0.0)
+            ),
+            "quarantined_tables": self.breaker.quarantined_tables(),
+            "resilience": self.resilience.snapshot(),
         }

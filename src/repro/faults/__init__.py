@@ -1,0 +1,31 @@
+"""Deterministic fault injection for the Maxson stack.
+
+``repro.faults`` provides the adversary the robustness layer is tested
+against: a seeded :class:`FaultPolicy` deciding *when* to misbehave and
+a :class:`FaultyFileSystem` applying those decisions to every read,
+write and append. Profiles are parseable from CLI strings
+(:func:`parse_fault_profile`) so ``replay-serve --fault-profile`` can
+run whole replays under corruption, transient errors and mid-build
+crashes — and prove the answers stay row-identical to the fault-free
+baseline.
+"""
+
+from .fs import FaultyFileSystem
+from .policy import (
+    CACHE_PATH_PREFIX,
+    FaultCounters,
+    FaultPolicy,
+    InjectedCrash,
+    TornWriteError,
+    parse_fault_profile,
+)
+
+__all__ = [
+    "CACHE_PATH_PREFIX",
+    "FaultCounters",
+    "FaultPolicy",
+    "FaultyFileSystem",
+    "InjectedCrash",
+    "TornWriteError",
+    "parse_fault_profile",
+]

@@ -1,0 +1,56 @@
+"""A fault-injecting file system.
+
+:class:`FaultyFileSystem` is a drop-in :class:`~repro.storage.fs.BlockFileSystem`
+whose reads and writes pass through a :class:`~repro.faults.policy.FaultPolicy`
+first. Swapping it in under a session/catalog subjects the *whole* stack
+— cache builds, cache reads, raw scans, the build journal — to
+deterministic corruption, transient errors, torn appends and crashes,
+without any component knowing it is being tested.
+
+The policy is a mutable attribute: construct the file system quiet
+(default no-fault policy), load tables, then arm the real profile so
+fixture data is never corrupted at load time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..storage.fs import BlockFileSystem, FileStatus
+from .policy import FaultPolicy, TornWriteError
+
+__all__ = ["FaultyFileSystem"]
+
+
+@dataclass
+class FaultyFileSystem(BlockFileSystem):
+    """BlockFileSystem with policy-driven fault injection."""
+
+    policy: FaultPolicy = field(default_factory=FaultPolicy)
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def create(self, path: str, data: bytes) -> FileStatus:
+        self.policy.on_write(path)
+        return super().create(path, data)
+
+    def append(self, path: str, data: bytes) -> FileStatus:
+        self.policy.on_write(path)
+        torn = self.policy.torn_length(path, len(data))
+        if torn is not None:
+            # The prefix lands (the file is now torn), then the call fails
+            # — exactly what a crash mid-append leaves behind.
+            super().append(path, data[:torn])
+            raise TornWriteError(
+                f"injected torn append: {torn}/{len(data)} bytes landed on {path}"
+            )
+        return super().append(path, data)
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def read(self, path: str, offset: int = 0, length: int | None = None) -> bytes:
+        self.policy.on_read(path)
+        chunk = super().read(path, offset, length)
+        return self.policy.corrupt(path, chunk)

@@ -1,0 +1,213 @@
+"""Deterministic fault policies.
+
+A :class:`FaultPolicy` is a seeded decision source consulted by
+:class:`~repro.faults.fs.FaultyFileSystem` on every file-system
+operation. It can inject:
+
+* **transient read/write errors** (:class:`TransientFsError`) with a
+  configurable rate, restricted to a path prefix;
+* **byte-flip corruption** of read payloads, restricted to a path
+  prefix (default: only the Maxson cache database, so raw data stays
+  trustworthy and "degraded, never wrong" is provable);
+* **injected latency** on reads;
+* **torn appends** — only a prefix of the payload lands before the
+  write fails, modelling a crash mid-write;
+* **a process crash** (:class:`InjectedCrash`) after N successful
+  writes under a prefix, used to kill a cache build mid-flight.
+
+All randomness flows through one seeded ``random.Random`` behind a
+lock, so a single-threaded run replays identically for a given seed,
+and every injected event is counted for test assertions.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+
+from ..storage.fs import TransientFsError
+
+__all__ = [
+    "InjectedCrash",
+    "TornWriteError",
+    "FaultPolicy",
+    "parse_fault_profile",
+]
+
+#: Default target for corruption and cache-only error profiles.
+CACHE_PATH_PREFIX = "/warehouse/maxson_cache"
+
+
+class InjectedCrash(BaseException):
+    """Simulated process death mid-operation.
+
+    Deliberately a ``BaseException``: resilience code that catches
+    ``Exception`` (build-failure handling, query retry) must *not*
+    absorb a crash — it has to propagate like a kill signal so tests
+    can exercise the restart/recovery path.
+    """
+
+
+class TornWriteError(TransientFsError):
+    """An append failed after only a prefix of the payload landed."""
+
+
+@dataclass
+class FaultCounters:
+    """How many of each fault kind the policy has injected."""
+
+    read_errors: int = 0
+    write_errors: int = 0
+    corruptions: int = 0
+    torn_appends: int = 0
+    crashes: int = 0
+
+    def to_dict(self) -> dict[str, int]:
+        return dict(self.__dict__)
+
+
+@dataclass
+class FaultPolicy:
+    """Seeded fault-injection decisions over file-system operations."""
+
+    seed: int = 0
+    read_error_rate: float = 0.0
+    """Probability a read raises :class:`TransientFsError`."""
+    write_error_rate: float = 0.0
+    """Probability a create/append raises :class:`TransientFsError`."""
+    corrupt_rate: float = 0.0
+    """Probability a read's payload gets one byte flipped."""
+    torn_append_rate: float = 0.0
+    """Probability an append lands only a prefix then fails."""
+    read_latency_seconds: float = 0.0
+    """Injected sleep before every read under ``error_path_prefix``."""
+    error_path_prefix: str = "/"
+    """Paths where transient errors and latency apply."""
+    corrupt_path_prefix: str = CACHE_PATH_PREFIX
+    """Paths where corruption applies (default: cache tables only)."""
+    crash_after_writes: int | None = None
+    """Raise :class:`InjectedCrash` on the Nth write under
+    ``crash_path_prefix`` (1-based); fires once, then disarms."""
+    crash_path_prefix: str = CACHE_PATH_PREFIX
+    counters: FaultCounters = field(default_factory=FaultCounters)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+        self._lock = threading.Lock()
+        self._writes_seen = 0
+        self._crashed = False
+
+    # ------------------------------------------------------------------
+    # decision points, called by FaultyFileSystem
+    # ------------------------------------------------------------------
+    def on_read(self, path: str) -> None:
+        """Latency + transient-error injection before a read executes."""
+        if not path.startswith(self.error_path_prefix):
+            return
+        if self.read_latency_seconds > 0:
+            time.sleep(self.read_latency_seconds)
+        with self._lock:
+            inject = (
+                self.read_error_rate > 0
+                and self._rng.random() < self.read_error_rate
+            )
+            if inject:
+                self.counters.read_errors += 1
+        if inject:
+            raise TransientFsError(f"injected transient read error: {path}")
+
+    def on_write(self, path: str) -> None:
+        """Crash trigger + transient-error injection before a write."""
+        crash = False
+        inject = False
+        with self._lock:
+            if (
+                self.crash_after_writes is not None
+                and not self._crashed
+                and path.startswith(self.crash_path_prefix)
+            ):
+                self._writes_seen += 1
+                if self._writes_seen >= self.crash_after_writes:
+                    self._crashed = True
+                    self.counters.crashes += 1
+                    crash = True
+            if not crash and path.startswith(self.error_path_prefix):
+                inject = (
+                    self.write_error_rate > 0
+                    and self._rng.random() < self.write_error_rate
+                )
+                if inject:
+                    self.counters.write_errors += 1
+        if crash:
+            raise InjectedCrash(f"injected crash on write #{self._writes_seen}: {path}")
+        if inject:
+            raise TransientFsError(f"injected transient write error: {path}")
+
+    def corrupt(self, path: str, chunk: bytes) -> bytes:
+        """Possibly flip one byte of a read payload."""
+        if not chunk or not path.startswith(self.corrupt_path_prefix):
+            return chunk
+        with self._lock:
+            if self.corrupt_rate <= 0 or self._rng.random() >= self.corrupt_rate:
+                return chunk
+            position = self._rng.randrange(len(chunk))
+            self.counters.corruptions += 1
+        mutated = bytearray(chunk)
+        mutated[position] ^= 0xFF
+        return bytes(mutated)
+
+    def torn_length(self, path: str, length: int) -> int | None:
+        """Length of the prefix that lands if this append tears, else None."""
+        if length == 0 or not path.startswith(self.error_path_prefix):
+            return None
+        with self._lock:
+            if (
+                self.torn_append_rate <= 0
+                or self._rng.random() >= self.torn_append_rate
+            ):
+                return None
+            self.counters.torn_appends += 1
+            return self._rng.randrange(length)
+
+
+_PROFILE_KEYS = {
+    "seed": ("seed", int),
+    "read_error": ("read_error_rate", float),
+    "write_error": ("write_error_rate", float),
+    "corrupt": ("corrupt_rate", float),
+    "torn_append": ("torn_append_rate", float),
+    "latency": ("read_latency_seconds", float),
+    "error_prefix": ("error_path_prefix", str),
+    "corrupt_prefix": ("corrupt_path_prefix", str),
+    "crash_after": ("crash_after_writes", int),
+    "crash_prefix": ("crash_path_prefix", str),
+}
+
+
+def parse_fault_profile(spec: str) -> FaultPolicy:
+    """Build a :class:`FaultPolicy` from a ``key=value,...`` spec.
+
+    Example: ``"corrupt=0.2,read_error=0.05,seed=7"``. Recognised keys:
+    seed, read_error, write_error, corrupt, torn_append, latency,
+    error_prefix, corrupt_prefix, crash_after, crash_prefix.
+    """
+    kwargs: dict[str, object] = {}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        key, _, raw = part.partition("=")
+        key = key.strip()
+        if key not in _PROFILE_KEYS:
+            raise ValueError(
+                f"unknown fault-profile key {key!r}; "
+                f"expected one of {sorted(_PROFILE_KEYS)}"
+            )
+        attr, cast = _PROFILE_KEYS[key]
+        try:
+            kwargs[attr] = cast(raw.strip())
+        except ValueError as exc:
+            raise ValueError(f"bad value for fault-profile key {key!r}: {raw!r}") from exc
+    return FaultPolicy(**kwargs)  # type: ignore[arg-type]

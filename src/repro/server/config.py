@@ -49,6 +49,13 @@ class ServerConfig:
     seconds_per_day: float = 86400.0
     """Length of one virtual day on the maintenance clock."""
 
+    max_query_retries: int = 2
+    """Attempts to re-run a query that hit a *transient* fs fault
+    (:class:`~repro.storage.fs.TransientFsError`), beyond the first."""
+
+    retry_backoff_seconds: float = 0.01
+    """Base of the exponential backoff between retry attempts."""
+
     def __post_init__(self) -> None:
         if self.max_workers < 1:
             raise ValueError("max_workers must be >= 1")
@@ -60,3 +67,7 @@ class ServerConfig:
             raise ValueError("admission_timeout_seconds must be >= 0")
         if self.seconds_per_day <= 0:
             raise ValueError("seconds_per_day must be positive")
+        if self.max_query_retries < 0:
+            raise ValueError("max_query_retries must be >= 0")
+        if self.retry_backoff_seconds < 0:
+            raise ValueError("retry_backoff_seconds must be >= 0")

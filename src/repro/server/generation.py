@@ -47,28 +47,43 @@ class GenerationGuard:
         system.generation_guard = self
 
     # ------------------------------------------------------------------
-    @contextmanager
-    def lease(self):
-        """Pin the current generation for the duration of one query."""
+    def acquire(self) -> int:
+        """Pin the current generation; returns it as the lease token.
+
+        Callers MUST pair every ``acquire`` with a :meth:`release` of the
+        returned generation in a ``finally`` — a leaked lease parks the
+        generation's retirement forever (tables never dropped, disk never
+        reclaimed), even if the leaking query died on an exception.
+        """
         with self._lock:
             generation = self.system.generation
             self._active[generation] = self._active.get(generation, 0) + 1
             self.leases_granted += 1
+            return generation
+
+    def release(self, generation: int) -> None:
+        """Drop one lease; runs a parked retirement when the last drains."""
+        retire: Callable[[], None] | None = None
+        with self._lock:
+            remaining = self._active.get(generation, 0) - 1
+            if remaining <= 0:
+                self._active.pop(generation, None)
+                retire = self._pending_retire.pop(generation, None)
+                if retire is not None:
+                    self.retired_deferred += 1
+            else:
+                self._active[generation] = remaining
+        if retire is not None:
+            retire()
+
+    @contextmanager
+    def lease(self):
+        """Pin the current generation for the duration of one query."""
+        generation = self.acquire()
         try:
             yield generation
         finally:
-            retire: Callable[[], None] | None = None
-            with self._lock:
-                remaining = self._active.get(generation, 0) - 1
-                if remaining <= 0:
-                    self._active.pop(generation, None)
-                    retire = self._pending_retire.pop(generation, None)
-                    if retire is not None:
-                        self.retired_deferred += 1
-                else:
-                    self._active[generation] = remaining
-            if retire is not None:
-                retire()
+            self.release(generation)
 
     def complete_swap(
         self,

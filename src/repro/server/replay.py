@@ -22,6 +22,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
+from ..storage.fs import FsError
 from ..workload.queries import RepresentativeQuery
 from .admission import AdmissionError
 from .service import MaxsonServer
@@ -50,6 +51,10 @@ class ReplayReport:
     shed: int = 0
     days: int = 0
     wall_seconds: float = 0.0
+    verified: int = 0
+    """Completed requests whose rows matched the fault-free baseline."""
+    mismatched: int = 0
+    """Completed requests whose rows did NOT match — wrong answers."""
     status: ServerStatus | None = None
     midnight_reports: list = field(default_factory=list)
 
@@ -83,10 +88,27 @@ def build_replay_workload(
     return out
 
 
+def _baseline_rows(server: MaxsonServer, sql: str) -> list[str] | None:
+    """Fault-free reference rows for one query, sorted for comparison.
+
+    Reads the same (possibly faulty) file system, so transient raw-read
+    errors are retried a bounded number of times; ``None`` means no
+    reference could be obtained and the request is skipped, not failed.
+    """
+    for _ in range(8):
+        try:
+            result = server.system.baseline_sql(sql)
+            return sorted(map(str, result.rows))
+        except FsError:
+            continue
+    return None
+
+
 def replay(
     server: MaxsonServer,
     requests: list[ReplayRequest],
     stats_events: list[tuple[int, tuple]] | None = None,
+    verify: bool = False,
 ) -> ReplayReport:
     """Replay ``requests`` day by day at the server's concurrency.
 
@@ -95,6 +117,11 @@ def replay(
     stragglers may still be executing — the exact interleaving the
     generation-swap protocol has to survive. ``stats_events`` are
     interleaved through :meth:`MaxsonServer.ingest` on the matching day.
+
+    With ``verify=True`` every completed request's rows are compared
+    against a plain-engine baseline of the same SQL — the wrong-answer
+    detector of the fault-injection harness (degraded results must be
+    row-identical, only slower).
     """
     import time
 
@@ -114,19 +141,29 @@ def replay(
     for day in range(min(by_day), last_day + 1):
         day_requests = by_day.get(day, [])
         futures = [
-            server.submit(r.sql, tenant=r.tenant, day=r.day)
+            (r, server.submit(r.sql, tenant=r.tenant, day=r.day))
             for r in day_requests
         ]
         for paths in events_by_day.get(day, ()):
             server.ingest(day, paths)
-        for future in futures:
+        for request, future in futures:
             try:
-                future.result()
+                result = future.result()
                 report.completed += 1
             except AdmissionError:
                 report.shed += 1
+                continue
             except Exception:
                 report.failed += 1
+                continue
+            if verify:
+                expected = _baseline_rows(server, request.sql)
+                if expected is None:
+                    continue
+                if sorted(map(str, result.rows)) == expected:
+                    report.verified += 1
+                else:
+                    report.mismatched += 1
         # Cross midnight into day+1: predict/score/build/swap. Runs while
         # any stragglers of this day still hold generation leases.
         if day < last_day:

@@ -79,6 +79,8 @@ class MaintenanceScheduler:
         self._last_refresh_seconds = self.clock.seconds
         self.reports: list = []
         self.refreshes = 0
+        self.failed_cycles = 0
+        self.failed_refreshes = 0
 
     # ------------------------------------------------------------------
     def advance_to(self, seconds: float) -> list[str]:
@@ -94,22 +96,38 @@ class MaintenanceScheduler:
             day = self.clock.day
             while self._last_cycle_day < day:
                 target = self._last_cycle_day + 1
-                report = self.server.run_midnight_cycle(
-                    day=target, history_days=self.history_days
-                )
-                self.reports.append(report)
+                try:
+                    report = self.server.run_midnight_cycle(
+                        day=target, history_days=self.history_days
+                    )
+                    self.reports.append(report)
+                    actions.append(f"midnight:{target}")
+                except Exception:
+                    # A cycle that died before reaching the protected
+                    # build (e.g. a transient fault while scoring) must
+                    # not kill the caller driving the clock — the old
+                    # generation keeps serving and the next midnight
+                    # tries again. (A simulated process crash is a
+                    # BaseException and still propagates.)
+                    self.failed_cycles += 1
+                    self.server.system.resilience.add("build_failures")
+                    actions.append(f"midnight_failed:{target}")
                 self._last_cycle_day = target
-                actions.append(f"midnight:{target}")
             if self.refresh_interval_seconds > 0:
                 now = self.clock.seconds
                 if (
                     now - self._last_refresh_seconds
                     >= self.refresh_interval_seconds
                 ):
-                    self.server.refresh_cache()
+                    try:
+                        self.server.refresh_cache()
+                        actions.append("refresh")
+                        self.refreshes += 1
+                    except Exception:
+                        self.failed_refreshes += 1
+                        self.server.system.resilience.add("build_failures")
+                        actions.append("refresh_failed")
                     self._last_refresh_seconds = now
-                    self.refreshes += 1
-                    actions.append("refresh")
         return actions
 
     def advance_days(self, days: int = 1) -> list[str]:
@@ -124,4 +142,6 @@ class MaintenanceScheduler:
                 "virtual_seconds": self.clock.seconds,
                 "midnight_cycles": len(self.reports),
                 "refreshes": self.refreshes,
+                "failed_cycles": self.failed_cycles,
+                "failed_refreshes": self.failed_refreshes,
             }

@@ -29,6 +29,7 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from ..core.system import MaxsonSystem, MidnightReport
 from ..engine.metrics import QueryMetrics
 from ..engine.session import QueryResult
+from ..storage.fs import TransientFsError
 from ..workload.trace import PathKey
 from .admission import AdmissionController
 from .config import ServerConfig
@@ -58,6 +59,10 @@ class MaxsonServer:
             timeout_seconds=self.config.admission_timeout_seconds,
         )
         self.generation_guard = GenerationGuard(self.system)
+        #: Orphan ``__g{N}`` tables dropped at startup — non-empty after
+        #: a restart from a crash mid-build (journal replay found a
+        #: ``begin`` with no terminal record, or unreferenced tables).
+        self.recovered_tables = self.system.recover_orphan_generations()
         self.scheduler = MaintenanceScheduler(
             self,
             clock=VirtualClock(seconds_per_day=self.config.seconds_per_day),
@@ -87,18 +92,38 @@ class MaxsonServer:
 
         Raises :class:`QueueFullError` / :class:`AdmissionTimeout` when
         the request is shed, and re-raises engine errors after counting
-        them as failures.
+        them as failures. A :class:`TransientFsError` (an injected or
+        environmental fault that may clear) is retried up to
+        ``config.max_query_retries`` times with exponential backoff —
+        the admission slot is held across attempts (the request occupies
+        the tenant either way), but the generation lease is re-acquired
+        per attempt so retries never pin a retiring generation.
         """
         tenant = tenant or self.config.default_tenant
         started = time.perf_counter()
         with self.admission.admit(tenant):
-            with self.generation_guard.lease():
+            attempt = 0
+            while True:
+                generation = self.generation_guard.acquire()
                 try:
                     result = self.system.sql(sql, day=day)
+                    break
+                except TransientFsError:
+                    if attempt >= self.config.max_query_retries:
+                        with self._lock:
+                            self._failed += 1
+                        raise
+                    self.system.resilience.add("query_retries")
+                    backoff = self.config.retry_backoff_seconds * (2**attempt)
+                    attempt += 1
                 except Exception:
                     with self._lock:
                         self._failed += 1
                     raise
+                finally:
+                    self.generation_guard.release(generation)
+                if backoff > 0:
+                    time.sleep(backoff)
         elapsed = time.perf_counter() - started
         with self._lock:
             self._completed += 1
@@ -155,6 +180,7 @@ class MaxsonServer:
         guard = self.generation_guard.snapshot()
         maintenance = self.scheduler.snapshot()
         summary = self.system.cache_summary()
+        resilience = self.system.resilience.snapshot()
         return ServerStatus(
             uptime_seconds=uptime,
             queries_completed=completed,
@@ -179,6 +205,14 @@ class MaxsonServer:
             peak_queue_depth=int(admission["peak_waiting"]),
             active_queries=int(admission["active"]),
             active_leases=int(guard["active_leases"]),
+            fallback_queries=int(resilience["fallback_queries"]),
+            fallback_splits=int(resilience["fallback_splits"]),
+            corruption_events=int(resilience["corruption_events"]),
+            quarantine_skips=int(resilience["quarantine_skips"]),
+            quarantined_tables=len(summary["quarantined_tables"]),
+            query_retries=int(resilience["query_retries"]),
+            build_failures=int(resilience["build_failures"]),
+            recovery_actions=int(resilience["recovery_actions"]),
             tenants=tenants,
             totals=totals.to_dict(),
         )

@@ -52,6 +52,14 @@ class ServerStatus:
     peak_queue_depth: int
     active_queries: int
     active_leases: int
+    fallback_queries: int = 0
+    fallback_splits: int = 0
+    corruption_events: int = 0
+    quarantine_skips: int = 0
+    quarantined_tables: int = 0
+    query_retries: int = 0
+    build_failures: int = 0
+    recovery_actions: int = 0
     tenants: dict[str, int] = field(default_factory=dict)
     totals: dict[str, object] = field(default_factory=dict)
 
@@ -85,6 +93,14 @@ class ServerStatus:
             f"  admission:     depth={self.queue_depth} "
             f"peak={self.peak_queue_depth} active={self.active_queries} "
             f"leases={self.active_leases}",
+            f"  degraded:      {self.fallback_queries} fallback queries "
+            f"({self.fallback_splits} splits), "
+            f"{self.corruption_events} corruptions, "
+            f"{self.quarantine_skips} quarantine skips "
+            f"({self.quarantined_tables} tables), "
+            f"{self.query_retries} retries, "
+            f"{self.build_failures} failed builds, "
+            f"{self.recovery_actions} recoveries",
         ]
         if self.tenants:
             per_tenant = ", ".join(

@@ -1,10 +1,11 @@
 """Storage substrate: simulated HDFS + ORC-like columnar format + SARGs."""
 
-from .codec import CodecError
-from .fs import BlockFileSystem, FileStatus, FsError
+from .codec import CodecError, checksum_of
+from .fs import BlockFileSystem, FileStatus, FsError, TransientFsError
 from .orc import (
     DEFAULT_ROW_GROUP_SIZE,
     DEFAULT_STRIPE_BYTES,
+    CorruptStripeError,
     OrcError,
     OrcFileReader,
     OrcWriter,
@@ -27,8 +28,11 @@ __all__ = [
     "BlockFileSystem",
     "FileStatus",
     "FsError",
+    "TransientFsError",
     "CodecError",
+    "checksum_of",
     "OrcError",
+    "CorruptStripeError",
     "OrcWriter",
     "OrcFileReader",
     "OrcReader",

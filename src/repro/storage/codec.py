@@ -10,11 +10,13 @@ writer/reader revisions.
 from __future__ import annotations
 
 import struct
+import zlib
 
 from .schema import DataType
 
 __all__ = [
     "CodecError",
+    "checksum_of",
     "write_varint",
     "read_varint",
     "zigzag_encode",
@@ -26,6 +28,16 @@ __all__ = [
 
 class CodecError(Exception):
     """Corrupt or truncated encoded data."""
+
+
+def checksum_of(data: bytes) -> int:
+    """CRC32 of a byte span (detects every single-byte flip).
+
+    Used by the ORC-like format for per-stripe and footer integrity:
+    readers verify before decoding so corruption surfaces as a typed
+    error instead of garbage values.
+    """
+    return zlib.crc32(data) & 0xFFFFFFFF
 
 
 def write_varint(out: bytearray, value: int) -> None:

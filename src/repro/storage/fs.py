@@ -17,7 +17,7 @@ import threading
 import time
 from dataclasses import dataclass, field
 
-__all__ = ["FsError", "FileStatus", "BlockFileSystem"]
+__all__ = ["FsError", "TransientFsError", "FileStatus", "BlockFileSystem"]
 
 #: Default simulated block size. The real deployment uses 128-256MB; tests
 #: use small files, so a small default keeps block maths observable.
@@ -26,6 +26,16 @@ DEFAULT_BLOCK_SIZE = 4 * 1024 * 1024
 
 class FsError(Exception):
     """File system operation failure (missing path, overwrite, etc.)."""
+
+
+class TransientFsError(FsError):
+    """A failure that may succeed on retry (injected or environmental).
+
+    Retry loops key on this type: a plain :class:`FsError` (missing path,
+    double create) is permanent and retrying it is pointless, while a
+    transient error models the blips a distributed file system shows
+    under load — the :mod:`repro.faults` layer injects exactly these.
+    """
 
 
 @dataclass(frozen=True)
@@ -129,19 +139,23 @@ class BlockFileSystem:
             self.stats.writes += 1
             return self.status(path)
 
-    def delete(self, path: str) -> None:
-        """Delete a file, or a directory recursively."""
+    def delete(self, path: str) -> bool:
+        """Delete a file, or a directory recursively.
+
+        Idempotent: deleting a path that does not exist returns ``False``
+        instead of raising, because retry and crash-recovery paths
+        re-issue deletes they may have already completed.
+        """
         path = _normalise(path)
         with self._lock:
             if path in self._files:
                 del self._files[path]
-                return
+                return True
             prefix = path.rstrip("/") + "/"
             doomed = [p for p in self._files if p.startswith(prefix)]
-            if not doomed:
-                raise FsError(f"no such file or directory: {path}")
             for p in doomed:
                 del self._files[p]
+            return bool(doomed)
 
     # ------------------------------------------------------------------
     # reads

@@ -15,8 +15,16 @@ Files serialise to ``bytes`` and live in a
 
     magic "MORC"  version u8
     stripe 0 .. stripe N-1           (column chunks, row-group major)
-    footer                           (schema, stripe directory, stats)
-    footer_length u32-le  magic "MORC"
+    footer                           (schema, stripe directory + checksums, stats)
+    footer_crc32 u32-le  footer_length u32-le  magic "MORC"
+
+Format version 2 adds integrity checksums: every stripe's CRC32 lives in
+the footer's stripe directory and the footer itself carries a trailing
+CRC32. Readers verify the footer eagerly and each stripe lazily before
+its first decode, raising :class:`CorruptStripeError` instead of
+decoding garbage — the contract Maxson's graceful-degradation path
+(fall back to raw parsing) depends on. Version 1 files (no checksums)
+remain readable.
 """
 
 from __future__ import annotations
@@ -24,12 +32,20 @@ from __future__ import annotations
 import struct
 from dataclasses import dataclass
 
-from .codec import CodecError, decode_column, encode_column, read_varint, write_varint
+from .codec import (
+    CodecError,
+    checksum_of,
+    decode_column,
+    encode_column,
+    read_varint,
+    write_varint,
+)
 from .sargs import ColumnStats
 from .schema import DataType, Field, Schema
 
 __all__ = [
     "OrcError",
+    "CorruptStripeError",
     "RowGroupInfo",
     "StripeInfo",
     "OrcWriter",
@@ -39,7 +55,7 @@ __all__ = [
 ]
 
 MAGIC = b"MORC"
-VERSION = 1
+VERSION = 2
 
 #: Rows per row group — ORC's documented default.
 DEFAULT_ROW_GROUP_SIZE = 10_000
@@ -54,6 +70,14 @@ DEFAULT_STRIPE_BYTES = 64 * 1024 * 1024
 
 class OrcError(Exception):
     """Malformed ORC-like file or invalid writer use."""
+
+
+class CorruptStripeError(OrcError):
+    """A stripe's bytes do not match the checksum recorded in the footer.
+
+    Raised *before* any value of the stripe is decoded, so a corrupt
+    cache table can never leak wrong JSONPath values into query results.
+    """
 
 
 @dataclass(frozen=True)
@@ -78,6 +102,8 @@ class StripeInfo:
     length: int
     row_count: int
     row_groups: tuple[RowGroupInfo, ...]
+    checksum: int = 0
+    """CRC32 of the stripe's bytes (0 in version-1 files: unverified)."""
 
 
 @dataclass
@@ -179,6 +205,7 @@ class OrcWriter:
                 length=len(chunk),
                 row_count=total,
                 row_groups=tuple(row_groups),
+                checksum=checksum_of(bytes(chunk)),
             )
         )
         self._pending = _PendingStripe(columns=[[] for _ in self.schema.fields])
@@ -191,6 +218,7 @@ class OrcWriter:
         self._finished = True
         footer = _encode_footer(self.schema, self._stripes)
         self._buffer.extend(footer)
+        self._buffer.extend(struct.pack("<I", checksum_of(footer)))
         self._buffer.extend(struct.pack("<I", len(footer)))
         self._buffer.extend(MAGIC)
         return bytes(self._buffer)
@@ -222,7 +250,9 @@ def _decode_stat_value(data: bytes, pos: int) -> tuple[object, int]:
     return values[0], pos
 
 
-def _encode_footer(schema: Schema, stripes: list[StripeInfo]) -> bytes:
+def _encode_footer(
+    schema: Schema, stripes: list[StripeInfo], version: int = VERSION
+) -> bytes:
     out = bytearray()
     write_varint(out, len(schema))
     for fld in schema.fields:
@@ -235,6 +265,8 @@ def _encode_footer(schema: Schema, stripes: list[StripeInfo]) -> bytes:
         write_varint(out, stripe.offset)
         write_varint(out, stripe.length)
         write_varint(out, stripe.row_count)
+        if version >= 2:
+            write_varint(out, stripe.checksum)
         write_varint(out, len(stripe.row_groups))
         for rg in stripe.row_groups:
             write_varint(out, rg.row_count)
@@ -248,7 +280,7 @@ def _encode_footer(schema: Schema, stripes: list[StripeInfo]) -> bytes:
     return bytes(out)
 
 
-def _decode_footer(data: bytes) -> tuple[Schema, list[StripeInfo]]:
+def _decode_footer(data: bytes, version: int = VERSION) -> tuple[Schema, list[StripeInfo]]:
     pos = 0
     n_fields, pos = read_varint(data, pos)
     fields: list[Field] = []
@@ -266,6 +298,9 @@ def _decode_footer(data: bytes) -> tuple[Schema, list[StripeInfo]]:
         offset, pos = read_varint(data, pos)
         length, pos = read_varint(data, pos)
         row_count, pos = read_varint(data, pos)
+        checksum = 0
+        if version >= 2:
+            checksum, pos = read_varint(data, pos)
         n_groups, pos = read_varint(data, pos)
         groups: list[RowGroupInfo] = []
         for _ in range(n_groups):
@@ -293,6 +328,7 @@ def _decode_footer(data: bytes) -> tuple[Schema, list[StripeInfo]]:
                 length=length,
                 row_count=row_count,
                 row_groups=tuple(groups),
+                checksum=checksum,
             )
         )
     return schema, stripes
@@ -312,17 +348,28 @@ class OrcFileReader:
             raise OrcError("not an MORC file (bad magic)")
         if data[-len(MAGIC) :] != MAGIC:
             raise OrcError("truncated MORC file (bad tail magic)")
+        self.version = data[len(MAGIC)]
+        if self.version not in (1, VERSION):
+            raise OrcError(f"unsupported MORC version {self.version}")
         (footer_len,) = struct.unpack_from("<I", data, len(data) - len(MAGIC) - 4)
-        footer_start = len(data) - len(MAGIC) - 4 - footer_len
+        # Version 2 stores the footer's own CRC32 just before its length.
+        tail_fixed = len(MAGIC) + 4 + (4 if self.version >= 2 else 0)
+        footer_start = len(data) - tail_fixed - footer_len
         if footer_start < len(MAGIC) + 1:
             raise OrcError("corrupt footer length")
-        try:
-            self.schema, self.stripes = _decode_footer(
-                data[footer_start : footer_start + footer_len]
+        footer = data[footer_start : footer_start + footer_len]
+        if self.version >= 2:
+            (footer_crc,) = struct.unpack_from(
+                "<I", data, len(data) - len(MAGIC) - 8
             )
+            if checksum_of(footer) != footer_crc:
+                raise OrcError("corrupt footer (checksum mismatch)")
+        try:
+            self.schema, self.stripes = _decode_footer(footer, self.version)
         except (CodecError, IndexError) as exc:
             raise OrcError(f"corrupt footer: {exc}") from exc
         self._data = data
+        self._verified_stripes: set[int] = set()
 
     @property
     def row_count(self) -> int:
@@ -331,6 +378,23 @@ class OrcFileReader:
     @property
     def stripe_count(self) -> int:
         return len(self.stripes)
+
+    def _verify_stripe(self, index: int, stripe: StripeInfo) -> None:
+        """Check the stripe's CRC32 before its first decode (version ≥ 2).
+
+        Verification is lazy and cached per stripe: fully skipped stripes
+        are never checksummed (their bytes are never interpreted), and a
+        verified stripe is not re-hashed on later column reads.
+        """
+        if self.version < 2 or index in self._verified_stripes:
+            return
+        span = self._data[stripe.offset : stripe.offset + stripe.length]
+        if checksum_of(span) != stripe.checksum:
+            raise CorruptStripeError(
+                f"stripe {index} checksum mismatch "
+                f"(offset={stripe.offset}, length={stripe.length})"
+            )
+        self._verified_stripes.add(index)
 
     def row_group_layout(self) -> list[RowGroupInfo]:
         """All row groups of the file in row order (across stripes)."""
@@ -359,7 +423,7 @@ class OrcFileReader:
         columns: dict[str, list[object]] = {name: [] for name in wanted}
         bytes_decoded = 0
         group_index = 0
-        for stripe in self.stripes:
+        for stripe_index, stripe in enumerate(self.stripes):
             pos = stripe.offset
             for rg in stripe.row_groups:
                 include = (
@@ -369,6 +433,7 @@ class OrcFileReader:
                 )
                 for fld, chunk_len in zip(self.schema.fields, rg.chunk_lengths):
                     if include and fld.name in columns:
+                        self._verify_stripe(stripe_index, stripe)
                         _, values, end = decode_column(self._data, pos)
                         if end - pos != chunk_len:
                             raise OrcError(

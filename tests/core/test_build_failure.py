@@ -1,0 +1,117 @@
+"""Failed cache builds must leave the previous generation serving.
+
+Satellite coverage: ``run_midnight_cycle`` and ``refresh_cache`` under
+injected write faults — the registry keeps pointing at the last intact
+generation, failed builds are GC'd and reported, and ``cache_summary``
+reflects all of it.
+"""
+
+from repro.core import MaxsonConfig, MaxsonSystem, PredictorConfig
+from repro.core.cacher import CACHE_DATABASE
+from repro.engine import Session
+from repro.faults import FaultPolicy, FaultyFileSystem
+from repro.jsonlib import dumps
+from repro.storage import DataType, Schema
+from repro.workload import PathKey
+
+KEYS = [PathKey("db", "t", "payload", "$.m")]
+SQL = "select id, get_json_object(payload, '$.m') as m from db.t"
+
+
+def build_system(rows=30):
+    faulty = FaultyFileSystem()
+    session = Session(fs=faulty)
+    schema = Schema.of(("id", DataType.INT64), ("payload", DataType.STRING))
+    session.catalog.create_table("db", "t", schema)
+    session.catalog.append_rows(
+        "db", "t", [(i, dumps({"m": i})) for i in range(rows)], row_group_size=10
+    )
+    system = MaxsonSystem(
+        session=session,
+        config=MaxsonConfig(predictor=PredictorConfig(model="always")),
+    )
+    return system, faulty
+
+
+def cache_write_faults() -> FaultPolicy:
+    """Every write under the cache database fails (reads untouched)."""
+    return FaultPolicy(
+        write_error_rate=1.0,
+        error_path_prefix=f"/warehouse/{CACHE_DATABASE}",
+    )
+
+
+class TestMidnightCycleBuildFailure:
+    def test_failed_build_keeps_previous_generation(self):
+        system, faulty = build_system()
+        # day 0 traffic so the predictor has something to propose
+        system.sql(SQL)
+        good = system.run_midnight_cycle(day=1, history_days=7)
+        assert not good.build.failed
+        generation = system.generation
+        live_tables = set(system.registry.cache_tables())
+        assert live_tables
+
+        system.sql(SQL)
+        faulty.policy = cache_write_faults()
+        failed = system.run_midnight_cycle(day=2, history_days=7)
+        faulty.policy = FaultPolicy()
+        assert failed.build.failed
+        assert "TransientFsError" in failed.build.error
+        # the swap never happened: same generation, same tables
+        assert system.generation == generation
+        assert set(system.registry.cache_tables()) == live_tables
+        # the half-built generation was GC'd and its journal entry closed
+        assert system.journal.pending() == []
+        leftovers = {
+            info.name for info in system.catalog.list_tables(CACHE_DATABASE)
+        }
+        assert leftovers == live_tables
+        # queries still run against the intact previous generation
+        result = system.sql(SQL)
+        assert [r["m"] for r in result.rows] == [r["id"] for r in result.rows]
+
+    def test_cache_summary_reflects_failure(self):
+        system, faulty = build_system()
+        system.sql(SQL)
+        faulty.policy = cache_write_faults()
+        system.run_midnight_cycle(day=1, history_days=7)
+        faulty.policy = FaultPolicy()
+        summary = system.cache_summary()
+        assert summary["failed_builds"] == 1
+        assert summary["resilience"]["build_failures"] == 1
+
+    def test_failed_generation_suffix_is_reused_on_retry(self):
+        system, faulty = build_system()
+        system.sql(SQL)
+        faulty.policy = cache_write_faults()
+        system.run_midnight_cycle(day=1, history_days=7)
+        faulty.policy = FaultPolicy()
+        # the counter was not bumped by the failure; the retry succeeds
+        report = system.run_midnight_cycle(day=2, history_days=7)
+        assert not report.build.failed
+        assert system.generation == 1
+        result = system.sql(SQL)
+        assert [r["m"] for r in result.rows] == [r["id"] for r in result.rows]
+
+
+class TestRefreshFailure:
+    def test_failed_refresh_returns_failed_report(self):
+        system, faulty = build_system()
+        system.cacher.populate(KEYS)
+        live_tables = set(system.registry.cache_tables())
+        # new raw data arrives, then the fs starts rejecting cache writes
+        system.catalog.append_rows(
+            "db", "t", [(100 + i, dumps({"m": 100 + i})) for i in range(10)]
+        )
+        faulty.policy = cache_write_faults()
+        report = system.refresh_cache()
+        faulty.policy = FaultPolicy()
+        assert report.failed
+        assert set(system.registry.cache_tables()) == live_tables
+        assert system.cache_summary()["resilience"]["build_failures"] == 1
+        # degraded but correct: misaligned cache falls back to raw parsing
+        result = system.sql(SQL)
+        assert sorted(r["m"] for r in result.rows) == sorted(
+            list(range(30)) + list(range(100, 110))
+        )

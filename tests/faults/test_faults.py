@@ -1,0 +1,153 @@
+"""Unit tests for the deterministic fault-injection layer."""
+
+import pytest
+
+from repro.faults import (
+    FaultPolicy,
+    FaultyFileSystem,
+    InjectedCrash,
+    TornWriteError,
+    parse_fault_profile,
+)
+from repro.storage import TransientFsError
+
+
+class TestFaultPolicy:
+    def test_quiet_policy_injects_nothing(self):
+        policy = FaultPolicy()
+        for i in range(200):
+            policy.on_read(f"/warehouse/maxson_cache/t/{i}")
+            policy.on_write(f"/warehouse/maxson_cache/t/{i}")
+            assert policy.corrupt("/warehouse/maxson_cache/x", b"abc") == b"abc"
+            assert policy.torn_length("/warehouse/maxson_cache/x", 100) is None
+        assert policy.counters.to_dict() == {
+            "read_errors": 0,
+            "write_errors": 0,
+            "corruptions": 0,
+            "torn_appends": 0,
+            "crashes": 0,
+        }
+
+    def test_same_seed_same_decisions(self):
+        def run(seed):
+            policy = FaultPolicy(seed=seed, read_error_rate=0.3)
+            outcomes = []
+            for i in range(100):
+                try:
+                    policy.on_read(f"/data/{i}")
+                    outcomes.append(False)
+                except TransientFsError:
+                    outcomes.append(True)
+            return outcomes
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+        assert any(run(7))  # the rate actually fires
+
+    def test_error_prefix_scopes_injection(self):
+        policy = FaultPolicy(
+            read_error_rate=1.0, error_path_prefix="/warehouse/maxson_cache"
+        )
+        policy.on_read("/warehouse/raw/t/part-0")  # out of scope: silent
+        with pytest.raises(TransientFsError):
+            policy.on_read("/warehouse/maxson_cache/t/part-0")
+        assert policy.counters.read_errors == 1
+
+    def test_corrupt_flips_exactly_one_byte(self):
+        policy = FaultPolicy(corrupt_rate=1.0, corrupt_path_prefix="/c")
+        original = bytes(range(64))
+        mutated = policy.corrupt("/c/file", original)
+        assert mutated != original
+        assert len(mutated) == len(original)
+        diffs = [i for i in range(64) if mutated[i] != original[i]]
+        assert len(diffs) == 1
+        assert mutated[diffs[0]] == original[diffs[0]] ^ 0xFF
+        # out-of-prefix reads are untouched even at rate 1.0
+        assert policy.corrupt("/raw/file", original) == original
+
+    def test_crash_fires_once_on_nth_write(self):
+        policy = FaultPolicy(crash_after_writes=3, crash_path_prefix="/c")
+        policy.on_write("/c/a")
+        policy.on_write("/raw/ignored")  # wrong prefix: not counted
+        policy.on_write("/c/b")
+        with pytest.raises(InjectedCrash):
+            policy.on_write("/c/c")
+        # disarmed after firing
+        policy.on_write("/c/d")
+        assert policy.counters.crashes == 1
+
+    def test_torn_length_is_proper_prefix(self):
+        policy = FaultPolicy(torn_append_rate=1.0, error_path_prefix="/")
+        torn = policy.torn_length("/x", 50)
+        assert torn is not None and 0 <= torn < 50
+        assert policy.torn_length("/x", 0) is None
+
+
+class TestParseFaultProfile:
+    def test_full_spec(self):
+        policy = parse_fault_profile(
+            "seed=9,read_error=0.1,write_error=0.2,corrupt=0.3,"
+            "torn_append=0.4,latency=0.01,error_prefix=/a,"
+            "corrupt_prefix=/b,crash_after=5,crash_prefix=/c"
+        )
+        assert policy.seed == 9
+        assert policy.read_error_rate == 0.1
+        assert policy.write_error_rate == 0.2
+        assert policy.corrupt_rate == 0.3
+        assert policy.torn_append_rate == 0.4
+        assert policy.read_latency_seconds == 0.01
+        assert policy.error_path_prefix == "/a"
+        assert policy.corrupt_path_prefix == "/b"
+        assert policy.crash_after_writes == 5
+        assert policy.crash_path_prefix == "/c"
+
+    def test_empty_spec_is_quiet(self):
+        policy = parse_fault_profile("")
+        assert policy.read_error_rate == 0.0
+        assert policy.corrupt_rate == 0.0
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault-profile key"):
+            parse_fault_profile("explode=1.0")
+
+    def test_bad_value_rejected(self):
+        with pytest.raises(ValueError, match="bad value"):
+            parse_fault_profile("corrupt=lots")
+
+
+class TestFaultyFileSystem:
+    def test_behaves_like_block_fs_when_quiet(self):
+        fs = FaultyFileSystem()
+        fs.create("/d/f", b"hello ")
+        fs.append("/d/f", b"world")
+        assert fs.read("/d/f") == b"hello world"
+
+    def test_read_error_injection(self):
+        fs = FaultyFileSystem()
+        fs.create("/d/f", b"payload")
+        fs.policy = FaultPolicy(read_error_rate=1.0)
+        with pytest.raises(TransientFsError):
+            fs.read("/d/f")
+
+    def test_torn_append_lands_prefix(self):
+        fs = FaultyFileSystem()
+        fs.create("/d/f", b"")
+        fs.policy = FaultPolicy(torn_append_rate=1.0, seed=1)
+        with pytest.raises(TornWriteError):
+            fs.append("/d/f", b"0123456789")
+        landed = fs.read("/d/f")
+        assert len(landed) < 10
+        assert b"0123456789".startswith(landed)
+
+    def test_corruption_on_read_leaves_disk_intact(self):
+        fs = FaultyFileSystem()
+        fs.create("/warehouse/maxson_cache/t/f", b"A" * 100)
+        fs.policy = FaultPolicy(corrupt_rate=1.0)
+        corrupted = fs.read("/warehouse/maxson_cache/t/f")
+        assert corrupted != b"A" * 100
+        fs.policy = FaultPolicy()
+        assert fs.read("/warehouse/maxson_cache/t/f") == b"A" * 100
+
+    def test_torn_write_error_is_transient(self):
+        # the server's retry loop keys on TransientFsError
+        assert issubclass(TornWriteError, TransientFsError)

@@ -1,0 +1,101 @@
+"""Generation leases must be released even when the query dies.
+
+Satellite regression: a leaked lease parks the old generation's
+retirement forever. Crashing a query mid-lease — including with a
+``BaseException``-grade crash — must still release the lease, and a
+subsequent generation swap must retire the old tables.
+"""
+
+import pytest
+
+from repro.core import MaxsonConfig, MaxsonSystem, PredictorConfig
+from repro.core.cacher import CACHE_DATABASE
+from repro.engine import Session
+from repro.faults import FaultPolicy, FaultyFileSystem, InjectedCrash
+from repro.jsonlib import dumps
+from repro.server import MaxsonServer, ServerConfig
+from repro.storage import DataType, Schema, TransientFsError
+from repro.workload import PathKey
+
+KEYS = [PathKey("db", "t", "payload", "$.m")]
+SQL = "select id, get_json_object(payload, '$.m') as m from db.t"
+
+
+def build_server():
+    faulty = FaultyFileSystem()
+    session = Session(fs=faulty)
+    schema = Schema.of(("id", DataType.INT64), ("payload", DataType.STRING))
+    session.catalog.create_table("db", "t", schema)
+    session.catalog.append_rows(
+        "db", "t", [(i, dumps({"m": i})) for i in range(20)]
+    )
+    system = MaxsonSystem(
+        session=session,
+        config=MaxsonConfig(predictor=PredictorConfig(model="always")),
+    )
+    server = MaxsonServer(
+        system, ServerConfig(max_workers=2, max_query_retries=0)
+    )
+    return server, faulty
+
+
+class TestLeaseRelease:
+    def test_query_crash_mid_lease_still_retires_old_generation(self):
+        server, faulty = build_server()
+        with server:
+            system = server.system
+            system.cacher.populate(KEYS)
+            guard = server.generation_guard
+            # crash a query mid-execution (transient fault, no retries)
+            faulty.policy = FaultPolicy(read_error_rate=1.0)
+            with pytest.raises(TransientFsError):
+                server.execute(SQL)
+            faulty.policy = FaultPolicy()
+            assert guard.active_leases() == 0  # the lease was NOT leaked
+            old_tables = set(system.registry.cache_tables())
+            system._swap_generation(KEYS)
+            # nothing pins generation 0: retirement ran immediately
+            assert guard.snapshot()["pending_retirements"] == 0
+            remaining = {
+                info.name
+                for info in system.catalog.list_tables(CACHE_DATABASE)
+            }
+            assert not (old_tables & remaining)
+
+    def test_base_exception_crash_releases_lease(self):
+        server, faulty = build_server()
+        with server:
+            guard = server.generation_guard
+            faulty.policy = FaultPolicy(
+                crash_after_writes=1, crash_path_prefix="/system"
+            )
+            # the journal write under /system dies with InjectedCrash
+            # (BaseException); acquire/release pairing must survive it
+            generation = guard.acquire()
+            try:
+                with pytest.raises(InjectedCrash):
+                    server.system.journal.begin(99)
+                    raise InjectedCrash("simulated death inside a lease")
+            finally:
+                guard.release(generation)
+            faulty.policy = FaultPolicy()
+            assert guard.active_leases() == 0
+
+    def test_execute_releases_lease_on_base_exception(self):
+        server, faulty = build_server()
+        with server:
+            system = server.system
+            system.cacher.populate(KEYS)
+            # arm a crash on the next cache write, then force a midnight
+            # build through a query-concurrent path: the InjectedCrash
+            # must propagate but leases drain to zero regardless
+            server.execute(SQL)
+            assert server.generation_guard.active_leases() == 0
+            faulty.policy = FaultPolicy(crash_after_writes=1)
+            with pytest.raises(InjectedCrash):
+                system._swap_generation(KEYS)
+            faulty.policy = FaultPolicy()
+            # queries after the crash still lease/release cleanly
+            result = server.execute(SQL)
+            assert len(result.rows) == 20
+            assert server.generation_guard.active_leases() == 0

@@ -1,0 +1,81 @@
+"""Bounded retry of transient file-system faults in the request path."""
+
+import pytest
+
+from repro.core import MaxsonConfig, MaxsonSystem, PredictorConfig
+from repro.engine import Session
+from repro.faults import FaultPolicy, FaultyFileSystem
+from repro.jsonlib import dumps
+from repro.server import MaxsonServer, ServerConfig
+from repro.storage import DataType, Schema, TransientFsError
+
+SQL = "select id, get_json_object(payload, '$.m') as m from db.t"
+
+
+def build_server(max_query_retries: int):
+    faulty = FaultyFileSystem()
+    session = Session(fs=faulty)
+    schema = Schema.of(("id", DataType.INT64), ("payload", DataType.STRING))
+    session.catalog.create_table("db", "t", schema)
+    session.catalog.append_rows(
+        "db", "t", [(i, dumps({"m": i})) for i in range(20)]
+    )
+    system = MaxsonSystem(
+        session=session,
+        config=MaxsonConfig(predictor=PredictorConfig(model="always")),
+    )
+    server = MaxsonServer(
+        system,
+        ServerConfig(
+            max_workers=2,
+            max_query_retries=max_query_retries,
+            retry_backoff_seconds=0.0,
+        ),
+    )
+    return server, faulty
+
+
+class TestQueryRetry:
+    def test_transient_read_errors_are_retried(self):
+        server, faulty = build_server(max_query_retries=10)
+        with server:
+            # seed 1: first draw 0.134 (fault), second 0.847 (clean) —
+            # exactly one retry, then success
+            faulty.policy = FaultPolicy(seed=1, read_error_rate=0.4)
+            result = server.execute(SQL)
+            faulty.policy = FaultPolicy()
+            assert len(result.rows) == 20
+            status = server.status()
+            assert status.query_retries >= 1
+            assert status.queries_failed == 0
+
+    def test_exhausted_retries_raise_and_count_failure(self):
+        server, faulty = build_server(max_query_retries=2)
+        with server:
+            faulty.policy = FaultPolicy(read_error_rate=1.0)
+            with pytest.raises(TransientFsError):
+                server.execute(SQL)
+            faulty.policy = FaultPolicy()
+            status = server.status()
+            assert status.queries_failed == 1
+            assert status.query_retries == 2  # both retries consumed
+
+    def test_zero_retries_fails_fast(self):
+        server, faulty = build_server(max_query_retries=0)
+        with server:
+            faulty.policy = FaultPolicy(read_error_rate=1.0)
+            with pytest.raises(TransientFsError):
+                server.execute(SQL)
+            faulty.policy = FaultPolicy()
+            assert server.status().query_retries == 0
+
+    def test_no_lease_leaked_across_retries(self):
+        server, faulty = build_server(max_query_retries=8)
+        with server:
+            faulty.policy = FaultPolicy(seed=4, read_error_rate=0.5)
+            try:
+                server.execute(SQL)
+            except TransientFsError:
+                pass
+            faulty.policy = FaultPolicy()
+            assert server.generation_guard.active_leases() == 0

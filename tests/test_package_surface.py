@@ -33,6 +33,7 @@ class TestAllExports:
             "repro.workload",
             "repro.core",
             "repro.server",
+            "repro.faults",
         ],
     )
     def test_all_names_resolve(self, module_name):
