@@ -27,6 +27,12 @@ from repro.workload import (
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
+#: Machine-readable summary of the PR-3 execution-model benches
+#: (vectorized batch path vs the row interpreter). Sections are written
+#: read-modify-write so the microbenchmark and the server bench can each
+#: contribute independently of run order.
+BENCH_PR3_PATH = Path(__file__).parent.parent / "BENCH_pr3.json"
+
 #: Scale knobs: the paper uses 20M rows/table on 22 nodes; the simulator
 #: uses this many rows per Table II table (split over 3 daily files).
 ROWS_PER_TABLE = 900
@@ -40,6 +46,19 @@ def save_result(name: str, payload: dict) -> Path:
     path = RESULTS_DIR / f"{name}.json"
     path.write_text(json.dumps(payload, indent=2, sort_keys=True))
     return path
+
+
+def save_bench_pr3(section: str, payload: dict) -> Path:
+    """Merge one section into the BENCH_pr3.json summary at the repo root."""
+    data: dict = {}
+    if BENCH_PR3_PATH.exists():
+        try:
+            data = json.loads(BENCH_PR3_PATH.read_text())
+        except json.JSONDecodeError:
+            data = {}
+    data[section] = payload
+    BENCH_PR3_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return BENCH_PR3_PATH
 
 
 class BenchEnv:

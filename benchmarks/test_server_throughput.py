@@ -15,7 +15,7 @@ import time
 from repro.server import MaxsonServer, ServerConfig
 from repro.server.status import percentile
 
-from .conftest import once, save_result
+from .conftest import once, save_bench_pr3, save_result
 
 CONCURRENCY_LEVELS = (1, 4, 8)
 REQUESTS_PER_LEVEL = 48
@@ -40,9 +40,11 @@ def _run_level(env, concurrency: int) -> dict[str, float]:
         for i in range(REQUESTS_PER_LEVEL)
     ]
     latencies = []
+    parse_documents = 0
     for future in futures:
         result = future.result()
         latencies.append(result.metrics.total_seconds)
+        parse_documents += result.metrics.parse_documents
     wall = time.perf_counter() - started
     server.shutdown()
     latencies.sort()
@@ -54,6 +56,8 @@ def _run_level(env, concurrency: int) -> dict[str, float]:
         "p50_seconds": percentile(latencies, 0.50),
         "p95_seconds": percentile(latencies, 0.95),
         "max_seconds": latencies[-1],
+        "parse_documents": parse_documents,
+        "execution_mode": env.system.session.execution_mode,
     }
 
 
@@ -61,16 +65,38 @@ def test_server_throughput(benchmark, env):
     env.cache_with_budget(env.total_candidate_bytes(), "score")
 
     def run_all_levels():
-        return [_run_level(env, c) for c in CONCURRENCY_LEVELS]
+        batch_levels = [_run_level(env, c) for c in CONCURRENCY_LEVELS]
+        # Same workload through the row interpreter at peak concurrency:
+        # the apples-to-apples denominator for the batch engine's gain.
+        env.system.session.execution_mode = "row"
+        try:
+            row_level = _run_level(env, CONCURRENCY_LEVELS[-1])
+        finally:
+            env.system.session.execution_mode = "batch"
+        return batch_levels, row_level
 
-    levels = once(benchmark, run_all_levels)
+    levels, row_level = once(benchmark, run_all_levels)
     payload = {
         "levels": levels,
+        "row_engine": row_level,
+        "speedup_vs_row": levels[-1]["qps"] / row_level["qps"],
         "paper_claim": "Maxson serves concurrent clients from shared "
         "cache tables; throughput scales with client concurrency until "
         "the engine saturates",
     }
     save_result("server_throughput", payload)
+    save_bench_pr3(
+        "server_throughput",
+        {
+            "batch_qps_by_concurrency": {
+                str(level["concurrency"]): level["qps"] for level in levels
+            },
+            "batch_parse_documents": levels[-1]["parse_documents"],
+            "row_engine_qps": row_level["qps"],
+            "row_parse_documents": row_level["parse_documents"],
+            "speedup_vs_row": payload["speedup_vs_row"],
+        },
+    )
     for level in levels:
         assert level["qps"] > 0
         assert level["p95_seconds"] >= level["p50_seconds"]

@@ -70,6 +70,7 @@ def cmd_demo(args) -> int:
     from .workload.tables import DocumentFactory, TABLE_SPECS
 
     system = MaxsonSystem.for_demo(rows_per_table=args.rows)
+    system.session.execution_mode = args.execution_mode
     scale = max(1, 10_000 // args.rows)
     factories = {
         s.query_id: DocumentFactory(s, metric_scale=scale) for s in TABLE_SPECS
@@ -167,7 +168,11 @@ def cmd_replay_serve(args) -> int:
         session = Session(fs=FaultyFileSystem(policy=FaultPolicy()))
     system = MaxsonSystem(
         session=session,
-        config=MaxsonConfig(predictor=PredictorConfig(model=args.model)),
+        config=MaxsonConfig(
+            predictor=PredictorConfig(model=args.model),
+            execution_mode=args.execution_mode,
+            build_workers=args.build_workers,
+        ),
     )
     factories = load_tables(
         system.catalog, rows_per_table=args.rows, days=args.days
@@ -249,6 +254,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_demo = sub.add_parser("demo", help="run one Table II query both ways")
     p_demo.add_argument("--query", default="Q2", help="Q1..Q10")
     p_demo.add_argument("--rows", type=int, default=600)
+    p_demo.add_argument(
+        "--execution-mode",
+        default="batch",
+        choices=["batch", "row"],
+        help="engine path: vectorized batches or the row interpreter",
+    )
     p_demo.set_defaults(func=cmd_demo)
 
     p_bench = sub.add_parser(
@@ -297,6 +308,19 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=6,
         help="transient-fault retries per query",
+    )
+    p_serve.add_argument(
+        "--execution-mode",
+        default="batch",
+        choices=["batch", "row"],
+        help="engine path: vectorized batches or the row interpreter",
+    )
+    p_serve.add_argument(
+        "--build-workers",
+        type=int,
+        default=1,
+        help="threads parsing raw files during cache builds "
+        "(writes stay sequential)",
     )
     p_serve.set_defaults(func=cmd_replay_serve)
 

@@ -229,6 +229,7 @@ class JsonPathCacher:
         row_group_size: int = 100,
         type_sample_rows: int = 64,
         table_suffix: str = "",
+        build_workers: int = 1,
     ) -> None:
         self.catalog = catalog
         self.registry = registry or CacheRegistry()
@@ -239,6 +240,12 @@ class JsonPathCacher:
         #: next generation never collides with tables in-flight queries
         #: are still reading.
         self.table_suffix = table_suffix
+        #: Files of one table parse concurrently on this many threads
+        #: (parsing dominates build time; see ``--build-workers``). Cache
+        #: files are still *written* sequentially in file order on the
+        #: build thread, so crash-journal and generation-swap semantics —
+        #: and deterministic fault injection at 1 — are unchanged.
+        self.build_workers = max(1, int(build_workers))
 
     def _table_name(self, database: str, table: str) -> str:
         return cache_table_name(database, table) + self.table_suffix
@@ -328,11 +335,13 @@ class JsonPathCacher:
         columns_needed = sorted({key.column for key in keys})
         appended_rows = 0
         appended_bytes = 0
-        for file_index in range(len(cache_files), len(raw_files)):
-            data, n_rows = self._parse_file_to_cache(
-                raw_files[file_index], info.schema, keys, dtypes,
-                columns_needed, extractor,
+        new_files = raw_files[len(cache_files):]
+        for offset, (data, n_rows) in enumerate(
+            self._parse_files(
+                new_files, info.schema, keys, dtypes, columns_needed, extractor
             )
+        ):
+            file_index = len(cache_files) + offset
             cache_path = f"{info.location}/part-{file_index:05d}.orc"
             self.catalog.fs.create(cache_path, data)
             appended_rows += n_rows
@@ -355,6 +364,46 @@ class JsonPathCacher:
             )
             self.registry.register(entry)
             report.entries.append(entry)
+
+    def _parse_files(
+        self,
+        paths: list[str],
+        schema: Schema,
+        keys: list[PathKey],
+        dtypes: dict[PathKey, DataType],
+        columns_needed: list[str],
+        extractor: ValueExtractor,
+    ):
+        """Yield ``(cache_bytes, n_rows)`` for each raw file, in order.
+
+        With ``build_workers > 1`` the per-file parse runs on a thread
+        pool (each worker gets its own :class:`ValueExtractor` — parser
+        stats and document caches are not shared across threads); results
+        are yielded strictly in file order so the caller's sequential
+        writes keep raw/cache file alignment. Worker exceptions —
+        including injected crashes — surface on the build thread at the
+        failing file's position, exactly where the serial loop would have
+        raised.
+        """
+        if self.build_workers <= 1 or len(paths) <= 1:
+            for path in paths:
+                yield self._parse_file_to_cache(
+                    path, schema, keys, dtypes, columns_needed, extractor
+                )
+            return
+        from concurrent.futures import ThreadPoolExecutor
+
+        def parse(path: str) -> tuple[bytes, int]:
+            return self._parse_file_to_cache(
+                path, schema, keys, dtypes, columns_needed, ValueExtractor()
+            )
+
+        with ThreadPoolExecutor(
+            max_workers=min(self.build_workers, len(paths))
+        ) as pool:
+            futures = [pool.submit(parse, path) for path in paths]
+            for future in futures:
+                yield future.result()
 
     def _parse_file_to_cache(
         self,
@@ -449,10 +498,9 @@ class JsonPathCacher:
         # for sharing skip masks between readers (§IV-F).
         rows_per_path = 0
         total_written = 0
-        for file_index, path in enumerate(files):
-            data, n_rows = self._parse_file_to_cache(
-                path, schema, keys, dtypes, columns_needed, extractor
-            )
+        for file_index, (data, n_rows) in enumerate(
+            self._parse_files(files, schema, keys, dtypes, columns_needed, extractor)
+        ):
             # Mirror the raw file's index in the cache file name so both
             # directories sort identically (the paper's renaming trick).
             cache_path = f"{info.location}/part-{file_index:05d}.orc"

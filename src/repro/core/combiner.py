@@ -33,6 +33,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from ..engine.batch import ColumnBatch
 from ..engine.errors import CatalogError, ExecutionError
 from ..engine.physical import ExecState, ScanExec
 from ..storage.fs import FsError
@@ -140,6 +141,86 @@ class MaxsonScanExec(ScanExec):
         state.metrics.read_seconds += time.perf_counter() - started
         return rows
 
+    def execute_batch(self, state: ExecState) -> ColumnBatch:
+        """Columnar Value Combiner: stitch split columns, not rows.
+
+        Same split loop, same per-split degradation contract as
+        :meth:`execute` — a failing cache split falls back to raw parsing
+        for that split only — but the stitched values flow through as
+        columns, so no per-row dicts are built on the cached fast path.
+        """
+        if not self.cached_fields:
+            return super().execute_batch(state)
+        started = time.perf_counter()
+        cache_table = self.cached_fields[0].entry.cache_table
+        for request in self.cached_fields:
+            if request.entry.cache_table != cache_table:
+                raise ExecutionError(
+                    "cached fields of one scan must come from one cache table"
+                )
+        raw_files = state.catalog.table_files(self.database, self.table)
+        try:
+            cache_files = state.catalog.table_files(CACHE_DATABASE, cache_table)
+        except (CatalogError, FsError):
+            cache_files = None
+        field_names = [r.entry.field_name for r in self.cached_fields]
+        env_keys = [r.env_key for r in self.cached_fields]
+
+        names = list(self.columns)
+        columns_out: dict[str, list] = {name: [] for name in self.columns}
+        if self.alias:
+            for name in self.columns:
+                qualified = f"{self.alias}.{name}"
+                columns_out[qualified] = columns_out[name]
+                names.append(qualified)
+        for env_key in env_keys:
+            columns_out[env_key] = []
+            names.append(env_key)
+        length = 0
+        fallback_splits = 0
+
+        def extend(split_columns: dict, split_length: int) -> None:
+            nonlocal length
+            for name in self.columns:
+                columns_out[name].extend(split_columns[name])
+            for env_key in env_keys:
+                columns_out[env_key].extend(split_columns[env_key])
+            length += split_length
+
+        if cache_files is None or len(cache_files) != len(raw_files):
+            self._note_cache_failure(cache_table, None)
+            for raw_path in raw_files:
+                extend(*self._fallback_columns(state, raw_path))
+            fallback_splits = len(raw_files)
+        else:
+            for split_index in range(len(raw_files)):
+                try:
+                    split_columns, split_length = self._split_columns(
+                        state,
+                        raw_files[split_index],
+                        cache_files[split_index],
+                        field_names,
+                        env_keys,
+                    )
+                except (FsError, OrcError, ExecutionError) as exc:
+                    self._note_cache_failure(cache_table, exc)
+                    fallback_splits += 1
+                    split_columns, split_length = self._fallback_columns(
+                        state, raw_files[split_index]
+                    )
+                extend(split_columns, split_length)
+        if fallback_splits:
+            if self.resilience is not None:
+                self.resilience.add("fallback_queries")
+                self.resilience.add("fallback_splits", fallback_splits)
+        else:
+            state.metrics.cache_hits += len(self.cached_fields)
+            if self.breaker is not None:
+                self.breaker.record_success(cache_table)
+        state.metrics.rows_scanned += length
+        state.metrics.read_seconds += time.perf_counter() - started
+        return ColumnBatch(names, columns_out, length)
+
     def _note_cache_failure(self, cache_table: str, exc: Exception | None) -> None:
         if self.breaker is not None:
             self.breaker.record_failure(cache_table)
@@ -156,6 +237,13 @@ class MaxsonScanExec(ScanExec):
         same extraction, same :func:`coerce_cache_value` coercion — so a
         degraded query is row-identical to the cached one, just slower.
         """
+        columns, length = self._fallback_columns(state, raw_path)
+        return self._stitch_rows(columns, length)
+
+    def _fallback_columns(
+        self, state: ExecState, raw_path: str
+    ) -> tuple[dict[str, list], int]:
+        """Columnar core of the raw-parse fallback for one split."""
         read_columns = list(self.columns)
         formats_by_column: dict[str, set[str]] = {}
         for request in self.cached_fields:
@@ -174,14 +262,13 @@ class MaxsonScanExec(ScanExec):
         state.metrics.row_groups_skipped += result.row_groups_skipped
         series = {name: result.columns[name] for name in read_columns}
         extractor = ValueExtractor()
-        rows: list[dict] = []
+        columns: dict[str, list] = {
+            name: series[name] for name in self.columns
+        }
+        env_series: dict[str, list] = {
+            request.env_key: [] for request in self.cached_fields
+        }
         for i in range(result.rows_read):
-            row: dict = {}
-            for name in self.columns:
-                value = series[name][i]
-                row[name] = value
-                if self.alias:
-                    row[f"{self.alias}.{name}"] = value
             documents = {
                 column: extractor.decode(series[column][i], formats)
                 for column, formats in formats_by_column.items()
@@ -190,14 +277,32 @@ class MaxsonScanExec(ScanExec):
                 value = extractor.evaluate(
                     documents[request.entry.key.column], request.entry.key.path
                 )
-                row[request.env_key] = coerce_cache_value(
-                    value, request.entry.dtype
+                env_series[request.env_key].append(
+                    coerce_cache_value(value, request.entry.dtype)
                 )
-            rows.append(row)
+        columns.update(env_series)
         for parser in (extractor.json_parser, extractor.xml_parser):
             state.metrics.parse_seconds += parser.stats.seconds
             state.metrics.parse_documents += parser.stats.documents
             state.metrics.parse_bytes += parser.stats.bytes_scanned
+        return columns, result.rows_read
+
+    def _stitch_rows(
+        self, columns: dict[str, list], length: int
+    ) -> list[dict]:
+        """Row dicts (bare + alias-qualified + env keys) from split columns."""
+        env_keys = [r.env_key for r in self.cached_fields]
+        rows: list[dict] = []
+        for i in range(length):
+            row: dict = {}
+            for name in self.columns:
+                value = columns[name][i]
+                row[name] = value
+                if self.alias:
+                    row[f"{self.alias}.{name}"] = value
+            for env_key in env_keys:
+                row[env_key] = columns[env_key][i]
+            rows.append(row)
         return rows
 
     # ------------------------------------------------------------------
@@ -210,6 +315,20 @@ class MaxsonScanExec(ScanExec):
         env_keys: list[str],
     ) -> list[dict]:
         """Algorithm 2 for one (raw file, cache file) pair."""
+        columns, length = self._split_columns(
+            state, raw_path, cache_path, field_names, env_keys
+        )
+        return self._stitch_rows(columns, length)
+
+    def _split_columns(
+        self,
+        state: ExecState,
+        raw_path: str,
+        cache_path: str,
+        field_names: list[str],
+        env_keys: list[str],
+    ) -> tuple[dict[str, list], int]:
+        """Columnar core of Algorithm 2 for one split."""
         fs = state.catalog.fs
         cache_reader = OrcReader(
             fs, cache_path, columns=field_names, sarg=self.cache_sarg
@@ -222,7 +341,13 @@ class MaxsonScanExec(ScanExec):
             state.metrics.bytes_read += cache_result.bytes_read
             state.metrics.row_groups_total += cache_result.row_groups_total
             state.metrics.row_groups_skipped += cache_result.row_groups_skipped
-            return self._rows_from_cache(cache_result.columns, env_keys)
+            return (
+                {
+                    env_key: cache_result.columns[name]
+                    for env_key, name in zip(env_keys, field_names)
+                },
+                cache_result.rows_read,
+            )
 
         primary_reader = OrcReader(
             fs, raw_path, columns=self.columns, sarg=self.sarg
@@ -265,32 +390,14 @@ class MaxsonScanExec(ScanExec):
                 f"cache={cache_result.rows_read}"
             )
 
-        raw_series = [primary_result.columns[name] for name in self.columns]
-        cache_series = [cache_result.columns[name] for name in field_names]
-        rows: list[dict] = []
-        for i in range(primary_result.rows_read):
-            # Stitch: place each value at its schema position (here, its
-            # env key) to form the complete record.
-            row: dict = {}
-            for name, series in zip(self.columns, raw_series):
-                row[name] = series[i]
-                if self.alias:
-                    row[f"{self.alias}.{name}"] = series[i]
-            for env_key, series in zip(env_keys, cache_series):
-                row[env_key] = series[i]
-            rows.append(row)
-        return rows
-
-    def _rows_from_cache(
-        self, columns: dict[str, list[object]], env_keys: list[str]
-    ) -> list[dict]:
-        field_names = [r.entry.field_name for r in self.cached_fields]
-        series = [columns[name] for name in field_names]
-        if not series:
-            return []
-        return [
-            dict(zip(env_keys, values)) for values in zip(*series)
-        ]
+        # Stitch: place each value at its schema position (here, its
+        # env key) to form the complete record.
+        columns: dict[str, list] = {
+            name: primary_result.columns[name] for name in self.columns
+        }
+        for env_key, name in zip(env_keys, field_names):
+            columns[env_key] = cache_result.columns[name]
+        return columns, primary_result.rows_read
 
     def output_names(self) -> set[str]:
         names = super().output_names()

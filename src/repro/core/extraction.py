@@ -9,6 +9,7 @@ during pre-parsing.
 
 from __future__ import annotations
 
+from ..jsonlib.doccache import INVALID, DocumentCache
 from ..jsonlib.errors import JsonParseError
 from ..jsonlib.jackson import JacksonParser
 from ..jsonlib.jsonpath import evaluate as eval_json_path
@@ -29,11 +30,21 @@ def path_format(path: str) -> str:
 
 
 class ValueExtractor:
-    """Parse-once, evaluate-many extraction over one string column value."""
+    """Parse-once, evaluate-many extraction over one string column value.
+
+    Parsing routes through per-format
+    :class:`~repro.jsonlib.doccache.DocumentCache` instances, so repeated
+    identical documents — common in real logs, and guaranteed when a
+    build and a fallback both touch the same split — parse once per
+    extractor rather than once per row. Parser stats still charge each
+    *unique* parse exactly once.
+    """
 
     def __init__(self) -> None:
         self.json_parser = JacksonParser()
         self.xml_parser = XmlParser()
+        self._json_documents = DocumentCache(self.json_parser, JsonParseError)
+        self._xml_documents = DocumentCache(self.xml_parser, XmlParseError)
 
     def decode(self, text: object, formats: set[str]) -> dict[str, object]:
         """Parse ``text`` once per requested format; None on failure."""
@@ -41,16 +52,17 @@ class ValueExtractor:
         if not isinstance(text, str):
             return {fmt: None for fmt in formats}
         if "json" in formats:
-            try:
-                documents["json"] = self.json_parser.parse(text)
-            except JsonParseError:
-                documents["json"] = None
+            document = self._json_documents.document(text)
+            documents["json"] = None if document is INVALID else document
         if "xml" in formats:
-            try:
-                documents["xml"] = self.xml_parser.parse(text)
-            except XmlParseError:
-                documents["xml"] = None
+            document = self._xml_documents.document(text)
+            documents["xml"] = None if document is INVALID else document
         return documents
+
+    @property
+    def shared_parse_hits(self) -> int:
+        """Parses avoided by document sharing in this extractor."""
+        return self._json_documents.hits + self._xml_documents.hits
 
     @staticmethod
     def evaluate(documents: dict[str, object], path: str) -> object:

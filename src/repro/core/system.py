@@ -72,6 +72,15 @@ class MaxsonConfig:
     before half-opening for a re-probe."""
     breaker_failure_threshold: int = 1
     """Cache-read failures before a table is quarantined."""
+    build_workers: int = 1
+    """Threads parsing raw files concurrently during cache builds. Cache
+    files are still written sequentially in file order, so raw/cache
+    alignment, crash-journal and generation-swap semantics are identical
+    at any worker count; 1 (the default) also keeps seeded fault
+    injection deterministic."""
+    execution_mode: str = "batch"
+    """Engine execution path for queries: 'batch' (vectorized with
+    parse-once document sharing) or 'row' (per-row interpreter)."""
 
 
 @dataclass
@@ -100,9 +109,14 @@ class MaxsonSystem:
     ) -> None:
         self.session = session or Session()
         self.config = config or MaxsonConfig()
+        self.session.execution_mode = self.config.execution_mode
         self.collector = JsonPathCollector()
         self.registry = CacheRegistry()
-        self.cacher = JsonPathCacher(self.session.catalog, self.registry)
+        self.cacher = JsonPathCacher(
+            self.session.catalog,
+            self.registry,
+            build_workers=self.config.build_workers,
+        )
         self.scoring = ScoringFunction(
             self.session.catalog,
             sample_rows=self.config.scoring_sample_rows,
@@ -213,6 +227,7 @@ class MaxsonSystem:
                 row_group_size=self.cacher.row_group_size,
                 type_sample_rows=self.cacher.type_sample_rows,
                 table_suffix=f"__g{next_generation}",
+                build_workers=self.cacher.build_workers,
             )
             # Write-ahead: record the build before its first table exists
             # so a crash mid-build leaves a pending journal entry that

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..jsonlib.doccache import INVALID, DocumentCache
 from ..jsonlib.errors import JsonParseError
 from ..jsonlib.jackson import JacksonParser
 from ..jsonlib.jsonpath import evaluate as eval_path
@@ -58,6 +59,12 @@ class EvalContext:
     parser: JacksonParser = field(default_factory=JacksonParser)
     projection_parser: object = None  # duck-typed: .project(text, [path])
     xml_parser: object = None  # lazily-created repro.xmllib.XmlParser
+    #: Parse-once sharing scopes for the batch path (created lazily).
+    #: Within one context, every distinct document text is parsed once no
+    #: matter how many expressions extract paths from it; the parser's
+    #: stats charge that single parse, never the shared re-reads.
+    json_documents: DocumentCache = None  # type: ignore[assignment]
+    xml_documents: DocumentCache = None  # type: ignore[assignment]
 
     def get_json_object(self, text: object, raw_path: str) -> object:
         """Hive-semantics extraction, charging cost to this context."""
@@ -95,6 +102,72 @@ class EvalContext:
         except XmlParseError:
             return None
         return evaluate_xpath(raw_path, document)
+
+    # -- vectorized, parse-once variants (batch execution path) --------
+    def get_json_objects(self, texts: list, raw_path: str) -> list:
+        """Vectorized ``get_json_object`` over a whole column.
+
+        Parses each distinct document once per context (not once per
+        consuming expression) by routing through a shared
+        :class:`~repro.jsonlib.doccache.DocumentCache`; row semantics and
+        error messages are identical to :meth:`get_json_object`.
+        """
+        if self.projection_parser is not None:
+            # Projecting parsers skip full parsing already; nothing to
+            # share, so delegate row-by-row for identical behaviour.
+            return [self.get_json_object(text, raw_path) for text in texts]
+        if self.json_documents is None:
+            self.json_documents = DocumentCache(self.parser, JsonParseError)
+        documents = self.json_documents
+        path = parse_path(raw_path)
+        out = []
+        append = out.append
+        for text in texts:
+            if text is None:
+                append(None)
+                continue
+            if not isinstance(text, str):
+                raise ExecutionError(
+                    "get_json_object expects a string column, "
+                    f"got {type(text).__name__}"
+                )
+            document = documents.document(text)
+            append(None if document is INVALID else eval_path(path, document))
+        return out
+
+    def get_xml_objects(self, texts: list, raw_path: str) -> list:
+        """Vectorized ``get_xml_object`` with the same sharing contract."""
+        from ..xmllib.parser import XmlParseError, XmlParser
+        from ..xmllib.xpath import evaluate_xpath
+
+        if self.xml_parser is None:
+            self.xml_parser = XmlParser()
+        if self.xml_documents is None:
+            self.xml_documents = DocumentCache(self.xml_parser, XmlParseError)
+        documents = self.xml_documents
+        out = []
+        append = out.append
+        for text in texts:
+            if text is None:
+                append(None)
+                continue
+            if not isinstance(text, str):
+                raise ExecutionError(
+                    "get_xml_object expects a string column, "
+                    f"got {type(text).__name__}"
+                )
+            document = documents.document(text)
+            append(None if document is INVALID else evaluate_xpath(raw_path, document))
+        return out
+
+    def shared_parse_hits(self) -> int:
+        """Parses avoided by document sharing in this context so far."""
+        hits = 0
+        if self.json_documents is not None:
+            hits += self.json_documents.hits
+        if self.xml_documents is not None:
+            hits += self.xml_documents.hits
+        return hits
 
 
 class Expression:
@@ -340,6 +413,103 @@ def _coerce_pair(left: object, right: object) -> tuple | None:
         return None
 
 
+# Scalar kernels shared verbatim by the row interpreter and the batch
+# compiler (:mod:`repro.engine.batch`): one implementation per operator
+# means the two execution paths cannot drift apart semantically.
+def _combine_and(left: object, right: object) -> object:
+    """Three-valued AND given a non-False left and an evaluated right."""
+    if left is None or right is None:
+        return False if right is False else None
+    return bool(left) and bool(right)
+
+
+def _combine_or(left: object, right: object) -> object:
+    """Three-valued OR given a non-True left and an evaluated right."""
+    if left is None or right is None:
+        return True if right is True else None
+    return bool(left) or bool(right)
+
+
+def _apply_arith(op: str, left: object, right: object) -> object:
+    if left is None or right is None:
+        return None
+    a = _coerce_numeric(left)
+    b = _coerce_numeric(right)
+    if a is None or b is None:
+        if op == "+" and isinstance(left, str) and isinstance(right, str):
+            return left + right
+        return None
+    if op == "+":
+        return a + b
+    if op == "-":
+        return a - b
+    if op == "*":
+        return a * b
+    if op == "/":
+        return None if b == 0 else a / b
+    if op == "%":
+        return None if b == 0 else a % b
+    raise AssertionError(op)  # pragma: no cover
+
+
+def _apply_unary(op: str, value: object) -> object:
+    if op == "is null":
+        return value is None
+    if op == "is not null":
+        return value is not None
+    if value is None:
+        return None
+    if op == "not":
+        return not value
+    if op == "neg":
+        number = _coerce_numeric(value)
+        return None if number is None else -number
+    raise PlanError(f"unknown unary op {op!r}")
+
+
+def _apply_cast(target: str, value: object) -> object:
+    if value is None:
+        return None
+    try:
+        if target == "int":
+            return int(float(value)) if isinstance(value, str) else int(value)
+        if target == "double":
+            return float(value)
+        if target == "string":
+            return value if isinstance(value, str) else _render(value)
+        if target == "boolean":
+            return bool(value)
+    except (TypeError, ValueError):
+        return None
+    raise PlanError(f"unknown cast target {target!r}")
+
+
+def _in_list_result(value: object, others) -> object:
+    """``value IN others`` with SQL NULL semantics.
+
+    ``others`` may be a lazy iterable; a match short-circuits without
+    consuming (= evaluating) the remaining options, exactly like the row
+    interpreter always did.
+    """
+    if value is None:
+        return None
+    saw_null = False
+    for other in others:
+        if other is None:
+            saw_null = True
+        elif _null_safe_compare("=", value, other) is True:
+            return True
+    return None if saw_null else False
+
+
+def _between_result(value: object, low: object, high: object) -> object:
+    ge = _null_safe_compare(">=", value, low)
+    le = _null_safe_compare("<=", value, high)
+    if ge is None or le is None:
+        return False if ge is False or le is False else None
+    return ge and le
+
+
 @dataclass(frozen=True)
 class BinaryOp(Expression):
     """Arithmetic, comparison, or boolean connective."""
@@ -359,39 +529,15 @@ class BinaryOp(Expression):
             if self.op == "and":
                 if left is False:
                     return False
-                right = self.right.evaluate(row, context)
-                if left is None or right is None:
-                    return False if right is False else None
-                return bool(left) and bool(right)
+                return _combine_and(left, self.right.evaluate(row, context))
             if left is True:
                 return True
-            right = self.right.evaluate(row, context)
-            if left is None or right is None:
-                return True if right is True else None
-            return bool(left) or bool(right)
+            return _combine_or(left, self.right.evaluate(row, context))
         left = self.left.evaluate(row, context)
         right = self.right.evaluate(row, context)
         if self.op in _COMPARE:
             return _null_safe_compare(self.op, left, right)
-        if left is None or right is None:
-            return None
-        coerced = _coerce_numeric(left), _coerce_numeric(right)
-        if coerced[0] is None or coerced[1] is None:
-            if self.op == "+" and isinstance(left, str) and isinstance(right, str):
-                return left + right
-            return None
-        a, b = coerced
-        if self.op == "+":
-            return a + b
-        if self.op == "-":
-            return a - b
-        if self.op == "*":
-            return a * b
-        if self.op == "/":
-            return None if b == 0 else a / b
-        if self.op == "%":
-            return None if b == 0 else a % b
-        raise AssertionError(self.op)  # pragma: no cover
+        return _apply_arith(self.op, left, right)
 
     def children(self) -> tuple[Expression, ...]:
         return (self.left, self.right)
@@ -428,19 +574,7 @@ class UnaryOp(Expression):
     child: Expression
 
     def evaluate(self, row: dict, context: EvalContext) -> object:
-        value = self.child.evaluate(row, context)
-        if self.op == "is null":
-            return value is None
-        if self.op == "is not null":
-            return value is not None
-        if value is None:
-            return None
-        if self.op == "not":
-            return not value
-        if self.op == "neg":
-            number = _coerce_numeric(value)
-            return None if number is None else -number
-        raise PlanError(f"unknown unary op {self.op!r}")
+        return _apply_unary(self.op, self.child.evaluate(row, context))
 
     def children(self) -> tuple[Expression, ...]:
         return (self.child,)
@@ -464,21 +598,7 @@ class CastExpr(Expression):
     target: str  # 'int' | 'double' | 'string' | 'boolean'
 
     def evaluate(self, row: dict, context: EvalContext) -> object:
-        value = self.child.evaluate(row, context)
-        if value is None:
-            return None
-        try:
-            if self.target == "int":
-                return int(float(value)) if isinstance(value, str) else int(value)
-            if self.target == "double":
-                return float(value)
-            if self.target == "string":
-                return value if isinstance(value, str) else _render(value)
-            if self.target == "boolean":
-                return bool(value)
-        except (TypeError, ValueError):
-            return None
-        raise PlanError(f"unknown cast target {self.target!r}")
+        return _apply_cast(self.target, self.child.evaluate(row, context))
 
     def children(self) -> tuple[Expression, ...]:
         return (self.child,)
@@ -510,16 +630,9 @@ class InList(Expression):
 
     def evaluate(self, row: dict, context: EvalContext) -> object:
         value = self.child.evaluate(row, context)
-        if value is None:
-            return None
-        saw_null = False
-        for option in self.options:
-            other = option.evaluate(row, context)
-            if other is None:
-                saw_null = True
-            elif _null_safe_compare("=", value, other) is True:
-                return True
-        return None if saw_null else False
+        return _in_list_result(
+            value, (option.evaluate(row, context) for option in self.options)
+        )
 
     def children(self) -> tuple[Expression, ...]:
         return (self.child, *self.options)
@@ -544,11 +657,7 @@ class Between(Expression):
         value = self.child.evaluate(row, context)
         low = self.low.evaluate(row, context)
         high = self.high.evaluate(row, context)
-        ge = _null_safe_compare(">=", value, low)
-        le = _null_safe_compare("<=", value, high)
-        if ge is None or le is None:
-            return False if ge is False or le is False else None
-        return ge and le
+        return _between_result(value, low, high)
 
     def children(self) -> tuple[Expression, ...]:
         return (self.child, self.low, self.high)

@@ -34,6 +34,12 @@ class QueryMetrics:
     parse_bytes: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Extraction evaluations skipped because an identical call compiled
+    #: to the same node (batch-path common-subexpression elimination).
+    duplicate_extractions_eliminated: int = 0
+    #: Document parses avoided by parse-once sharing (batch path): calls
+    #: served from the per-context document cache instead of re-parsing.
+    shared_parse_hits: int = 0
     extra: dict[str, float] = field(default_factory=dict)
 
     @property
@@ -84,6 +90,10 @@ class QueryMetrics:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "cache_hit_ratio": self.cache_hit_ratio,
+            "duplicate_extractions_eliminated": (
+                self.duplicate_extractions_eliminated
+            ),
+            "shared_parse_hits": self.shared_parse_hits,
             "extra": dict(self.extra),
         }
 
@@ -108,5 +118,9 @@ class QueryMetrics:
         self.parse_bytes += other.parse_bytes
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
+        self.duplicate_extractions_eliminated += (
+            other.duplicate_extractions_eliminated
+        )
+        self.shared_parse_hits += other.shared_parse_hits
         for key, value in other.extra.items():
             self.extra[key] = self.extra.get(key, 0.0) + value

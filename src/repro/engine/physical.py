@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 
 from ..storage.readers import OrcReader
 from ..storage.sargs import Sarg
+from .batch import BatchCompiler, ColumnBatch
 from .catalog import Catalog
 from .errors import ExecutionError
 from .expressions import (
@@ -52,6 +53,18 @@ class ExecState:
     catalog: Catalog
     context: EvalContext
     metrics: QueryMetrics = field(default_factory=QueryMetrics)
+    compiler: BatchCompiler | None = None
+
+    def batch_compiler(self) -> BatchCompiler:
+        """The query-wide expression compiler (created lazily).
+
+        One compiler per execution is what makes common-subexpression
+        elimination work across operators: identical expression subtrees
+        anywhere in the plan compile to the same node.
+        """
+        if self.compiler is None:
+            self.compiler = BatchCompiler(self.context, self.metrics)
+        return self.compiler
 
 
 class PhysicalPlan:
@@ -59,6 +72,18 @@ class PhysicalPlan:
 
     def execute(self, state: ExecState) -> list[dict]:
         raise NotImplementedError
+
+    def execute_batch(self, state: ExecState) -> ColumnBatch:
+        """Batch-mode execution; the default wraps the row path.
+
+        Operators without a native vectorized implementation run their
+        row-path ``execute`` and wrap the result, so *any* plan can run
+        in batch mode — the fallback contract that guarantees batch mode
+        is never less capable than row mode.
+        """
+        rows = self.execute(state)
+        names = None if rows else sorted(self.output_names())
+        return ColumnBatch.from_rows(rows, names)
 
     def children(self) -> tuple["PhysicalPlan", ...]:
         return ()
@@ -135,6 +160,31 @@ class ScanExec(PhysicalPlan):
         state.metrics.read_seconds += time.perf_counter() - started
         return rows
 
+    def execute_batch(self, state: ExecState) -> ColumnBatch:
+        started = time.perf_counter()
+        columns: dict[str, list] = {name: [] for name in self.columns}
+        for path in state.catalog.table_files(self.database, self.table):
+            reader = OrcReader(
+                state.catalog.fs, path, columns=self.columns, sarg=self.sarg
+            )
+            result = reader.read()
+            state.metrics.bytes_read += result.bytes_read
+            state.metrics.row_groups_total += result.row_groups_total
+            state.metrics.row_groups_skipped += result.row_groups_skipped
+            for name in self.columns:
+                columns[name].extend(result.columns[name])
+        length = len(columns[self.columns[0]]) if self.columns else 0
+        names = list(self.columns)
+        if self.alias:
+            # Qualified names alias the same lists — no copies.
+            for name in self.columns:
+                qualified = f"{self.alias}.{name}"
+                columns[qualified] = columns[name]
+                names.append(qualified)
+        state.metrics.rows_scanned += length
+        state.metrics.read_seconds += time.perf_counter() - started
+        return ColumnBatch(names, columns, length)
+
 
 @dataclass
 class FilterExec(PhysicalPlan):
@@ -158,6 +208,17 @@ class FilterExec(PhysicalPlan):
         return [
             row for row in rows if self.condition.evaluate(row, context) is True
         ]
+
+    def execute_batch(self, state: ExecState) -> ColumnBatch:
+        batch = self.child.execute_batch(state)
+        values = state.batch_compiler().compile(self.condition).evaluate(batch)
+        indices = [i for i, value in enumerate(values) if value is True]
+        if len(indices) == batch.length:
+            # Passing the child batch through unchanged lets downstream
+            # operators reuse per-batch compiled results (CSE across
+            # filter and projection).
+            return batch
+        return batch.take(indices)
 
 
 @dataclass
@@ -189,6 +250,20 @@ class ProjectExec(PhysicalPlan):
                 }
             )
         return out
+
+    def execute_batch(self, state: ExecState) -> ColumnBatch:
+        batch = self.child.execute_batch(state)
+        compiler = state.batch_compiler()
+        names: list[str] = []
+        columns: dict[str, list] = {}
+        for expr in self.expressions:
+            name = expr.output_name()
+            if name not in columns:
+                names.append(name)
+            # Duplicate output names keep the last expression's values,
+            # matching the row path's dict-comprehension semantics.
+            columns[name] = compiler.compile(expr).evaluate(batch)
+        return ColumnBatch(names, columns, batch.length)
 
 
 def _sort_token(value: object) -> tuple:
@@ -233,6 +308,23 @@ class SortExec(PhysicalPlan):
             )
         return rows
 
+    def execute_batch(self, state: ExecState) -> ColumnBatch:
+        batch = self.child.execute_batch(state)
+        compiler = state.batch_compiler()
+        indices = list(range(batch.length))
+        # Same stable right-to-left multi-key sort, over row indices;
+        # key columns are computed once per key instead of once per
+        # comparison row.
+        for key in reversed(self.keys):
+            values = compiler.compile(key.expression).evaluate(batch)
+            indices.sort(
+                key=lambda i: _sort_token(values[i]),
+                reverse=not key.ascending,
+            )
+        if indices == list(range(batch.length)):
+            return batch
+        return batch.take(indices)
+
 
 @dataclass
 class LimitExec(PhysicalPlan):
@@ -252,6 +344,12 @@ class LimitExec(PhysicalPlan):
 
     def execute(self, state: ExecState) -> list[dict]:
         return self.child.execute(state)[: self.count]
+
+    def execute_batch(self, state: ExecState) -> ColumnBatch:
+        batch = self.child.execute_batch(state)
+        if batch.length <= self.count:
+            return batch
+        return batch.take(range(self.count))
 
 
 class _Accumulator:
@@ -395,6 +493,74 @@ class AggregateExec(PhysicalPlan):
             out.append(row_out)
         return out
 
+    def execute_batch(self, state: ExecState) -> ColumnBatch:
+        batch = self.child.execute_batch(state)
+        context = state.context
+        compiler = state.batch_compiler()
+        aggregates: list[AggregateCall] = []
+        for expr in self.output:
+            for node in walk(expr):
+                if isinstance(node, AggregateCall) and node not in aggregates:
+                    aggregates.append(node)
+
+        # Group keys and aggregate arguments evaluate as whole columns —
+        # this is where repeated extractions share parses — then rows
+        # stream through the same accumulators as the row path.
+        key_columns = [
+            compiler.compile(k).evaluate(batch) for k in self.group_keys
+        ]
+        argument_columns = [
+            None
+            if agg.argument is None
+            else compiler.compile(agg.argument).evaluate(batch)
+            for agg in aggregates
+        ]
+
+        groups: dict[tuple, list[_Accumulator]] = {}
+        sample_index: dict[tuple, int | None] = {}
+        for i in range(batch.length):
+            key = tuple(_hashable(column[i]) for column in key_columns)
+            accumulators = groups.get(key)
+            if accumulators is None:
+                accumulators = groups[key] = [
+                    _Accumulator(a.func, a.distinct) for a in aggregates
+                ]
+                sample_index[key] = i
+            for agg, argument, acc in zip(
+                aggregates, argument_columns, accumulators
+            ):
+                if argument is None:
+                    acc.count += 1  # count(*) counts rows, NULLs included
+                else:
+                    acc.add(argument[i])
+
+        if not groups and not self.group_keys:
+            groups[()] = [_Accumulator(a.func, a.distinct) for a in aggregates]
+            sample_index[()] = None
+
+        out: list[dict] = []
+        names = [e.output_name() for e in self.output]
+        for key, accumulators in groups.items():
+            results = {
+                agg: acc.result() for agg, acc in zip(aggregates, accumulators)
+            }
+            index = sample_index[key]
+            representative = {} if index is None else batch.row(index)
+
+            def _splice(node: Expression) -> Expression | None:
+                if isinstance(node, AggregateCall):
+                    return Literal(results[node])
+                return None
+
+            row_out: dict = {}
+            for name, expr in zip(names, self.output):
+                spliced = transform(expr, _splice)
+                row_out[name] = spliced.evaluate(representative, context)
+            out.append(row_out)
+        return ColumnBatch.from_rows(
+            out, list(dict.fromkeys(names)) if not out else None
+        )
+
 
 def _hashable(value: object) -> object:
     if isinstance(value, (list, dict)):
@@ -458,3 +624,51 @@ class HashJoinExec(PhysicalPlan):
                 ):
                     out.append(merged)
         return out
+
+    def execute_batch(self, state: ExecState) -> ColumnBatch:
+        left_batch = self.left.execute_batch(state)
+        right_batch = self.right.execute_batch(state)
+        compiler = state.batch_compiler()
+        right_columns = [
+            compiler.compile(k).evaluate(right_batch) for k in self.right_keys
+        ]
+        table: dict[tuple, list[int]] = {}
+        for i in range(right_batch.length):
+            key = tuple(_hashable(column[i]) for column in right_columns)
+            if any(part is None for part in key):
+                continue  # NULL keys never join
+            table.setdefault(key, []).append(i)
+        left_columns = [
+            compiler.compile(k).evaluate(left_batch) for k in self.left_keys
+        ]
+        # Probe to index pairs first, then gather whole columns — the
+        # joined batch is never materialised as per-row dicts.
+        left_index: list[int] = []
+        right_index: list[int] = []
+        for i in range(left_batch.length):
+            key = tuple(_hashable(column[i]) for column in left_columns)
+            if any(part is None for part in key):
+                continue
+            matches = table.get(key)
+            if not matches:
+                continue
+            for j in matches:
+                left_index.append(i)
+                right_index.append(j)
+        left_taken = left_batch.take(left_index)
+        right_taken = right_batch.take(right_index)
+        # Merged-row semantics of the row path ({**right, **left}):
+        # every left column, plus right columns not shadowed by a left name.
+        names = list(left_taken.names)
+        columns = dict(left_taken.columns)
+        for name in right_taken.names:
+            if name not in columns:
+                names.append(name)
+                columns[name] = right_taken.columns[name]
+        joined = ColumnBatch(names, columns, len(left_index))
+        if self.residual is not None and joined.length:
+            values = compiler.compile(self.residual).evaluate(joined)
+            keep = [i for i, value in enumerate(values) if value is True]
+            if len(keep) != joined.length:
+                joined = joined.take(keep)
+        return joined

@@ -67,6 +67,10 @@ class PlannedQuery:
     logical: LogicalPlan
     referenced_json_paths: list[tuple[str, str, str, str]]
     """Every (database, table, column, path) mentioned by the query."""
+    duplicate_extractions: int = 0
+    """Textually identical extraction calls beyond each first occurrence —
+    the common subexpressions the batch compiler collapses to one node
+    (and evaluates once per batch) at execution time."""
 
 
 _COMPARE_TO_SARG = {
@@ -94,7 +98,27 @@ class Planner:
             physical=physical,
             logical=logical,
             referenced_json_paths=self._referenced_paths(logical, scans),
+            duplicate_extractions=self._duplicate_extractions(logical),
         )
+
+    def _duplicate_extractions(self, plan: LogicalPlan) -> int:
+        """Count repeated identical extraction calls across the query.
+
+        Expression nodes are frozen dataclasses, so value equality makes
+        two ``get_json_object(col, '$.p')`` occurrences — wherever they
+        sit in the plan — the same dictionary key. Each occurrence beyond
+        the first is a CSE opportunity; the batch compiler's
+        equality-memoised compilation eliminates them and reports actual
+        eliminations in ``QueryMetrics.duplicate_extractions_eliminated``.
+        """
+        from .expressions import ExtractionCall
+
+        counts: dict[Expression, int] = {}
+        for expr in _all_expressions(plan):
+            for node in walk(expr):
+                if isinstance(node, ExtractionCall):
+                    counts[node] = counts.get(node, 0) + 1
+        return sum(count - 1 for count in counts.values())
 
     # ------------------------------------------------------------------
     # star expansion

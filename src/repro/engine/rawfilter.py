@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from ..jsonlib.jackson import dumps
 from ..jsonlib.jsonpath import Member, parse_path
 from ..jsonlib.sparser import FilterCascade, KeyValueFilter
+from .batch import ColumnBatch
 from .expressions import BinaryOp, Column, Expression, GetJsonObject, Literal
 from .physical import ExecState, FilterExec, PhysicalPlan, ScanExec
 from .planner import PlannedQuery
@@ -125,6 +126,42 @@ class SparserPrefilterExec(PhysicalPlan):
             - len(out)
         )
         return out
+
+    def execute_batch(self, state: ExecState) -> ColumnBatch:
+        batch = self.child.execute_batch(state)
+        started = time.perf_counter()
+        if self.column in batch.columns:
+            texts = batch.column(self.column)
+        else:
+            # Row path keeps rows whose probe column is absent
+            # (row.get -> None); mirror that.
+            texts = [None] * batch.length
+        sample = [
+            text
+            for text in texts[: self.calibration_sample]
+            if isinstance(text, str)
+        ]
+        self.cascade.calibrate(sample)
+        keep = [
+            i
+            for i, text in enumerate(texts)
+            if not isinstance(text, str) or self.cascade.matches(text)
+        ]
+        self.rows_in = batch.length
+        self.rows_out = len(keep)
+        state.metrics.extra["sparser_seconds"] = (
+            state.metrics.extra.get("sparser_seconds", 0.0)
+            + time.perf_counter()
+            - started
+        )
+        state.metrics.extra["sparser_rows_dropped"] = (
+            state.metrics.extra.get("sparser_rows_dropped", 0.0)
+            + batch.length
+            - len(keep)
+        )
+        if len(keep) == batch.length:
+            return batch
+        return batch.take(keep)
 
 
 @dataclass

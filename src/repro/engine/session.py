@@ -59,8 +59,17 @@ class Session:
     catalog: Catalog = None  # type: ignore[assignment]
     parser_factory: object = JacksonParser
     projection_parser_factory: object = None
+    #: "batch" (vectorized, parse-once sharing — the default) or "row"
+    #: (the per-row tree-walking interpreter). Any query can also be
+    #: forced down either path per call: ``session.sql(q, execution_mode=...)``.
+    execution_mode: str = "batch"
 
     def __post_init__(self) -> None:
+        if self.execution_mode not in ("batch", "row"):
+            raise ValueError(
+                f"execution_mode must be 'batch' or 'row', "
+                f"got {self.execution_mode!r}"
+            )
         if self.catalog is None:
             self.catalog = Catalog(self.fs)
         self.planner = Planner(self.catalog)
@@ -115,16 +124,32 @@ class Session:
         plan_seconds = time.perf_counter() - started
         return planned, state, plan_seconds
 
-    def sql(self, sql: str) -> QueryResult:
-        """Compile and execute one SELECT statement."""
+    def sql(self, sql: str, execution_mode: str | None = None) -> QueryResult:
+        """Compile and execute one SELECT statement.
+
+        ``execution_mode`` overrides the session default for this query:
+        ``"batch"`` runs the vectorized path (operators exchange column
+        batches, parses are shared), ``"row"`` forces the per-row
+        interpreter. Both produce identical rows — the batch compiler
+        falls back to the row interpreter for anything not vectorized.
+        """
+        mode = execution_mode if execution_mode is not None else self.execution_mode
+        if mode not in ("batch", "row"):
+            raise ValueError(
+                f"execution_mode must be 'batch' or 'row', got {mode!r}"
+            )
         planned, state, plan_seconds = self._prepare(sql)
         started = time.perf_counter()
-        rows = planned.physical.execute(state)
+        if mode == "batch":
+            rows = planned.physical.execute_batch(state).to_rows()
+        else:
+            rows = planned.physical.execute(state)
         total = time.perf_counter() - started
         metrics = state.metrics
         metrics.plan_seconds = plan_seconds
         metrics.total_seconds = total
         metrics.rows_output = len(rows)
+        metrics.shared_parse_hits += state.context.shared_parse_hits()
         parse_stats = state.context.parser.stats
         metrics.parse_seconds += parse_stats.seconds
         metrics.parse_documents += parse_stats.documents

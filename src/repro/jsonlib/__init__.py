@@ -13,6 +13,7 @@ Three parser families reproduce the comparators of the paper's Fig 15:
 dialect shared by all of them.
 """
 
+from .doccache import INVALID, DocumentCache
 from .errors import DepthLimitError, JsonError, JsonParseError, JsonPathError
 from .jackson import JacksonParser, ParseStats, dumps, parse
 from .jsonpath import JsonPath, evaluate, get_json_object, parse_path
@@ -26,6 +27,8 @@ __all__ = [
     "DepthLimitError",
     "JacksonParser",
     "ParseStats",
+    "DocumentCache",
+    "INVALID",
     "parse",
     "dumps",
     "JsonPath",

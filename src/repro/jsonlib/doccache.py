@@ -1,0 +1,92 @@
+"""Parse-once document sharing.
+
+Maxson's thesis is that raw data should never be parsed twice — yet an
+execution engine can silently re-introduce duplicate parsing when several
+expressions extract different paths from the *same* source column: each
+``get_json_object`` call re-parses the document once per expression per
+row. :class:`DocumentCache` is the shared-parse primitive that fixes
+this: it wraps a parser and memoises parsed documents by source text, so
+within one evaluation scope (a query's :class:`~repro.engine.expressions.
+EvalContext`, a cache build, a combiner fallback split) every distinct
+document is parsed exactly once no matter how many consumers evaluate
+paths against it.
+
+Cost accounting contract: the wrapped parser's
+:class:`~repro.jsonlib.jackson.ParseStats` charge each unique parse
+**once** — a cache hit never re-charges parse time, documents or bytes to
+the stats, which is what keeps the engine's "Parse" breakdown honest
+under sharing (over-reporting would count the same wall-clock parse once
+per consuming expression). Hits are tracked separately in :attr:`hits`
+and surfaced as ``shared_parse_hits`` in query metrics.
+
+Failed parses are cached too (as :data:`INVALID`): a malformed document
+costs one parse attempt per scope, not one per consuming expression, and
+the parser's ``errors`` counter moves once.
+"""
+
+from __future__ import annotations
+
+__all__ = ["INVALID", "DocumentCache"]
+
+#: Sentinel cached for documents the parser rejected. Distinct from
+#: ``None`` because ``"null"`` is a *valid* document that parses to None.
+INVALID = object()
+
+
+class DocumentCache:
+    """Memoise ``parser.parse(text)`` by source text.
+
+    Parameters
+    ----------
+    parser:
+        Any object with ``parse(text) -> object`` (JacksonParser,
+        XmlParser, ...). Its own stats keep counting unique parses.
+    error:
+        Exception type (or tuple) the parser raises on malformed input;
+        those texts cache as :data:`INVALID` instead of propagating.
+    max_entries:
+        Bound on cached documents. When full, the oldest entry is
+        evicted (FIFO) — the cache is a per-scope sharing device, not a
+        long-lived store, so recency bookkeeping is not worth its cost.
+    """
+
+    def __init__(
+        self, parser, error: type[BaseException] | tuple, max_entries: int = 65536
+    ) -> None:
+        self.parser = parser
+        self.error = error
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self._documents: dict[str, object] = {}
+
+    def document(self, text: str) -> object:
+        """The parsed document for ``text``, or :data:`INVALID`.
+
+        Parses on first sight (charging the parser's stats once) and
+        serves every later request for the same text from the cache.
+        """
+        documents = self._documents
+        try:
+            cached = documents[text]
+        except KeyError:
+            pass
+        else:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        if len(documents) >= self.max_entries:
+            documents.pop(next(iter(documents)))
+        try:
+            document = self.parser.parse(text)
+        except self.error:
+            document = INVALID
+        documents[text] = document
+        return document
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def clear(self) -> None:
+        """Drop every cached document (hit/miss counters survive)."""
+        self._documents.clear()

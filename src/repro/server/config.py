@@ -56,6 +56,19 @@ class ServerConfig:
     retry_backoff_seconds: float = 0.01
     """Base of the exponential backoff between retry attempts."""
 
+    execution_mode: str | None = None
+    """Engine execution path for served queries: 'batch' (vectorized,
+    parse-once document sharing) or 'row' (per-row interpreter). Either
+    mode returns identical rows; 'row' is the comparison baseline and
+    escape hatch. ``None`` inherits the wrapped system's configured
+    mode (itself defaulting to 'batch')."""
+
+    build_workers: int | None = None
+    """Threads parsing raw files concurrently during midnight cache
+    builds and refreshes (writes stay sequential; see
+    :class:`~repro.core.cacher.JsonPathCacher`). ``None`` inherits the
+    wrapped system's setting."""
+
     def __post_init__(self) -> None:
         if self.max_workers < 1:
             raise ValueError("max_workers must be >= 1")
@@ -71,3 +84,7 @@ class ServerConfig:
             raise ValueError("max_query_retries must be >= 0")
         if self.retry_backoff_seconds < 0:
             raise ValueError("retry_backoff_seconds must be >= 0")
+        if self.execution_mode not in (None, "batch", "row"):
+            raise ValueError("execution_mode must be 'batch' or 'row'")
+        if self.build_workers is not None and self.build_workers < 1:
+            raise ValueError("build_workers must be >= 1")

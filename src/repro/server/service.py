@@ -53,6 +53,12 @@ class MaxsonServer:
     ) -> None:
         self.system = system or MaxsonSystem()
         self.config = config or ServerConfig()
+        if self.config.execution_mode is not None:
+            self.system.config.execution_mode = self.config.execution_mode
+            self.system.session.execution_mode = self.config.execution_mode
+        if self.config.build_workers is not None:
+            self.system.config.build_workers = self.config.build_workers
+            self.system.cacher.build_workers = self.config.build_workers
         self.admission = AdmissionController(
             per_tenant_limit=self.config.per_tenant_limit,
             queue_capacity=self.config.queue_capacity,
@@ -213,6 +219,11 @@ class MaxsonServer:
             query_retries=int(resilience["query_retries"]),
             build_failures=int(resilience["build_failures"]),
             recovery_actions=int(resilience["recovery_actions"]),
+            execution_mode=self.system.session.execution_mode,
+            duplicate_extractions_eliminated=(
+                totals.duplicate_extractions_eliminated
+            ),
+            shared_parse_hits=totals.shared_parse_hits,
             tenants=tenants,
             totals=totals.to_dict(),
         )

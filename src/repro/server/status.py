@@ -60,6 +60,9 @@ class ServerStatus:
     query_retries: int = 0
     build_failures: int = 0
     recovery_actions: int = 0
+    execution_mode: str = "batch"
+    duplicate_extractions_eliminated: int = 0
+    shared_parse_hits: int = 0
     tenants: dict[str, int] = field(default_factory=dict)
     totals: dict[str, object] = field(default_factory=dict)
 
@@ -101,6 +104,9 @@ class ServerStatus:
             f"{self.query_retries} retries, "
             f"{self.build_failures} failed builds, "
             f"{self.recovery_actions} recoveries",
+            f"  execution:     mode={self.execution_mode}, "
+            f"{self.duplicate_extractions_eliminated} duplicate extractions "
+            f"eliminated, {self.shared_parse_hits} shared parses",
         ]
         if self.tenants:
             per_tenant = ", ".join(

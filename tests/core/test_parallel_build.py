@@ -1,0 +1,127 @@
+"""Parallel midnight cache builds (``build_workers > 1``).
+
+Parsing raw files is the dominant cost of a cache build, so the cacher
+may fan it out across a thread pool — but cache *writes* stay sequential
+in file order, which is what the crash journal and generation-swap
+atomicity reason about. These tests pin the contract: a parallel build
+produces byte-identical cache tables, serves identical query results,
+and fails builds the same way the sequential path does.
+"""
+
+from repro.core import MaxsonConfig, MaxsonSystem, PredictorConfig
+from repro.core.cacher import CACHE_DATABASE
+from repro.engine import Session
+from repro.faults import FaultPolicy, FaultyFileSystem, InjectedCrash
+from repro.jsonlib import dumps
+from repro.storage import BlockFileSystem, DataType, Schema
+from repro.workload import PathKey
+
+KEYS = [
+    PathKey("db", "t", "payload", "$.m"),
+    PathKey("db", "t", "payload", "$.name"),
+]
+SQL = (
+    "select id, get_json_object(payload, '$.m') as m, "
+    "get_json_object(payload, '$.name') as n from db.t"
+)
+
+
+def build_system(build_workers: int, fs=None) -> MaxsonSystem:
+    session = Session(fs=fs or BlockFileSystem())
+    schema = Schema.of(("id", DataType.INT64), ("payload", DataType.STRING))
+    session.catalog.create_table("db", "t", schema)
+    for chunk in range(4):  # four raw files -> real fan-out
+        session.catalog.append_rows(
+            "db",
+            "t",
+            [
+                (i, dumps({"m": i, "name": f"row{i}"}))
+                for i in range(chunk * 25, (chunk + 1) * 25)
+            ],
+            row_group_size=10,
+        )
+    return MaxsonSystem(
+        session=session,
+        config=MaxsonConfig(
+            predictor=PredictorConfig(model="always"),
+            build_workers=build_workers,
+        ),
+    )
+
+
+def cache_files(system: MaxsonSystem) -> dict[str, bytes]:
+    fs = system.session.fs
+    out: dict[str, bytes] = {}
+    stack = [f"/warehouse/{CACHE_DATABASE}"]
+    while stack:
+        directory = stack.pop()
+        for status in fs.list_directory(directory):
+            if status.is_directory:
+                stack.append(status.path)
+            else:
+                out[status.path] = fs.read(status.path)
+    return out
+
+
+class TestParallelBuild:
+    def test_parallel_build_is_byte_identical_to_sequential(self):
+        sequential = build_system(build_workers=1)
+        parallel = build_system(build_workers=4)
+        assert parallel.cacher.build_workers == 4
+        sequential.cache_paths_directly(KEYS, budget_bytes=1 << 40)
+        parallel.cache_paths_directly(KEYS, budget_bytes=1 << 40)
+        assert cache_files(sequential) == cache_files(parallel)
+
+    def test_parallel_build_serves_identical_results(self):
+        system = build_system(build_workers=4)
+        baseline = system.baseline_sql(SQL)
+        system.cache_paths_directly(KEYS, budget_bytes=1 << 40)
+        cached = system.sql(SQL)
+        assert cached.rows == baseline.rows
+        assert cached.metrics.parse_documents == 0
+        assert cached.metrics.cache_hits > 0
+
+    def test_parallel_refresh_extends_cache(self):
+        system = build_system(build_workers=4)
+        system.cache_paths_directly(KEYS, budget_bytes=1 << 40)
+        system.session.catalog.append_rows(
+            "db",
+            "t",
+            [(i, dumps({"m": i, "name": f"row{i}"})) for i in range(100, 125)],
+            row_group_size=10,
+        )
+        report = system.refresh_cache()
+        assert report.rows_parsed > 0
+        result = system.sql(SQL)
+        assert len(result.rows) == 125
+        assert result.metrics.parse_documents == 0
+
+    def test_write_faults_fail_parallel_builds_cleanly(self):
+        faulty = FaultyFileSystem()
+        system = build_system(build_workers=4, fs=faulty)
+        system.sql(SQL)
+        faulty.policy = FaultPolicy(
+            write_error_rate=1.0,
+            error_path_prefix=f"/warehouse/{CACHE_DATABASE}",
+        )
+        report = system.run_midnight_cycle(day=1, history_days=7)
+        faulty.policy = FaultPolicy()
+        assert report.build.failed
+        # the failed generation never went live; queries still correct
+        assert system.sql(SQL).rows == system.baseline_sql(SQL).rows
+
+    def test_injected_crash_surfaces_from_worker(self):
+        faulty = FaultyFileSystem()
+        system = build_system(build_workers=4, fs=faulty)
+        system.sql(SQL)
+        faulty.policy = FaultPolicy(
+            crash_after_writes=2,
+            crash_path_prefix=f"/warehouse/{CACHE_DATABASE}",
+        )
+        try:
+            system.run_midnight_cycle(day=1, history_days=7)
+        except InjectedCrash:
+            crashed = True
+        else:
+            crashed = False
+        assert crashed

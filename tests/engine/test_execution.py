@@ -219,17 +219,27 @@ class TestJoin:
 
 
 class TestMetrics:
+    THREE_PATH_QUERY = (
+        "select get_json_object(sale_logs, '$.item_id') as a, "
+        "get_json_object(sale_logs, '$.turnover') as b, "
+        "get_json_object(sale_logs, '$.price') as c from mydb.T"
+    )
+
     def test_parse_dominates_json_queries(self, sales_session):
-        result = sales_session.sql(
-            "select get_json_object(sale_logs, '$.item_id') as a, "
-            "get_json_object(sale_logs, '$.turnover') as b, "
-            "get_json_object(sale_logs, '$.price') as c from mydb.T"
-        )
+        result = sales_session.sql(self.THREE_PATH_QUERY, execution_mode="row")
         # the paper's headline (>= ~80%) is asserted at realistic scale in
         # benchmarks/test_fig3_parse_cost.py; at this tiny table size just
         # require that parsing is a major component and counted exactly.
         assert result.metrics.parse_fraction > 0.3
         assert result.metrics.parse_documents == 600  # 3 calls x 200 rows
+
+    def test_batch_path_shares_parses_across_expressions(self, sales_session):
+        result = sales_session.sql(self.THREE_PATH_QUERY, execution_mode="batch")
+        # Parse-once sharing: 200 documents parsed once each; the other
+        # two extraction calls per row are served from the shared cache
+        # and must NOT be re-charged to the parser stats.
+        assert result.metrics.parse_documents == 200
+        assert result.metrics.shared_parse_hits == 400  # 2 extra calls x 200
 
     def test_column_pruning_reduces_bytes(self, sales_session):
         wide = sales_session.sql("select * from mydb.T")
