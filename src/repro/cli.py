@@ -5,6 +5,7 @@ Subcommands::
     python -m repro.cli analyze    # workload analysis report (paper SSII)
     python -m repro.cli predict    # train a predictor, report P/R/F1
     python -m repro.cli demo       # run a query with and without Maxson
+    python -m repro.cli explain    # EXPLAIN ANALYZE one Table II query
     python -m repro.cli bench-cache  # scoring vs random vs no-cache sweep
     python -m repro.cli replay-serve # concurrent server replay + status
 
@@ -103,6 +104,31 @@ def cmd_demo(args) -> int:
     return 0
 
 
+def cmd_explain(args) -> int:
+    """EXPLAIN ANALYZE one Table II query, cold and (optionally) cached."""
+    from .core import MaxsonSystem
+    from .workload import PathKey, build_queries
+    from .workload.tables import DocumentFactory, TABLE_SPECS
+
+    system = MaxsonSystem.for_demo(rows_per_table=args.rows)
+    scale = max(1, 10_000 // args.rows)
+    factories = {
+        s.query_id: DocumentFactory(s, metric_scale=scale) for s in TABLE_SPECS
+    }
+    queries = build_queries(factories)
+    query = queries[args.query.upper()]
+    if args.cached:
+        system.cache_paths_directly(
+            [
+                PathKey(query.database, query.table, query.column, path)
+                for path in query.paths
+            ],
+            budget_bytes=1 << 40,
+        )
+    print(system.explain_analyze(query.sql, execution_mode=args.execution_mode))
+    return 0
+
+
 def cmd_bench_cache(args) -> int:
     from .core import MaxsonConfig, MaxsonSystem, PredictorConfig
     from .engine import Session
@@ -187,6 +213,10 @@ def cmd_replay_serve(args) -> int:
         admission_timeout_seconds=args.admission_timeout,
         refresh_interval_seconds=args.refresh_interval,
         max_query_retries=args.retries,
+        trace_dir=args.trace_dir or None,
+        slow_query_seconds=args.slow_query_ms / 1000.0,
+        log_file=args.log_json or None,
+        log_all_queries=bool(args.log_json),
     )
     with MaxsonServer(system, config) as server:
         requests = build_replay_workload(
@@ -211,6 +241,16 @@ def cmd_replay_serve(args) -> int:
         if args.fault_profile:
             print(f"injected faults: {system.session.fs.policy.counters.to_dict()}")
         print(status.format())
+        if args.trace_dir:
+            trace = status.observability.get("trace", {})
+            print(
+                f"traces: {trace.get('traces_written', 0)} traces "
+                f"({trace.get('spans_written', 0)} spans) -> "
+                f"{trace.get('path', args.trace_dir)}"
+            )
+        if args.metrics:
+            print("== Prometheus exposition ==")
+            print(server.metrics_text(), end="")
     if report.failed or report.completed == 0:
         return 1
     if args.verify and report.mismatched:
@@ -261,6 +301,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="engine path: vectorized batches or the row interpreter",
     )
     p_demo.set_defaults(func=cmd_demo)
+
+    p_explain = sub.add_parser(
+        "explain",
+        help="EXPLAIN ANALYZE one Table II query (annotated actual plan)",
+    )
+    p_explain.add_argument("--query", default="Q2", help="Q1..Q10")
+    p_explain.add_argument("--rows", type=int, default=600)
+    p_explain.add_argument(
+        "--execution-mode",
+        default="batch",
+        choices=["batch", "row"],
+        help="engine path: vectorized batches or the row interpreter",
+    )
+    p_explain.add_argument(
+        "--cached",
+        action="store_true",
+        help="cache the query's JSONPaths first, so the plan shows the "
+        "Maxson scan + value combiner",
+    )
+    p_explain.set_defaults(func=cmd_explain)
 
     p_bench = sub.add_parser(
         "bench-cache", help="cache-budget sweep (Fig 11 style)"
@@ -321,6 +381,29 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="threads parsing raw files during cache builds "
         "(writes stay sequential)",
+    )
+    p_serve.add_argument(
+        "--trace-dir",
+        default="",
+        metavar="DIR",
+        help="export per-query and midnight span trees as JSONL under DIR",
+    )
+    p_serve.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the Prometheus text exposition after the replay",
+    )
+    p_serve.add_argument(
+        "--slow-query-ms",
+        type=float,
+        default=0.0,
+        help="log queries at or past this wall time as slow_query events",
+    )
+    p_serve.add_argument(
+        "--log-json",
+        default="",
+        metavar="FILE",
+        help="write structured NDJSON events (queries, cycles) to FILE",
     )
     p_serve.set_defaults(func=cmd_replay_serve)
 

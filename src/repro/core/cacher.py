@@ -257,17 +257,32 @@ class JsonPathCacher:
             self.catalog.drop_table(info.database, info.name)
         self.registry.clear()
 
-    def populate(self, keys: list[PathKey]) -> CacheBuildReport:
+    def populate(self, keys: list[PathKey], tracer=None) -> CacheBuildReport:
         """Parse and cache the values of ``keys`` (already budget-chosen,
         in score order). Paths are grouped per raw table; each group
-        becomes one cache table whose files align with the raw files."""
+        becomes one cache table whose files align with the raw files.
+
+        ``tracer`` (optional) records one ``cache_table`` span per group
+        under the midnight cycle's ``build`` span."""
         report = CacheBuildReport()
         started = time.perf_counter()
         groups: dict[tuple[str, str], list[PathKey]] = {}
         for key in keys:
             groups.setdefault((key.database, key.table), []).append(key)
         for (database, table), group in sorted(groups.items()):
-            self._cache_one_table(database, table, group, report)
+            if tracer is not None:
+                rows_before = report.rows_parsed
+                with tracer.span(
+                    "cache_table",
+                    label=f"{database}.{table}",
+                    paths=len(group),
+                ):
+                    self._cache_one_table(database, table, group, report)
+                    tracer.annotate(
+                        rows_parsed=report.rows_parsed - rows_before
+                    )
+            else:
+                self._cache_one_table(database, table, group, report)
         report.build_seconds = time.perf_counter() - started
         return report
 

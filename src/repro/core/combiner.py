@@ -99,6 +99,11 @@ class MaxsonScanExec(ScanExec):
         env_keys = [r.env_key for r in self.cached_fields]
         rows: list[dict] = []
         fallback_splits = 0
+        combine_span = (
+            state.tracer.begin("combine", splits=len(raw_files))
+            if state.tracer is not None
+            else None
+        )
         if cache_files is None or len(cache_files) != len(raw_files):
             # The cache table vanished or is file-misaligned (e.g. a
             # refresh died mid-append). Raw parsing answers the whole
@@ -127,6 +132,10 @@ class MaxsonScanExec(ScanExec):
                         state, raw_files[split_index]
                     )
                 rows.extend(split_rows)
+        if combine_span is not None:
+            combine_span.attributes["fallback_splits"] = fallback_splits
+            combine_span.attributes["degraded"] = bool(fallback_splits)
+            state.tracer.end(combine_span)
         if fallback_splits:
             if self.resilience is not None:
                 self.resilience.add("fallback_queries")
@@ -178,6 +187,11 @@ class MaxsonScanExec(ScanExec):
             names.append(env_key)
         length = 0
         fallback_splits = 0
+        combine_span = (
+            state.tracer.begin("combine", splits=len(raw_files))
+            if state.tracer is not None
+            else None
+        )
 
         def extend(split_columns: dict, split_length: int) -> None:
             nonlocal length
@@ -209,6 +223,10 @@ class MaxsonScanExec(ScanExec):
                         state, raw_files[split_index]
                     )
                 extend(split_columns, split_length)
+        if combine_span is not None:
+            combine_span.attributes["fallback_splits"] = fallback_splits
+            combine_span.attributes["degraded"] = bool(fallback_splits)
+            state.tracer.end(combine_span)
         if fallback_splits:
             if self.resilience is not None:
                 self.resilience.add("fallback_queries")
@@ -268,6 +286,13 @@ class MaxsonScanExec(ScanExec):
         env_series: dict[str, list] = {
             request.env_key: [] for request in self.cached_fields
         }
+        parse_span = (
+            state.tracer.begin(
+                "parse", split=str(raw_path), degraded=True
+            )
+            if state.tracer is not None
+            else None
+        )
         for i in range(result.rows_read):
             documents = {
                 column: extractor.decode(series[column][i], formats)
@@ -285,6 +310,15 @@ class MaxsonScanExec(ScanExec):
             state.metrics.parse_seconds += parser.stats.seconds
             state.metrics.parse_documents += parser.stats.documents
             state.metrics.parse_bytes += parser.stats.bytes_scanned
+        if parse_span is not None:
+            parse_span.attributes.update(
+                rows=result.rows_read,
+                parse_documents=extractor.json_parser.stats.documents
+                + extractor.xml_parser.stats.documents,
+                parse_bytes=extractor.json_parser.stats.bytes_scanned
+                + extractor.xml_parser.stats.bytes_scanned,
+            )
+            state.tracer.end(parse_span)
         return columns, result.rows_read
 
     def _stitch_rows(

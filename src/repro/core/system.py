@@ -32,6 +32,7 @@ torn cache.
 from __future__ import annotations
 
 import threading
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 from ..engine.catalog import Catalog
@@ -53,6 +54,13 @@ from .resilience import CacheCircuitBreaker, ResilienceStats
 from .scoring import ScoredPath, ScoringFunction
 
 __all__ = ["MaxsonConfig", "MidnightReport", "MaxsonSystem"]
+
+
+def _span(tracer, name: str, **attributes):
+    """A tracer span, or a no-op context when tracing is off."""
+    if tracer is None:
+        return nullcontext()
+    return tracer.span(name, **attributes)
 
 
 @dataclass
@@ -145,6 +153,11 @@ class MaxsonSystem:
             resilience=self.resilience,
         )
         self.session.add_plan_modifier(self.modifier)
+        #: Closes the predict→cache loop: scores each retired generation's
+        #: predicted/cached sets against the parse demand it actually saw.
+        from ..obs.efficacy import EfficacyAccountant
+
+        self.efficacy = EfficacyAccountant(byte_weight=self._path_bytes)
         self.current_day = 0
         self.cache_build_metrics = QueryMetrics()
         #: Monotonic cache-generation counter; bumped by every swap.
@@ -172,18 +185,40 @@ class MaxsonSystem:
     def catalog(self) -> Catalog:
         return self.session.catalog
 
+    def _path_bytes(self, key: PathKey) -> int:
+        """Estimated parse bytes for one path (efficacy byte weighting)."""
+        return self.scoring.measure(key).estimated_total_bytes
+
     # ------------------------------------------------------------------
     # query path
     # ------------------------------------------------------------------
-    def sql(self, sql: str, day: int | None = None) -> QueryResult:
+    def sql(
+        self, sql: str, day: int | None = None, tracer=None
+    ) -> QueryResult:
         """Execute SQL through the Maxson-modified session and collect its
-        JSONPath references."""
+        JSONPath references. ``tracer`` opts the query into span
+        recording (see :meth:`Session.sql`)."""
         planned = self.session.compile(sql)
         self.collector.record_planned(
             day if day is not None else self.current_day,
             planned.referenced_json_paths,
         )
-        return self.session.sql(sql)
+        return self.session.sql(sql, tracer=tracer)
+
+    def explain_analyze(
+        self,
+        sql: str,
+        execution_mode: str | None = None,
+        day: int | None = None,
+    ) -> str:
+        """``EXPLAIN ANALYZE`` through the Maxson-modified session; the
+        query still feeds the collector like any other."""
+        planned = self.session.compile(sql)
+        self.collector.record_planned(
+            day if day is not None else self.current_day,
+            planned.referenced_json_paths,
+        )
+        return self.session.explain_analyze(sql, execution_mode)
 
     def baseline_sql(self, sql: str) -> QueryResult:
         """Execute without Maxson (plain engine), for comparisons.
@@ -206,7 +241,9 @@ class MaxsonSystem:
     # ------------------------------------------------------------------
     # cache generations (double-buffered swap)
     # ------------------------------------------------------------------
-    def _swap_generation(self, keys: list[PathKey]) -> CacheBuildReport:
+    def _swap_generation(
+        self, keys: list[PathKey], tracer=None
+    ) -> CacheBuildReport:
         """Build the next cache generation off to the side and swap it in.
 
         The new generation's tables carry a ``__g{N}`` suffix so the
@@ -234,7 +271,18 @@ class MaxsonSystem:
             # recover_orphan_generations() can act on after restart.
             self.journal.begin(next_generation)
             try:
-                build = new_cacher.populate(keys)
+                with _span(
+                    tracer,
+                    "build",
+                    generation=next_generation,
+                    keys=len(keys),
+                ):
+                    build = new_cacher.populate(keys, tracer=tracer)
+                    if tracer is not None:
+                        tracer.annotate(
+                            cache_tables=len(new_registry.cache_tables()),
+                            cache_bytes=new_registry.total_bytes(),
+                        )
             except Exception as exc:
                 # Build failed (fs fault, corrupt raw read, ...): GC the
                 # half-built generation and keep the old one serving.
@@ -268,13 +316,20 @@ class MaxsonSystem:
                 old_registry.clear()
 
             guard = self.generation_guard
-            if guard is None:
-                install()
-                retire()
-            else:
-                guard.complete_swap(
-                    self.generation, next_generation, install, retire
-                )
+            with _span(
+                tracer,
+                "swap",
+                generation=next_generation,
+                retired_tables=len(old_tables),
+                guarded=guard is not None,
+            ):
+                if guard is None:
+                    install()
+                    retire()
+                else:
+                    guard.complete_swap(
+                        self.generation, next_generation, install, retire
+                    )
             self.cache_build_metrics.extra["build_seconds"] = (
                 self.cache_build_metrics.extra.get("build_seconds", 0.0)
                 + build.build_seconds
@@ -362,35 +417,75 @@ class MaxsonSystem:
         day: int | None = None,
         candidate_keys: list[PathKey] | None = None,
         history_days: int = 7,
+        tracer=None,
     ) -> MidnightReport:
         """Predict, score, select and cache for ``day`` (default: the
-        system's next day)."""
+        system's next day).
+
+        With a ``tracer`` the cycle records a ``midnight`` span tree
+        (``collect → predict → score → build → swap``), mirroring how
+        traced queries record their operator tree.
+        """
         target_day = day if day is not None else self.current_day + 1
-        predicted = self.predictor.predict(
-            self.collector, target_day, candidate_keys
-        )
-        # Only paths over real tables can be cached.
-        cacheable: set[PathKey] = set()
-        missing = 0
-        for key in predicted:
-            if self.catalog.table_exists(key.database, key.table):
-                cacheable.add(key)
-            else:
-                missing += 1
-        records = self.collector.queries_between(
-            max(0, target_day - history_days), target_day - 1
-        )
-        scored = self.scoring.score(cacheable, records)
-        if self.config.selection_strategy == "random":
-            selected = ScoringFunction.random_selection(
-                scored, self.config.cache_budget_bytes, seed=self.config.random_seed
+        with _span(tracer, "midnight", day=target_day):
+            with _span(tracer, "collect"):
+                records = self.collector.queries_between(
+                    max(0, target_day - history_days), target_day - 1
+                )
+                if tracer is not None:
+                    tracer.annotate(history_records=len(records))
+            with _span(tracer, "predict"):
+                predicted = self.predictor.predict(
+                    self.collector, target_day, candidate_keys
+                )
+                # Only paths over real tables can be cached.
+                cacheable: set[PathKey] = set()
+                missing = 0
+                for key in predicted:
+                    if self.catalog.table_exists(key.database, key.table):
+                        cacheable.add(key)
+                    else:
+                        missing += 1
+                if tracer is not None:
+                    tracer.annotate(
+                        predicted=len(predicted),
+                        cacheable=len(cacheable),
+                        skipped_missing_tables=missing,
+                    )
+            with _span(tracer, "score"):
+                scored = self.scoring.score(cacheable, records)
+                if self.config.selection_strategy == "random":
+                    selected = ScoringFunction.random_selection(
+                        scored,
+                        self.config.cache_budget_bytes,
+                        seed=self.config.random_seed,
+                    )
+                else:
+                    selected = self.scoring.select_within_budget(
+                        scored, self.config.cache_budget_bytes
+                    )
+                if tracer is not None:
+                    tracer.annotate(
+                        scored=len(scored), selected=len(selected)
+                    )
+            build = self._swap_generation(
+                [sp.key for sp in selected], tracer=tracer
             )
-        else:
-            selected = self.scoring.select_within_budget(
-                scored, self.config.cache_budget_bytes
-            )
-        build = self._swap_generation([sp.key for sp in selected])
-        self.current_day = target_day
+            if not build.failed:
+                # Close the book on the generation this swap retired,
+                # then start accounting for the one that now serves.
+                self.efficacy.close_pending(
+                    self.collector,
+                    up_to_day=target_day,
+                    threshold=self.config.mpjp_threshold,
+                )
+                self.efficacy.open_generation(
+                    self.generation,
+                    target_day,
+                    predicted,
+                    [sp.key for sp in selected],
+                )
+            self.current_day = target_day
         return MidnightReport(
             day=target_day,
             predicted_mpjp=len(predicted),
@@ -432,6 +527,18 @@ class MaxsonSystem:
         else:
             selected = self.scoring.select_within_budget(scored, budget)
         build = self._swap_generation([sp.key for sp in selected])
+        if not build.failed:
+            self.efficacy.close_pending(
+                self.collector,
+                up_to_day=self.current_day,
+                threshold=self.config.mpjp_threshold,
+            )
+            self.efficacy.open_generation(
+                self.generation,
+                self.current_day,
+                keys,
+                [sp.key for sp in selected],
+            )
         return MidnightReport(
             day=self.current_day,
             predicted_mpjp=len(keys),
@@ -458,4 +565,5 @@ class MaxsonSystem:
             ),
             "quarantined_tables": self.breaker.quarantined_tables(),
             "resilience": self.resilience.snapshot(),
+            "efficacy": self.efficacy.summary(),
         }

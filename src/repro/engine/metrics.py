@@ -40,7 +40,7 @@ class QueryMetrics:
     #: Document parses avoided by parse-once sharing (batch path): calls
     #: served from the per-context document cache instead of re-parsing.
     shared_parse_hits: int = 0
-    extra: dict[str, float] = field(default_factory=dict)
+    extra: dict[str, int | float] = field(default_factory=dict)
 
     @property
     def compute_seconds(self) -> float:
@@ -123,4 +123,7 @@ class QueryMetrics:
         )
         self.shared_parse_hits += other.shared_parse_hits
         for key, value in other.extra.items():
-            self.extra[key] = self.extra.get(key, 0.0) + value
+            # Default to int 0, not float 0.0: merging (and therefore
+            # snapshot round-trips) must not silently coerce integer
+            # counters stored in ``extra`` into floats.
+            self.extra[key] = self.extra.get(key, 0) + value

@@ -54,6 +54,10 @@ class ExecState:
     context: EvalContext
     metrics: QueryMetrics = field(default_factory=QueryMetrics)
     compiler: BatchCompiler | None = None
+    #: Optional :class:`repro.obs.trace.Tracer` for this execution. None
+    #: on the untraced path; operators that emit interior spans (e.g. the
+    #: Maxson combiner) must guard on ``state.tracer is not None``.
+    tracer: object | None = None
 
     def batch_compiler(self) -> BatchCompiler:
         """The query-wide expression compiler (created lazily).

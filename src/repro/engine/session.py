@@ -36,6 +36,9 @@ class QueryResult:
     rows: list[dict]
     metrics: QueryMetrics
     plan: PhysicalPlan
+    #: Root :class:`repro.obs.trace.Span` when the query ran with a
+    #: tracer; None on the (default) untraced path.
+    trace: object | None = None
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -110,21 +113,41 @@ class Session:
         planned, _, _ = self._prepare(sql)
         return planned.physical.describe()
 
-    def _prepare(self, sql: str) -> tuple[PlannedQuery, ExecState, float]:
+    def _prepare(
+        self, sql: str, tracer=None
+    ) -> tuple[PlannedQuery, ExecState, float]:
         started = time.perf_counter()
-        planned = self.compile(sql)
+        if tracer is not None:
+            with tracer.span("plan"):
+                planned = self.compile(sql)
+        else:
+            planned = self.compile(sql)
         context = EvalContext(parser=self.parser_factory())
         if self.projection_parser_factory is not None:
             context.projection_parser = self.projection_parser_factory()
-        state = ExecState(catalog=self.catalog, context=context)
+        state = ExecState(catalog=self.catalog, context=context, tracer=tracer)
         with self._lock:
             modifiers = list(self._plan_modifiers)
-        for modifier in modifiers:
-            planned.physical = modifier.modify(planned, state)
+        if tracer is not None:
+            with tracer.span("rewrite", modifiers=len(modifiers)):
+                for modifier in modifiers:
+                    planned.physical = modifier.modify(planned, state)
+            if tracer.enabled:
+                from ..obs.instrument import instrument_plan
+
+                planned.physical = instrument_plan(planned.physical, tracer)
+        else:
+            for modifier in modifiers:
+                planned.physical = modifier.modify(planned, state)
         plan_seconds = time.perf_counter() - started
         return planned, state, plan_seconds
 
-    def sql(self, sql: str, execution_mode: str | None = None) -> QueryResult:
+    def sql(
+        self,
+        sql: str,
+        execution_mode: str | None = None,
+        tracer=None,
+    ) -> QueryResult:
         """Compile and execute one SELECT statement.
 
         ``execution_mode`` overrides the session default for this query:
@@ -132,18 +155,34 @@ class Session:
         batches, parses are shared), ``"row"`` forces the per-row
         interpreter. Both produce identical rows — the batch compiler
         falls back to the row interpreter for anything not vectorized.
+
+        ``tracer`` (a :class:`repro.obs.trace.Tracer`) opts this query
+        into span recording: the plan is instrumented so every operator
+        records wall time and counter deltas, and the result carries the
+        root span as ``result.trace``. Without a tracer the query runs
+        the exact pre-observability code path.
         """
         mode = execution_mode if execution_mode is not None else self.execution_mode
         if mode not in ("batch", "row"):
             raise ValueError(
                 f"execution_mode must be 'batch' or 'row', got {mode!r}"
             )
-        planned, state, plan_seconds = self._prepare(sql)
+        query_span = (
+            tracer.begin("query", mode=mode) if tracer is not None else None
+        )
+        planned, state, plan_seconds = self._prepare(sql, tracer=tracer)
         started = time.perf_counter()
-        if mode == "batch":
-            rows = planned.physical.execute_batch(state).to_rows()
+        if tracer is None:
+            if mode == "batch":
+                rows = planned.physical.execute_batch(state).to_rows()
+            else:
+                rows = planned.physical.execute(state)
         else:
-            rows = planned.physical.execute(state)
+            with tracer.span("execute", mode=mode):
+                if mode == "batch":
+                    rows = planned.physical.execute_batch(state).to_rows()
+                else:
+                    rows = planned.physical.execute(state)
         total = time.perf_counter() - started
         metrics = state.metrics
         metrics.plan_seconds = plan_seconds
@@ -164,7 +203,40 @@ class Session:
                 metrics.parse_bytes += extra_parser.stats.bytes_scanned
         with self._lock:
             self.session_metrics.merge(metrics)
-        return QueryResult(rows=rows, metrics=metrics, plan=planned.physical)
+        trace_root = None
+        if tracer is not None:
+            query_span.attributes.update(
+                total_seconds=metrics.total_seconds,
+                plan_seconds=metrics.plan_seconds,
+                read_seconds=metrics.read_seconds,
+                parse_seconds=metrics.parse_seconds,
+                parse_documents=metrics.parse_documents,
+                rows_out=metrics.rows_output,
+            )
+            tracer.end(query_span)
+            trace_root = query_span
+        return QueryResult(
+            rows=rows,
+            metrics=metrics,
+            plan=planned.physical,
+            trace=trace_root,
+        )
+
+    def explain_analyze(
+        self, sql: str, execution_mode: str | None = None
+    ) -> str:
+        """Execute ``sql`` under a fresh tracer and render the annotated
+        plan (per-operator wall time, rows, parse counts, cache hits)."""
+        from ..obs.explain import render_explain_analyze
+        from ..obs.trace import Tracer
+
+        mode = (
+            execution_mode if execution_mode is not None else self.execution_mode
+        )
+        result = self.sql(sql, execution_mode=mode, tracer=Tracer())
+        return render_explain_analyze(
+            result.trace, result.metrics, mode=mode, sql=sql
+        )
 
     def reset_session_metrics(self) -> None:
         with self._lock:

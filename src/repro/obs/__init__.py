@@ -1,0 +1,53 @@
+"""repro.obs: end-to-end observability for the Maxson reproduction.
+
+Four concerns, one subsystem:
+
+* **Tracing** (:mod:`~repro.obs.trace`, :mod:`~repro.obs.instrument`,
+  :mod:`~repro.obs.explain`) — per-query span trees recorded by wrapping
+  physical operators, exported as JSONL, rendered as ``EXPLAIN ANALYZE``.
+* **Metrics** (:mod:`~repro.obs.metrics`, :mod:`~repro.obs.promlint`) —
+  a bounded process-wide registry with Prometheus text exposition and a
+  dependency-free format validator for CI.
+* **Structured logging** (:mod:`~repro.obs.logging`) — NDJSON events
+  with query/generation correlation IDs and a slow-query filter.
+* **Cache efficacy** (:mod:`~repro.obs.efficacy`) — per-generation
+  precision/recall of the MPJP prediction against realized parse demand,
+  count- and byte-weighted.
+
+Nothing here is imported by the engine at module load; the engine
+reaches into :mod:`repro.obs` lazily and only when a query carries a
+tracer, keeping the disabled path byte-identical to the uninstrumented
+code.
+"""
+
+from .efficacy import EfficacyAccountant, GenerationEfficacy
+from .explain import render_explain_analyze
+from .instrument import TracedExec, instrument_plan
+from .logging import StructuredLogger
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .promlint import validate_text
+from .trace import Span, TraceSink, Tracer
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "TraceSink",
+    "TracedExec",
+    "instrument_plan",
+    "render_explain_analyze",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+    "StructuredLogger",
+    "EfficacyAccountant",
+    "GenerationEfficacy",
+    "validate_text",
+]

@@ -1,0 +1,112 @@
+"""Structured JSON logging with query and generation IDs.
+
+One :class:`StructuredLogger` per server writes newline-delimited JSON
+events (``{"ts": ..., "event": ..., ...fields}``) to a stream or file.
+Events carry correlation IDs — ``query_id`` for the request path,
+``generation`` for the cache lifecycle — so a flat grep reconstructs any
+query's journey through admission, execution and the cache generation it
+leased.
+
+The **slow-query log** is a filter, not a second stream: queries whose
+wall time crosses ``slow_query_seconds`` are logged at the distinct
+``slow_query`` event (with their stage breakdown attached) even when
+routine per-query logging is off, which is the production-shaped default:
+silence until something is worth looking at.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+
+__all__ = ["StructuredLogger"]
+
+
+class StructuredLogger:
+    """Thread-safe NDJSON event writer with slow-query filtering."""
+
+    def __init__(
+        self,
+        stream=None,
+        path: str | Path | None = None,
+        slow_query_seconds: float = 0.0,
+        log_all_queries: bool = False,
+        clock=time.time,
+    ) -> None:
+        if stream is not None and path is not None:
+            raise ValueError("pass a stream or a path, not both")
+        self._stream = stream
+        self._handle = None
+        if path is not None:
+            path = Path(path)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = path.open("a", encoding="utf-8")
+            self._stream = self._handle
+        self.slow_query_seconds = slow_query_seconds
+        self.log_all_queries = log_all_queries
+        self.clock = clock
+        self.events_written = 0
+        self.slow_queries = 0
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def log(self, event: str, **fields) -> dict | None:
+        """Write one event; returns the payload (None when unwritable)."""
+        payload = {"ts": round(self.clock(), 6), "event": event}
+        payload.update(fields)
+        line = json.dumps(payload, sort_keys=True, default=str)
+        with self._lock:
+            if self._stream is None:
+                return payload
+            try:
+                self._stream.write(line + "\n")
+                self._stream.flush()
+            except (OSError, ValueError):
+                return None
+            self.events_written += 1
+        return payload
+
+    def query(
+        self,
+        query_id: str,
+        seconds: float,
+        tenant: str = "",
+        generation: int = 0,
+        **fields,
+    ) -> dict | None:
+        """Log a completed query; escalates to ``slow_query`` past the
+        threshold. Returns the payload written, or None when the event
+        fell below every enabled filter."""
+        slow = (
+            self.slow_query_seconds > 0
+            and seconds >= self.slow_query_seconds
+        )
+        if slow:
+            with self._lock:
+                self.slow_queries += 1
+        if not slow and not self.log_all_queries:
+            return None
+        return self.log(
+            "slow_query" if slow else "query",
+            query_id=query_id,
+            tenant=tenant,
+            generation=generation,
+            seconds=round(seconds, 6),
+            **fields,
+        )
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+                self._stream = None
+
+    def snapshot(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "events_written": self.events_written,
+                "slow_queries": self.slow_queries,
+            }

@@ -1,0 +1,240 @@
+"""Prometheus text-exposition validator (the CI gate for ``/metrics``).
+
+A small, dependency-free checker for the exposition format our
+:class:`~repro.obs.metrics.MetricsRegistry` emits: metric/label names
+must be well-formed, every sample must parse, every ``# TYPE`` must be a
+known type and precede its samples, histograms must carry ``_sum`` /
+``_count`` / a ``+Inf`` bucket, and counters must not go backwards
+between ``validate_text`` calls (single snapshot: values must be finite
+and non-negative).
+
+Used three ways: unit tests assert the server's exposition is clean,
+the perf-smoke CI job pipes a live scrape through ``python -m
+repro.obs.promlint``, and operators can lint a saved scrape by hand.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+
+__all__ = ["validate_text", "main"]
+
+_METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)(?:\s+(?P<timestamp>\S+))?$"
+)
+_LABEL_PAIR = re.compile(
+    r'^(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"$'
+)
+_TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+def _parse_value(text: str) -> float | None:
+    if text in ("+Inf", "Inf"):
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    if text == "NaN":
+        return float("nan")
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+def _split_labels(body: str) -> list[str]:
+    """Split 'a="x",b="y"' at commas outside quotes."""
+    parts: list[str] = []
+    current = []
+    in_quotes = False
+    escaped = False
+    for char in body:
+        if escaped:
+            current.append(char)
+            escaped = False
+            continue
+        if char == "\\":
+            current.append(char)
+            escaped = True
+            continue
+        if char == '"':
+            in_quotes = not in_quotes
+            current.append(char)
+            continue
+        if char == "," and not in_quotes:
+            parts.append("".join(current))
+            current = []
+            continue
+        current.append(char)
+    if current:
+        parts.append("".join(current))
+    return parts
+
+
+def validate_text(text: str) -> list[str]:
+    """All format violations found, as human-readable strings (empty
+    list == the exposition is well-formed)."""
+    errors: list[str] = []
+    declared_types: dict[str, str] = {}
+    samples: dict[str, list[tuple[dict[str, str], float]]] = {}
+    for line_no, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.rstrip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) < 3 or not _METRIC_NAME.match(parts[2]):
+                errors.append(f"line {line_no}: malformed HELP: {line!r}")
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4 or not _METRIC_NAME.match(parts[2]):
+                errors.append(f"line {line_no}: malformed TYPE: {line!r}")
+                continue
+            name, kind = parts[2], parts[3]
+            if kind not in _TYPES:
+                errors.append(
+                    f"line {line_no}: unknown type {kind!r} for {name}"
+                )
+            if name in declared_types:
+                errors.append(f"line {line_no}: duplicate TYPE for {name}")
+            if any(
+                base == name for base in samples
+            ):
+                errors.append(
+                    f"line {line_no}: TYPE for {name} after its samples"
+                )
+            declared_types[name] = kind
+            continue
+        if line.startswith("#"):
+            continue  # free-form comment
+        match = _SAMPLE.match(line)
+        if match is None:
+            errors.append(f"line {line_no}: unparseable sample: {line!r}")
+            continue
+        name = match.group("name")
+        labels: dict[str, str] = {}
+        body = match.group("labels")
+        if body:
+            for pair in _split_labels(body):
+                pair_match = _LABEL_PAIR.match(pair.strip())
+                if pair_match is None:
+                    errors.append(
+                        f"line {line_no}: malformed label pair {pair!r}"
+                    )
+                    continue
+                label_name = pair_match.group("name")
+                if not _LABEL_NAME.match(label_name):
+                    errors.append(
+                        f"line {line_no}: bad label name {label_name!r}"
+                    )
+                if label_name in labels:
+                    errors.append(
+                        f"line {line_no}: duplicate label {label_name!r}"
+                    )
+                labels[label_name] = pair_match.group("value")
+        value = _parse_value(match.group("value"))
+        if value is None:
+            errors.append(
+                f"line {line_no}: bad sample value {match.group('value')!r}"
+            )
+            continue
+        # A sample belongs to the metric declared under its own name
+        # (counters may legitimately end in _total) or, failing that,
+        # under its histogram/summary base name.
+        base = name if name in declared_types else _base_name(name)
+        samples.setdefault(base, []).append((labels, value))
+        declared = declared_types.get(base)
+        if declared is None:
+            errors.append(
+                f"line {line_no}: sample {name} has no TYPE declaration"
+            )
+        elif _suffix_of(name) and name != base and declared not in (
+            "histogram",
+            "summary",
+        ):
+            errors.append(
+                f"line {line_no}: {name} carries a histogram suffix but "
+                f"{base} is a {declared}"
+            )
+        if declared == "counter" and value < 0:
+            errors.append(f"line {line_no}: counter {name} is negative")
+        if value != value:  # NaN
+            errors.append(f"line {line_no}: sample {name} is NaN")
+    # Cross-sample checks: histograms must be structurally complete.
+    for name, kind in declared_types.items():
+        series = samples.get(name, [])
+        if not series and kind != "untyped":
+            errors.append(f"metric {name}: TYPE declared but no samples")
+        if kind == "histogram":
+            suffixes = {
+                _suffix_of(sample_name)
+                for sample_name in _sample_names(text, name)
+            }
+            for required in ("_bucket", "_sum", "_count"):
+                if required not in suffixes:
+                    errors.append(f"histogram {name}: missing {required}")
+            inf_buckets = [
+                labels
+                for labels, _ in series
+                if labels.get("le") == "+Inf"
+            ]
+            bucket_count = sum(
+                1 for labels, _ in series if "le" in labels
+            )
+            if bucket_count and not inf_buckets:
+                errors.append(f"histogram {name}: no +Inf bucket")
+    return errors
+
+
+def _base_name(name: str) -> str:
+    for suffix in ("_bucket", "_sum", "_count", "_total"):
+        if name.endswith(suffix):
+            base = name[: -len(suffix)]
+            if base:
+                return base
+    return name
+
+
+def _suffix_of(name: str) -> str:
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return suffix
+    return ""
+
+
+def _sample_names(text: str, base: str) -> list[str]:
+    out = []
+    for line in text.splitlines():
+        if line.startswith("#") or not line.strip():
+            continue
+        match = _SAMPLE.match(line.rstrip())
+        if match and _base_name(match.group("name")) == base:
+            out.append(match.group("name"))
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Read an exposition from a file (or stdin) and report violations."""
+    argv = argv if argv is not None else sys.argv[1:]
+    if argv and argv[0] != "-":
+        text = open(argv[0], encoding="utf-8").read()
+    else:
+        text = sys.stdin.read()
+    errors = validate_text(text)
+    for error in errors:
+        print(error, file=sys.stderr)
+    if errors:
+        print(f"promlint: {len(errors)} violation(s)", file=sys.stderr)
+        return 1
+    metrics = sum(1 for line in text.splitlines() if line.startswith("# TYPE"))
+    print(f"promlint: ok ({metrics} metrics)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,14 +18,23 @@ __all__ = ["load_results", "render_report"]
 
 
 def load_results(directory: str | Path) -> dict[str, dict]:
-    """All ``*.json`` result files, keyed by stem, sorted by name."""
+    """All ``*.json`` result files, keyed by stem, sorted by name.
+
+    A file that fails to parse (truncated by a killed benchmark run,
+    hand-edited, …) is skipped with a warning on stderr instead of
+    failing the whole directory — one corrupt result must not block
+    reporting on every healthy one.
+    """
     directory = Path(directory)
     out: dict[str, dict] = {}
     for path in sorted(directory.glob("*.json")):
         try:
             out[path.stem] = json.loads(path.read_text())
-        except json.JSONDecodeError as exc:
-            raise ValueError(f"corrupt result file {path}: {exc}") from exc
+        except (json.JSONDecodeError, OSError) as exc:
+            print(
+                f"warning: skipping corrupt result file {path}: {exc}",
+                file=sys.stderr,
+            )
     return out
 
 
@@ -77,6 +86,7 @@ _GROUP_TITLES = {
     "fig15": "Fig 15 — parser comparison",
     "ablation": "Ablations",
     "scale": "Scale sweep",
+    "obs": "Observability — tracing overhead and cache efficacy",
 }
 
 

@@ -69,6 +69,24 @@ class ServerConfig:
     :class:`~repro.core.cacher.JsonPathCacher`). ``None`` inherits the
     wrapped system's setting."""
 
+    trace_dir: str | None = None
+    """Directory for JSONL trace export. When set, every query and every
+    midnight cycle records a span tree and appends it to
+    ``<trace_dir>/traces.jsonl``. ``None`` (the default) disables
+    tracing entirely — served queries run the uninstrumented plan."""
+
+    slow_query_seconds: float = 0.0
+    """Queries at or above this wall time are written to the structured
+    log as ``slow_query`` events (with their stage breakdown) even when
+    routine per-query logging is off. 0 disables the slow-query log."""
+
+    log_file: str | None = None
+    """Path for the structured NDJSON event log (queries, failures,
+    midnight cycles). ``None`` keeps the logger counting but silent."""
+
+    log_all_queries: bool = False
+    """Log every completed query, not just slow ones."""
+
     def __post_init__(self) -> None:
         if self.max_workers < 1:
             raise ValueError("max_workers must be >= 1")
@@ -88,3 +106,5 @@ class ServerConfig:
             raise ValueError("execution_mode must be 'batch' or 'row'")
         if self.build_workers is not None and self.build_workers < 1:
             raise ValueError("build_workers must be >= 1")
+        if self.slow_query_seconds < 0:
+            raise ValueError("slow_query_seconds must be >= 0")

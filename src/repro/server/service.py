@@ -22,6 +22,7 @@ long-running service:
 
 from __future__ import annotations
 
+import itertools
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
@@ -29,6 +30,9 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from ..core.system import MaxsonSystem, MidnightReport
 from ..engine.metrics import QueryMetrics
 from ..engine.session import QueryResult
+from ..obs.logging import StructuredLogger
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import TraceSink, Tracer
 from ..storage.fs import TransientFsError
 from ..workload.trace import PathKey
 from .admission import AdmissionController
@@ -87,6 +91,89 @@ class MaxsonServer:
         self._per_tenant_completed: dict[str, int] = {}
         self._started = time.perf_counter()
         self._closed = False
+        # ---- observability ------------------------------------------
+        self._query_ids = itertools.count(1)
+        self.trace_sink = (
+            TraceSink(self.config.trace_dir)
+            if self.config.trace_dir is not None
+            else None
+        )
+        self.logger = StructuredLogger(
+            path=self.config.log_file,
+            slow_query_seconds=self.config.slow_query_seconds,
+            log_all_queries=self.config.log_all_queries,
+        )
+        self.metrics = MetricsRegistry()
+        self._m_queries = self.metrics.counter(
+            "queries_total", "Completed queries", ("tenant",)
+        )
+        self._m_failed = self.metrics.counter(
+            "queries_failed_total", "Queries that raised an engine error"
+        )
+        self._m_retries = self.metrics.counter(
+            "query_retries_total", "Retries after transient fs faults"
+        )
+        self._m_stats = self.metrics.counter(
+            "stats_events_total", "Statistics events ingested (trace replay)"
+        )
+        self._m_slow = self.metrics.counter(
+            "slow_queries_total", "Queries at or past slow_query_seconds"
+        )
+        self._m_latency = self.metrics.histogram(
+            "query_latency_seconds", "Query wall time (admission to result)"
+        )
+        self._m_cache_hits = self.metrics.counter(
+            "cache_hits_total", "Cached-path hits across served queries"
+        )
+        self._m_cache_misses = self.metrics.counter(
+            "cache_misses_total", "Cache-eligible misses across served queries"
+        )
+        self._m_parse_docs = self.metrics.counter(
+            "parse_documents_total", "JSON/XML documents parsed by queries"
+        )
+        self._m_spans = self.metrics.counter(
+            "trace_spans_total", "Spans exported to the JSONL trace sink"
+        )
+        self._g_generation = self.metrics.gauge(
+            "cache_generation", "Live cache generation number"
+        )
+        self._g_cached_paths = self.metrics.gauge(
+            "cached_paths", "JSONPaths materialised in the live generation"
+        )
+        self._g_cache_bytes = self.metrics.gauge(
+            "cache_bytes", "Bytes held by the live generation's cache tables"
+        )
+        self._g_queue_depth = self.metrics.gauge(
+            "admission_queue_depth", "Requests waiting for a tenant slot"
+        )
+        self._g_active = self.metrics.gauge(
+            "active_queries", "Queries currently executing"
+        )
+        self._g_leases = self.metrics.gauge(
+            "active_generation_leases", "In-flight cache-generation leases"
+        )
+        self._g_eff_precision = self.metrics.gauge(
+            "generation_precision",
+            "Realized precision of the generation's MPJP prediction",
+            ("generation",),
+        )
+        self._g_eff_recall = self.metrics.gauge(
+            "generation_recall",
+            "Realized recall of the generation's MPJP prediction",
+            ("generation",),
+        )
+        self._g_eff_byte_hit = self.metrics.gauge(
+            "generation_byte_weighted_hit_ratio",
+            "Byte-weighted share of realized parse demand the cache held",
+            ("generation",),
+        )
+        self.logger.log(
+            "server_started",
+            generation=self.system.generation,
+            recovered_tables=len(self.recovered_tables),
+            execution_mode=self.system.session.execution_mode,
+            tracing=self.trace_sink is not None,
+        )
 
     # ------------------------------------------------------------------
     # request path
@@ -106,25 +193,28 @@ class MaxsonServer:
         per attempt so retries never pin a retiring generation.
         """
         tenant = tenant or self.config.default_tenant
+        query_id = f"q-{next(self._query_ids)}"
+        tracer = (
+            Tracer(trace_id=query_id) if self.trace_sink is not None else None
+        )
         started = time.perf_counter()
         with self.admission.admit(tenant):
             attempt = 0
             while True:
                 generation = self.generation_guard.acquire()
                 try:
-                    result = self.system.sql(sql, day=day)
+                    result = self.system.sql(sql, day=day, tracer=tracer)
                     break
-                except TransientFsError:
+                except TransientFsError as exc:
                     if attempt >= self.config.max_query_retries:
-                        with self._lock:
-                            self._failed += 1
+                        self._record_failure(query_id, tenant, generation, exc)
                         raise
                     self.system.resilience.add("query_retries")
+                    self._m_retries.inc()
                     backoff = self.config.retry_backoff_seconds * (2**attempt)
                     attempt += 1
-                except Exception:
-                    with self._lock:
-                        self._failed += 1
+                except Exception as exc:
+                    self._record_failure(query_id, tenant, generation, exc)
                     raise
                 finally:
                     self.generation_guard.release(generation)
@@ -140,7 +230,53 @@ class MaxsonServer:
             self._latencies.append(elapsed)
             if len(self._latencies) > _MAX_LATENCY_SAMPLES:
                 del self._latencies[: -_MAX_LATENCY_SAMPLES // 2]
+        metrics = result.metrics
+        self._m_queries.inc(tenant=tenant)
+        self._m_latency.observe(elapsed)
+        if metrics.cache_hits:
+            self._m_cache_hits.inc(metrics.cache_hits)
+        if metrics.cache_misses:
+            self._m_cache_misses.inc(metrics.cache_misses)
+        if metrics.parse_documents:
+            self._m_parse_docs.inc(metrics.parse_documents)
+        if (
+            self.config.slow_query_seconds > 0
+            and elapsed >= self.config.slow_query_seconds
+        ):
+            self._m_slow.inc()
+        self.logger.query(
+            query_id,
+            elapsed,
+            tenant=tenant,
+            generation=generation,
+            read_seconds=round(metrics.read_seconds, 6),
+            parse_seconds=round(metrics.parse_seconds, 6),
+            parse_documents=metrics.parse_documents,
+            cache_hits=metrics.cache_hits,
+            rows=len(result.rows),
+            retries=attempt,
+        )
+        if tracer is not None:
+            written = self.trace_sink.write(
+                tracer, query_id=query_id, tenant=tenant, generation=generation
+            )
+            if written:
+                self._m_spans.inc(written)
         return result
+
+    def _record_failure(
+        self, query_id: str, tenant: str, generation: int, exc: Exception
+    ) -> None:
+        with self._lock:
+            self._failed += 1
+        self._m_failed.inc()
+        self.logger.log(
+            "query_failed",
+            query_id=query_id,
+            tenant=tenant,
+            generation=generation,
+            error=f"{type(exc).__name__}: {exc}",
+        )
 
     def submit(
         self, sql: str, tenant: str | None = None, day: int | None = None
@@ -156,6 +292,7 @@ class MaxsonServer:
         self.system.collector.record_query(day, paths)
         with self._lock:
             self._stats_events += 1
+        self._m_stats.inc()
 
     # ------------------------------------------------------------------
     # maintenance path (called by the scheduler, or directly)
@@ -164,7 +301,29 @@ class MaxsonServer:
         self, day: int | None = None, history_days: int = 7
     ) -> MidnightReport:
         """Build and atomically swap in the next cache generation."""
-        return self.system.run_midnight_cycle(day=day, history_days=history_days)
+        tracer = None
+        if self.trace_sink is not None:
+            tracer = Tracer(trace_id=f"midnight-{self.system.generation + 1}")
+        report = self.system.run_midnight_cycle(
+            day=day, history_days=history_days, tracer=tracer
+        )
+        if tracer is not None:
+            written = self.trace_sink.write(
+                tracer,
+                kind="midnight",
+                day=report.day,
+                generation=self.system.generation,
+            )
+            if written:
+                self._m_spans.inc(written)
+        self.logger.log(
+            "midnight_cycle",
+            day=report.day,
+            generation=self.system.generation,
+            cached_paths=len(report.selected),
+            build_failed=report.build.failed,
+        )
+        return report
 
     def refresh_cache(self):
         """Incrementally extend the live generation's cache tables."""
@@ -187,6 +346,9 @@ class MaxsonServer:
         maintenance = self.scheduler.snapshot()
         summary = self.system.cache_summary()
         resilience = self.system.resilience.snapshot()
+        observability: dict[str, object] = {"log": self.logger.snapshot()}
+        if self.trace_sink is not None:
+            observability["trace"] = self.trace_sink.snapshot()
         return ServerStatus(
             uptime_seconds=uptime,
             queries_completed=completed,
@@ -226,7 +388,61 @@ class MaxsonServer:
             shared_parse_hits=totals.shared_parse_hits,
             tenants=tenants,
             totals=totals.to_dict(),
+            slow_queries=self.logger.snapshot()["slow_queries"],
+            cache_efficacy=self.system.efficacy.snapshot(),
+            observability=observability,
         )
+
+    def explain_analyze(
+        self,
+        sql: str,
+        tenant: str | None = None,
+        execution_mode: str | None = None,
+    ) -> str:
+        """Run one query under a fresh tracer (through admission and a
+        generation lease, like any served query) and render the
+        annotated plan."""
+        tenant = tenant or self.config.default_tenant
+        with self.admission.admit(tenant):
+            generation = self.generation_guard.acquire()
+            try:
+                return self.system.explain_analyze(sql, execution_mode)
+            finally:
+                self.generation_guard.release(generation)
+
+    def _sync_gauges(self, status: ServerStatus) -> None:
+        self._g_generation.set(status.generation)
+        self._g_cached_paths.set(status.cached_paths)
+        self._g_cache_bytes.set(status.cache_bytes)
+        self._g_queue_depth.set(status.queue_depth)
+        self._g_active.set(status.active_queries)
+        self._g_leases.set(status.active_leases)
+        for record in status.cache_efficacy:
+            generation = str(record.get("generation", 0))
+            self._g_eff_precision.set(
+                float(record.get("precision", 0.0)), generation=generation
+            )
+            self._g_eff_recall.set(
+                float(record.get("recall", 0.0)), generation=generation
+            )
+            self._g_eff_byte_hit.set(
+                float(record.get("byte_weighted_hit_ratio", 0.0)),
+                generation=generation,
+            )
+
+    def metrics_text(self) -> str:
+        """The Prometheus text exposition — the ``/metrics`` payload.
+
+        Counters and histograms accrue on the request path; gauges are
+        synchronised from a fresh status snapshot at scrape time.
+        """
+        self._sync_gauges(self.status())
+        return self.metrics.to_prometheus()
+
+    def metrics_snapshot(self) -> dict[str, object]:
+        """JSON-safe view of every metric series (the snapshot API)."""
+        self._sync_gauges(self.status())
+        return self.metrics.snapshot()
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -235,6 +451,12 @@ class MaxsonServer:
         """Stop accepting work and (optionally) drain the pool."""
         self._closed = True
         self._pool.shutdown(wait=wait)
+        self.logger.log(
+            "server_stopped",
+            queries_completed=self._completed,
+            queries_failed=self._failed,
+        )
+        self.logger.close()
 
     def __enter__(self) -> "MaxsonServer":
         return self

@@ -10,19 +10,27 @@ everything executed so far. ``to_dict`` is JSON-safe for scraping;
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 __all__ = ["percentile", "ServerStatus"]
 
 
 def percentile(sorted_values: list[float], fraction: float) -> float:
-    """Nearest-rank percentile of an already-sorted sample (0.0 if empty)."""
+    """Nearest-rank percentile of an already-sorted sample (0.0 if empty).
+
+    Standard nearest-rank definition: the value at 1-based rank
+    ``ceil(fraction * n)``. (The earlier ``int(fraction * n)`` variant
+    was biased one rank high for every fraction that divides ``n``
+    evenly — e.g. p50 of [1, 2, 3, 4] read 3 instead of 2 — and so
+    systematically over-reported small-sample latency percentiles.)
+    """
     if not sorted_values:
         return 0.0
     if fraction <= 0:
         return sorted_values[0]
-    rank = min(len(sorted_values) - 1, int(fraction * len(sorted_values)))
-    return sorted_values[rank]
+    rank = math.ceil(fraction * len(sorted_values)) - 1
+    return sorted_values[min(len(sorted_values) - 1, max(0, rank))]
 
 
 @dataclass
@@ -65,12 +73,20 @@ class ServerStatus:
     shared_parse_hits: int = 0
     tenants: dict[str, int] = field(default_factory=dict)
     totals: dict[str, object] = field(default_factory=dict)
+    slow_queries: int = 0
+    #: Per-generation prediction quality (most recent last); entries are
+    #: :meth:`repro.obs.efficacy.GenerationEfficacy.to_dict` payloads.
+    cache_efficacy: list = field(default_factory=list)
+    #: Trace-sink / structured-log counters (empty when tracing is off).
+    observability: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict[str, object]:
         """JSON-serialisable form (fields are already plain types)."""
         out = dict(self.__dict__)
         out["tenants"] = dict(self.tenants)
         out["totals"] = dict(self.totals)
+        out["cache_efficacy"] = [dict(r) for r in self.cache_efficacy]
+        out["observability"] = dict(self.observability)
         return out
 
     def format(self) -> str:
@@ -108,6 +124,20 @@ class ServerStatus:
             f"{self.duplicate_extractions_eliminated} duplicate extractions "
             f"eliminated, {self.shared_parse_hits} shared parses",
         ]
+        if self.slow_queries:
+            lines.append(f"  slow queries:  {self.slow_queries}")
+        if self.cache_efficacy:
+            latest = self.cache_efficacy[-1]
+            lines.append(
+                "  efficacy:      gen {} precision={:.1%} recall={:.1%} "
+                "byte_hit={:.1%} ({} scored)".format(
+                    latest.get("generation", "?"),
+                    float(latest.get("precision", 0.0)),
+                    float(latest.get("recall", 0.0)),
+                    float(latest.get("byte_weighted_hit_ratio", 0.0)),
+                    len(self.cache_efficacy),
+                )
+            )
         if self.tenants:
             per_tenant = ", ".join(
                 f"{tenant}={count}" for tenant, count in sorted(self.tenants.items())

@@ -52,3 +52,30 @@ class TestMerge:
         b = QueryMetrics(extra={"x": 2.0, "y": 3.0})
         a.merge(b)
         assert a.extra == {"x": 3.0, "y": 3.0}
+
+    def test_extra_merge_preserves_int_counters(self):
+        """Integer counters in ``extra`` must stay ints through merge —
+        the old ``.get(key, 0.0)`` default silently floated them."""
+        a = QueryMetrics()
+        b = QueryMetrics(extra={"generations_built": 2, "ratio": 0.5})
+        a.merge(b)
+        assert a.extra["generations_built"] == 2
+        assert type(a.extra["generations_built"]) is int
+        assert type(a.extra["ratio"]) is float
+        a.merge(QueryMetrics(extra={"generations_built": 3}))
+        assert a.extra["generations_built"] == 5
+        assert type(a.extra["generations_built"]) is int
+
+    def test_snapshot_round_trips_extra(self):
+        """snapshot() must deep-copy ``extra`` (ints intact, no aliasing)."""
+        a = QueryMetrics(extra={"builds": 4, "seconds": 1.25})
+        snap = a.snapshot()
+        assert snap.extra == {"builds": 4, "seconds": 1.25}
+        assert type(snap.extra["builds"]) is int
+        snap.extra["builds"] = 99
+        assert a.extra["builds"] == 4
+        merged = QueryMetrics()
+        merged.merge(a)
+        merged.merge(a)
+        assert merged.extra == {"builds": 8, "seconds": 2.5}
+        assert type(merged.extra["builds"]) is int

@@ -1,0 +1,89 @@
+"""EXPLAIN ANALYZE: annotated plans from traced executions."""
+
+import re
+
+from repro.obs import Tracer, render_explain_analyze
+
+SQL = (
+    "SELECT get_json_object(sale_logs, '$.item_name') AS item, "
+    "get_json_object(sale_logs, '$.sale_count') AS sold "
+    "FROM mydb.T WHERE date = '20190101'"
+)
+
+
+def shape_of(report: str) -> list[str]:
+    """Operator-tree lines with every measured value blanked out —
+    the structural fingerprint that must match across engines."""
+    out = []
+    for line in report.splitlines():
+        stripped = line.lstrip()
+        if stripped.startswith(("-> ", "+ ")) or "  [time=" in line:
+            out.append(re.sub(r"=[^ \]]+", "=_", line))
+    return out
+
+
+class TestSessionApi:
+    def test_report_header_and_stages(self, sales_session):
+        report = sales_session.explain_analyze(SQL)
+        assert report.startswith("EXPLAIN ANALYZE (mode=batch)")
+        assert "query: SELECT" in report
+        for stage in ("total:", "plan:", "rewrite:", "execute:"):
+            assert stage in report
+
+    def test_operator_annotations_present(self, sales_session):
+        report = sales_session.explain_analyze(SQL, execution_mode="row")
+        scan_line = next(
+            line for line in report.splitlines() if "scan" in line.lower()
+        )
+        assert "rows=" in scan_line
+        assert "docs=" in scan_line or "docs=" in report
+        assert "metrics: read=" in report
+        assert "parse_fraction=" in report
+
+    def test_row_and_batch_identically_shaped(self, sales_session):
+        row = sales_session.explain_analyze(SQL, execution_mode="row")
+        batch = sales_session.explain_analyze(SQL, execution_mode="batch")
+        row_shape = [l.replace("mode=_", "") for l in shape_of(row)]
+        batch_shape = [l.replace("mode=_", "") for l in shape_of(batch)]
+        # Same operators, same nesting; only the measured values differ
+        # (batch-only sharing counters are blanked before comparing).
+        batch_only = r" ?(shared_parse_hits|dup_elim)=_"
+        assert [re.sub(batch_only, "", l) for l in row_shape] == [
+            re.sub(batch_only, "", l) for l in batch_shape
+        ]
+        assert len(row_shape) >= 2  # at least scan + project
+
+    def test_results_unchanged_by_tracing(self, sales_session):
+        plain = sales_session.sql(SQL)
+        traced = sales_session.sql(SQL, tracer=Tracer())
+        assert traced.rows == plain.rows
+        assert plain.trace is None
+        assert traced.trace is not None
+
+    def test_trace_spans_cover_the_stage_tree(self, sales_session):
+        result = sales_session.sql(SQL, tracer=Tracer())
+        root = result.trace
+        assert root.name == "query"
+        for stage in ("plan", "rewrite", "execute", "scan", "project"):
+            assert root.find(stage) is not None, stage
+        scan = root.find("scan")
+        assert scan.attributes.get("rows_out") == 40
+
+
+class TestRenderer:
+    def test_renders_bare_operator_subtree(self):
+        tracer = Tracer()
+        with tracer.span("scan", label="scan: mydb.T") as span:
+            span.attributes.update(rows_out=40, parse_documents=40)
+        report = render_explain_analyze(tracer.root)
+        assert "scan: mydb.T" in report
+        assert "rows=40" in report
+        assert "docs=40" in report
+
+    def test_empty_trace_degrades_gracefully(self):
+        tracer = Tracer()
+        with tracer.span("query"):
+            pass
+        report = render_explain_analyze(tracer.root, sql="SELECT 1")
+        assert "(no operator spans recorded)" in report
+        assert "query: SELECT 1" in report

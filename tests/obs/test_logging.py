@@ -1,0 +1,105 @@
+"""Tests for structured JSON logging and the slow-query filter."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.logging import StructuredLogger
+
+
+def events_in(stream: io.StringIO) -> list[dict]:
+    return [json.loads(line) for line in stream.getvalue().splitlines()]
+
+
+class TestLog:
+    def test_writes_ndjson_with_timestamp(self):
+        stream = io.StringIO()
+        logger = StructuredLogger(stream=stream, clock=lambda: 12.5)
+        logger.log("server_started", generation=1)
+        (event,) = events_in(stream)
+        assert event == {"ts": 12.5, "event": "server_started", "generation": 1}
+        assert logger.snapshot()["events_written"] == 1
+
+    def test_non_json_fields_stringified(self):
+        stream = io.StringIO()
+        logger = StructuredLogger(stream=stream)
+        logger.log("oops", error=ValueError("bad"))
+        (event,) = events_in(stream)
+        assert event["error"] == "bad"
+
+    def test_no_stream_returns_payload_without_writing(self):
+        logger = StructuredLogger()
+        payload = logger.log("query", query_id="q-1")
+        assert payload["query_id"] == "q-1"
+        assert logger.snapshot()["events_written"] == 0
+
+    def test_stream_and_path_mutually_exclusive(self, tmp_path):
+        with pytest.raises(ValueError):
+            StructuredLogger(stream=io.StringIO(), path=tmp_path / "x.ndjson")
+
+
+class TestSlowQueryFilter:
+    def test_silent_below_threshold_by_default(self):
+        stream = io.StringIO()
+        logger = StructuredLogger(stream=stream, slow_query_seconds=1.0)
+        assert logger.query("q-1", seconds=0.2) is None
+        assert stream.getvalue() == ""
+        assert logger.snapshot()["slow_queries"] == 0
+
+    def test_escalates_to_slow_query_event(self):
+        stream = io.StringIO()
+        logger = StructuredLogger(stream=stream, slow_query_seconds=1.0)
+        logger.query("q-1", seconds=2.5, tenant="t0", generation=3, rows=7)
+        (event,) = events_in(stream)
+        assert event["event"] == "slow_query"
+        assert event["query_id"] == "q-1"
+        assert event["tenant"] == "t0"
+        assert event["generation"] == 3
+        assert event["rows"] == 7
+        assert logger.snapshot()["slow_queries"] == 1
+
+    def test_threshold_boundary_is_slow(self):
+        logger = StructuredLogger(slow_query_seconds=1.0)
+        logger.query("q-1", seconds=1.0)
+        assert logger.snapshot()["slow_queries"] == 1
+
+    def test_slow_counted_even_without_stream(self):
+        logger = StructuredLogger(slow_query_seconds=0.5)
+        logger.query("q-1", seconds=0.9)
+        assert logger.snapshot()["slow_queries"] == 1
+        assert logger.snapshot()["events_written"] == 0
+
+    def test_zero_threshold_disables_slow_detection(self):
+        stream = io.StringIO()
+        logger = StructuredLogger(stream=stream, slow_query_seconds=0.0)
+        assert logger.query("q-1", seconds=100.0) is None
+        assert logger.snapshot()["slow_queries"] == 0
+
+    def test_log_all_queries_writes_routine_events(self):
+        stream = io.StringIO()
+        logger = StructuredLogger(
+            stream=stream, slow_query_seconds=1.0, log_all_queries=True
+        )
+        logger.query("q-1", seconds=0.1)
+        logger.query("q-2", seconds=5.0)
+        fast, slow = events_in(stream)
+        assert fast["event"] == "query"
+        assert slow["event"] == "slow_query"
+
+
+class TestFileMode:
+    def test_appends_to_path_and_closes(self, tmp_path):
+        path = tmp_path / "logs" / "server.ndjson"
+        logger = StructuredLogger(path=path)
+        logger.log("server_started")
+        logger.log("server_stopped")
+        logger.close()
+        events = [json.loads(l) for l in path.read_text().splitlines()]
+        assert [e["event"] for e in events] == [
+            "server_started",
+            "server_stopped",
+        ]
+        # Writes after close degrade silently (payload still returned).
+        assert logger.log("late") is not None
+        assert len(path.read_text().splitlines()) == 2

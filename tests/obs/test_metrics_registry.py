@@ -1,0 +1,153 @@
+"""Tests for the metrics registry and its Prometheus exposition."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.promlint import validate_text
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        c = Counter("queries_total", "Queries.")
+        c.inc()
+        c.inc(2.5)
+        assert c.value() == 3.5
+
+    def test_negative_rejected(self):
+        c = Counter("queries_total", "Queries.")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_labelled_series_are_independent(self):
+        c = Counter("queries_total", "Queries.", label_names=("tenant",))
+        c.inc(tenant="a")
+        c.inc(tenant="a")
+        c.inc(tenant="b")
+        assert c.value(tenant="a") == 2.0
+        assert c.value(tenant="b") == 1.0
+
+    def test_wrong_labels_rejected(self):
+        c = Counter("queries_total", "Queries.", label_names=("tenant",))
+        with pytest.raises(ValueError):
+            c.inc(region="eu")
+
+    def test_cardinality_cap_folds_to_other(self):
+        c = Counter(
+            "queries_total", "Queries.", label_names=("tenant",),
+        )
+        c.max_label_sets = 2
+        c.inc(tenant="a")
+        c.inc(tenant="b")
+        c.inc(tenant="c")  # over the cap → folded
+        c.inc(tenant="d")  # over the cap → folded into the same series
+        assert c.value(tenant="a") == 1.0
+        samples = {labels: v for _, labels, v in c.samples()}
+        assert samples[(("tenant", "other"),)] == 2.0
+        # a or b plus other: never more than cap + 1 series
+        assert len(samples) <= 3
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        g = Gauge("cached_paths", "Paths.")
+        g.set(5)
+        g.set(3)
+        assert g.value() == 3.0
+
+    def test_labelled(self):
+        g = Gauge("efficacy", "Precision.", label_names=("generation",))
+        g.set(0.75, generation="2")
+        assert g.value(generation="2") == 0.75
+
+
+class TestHistogram:
+    def test_observations_land_in_cumulative_buckets(self):
+        h = Histogram("latency_seconds", "Latency.", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(0.5)
+        h.observe(5.0)
+        samples = {
+            (name, labels): value for name, labels, value in h.samples()
+        }
+        assert samples[("latency_seconds_bucket", (("le", "0.1"),))] == 1.0
+        assert samples[("latency_seconds_bucket", (("le", "1"),))] == 2.0
+        assert samples[("latency_seconds_bucket", (("le", "+Inf"),))] == 3.0
+        assert samples[("latency_seconds_count", ())] == 3.0
+        assert samples[("latency_seconds_sum", ())] == pytest.approx(5.55)
+
+    def test_boundary_value_counts_in_bucket(self):
+        h = Histogram("latency_seconds", "Latency.", buckets=(0.1,))
+        h.observe(0.1)
+        samples = {
+            (name, labels): value for name, labels, value in h.samples()
+        }
+        assert samples[("latency_seconds_bucket", (("le", "0.1"),))] == 1.0
+
+    def test_empty_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("latency_seconds", "Latency.", buckets=())
+
+    def test_default_ladder_is_sorted(self):
+        assert list(DEFAULT_LATENCY_BUCKETS) == sorted(DEFAULT_LATENCY_BUCKETS)
+
+
+class TestRegistry:
+    def test_namespace_prefix(self):
+        registry = MetricsRegistry(namespace="maxson")
+        c = registry.counter("queries_total", "Queries.")
+        assert c.name == "maxson_queries_total"
+
+    def test_re_registration_returns_same_metric(self):
+        registry = MetricsRegistry()
+        a = registry.counter("queries_total", "Queries.")
+        b = registry.counter("queries_total", "Queries.")
+        assert a is b
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("queries_total", "Queries.")
+        with pytest.raises(ValueError):
+            registry.gauge("queries_total", "Queries.")
+
+    def test_invalid_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("has space", "Bad.")  # prefix can't fix this
+        with pytest.raises(ValueError):
+            Counter("1bad", "Bad.")  # unprefixed: leading digit
+
+    def test_exposition_passes_the_linter(self):
+        registry = MetricsRegistry()
+        c = registry.counter("queries_total", "Queries served.", ("tenant",))
+        c.inc(tenant="t0")
+        c.inc(3, tenant='quo"te')  # exercise label escaping
+        registry.gauge("generation", "Active cache generation.").set(2)
+        h = registry.histogram("query_latency_seconds", "Latency.")
+        h.observe(0.004)
+        h.observe(0.2)
+        h.observe(math.pi)
+        text = registry.to_prometheus()
+        assert validate_text(text) == []
+
+    def test_empty_registry_exposes_empty_text(self):
+        registry = MetricsRegistry()
+        assert registry.to_prometheus() == ""
+        assert validate_text(registry.to_prometheus()) == []
+
+    def test_snapshot_json_safe(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.counter("queries_total", "Queries.").inc(4)
+        registry.histogram("lat_seconds", "L.", buckets=(1.0,)).observe(0.5)
+        snap = json.loads(json.dumps(registry.snapshot()))
+        assert snap["maxson_queries_total"]["{}"] == 4.0
+        assert snap["maxson_lat_seconds_count"]["{}"] == 1.0

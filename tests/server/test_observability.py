@@ -1,0 +1,182 @@
+"""Server observability: percentiles, Prometheus metrics, traces, logs."""
+
+import json
+
+import pytest
+
+from repro.core import MaxsonConfig, MaxsonSystem, PredictorConfig
+from repro.engine import Session
+from repro.jsonlib import dumps
+from repro.obs.promlint import validate_text
+from repro.server import MaxsonServer, ServerConfig
+from repro.server.status import percentile
+from repro.storage import BlockFileSystem, DataType, Schema
+from repro.workload import PathKey
+
+HOT_SQL = "select get_json_object(payload, '$.hot') as h from db.t"
+COLD_SQL = "select get_json_object(payload, '$.cold') as c from db.t"
+HOT_KEY = PathKey("db", "t", "payload", "$.hot")
+
+
+def build_system(model="oracle") -> MaxsonSystem:
+    session = Session(fs=BlockFileSystem())
+    schema = Schema.of(("id", DataType.INT64), ("payload", DataType.STRING))
+    session.catalog.create_table("db", "t", schema)
+    rows = [
+        (i, dumps({"hot": i % 5, "cold": f"c{i}", "big": "x" * 50}))
+        for i in range(60)
+    ]
+    session.catalog.append_rows("db", "t", rows, row_group_size=10)
+    config = MaxsonConfig(predictor=PredictorConfig(model=model))
+    return MaxsonSystem(session=session, config=config)
+
+
+class TestPercentile:
+    """Nearest-rank must use ceil: int(f*n) over-reported small samples."""
+
+    def test_median_of_four_is_second_value(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 0.5) == 2.0
+
+    def test_median_of_odd_sample_is_middle(self):
+        assert percentile([1.0, 2.0, 3.0], 0.5) == 2.0
+
+    def test_p95_of_hundred(self):
+        values = [float(i) for i in range(1, 101)]
+        assert percentile(values, 0.95) == 95.0
+        assert percentile(values, 0.99) == 99.0
+
+    def test_extremes_clamped(self):
+        values = [1.0, 2.0, 3.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 1.0) == 3.0
+
+    def test_single_element(self):
+        assert percentile([7.0], 0.5) == 7.0
+        assert percentile([7.0], 0.99) == 7.0
+
+    def test_empty_is_zero(self):
+        assert percentile([], 0.5) == 0.0
+
+
+@pytest.fixture
+def server():
+    with MaxsonServer(build_system(), ServerConfig(max_workers=4)) as srv:
+        yield srv
+
+
+def run_cached_day(server):
+    """Day 0 traffic + midnight so day 1 queries hit the cache."""
+    server.execute(HOT_SQL, day=0)
+    server.execute(HOT_SQL, day=0)
+    server.ingest(1, (HOT_KEY, HOT_KEY))
+    server.run_midnight_cycle(day=1)
+    server.execute(HOT_SQL, day=1)
+
+
+class TestPrometheusExport:
+    def test_exposition_is_lint_clean(self, server):
+        run_cached_day(server)
+        text = server.metrics_text()
+        assert validate_text(text) == []
+
+    def test_core_series_present_and_counted(self, server):
+        run_cached_day(server)
+        server.execute(COLD_SQL, tenant="alpha", day=1)
+        text = server.metrics_text()
+        assert 'maxson_queries_total{tenant="default"} 3' in text
+        assert 'maxson_queries_total{tenant="alpha"} 1' in text
+        assert "maxson_query_latency_seconds_count 4" in text
+        assert "maxson_query_latency_seconds_bucket" in text
+        assert 'le="+Inf"' in text
+        assert "maxson_cache_generation 1" in text
+        assert "maxson_cached_paths 1" in text
+        assert "maxson_cache_hits_total" in text
+
+    def test_failures_counted(self, server):
+        with pytest.raises(Exception):
+            server.execute("select nope from db.missing", day=0)
+        assert "maxson_queries_failed_total 1" in server.metrics_text()
+
+    def test_efficacy_gauges_after_two_cycles(self, server):
+        run_cached_day(server)
+        server.ingest(2, (HOT_KEY, HOT_KEY))
+        server.run_midnight_cycle(day=2)  # retires + scores generation 1
+        text = server.metrics_text()
+        assert 'maxson_generation_precision{generation="1"} 1' in text
+        assert (
+            'maxson_generation_byte_weighted_hit_ratio{generation="1"}' in text
+        )
+        assert validate_text(text) == []
+
+    def test_snapshot_mirrors_exposition(self, server):
+        run_cached_day(server)
+        snap = json.loads(json.dumps(server.metrics_snapshot()))
+        assert snap["maxson_queries_total"]['{tenant="default"}'] == 3.0
+        assert snap["maxson_query_latency_seconds_count"]["{}"] == 3.0
+
+
+class TestStatusObservability:
+    def test_status_carries_efficacy_records(self, server):
+        run_cached_day(server)
+        server.ingest(2, (HOT_KEY, HOT_KEY))
+        server.run_midnight_cycle(day=2)
+        status = server.status()
+        assert len(status.cache_efficacy) == 1
+        record = status.cache_efficacy[-1]
+        assert record["generation"] == 1
+        assert record["precision"] == 1.0
+        assert record["recall"] == 1.0
+        formatted = status.format()
+        assert "efficacy:" in formatted and "gen 1" in formatted
+        json.dumps(status.to_dict())  # stays JSON-safe
+
+    def test_slow_queries_in_status(self):
+        config = ServerConfig(max_workers=2, slow_query_seconds=1e-9)
+        with MaxsonServer(build_system(), config) as server:
+            server.execute(HOT_SQL, day=0)
+            status = server.status()
+            assert status.slow_queries == 1
+            assert "slow queries" in status.format()
+
+
+class TestTracesAndLogs:
+    def test_trace_dir_collects_query_and_midnight_spans(self, tmp_path):
+        config = ServerConfig(max_workers=2, trace_dir=str(tmp_path))
+        with MaxsonServer(build_system(), config) as server:
+            run_cached_day(server)
+            status = server.status()
+        lines = [
+            json.loads(l)
+            for l in (tmp_path / "traces.jsonl").read_text().splitlines()
+        ]
+        names = {l["name"] for l in lines}
+        assert {"query", "scan", "project"} <= names
+        assert {"midnight", "collect", "predict", "score", "build", "swap"} <= names
+        query_ids = {l.get("query_id") for l in lines if "query_id" in l}
+        assert query_ids == {"q-1", "q-2", "q-3"}
+        assert status.observability["trace"]["spans_written"] == len(lines)
+
+    def test_structured_log_file(self, tmp_path):
+        log = tmp_path / "server.ndjson"
+        config = ServerConfig(
+            max_workers=2, log_file=str(log), log_all_queries=True
+        )
+        with MaxsonServer(build_system(), config) as server:
+            server.execute(HOT_SQL, tenant="alpha", day=0)
+            server.run_midnight_cycle(day=1)
+        events = [json.loads(l) for l in log.read_text().splitlines()]
+        kinds = [e["event"] for e in events]
+        assert kinds[0] == "server_started"
+        assert kinds[-1] == "server_stopped"
+        assert "query" in kinds
+        assert "midnight_cycle" in kinds
+        query = next(e for e in events if e["event"] == "query")
+        assert query["query_id"] == "q-1"
+        assert query["tenant"] == "alpha"
+        assert "seconds" in query
+
+    def test_explain_analyze_through_server(self, server):
+        report = server.explain_analyze(HOT_SQL, tenant="alpha")
+        assert report.startswith("EXPLAIN ANALYZE")
+        assert "scan" in report.lower()
+        assert "metrics: read=" in report

@@ -34,6 +34,7 @@ class TestAllExports:
             "repro.core",
             "repro.server",
             "repro.faults",
+            "repro.obs",
         ],
     )
     def test_all_names_resolve(self, module_name):
@@ -90,6 +91,13 @@ class TestDocstrings:
             "repro.server.status",
             "repro.server.replay",
             "repro.server.config",
+            "repro.obs.trace",
+            "repro.obs.instrument",
+            "repro.obs.explain",
+            "repro.obs.metrics",
+            "repro.obs.promlint",
+            "repro.obs.logging",
+            "repro.obs.efficacy",
             "repro.cli",
             "repro.reporting",
         ],

@@ -33,10 +33,21 @@ class TestLoadResults:
     def test_empty_dir(self, tmp_path):
         assert load_results(tmp_path) == {}
 
-    def test_corrupt_file_raises(self, tmp_path):
+    def test_corrupt_file_skipped_with_warning(self, tmp_path, capsys):
+        """One corrupt file must not block reporting on healthy ones."""
         (tmp_path / "bad.json").write_text("{not json")
-        with pytest.raises(ValueError):
-            load_results(tmp_path)
+        (tmp_path / "good.json").write_text(json.dumps({"ok": 1}))
+        results = load_results(tmp_path)
+        assert set(results) == {"good"}
+        assert results["good"] == {"ok": 1}
+        err = capsys.readouterr().err
+        assert "skipping corrupt result file" in err
+        assert "bad.json" in err
+
+    def test_all_corrupt_yields_empty(self, tmp_path, capsys):
+        (tmp_path / "bad.json").write_text("[truncated")
+        assert load_results(tmp_path) == {}
+        assert "bad.json" in capsys.readouterr().err
 
 
 class TestRenderReport:
