@@ -8,6 +8,8 @@ or growing, because both the parse cost avoided and the cache read cost
 scale linearly while pushdown savings grow with row-group counts.
 """
 
+import time
+
 import pytest
 
 from repro.core import MaxsonSystem
@@ -70,3 +72,98 @@ def test_scale_sweep(benchmark, rows):
         save_result("scale_sweep_summary", {"speedups": _speedups})
         # the advantage must not collapse with scale
         assert _speedups[SIZES[-1]] > 0.5 * _speedups[SIZES[0]]
+
+
+# ----------------------------------------------------------------------
+# PR-5: morsel-driven split parallelism + recurring-query plan cache
+# ----------------------------------------------------------------------
+
+#: Per-read latency that makes the simulator I/O-bound the way a real
+#: raw-data scan is: with 8 daily splits the serial path pays 8 sleeps
+#: back to back while 4 morsel workers overlap them (the sleep happens
+#: outside the fs lock, so the GIL does not serialise it).
+_SCAN_LATENCY_SECONDS = 0.02
+_SCAN_DAYS = 8
+
+
+def _timed(session, sql):
+    start = time.perf_counter()
+    result = session.sql(sql)
+    return result, time.perf_counter() - start
+
+
+def test_worker_scale(benchmark):
+    """A multi-split scan-heavy query must run >= 2x faster with 4 morsel
+    workers than with 1 (the acceptance bar for split parallelism)."""
+    session = Session(
+        fs=BlockFileSystem(read_latency_seconds=_SCAN_LATENCY_SECONDS)
+    )
+    spec = next(s for s in TABLE_SPECS if s.query_id == "Q2")
+    factories = load_tables(
+        session.catalog,
+        rows_per_table=64,
+        days=_SCAN_DAYS,
+        row_group_size=32,
+        specs=[spec],
+    )
+    query = build_queries(factories)["Q2"]
+
+    def run():
+        session.scan_workers = 1
+        session.sql(query.sql)  # warm the plan cache + page the files
+        serial_result, serial_s = _timed(session, query.sql)
+        session.scan_workers = 4
+        session.sql(query.sql)
+        parallel_result, parallel_s = _timed(session, query.sql)
+        assert serial_result.rows == parallel_result.rows
+        return serial_s, parallel_s
+
+    serial_s, parallel_s = once(benchmark, run)
+    speedup = serial_s / max(parallel_s, 1e-9)
+    save_result(
+        "worker_scale",
+        {
+            "splits": _SCAN_DAYS,
+            "read_latency_seconds": _SCAN_LATENCY_SECONDS,
+            "serial_seconds": serial_s,
+            "parallel_seconds": parallel_s,
+            "scan_workers": 4,
+            "speedup": speedup,
+        },
+    )
+    assert speedup >= 2.0
+
+
+def test_plan_cache_replay(benchmark):
+    """A replayed recurring trace must hit the plan cache (>0 hit rate),
+    and hits must skip recompilation entirely."""
+    session = Session(fs=BlockFileSystem())
+    specs = [s for s in TABLE_SPECS if s.query_id in ("Q1", "Q2", "Q9")]
+    factories = load_tables(
+        session.catalog, rows_per_table=60, days=3, specs=specs
+    )
+    queries = build_queries(factories)
+    trace = [q.sql for q in queries.values()] * 5  # each query recurs 5x
+
+    def run():
+        for sql in trace:
+            session.sql(sql)
+        return session.plan_cache_stats()
+
+    stats = once(benchmark, run)
+    lookups = stats["hits"] + stats["misses"]
+    hit_rate = stats["hits"] / max(lookups, 1)
+    save_result(
+        "plan_cache_replay",
+        {
+            "queries": len(trace),
+            "distinct": len(queries),
+            "hits": stats["hits"],
+            "misses": stats["misses"],
+            "hit_rate": hit_rate,
+        },
+    )
+    assert stats["hits"] > 0
+    assert hit_rate > 0.0
+    # every distinct statement compiles once; every recurrence hits
+    assert stats["misses"] == len(queries)

@@ -72,6 +72,8 @@ def cmd_demo(args) -> int:
 
     system = MaxsonSystem.for_demo(rows_per_table=args.rows)
     system.session.execution_mode = args.execution_mode
+    if args.scan_workers is not None:
+        system.session.scan_workers = args.scan_workers
     scale = max(1, 10_000 // args.rows)
     factories = {
         s.query_id: DocumentFactory(s, metric_scale=scale) for s in TABLE_SPECS
@@ -111,6 +113,8 @@ def cmd_explain(args) -> int:
     from .workload.tables import DocumentFactory, TABLE_SPECS
 
     system = MaxsonSystem.for_demo(rows_per_table=args.rows)
+    if args.scan_workers is not None:
+        system.session.scan_workers = args.scan_workers
     scale = max(1, 10_000 // args.rows)
     factories = {
         s.query_id: DocumentFactory(s, metric_scale=scale) for s in TABLE_SPECS
@@ -213,6 +217,8 @@ def cmd_replay_serve(args) -> int:
         admission_timeout_seconds=args.admission_timeout,
         refresh_interval_seconds=args.refresh_interval,
         max_query_retries=args.retries,
+        scan_workers=args.scan_workers,
+        plan_cache_entries=args.plan_cache_entries,
         trace_dir=args.trace_dir or None,
         slow_query_seconds=args.slow_query_ms / 1000.0,
         log_file=args.log_json or None,
@@ -300,6 +306,13 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["batch", "row"],
         help="engine path: vectorized batches or the row interpreter",
     )
+    p_demo.add_argument(
+        "--scan-workers",
+        type=int,
+        default=None,
+        help="morsel workers per query (file splits execute concurrently; "
+        "1 = serial, same code path inline)",
+    )
     p_demo.set_defaults(func=cmd_demo)
 
     p_explain = sub.add_parser(
@@ -319,6 +332,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="cache the query's JSONPaths first, so the plan shows the "
         "Maxson scan + value combiner",
+    )
+    p_explain.add_argument(
+        "--scan-workers",
+        type=int,
+        default=None,
+        help="morsel workers per query (traced plans parallelize only "
+        "when > 1)",
     )
     p_explain.set_defaults(func=cmd_explain)
 
@@ -381,6 +401,19 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="threads parsing raw files during cache builds "
         "(writes stay sequential)",
+    )
+    p_serve.add_argument(
+        "--scan-workers",
+        type=int,
+        default=None,
+        help="morsel workers per query: a scan's file splits execute "
+        "concurrently on a shared pool (1 = serial)",
+    )
+    p_serve.add_argument(
+        "--plan-cache-entries",
+        type=int,
+        default=None,
+        help="capacity of the recurring-query plan cache (0 disables)",
     )
     p_serve.add_argument(
         "--trace-dir",

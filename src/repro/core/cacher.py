@@ -100,10 +100,21 @@ class CacheRegistry:
         self._entries: dict[PathKey, CacheEntry] = {}
         self._invalid: set[str] = set()  # cache table names marked invalid
         self._lock = threading.RLock()
+        #: Monotonic mutation counter. Part of the plan-cache key: any
+        #: registration, invalidation or repair changes the plan-time
+        #: rewrite decisions, so cached plans keyed on an older version
+        #: must stop matching.
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        with self._lock:
+            return self._version
 
     def register(self, entry: CacheEntry) -> None:
         with self._lock:
             self._entries[entry.key] = entry
+            self._version += 1
 
     def lookup(self, key: PathKey) -> CacheEntry | None:
         with self._lock:
@@ -115,12 +126,16 @@ class CacheRegistry:
     def mark_table_invalid(self, cache_table: str) -> None:
         """Algorithm 1 line 19: raw table changed after caching."""
         with self._lock:
-            self._invalid.add(cache_table)
+            if cache_table not in self._invalid:
+                self._invalid.add(cache_table)
+                self._version += 1
 
     def revalidate_table(self, cache_table: str) -> None:
         """Clear the invalid mark after a successful rebuild/refresh."""
         with self._lock:
-            self._invalid.discard(cache_table)
+            if cache_table in self._invalid:
+                self._invalid.discard(cache_table)
+                self._version += 1
 
     def entries_including_invalid(self, cache_table: str) -> list[CacheEntry]:
         """Entries of one cache table, whether or not it is marked invalid
@@ -160,6 +175,7 @@ class CacheRegistry:
         with self._lock:
             self._entries.clear()
             self._invalid.clear()
+            self._version += 1
 
 
 def _infer_dtype(values: list[object]) -> DataType:

@@ -239,6 +239,98 @@ class MaxsonScanExec(ScanExec):
         state.metrics.read_seconds += time.perf_counter() - started
         return ColumnBatch(names, columns_out, length)
 
+    # ------------------------------------------------------------------
+    # morsel API: the same Value Combiner, one split at a time
+    # ------------------------------------------------------------------
+    def morsel_units(self, state: ExecState) -> list:
+        """(raw file, cache file) pairs, one per split.
+
+        The whole-scan decisions of :meth:`execute_batch` — cache-table
+        consistency and file alignment — happen here on the coordinator,
+        exactly once; a misaligned cache degrades every unit to raw
+        parsing (``cache_path`` None) just like the serial path.
+        """
+        if not self.cached_fields:
+            return super().morsel_units(state)
+        cache_table = self.cached_fields[0].entry.cache_table
+        for request in self.cached_fields:
+            if request.entry.cache_table != cache_table:
+                raise ExecutionError(
+                    "cached fields of one scan must come from one cache table"
+                )
+        raw_files = state.catalog.table_files(self.database, self.table)
+        try:
+            cache_files = state.catalog.table_files(CACHE_DATABASE, cache_table)
+        except (CatalogError, FsError):
+            cache_files = None
+        if cache_files is None or len(cache_files) != len(raw_files):
+            self._note_cache_failure(cache_table, None)
+            return [(raw_path, None) for raw_path in raw_files]
+        return list(zip(raw_files, cache_files))
+
+    def morsel_output_names(self) -> list[str]:
+        names = super().morsel_output_names()
+        names.extend(request.env_key for request in self.cached_fields)
+        return names
+
+    def run_morsel(self, state: ExecState, unit) -> tuple[ColumnBatch, bool]:
+        """Algorithm 2 for one split, with split-local degraded fallback.
+
+        Runs on a worker thread: only worker-local ``state`` and the
+        thread-safe breaker/resilience objects are touched. The shared
+        skip mask (Algorithm 3) is computed inside ``_split_columns``,
+        once per split, and handed to both readers of this worker.
+        """
+        if not self.cached_fields:
+            return super().run_morsel(state, unit)
+        started = time.perf_counter()
+        raw_path, cache_path = unit
+        cache_table = self.cached_fields[0].entry.cache_table
+        field_names = [r.entry.field_name for r in self.cached_fields]
+        env_keys = [r.env_key for r in self.cached_fields]
+        fallback = False
+        if cache_path is None:
+            columns, length = self._fallback_columns(state, raw_path)
+            fallback = True
+        else:
+            try:
+                columns, length = self._split_columns(
+                    state, raw_path, cache_path, field_names, env_keys
+                )
+            except (FsError, OrcError, ExecutionError) as exc:
+                self._note_cache_failure(cache_table, exc)
+                fallback = True
+                columns, length = self._fallback_columns(state, raw_path)
+        names = list(self.columns)
+        out: dict[str, list] = {name: columns[name] for name in self.columns}
+        if self.alias:
+            for name in self.columns:
+                qualified = f"{self.alias}.{name}"
+                out[qualified] = out[name]
+                names.append(qualified)
+        for env_key in env_keys:
+            out[env_key] = columns[env_key]
+            names.append(env_key)
+        state.metrics.rows_scanned += length
+        state.metrics.read_seconds += time.perf_counter() - started
+        return ColumnBatch(names, out, length), fallback
+
+    def finish_morsels(self, state: ExecState, fallback_splits: int) -> None:
+        """Whole-scan accounting, mirroring the serial combiner exactly:
+        any degraded split marks the query degraded; a fully-validated
+        scan counts its cache hits and closes the breaker."""
+        if not self.cached_fields:
+            return
+        cache_table = self.cached_fields[0].entry.cache_table
+        if fallback_splits:
+            if self.resilience is not None:
+                self.resilience.add("fallback_queries")
+                self.resilience.add("fallback_splits", fallback_splits)
+        else:
+            state.metrics.cache_hits += len(self.cached_fields)
+            if self.breaker is not None:
+                self.breaker.record_success(cache_table)
+
     def _note_cache_failure(self, cache_table: str, exc: Exception | None) -> None:
         if self.breaker is not None:
             self.breaker.record_failure(cache_table)

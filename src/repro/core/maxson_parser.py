@@ -140,6 +140,26 @@ class MaxsonPlanModifier:
         self.resilience = resilience
         self.last_report = RewriteReport()
 
+    def plan_cache_token(self) -> tuple:
+        """Plan-cache key component for this modifier.
+
+        A generation swap installs a brand-new registry object, so the
+        registry's identity changes the token (stale plans referencing
+        retired ``__g{N}`` tables can never be served); the registry
+        version covers in-place mutations (refresh repairs, invalid
+        marks). The breaker epoch changes on quarantine transitions,
+        which alter the modifier's plan-time hit/miss decisions.
+        """
+        epoch = self.breaker.epoch if self.breaker is not None else -1
+        registry = self.registry
+        return (
+            "maxson",
+            id(registry),
+            registry.version,
+            self.enable_pushdown,
+            epoch,
+        )
+
     # ------------------------------------------------------------------
     def modify(self, planned: PlannedQuery, state: ExecState) -> PhysicalPlan:
         plan = planned.physical

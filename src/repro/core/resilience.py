@@ -55,6 +55,10 @@ class CacheCircuitBreaker:
         self.clock = clock
         self._entries: dict[str, _BreakerEntry] = {}
         self._lock = threading.Lock()
+        #: Bumped on every *state transition* (open, half-open, close of
+        #: an existing entry) — not on each failure count — so plan-cache
+        #: keys change exactly when plan-time quarantine decisions would.
+        self.epoch = 0
 
     # ------------------------------------------------------------------
     def allows(self, cache_table: str) -> bool:
@@ -70,6 +74,7 @@ class CacheCircuitBreaker:
                 return True
             if self.clock() - entry.opened_at >= self.quarantine_seconds:
                 entry.state = "half_open"
+                self.epoch += 1
                 return True
             return False
 
@@ -81,13 +86,16 @@ class CacheCircuitBreaker:
                 self._entries[cache_table] = entry
             entry.failures += 1
             if entry.failures >= self.failure_threshold:
+                if entry.state != "open":
+                    self.epoch += 1
                 entry.state = "open"
                 entry.opened_at = self.clock()
 
     def record_success(self, cache_table: str) -> None:
         """A full, validated read succeeded: close the breaker."""
         with self._lock:
-            self._entries.pop(cache_table, None)
+            if self._entries.pop(cache_table, None) is not None:
+                self.epoch += 1
 
     # ------------------------------------------------------------------
     def quarantined_tables(self) -> list[str]:

@@ -89,6 +89,12 @@ class MaxsonConfig:
     execution_mode: str = "batch"
     """Engine execution path for queries: 'batch' (vectorized with
     parse-once document sharing) or 'row' (per-row interpreter)."""
+    scan_workers: int = 1
+    """Split-level morsel parallelism for query scans. Results are
+    bit-identical at any worker count; >1 overlaps per-split I/O on a
+    worker pool."""
+    plan_cache_entries: int = 64
+    """Capacity of the recurring-query plan cache (0 disables it)."""
 
 
 @dataclass
@@ -118,6 +124,9 @@ class MaxsonSystem:
         self.session = session or Session()
         self.config = config or MaxsonConfig()
         self.session.execution_mode = self.config.execution_mode
+        self.session.scan_workers = self.config.scan_workers
+        if self.session.plan_cache_entries != self.config.plan_cache_entries:
+            self.session.configure_plan_cache(self.config.plan_cache_entries)
         self.collector = JsonPathCollector()
         self.registry = CacheRegistry()
         self.cacher = JsonPathCacher(
@@ -198,12 +207,15 @@ class MaxsonSystem:
         """Execute SQL through the Maxson-modified session and collect its
         JSONPath references. ``tracer`` opts the query into span
         recording (see :meth:`Session.sql`)."""
-        planned = self.session.compile(sql)
+        result = self.session.sql(sql, tracer=tracer)
+        # The result carries the planner's path references, so recurring
+        # queries feed the collector without a second compile (which
+        # would both cost plan time and sidestep the plan cache).
         self.collector.record_planned(
             day if day is not None else self.current_day,
-            planned.referenced_json_paths,
+            result.referenced_json_paths,
         )
-        return self.session.sql(sql, tracer=tracer)
+        return result
 
     def explain_analyze(
         self,
@@ -308,6 +320,11 @@ class MaxsonSystem:
                 self.cacher = new_cacher
                 self.modifier.registry = new_registry
                 self.generation = next_generation
+                # Cached plans reference the retired generation's scan
+                # operators; the registry-identity token in their keys
+                # already makes them unreachable, and clearing frees
+                # them immediately.
+                self.session.invalidate_plan_cache()
 
             def retire() -> None:
                 for table in sorted(old_tables):
@@ -566,4 +583,6 @@ class MaxsonSystem:
             "quarantined_tables": self.breaker.quarantined_tables(),
             "resilience": self.resilience.snapshot(),
             "efficacy": self.efficacy.summary(),
+            "plan_cache": self.session.plan_cache_stats(),
+            "scan_workers": self.session.scan_workers,
         }

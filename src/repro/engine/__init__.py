@@ -45,6 +45,7 @@ from .logical import (
     SortKey,
 )
 from .metrics import QueryMetrics
+from .parallel import MorselAggregateExec, MorselPipelineExec, parallelize_plan
 from .physical import (
     AggregateExec,
     ExecState,
@@ -56,6 +57,7 @@ from .physical import (
     ScanExec,
     SortExec,
 )
+from .plancache import PlanCache, fingerprint as plan_fingerprint
 from .planner import PlannedQuery, Planner
 from .session import QueryResult, Session
 from .sqlparser import parse_sql
@@ -112,4 +114,9 @@ __all__ = [
     "LimitExec",
     "HashJoinExec",
     "ExecState",
+    "MorselPipelineExec",
+    "MorselAggregateExec",
+    "parallelize_plan",
+    "PlanCache",
+    "plan_fingerprint",
 ]

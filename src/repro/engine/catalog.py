@@ -52,6 +52,16 @@ class Catalog:
         # DDL and lookups run concurrently in server mode (cache builds
         # create/drop tables while query threads resolve scans).
         self._lock = threading.RLock()
+        # Monotonic metadata version: bumped by every DDL statement and
+        # every data append. Plan-cache keys embed it so any catalog
+        # change (including cache-generation swaps, which create and drop
+        # generation tables) invalidates cached plans.
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        with self._lock:
+            return self._version
 
     # ------------------------------------------------------------------
     # DDL
@@ -75,6 +85,7 @@ class Catalog:
                 properties=dict(properties or {}),
             )
             self._tables[key] = info
+            self._version += 1
             return info
 
     def drop_table(self, database: str, name: str) -> None:
@@ -83,6 +94,7 @@ class Catalog:
             if key not in self._tables:
                 raise CatalogError(f"no such table: {database}.{name}")
             info = self._tables.pop(key)
+            self._version += 1
         if self.fs.exists(info.location):
             self.fs.delete(info.location)
 
@@ -141,6 +153,7 @@ class Catalog:
             )
             path = f"{info.location}/part-{len(existing):05d}.orc"
             self.fs.create(path, data)
+            self._version += 1
         return path
 
     def table_files(self, database: str, name: str) -> list[str]:

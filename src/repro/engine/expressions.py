@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..jsonlib.doccache import INVALID, DocumentCache
+from ..jsonlib.doccache import DEFAULT_DOC_CACHE_BYTES, INVALID, DocumentCache
 from ..jsonlib.errors import JsonParseError
 from ..jsonlib.jackson import JacksonParser
 from ..jsonlib.jsonpath import evaluate as eval_path
@@ -65,6 +65,9 @@ class EvalContext:
     #: stats charge that single parse, never the shared re-reads.
     json_documents: DocumentCache = None  # type: ignore[assignment]
     xml_documents: DocumentCache = None  # type: ignore[assignment]
+    #: Byte budget handed to the document caches above (``None`` =
+    #: unbounded; defaults to the cache's own 64 MiB budget).
+    doc_cache_bytes: int | None = DEFAULT_DOC_CACHE_BYTES
 
     def get_json_object(self, text: object, raw_path: str) -> object:
         """Hive-semantics extraction, charging cost to this context."""
@@ -117,7 +120,9 @@ class EvalContext:
             # share, so delegate row-by-row for identical behaviour.
             return [self.get_json_object(text, raw_path) for text in texts]
         if self.json_documents is None:
-            self.json_documents = DocumentCache(self.parser, JsonParseError)
+            self.json_documents = DocumentCache(
+                self.parser, JsonParseError, max_bytes=self.doc_cache_bytes
+            )
         documents = self.json_documents
         path = parse_path(raw_path)
         out = []
@@ -143,7 +148,9 @@ class EvalContext:
         if self.xml_parser is None:
             self.xml_parser = XmlParser()
         if self.xml_documents is None:
-            self.xml_documents = DocumentCache(self.xml_parser, XmlParseError)
+            self.xml_documents = DocumentCache(
+                self.xml_parser, XmlParseError, max_bytes=self.doc_cache_bytes
+            )
         documents = self.xml_documents
         out = []
         append = out.append
@@ -168,6 +175,15 @@ class EvalContext:
         if self.xml_documents is not None:
             hits += self.xml_documents.hits
         return hits
+
+    def doc_cache_evictions(self) -> int:
+        """Documents evicted from the budgeted caches in this context."""
+        evictions = 0
+        if self.json_documents is not None:
+            evictions += self.json_documents.evictions
+        if self.xml_documents is not None:
+            evictions += self.xml_documents.evictions
+        return evictions
 
 
 class Expression:

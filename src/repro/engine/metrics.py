@@ -40,6 +40,10 @@ class QueryMetrics:
     #: Document parses avoided by parse-once sharing (batch path): calls
     #: served from the per-context document cache instead of re-parsing.
     shared_parse_hits: int = 0
+    #: Documents evicted from the budgeted per-context document caches
+    #: (entry-count or byte-budget pressure). Non-zero means sharing lost
+    #: some reuse to memory bounds.
+    doc_cache_evictions: int = 0
     extra: dict[str, int | float] = field(default_factory=dict)
 
     @property
@@ -94,6 +98,7 @@ class QueryMetrics:
                 self.duplicate_extractions_eliminated
             ),
             "shared_parse_hits": self.shared_parse_hits,
+            "doc_cache_evictions": self.doc_cache_evictions,
             "extra": dict(self.extra),
         }
 
@@ -122,6 +127,7 @@ class QueryMetrics:
             other.duplicate_extractions_eliminated
         )
         self.shared_parse_hits += other.shared_parse_hits
+        self.doc_cache_evictions += other.doc_cache_evictions
         for key, value in other.extra.items():
             # Default to int 0, not float 0.0: merging (and therefore
             # snapshot round-trips) must not silently coerce integer

@@ -58,6 +58,37 @@ class ExecState:
     #: on the untraced path; operators that emit interior spans (e.g. the
     #: Maxson combiner) must guard on ``state.tracer is not None``.
     tracer: object | None = None
+    #: Factory for worker-local :class:`EvalContext`s (morsel execution).
+    #: ``None`` falls back to cloning the coordinator context's parser
+    #: classes.
+    context_factory: object | None = None
+    #: Degree of split-level parallelism for morsel scans (1 = inline).
+    scan_workers: int = 1
+    #: Shared ``ThreadPoolExecutor`` supplied by the session when
+    #: ``scan_workers > 1``; ``None`` runs morsels inline.
+    scan_pool: object | None = None
+
+    def fork(self) -> "ExecState":
+        """A worker-local state for one morsel.
+
+        Shares the catalog (and through it the file system) but gets a
+        private context/metrics/compiler, so parser stats, parse-once
+        document sharing and compiled-expression caches stay
+        split-local. Workers never trace and never re-fork.
+        """
+        if self.context_factory is not None:
+            context = self.context_factory()  # type: ignore[operator]
+        else:
+            context = EvalContext(parser=type(self.context.parser)())
+            if self.context.projection_parser is not None:
+                context.projection_parser = type(
+                    self.context.projection_parser
+                )()
+        return ExecState(
+            catalog=self.catalog,
+            context=context,
+            context_factory=self.context_factory,
+        )
 
     def batch_compiler(self) -> BatchCompiler:
         """The query-wide expression compiler (created lazily).
@@ -188,6 +219,55 @@ class ScanExec(PhysicalPlan):
         state.metrics.rows_scanned += length
         state.metrics.read_seconds += time.perf_counter() - started
         return ColumnBatch(names, columns, length)
+
+    # -- morsel API (split-level parallel execution) -------------------
+    def morsel_units(self, state: ExecState) -> list:
+        """Opaque work units, one per file split, in split-index order.
+
+        Units are interpreted only by the class that produced them
+        (:meth:`run_morsel`); subclasses may attach companion files.
+        Called on the coordinator thread.
+        """
+        return list(state.catalog.table_files(self.database, self.table))
+
+    def morsel_output_names(self) -> list[str]:
+        """Deterministic column order of a morsel batch (bare names
+        first, then alias-qualified)."""
+        names = list(self.columns)
+        if self.alias:
+            names.extend(f"{self.alias}.{name}" for name in self.columns)
+        return names
+
+    def run_morsel(self, state: ExecState, unit) -> tuple[ColumnBatch, bool]:
+        """Scan one unit into a batch on a (possibly worker) thread.
+
+        Returns ``(batch, used_fallback)``; the flag is always False for
+        plain scans — cache-aware subclasses use it to report per-split
+        degraded fallback.
+        """
+        started = time.perf_counter()
+        reader = OrcReader(
+            state.catalog.fs, unit, columns=self.columns, sarg=self.sarg
+        )
+        result = reader.read()
+        state.metrics.bytes_read += result.bytes_read
+        state.metrics.row_groups_total += result.row_groups_total
+        state.metrics.row_groups_skipped += result.row_groups_skipped
+        columns = {name: result.columns[name] for name in self.columns}
+        length = result.rows_read
+        names = list(self.columns)
+        if self.alias:
+            for name in self.columns:
+                qualified = f"{self.alias}.{name}"
+                columns[qualified] = columns[name]
+                names.append(qualified)
+        state.metrics.rows_scanned += length
+        state.metrics.read_seconds += time.perf_counter() - started
+        return ColumnBatch(names, columns, length), False
+
+    def finish_morsels(self, state: ExecState, fallback_splits: int) -> None:
+        """Coordinator hook after all morsels merged (no-op for plain
+        scans; cache-aware subclasses settle whole-scan accounting)."""
 
 
 @dataclass
@@ -357,7 +437,12 @@ class LimitExec(PhysicalPlan):
 
 
 class _Accumulator:
-    """Streaming accumulator for one AggregateCall."""
+    """Streaming accumulator for one AggregateCall.
+
+    Also serves as the *partial aggregate* of morsel-parallel execution:
+    per-split accumulators are combined with :meth:`merge` in split-index
+    order, which keeps float sums bit-identical at any worker count.
+    """
 
     __slots__ = ("func", "distinct", "count", "total", "minimum", "maximum", "seen")
 
@@ -368,7 +453,9 @@ class _Accumulator:
         self.total: float | int = 0
         self.minimum: object = None
         self.maximum: object = None
-        self.seen: set | None = set() if distinct else None
+        # Insertion-ordered so that merging partials replays distinct
+        # values deterministically (a set would iterate by hash).
+        self.seen: dict | None = {} if distinct else None
 
     def add(self, value: object) -> None:
         if value is None:
@@ -376,7 +463,7 @@ class _Accumulator:
         if self.seen is not None:
             if value in self.seen:
                 return
-            self.seen.add(value)
+            self.seen[value] = None
         self.count += 1
         if self.func == "sum" or self.func == "avg":
             number = _to_number(value)
@@ -391,6 +478,32 @@ class _Accumulator:
         elif self.func == "max":
             if self.maximum is None or _sort_token(value) > _sort_token(self.maximum):
                 self.maximum = value
+
+    def merge(self, other: "_Accumulator") -> None:
+        """Fold another split's partial into this one.
+
+        Distinct partials replay the other side's values through
+        :meth:`add` (dedup against this side's ``seen``); plain partials
+        combine counters directly. Merge order is the caller's contract —
+        the morsel scheduler always merges in split-index order so sums
+        stay deterministic.
+        """
+        if self.seen is not None:
+            for value in other.seen:  # type: ignore[union-attr]
+                self.add(value)
+            return
+        self.count += other.count
+        self.total += other.total
+        if other.minimum is not None and (
+            self.minimum is None
+            or _sort_token(other.minimum) < _sort_token(self.minimum)
+        ):
+            self.minimum = other.minimum
+        if other.maximum is not None and (
+            self.maximum is None
+            or _sort_token(other.maximum) > _sort_token(self.maximum)
+        ):
+            self.maximum = other.maximum
 
     def result(self) -> object:
         if self.func == "count":
@@ -422,6 +535,20 @@ def _to_number(value: object) -> int | float | None:
     return None
 
 
+def collect_aggregates(output: list[Expression]) -> list[AggregateCall]:
+    """The distinct AggregateCalls inside ``output``, in walk order.
+
+    Shared by serial aggregation and the morsel partial-aggregate path so
+    both index accumulators identically.
+    """
+    aggregates: list[AggregateCall] = []
+    for expr in output:
+        for node in walk(expr):
+            if isinstance(node, AggregateCall) and node not in aggregates:
+                aggregates.append(node)
+    return aggregates
+
+
 @dataclass
 class AggregateExec(PhysicalPlan):
     """Hash aggregation over the group keys.
@@ -448,11 +575,7 @@ class AggregateExec(PhysicalPlan):
     def execute(self, state: ExecState) -> list[dict]:
         rows = self.child.execute(state)
         context = state.context
-        aggregates: list[AggregateCall] = []
-        for expr in self.output:
-            for node in walk(expr):
-                if isinstance(node, AggregateCall) and node not in aggregates:
-                    aggregates.append(node)
+        aggregates = collect_aggregates(self.output)
 
         groups: dict[tuple, list[_Accumulator]] = {}
         sample_rows: dict[tuple, dict] = {}
@@ -501,11 +624,7 @@ class AggregateExec(PhysicalPlan):
         batch = self.child.execute_batch(state)
         context = state.context
         compiler = state.batch_compiler()
-        aggregates: list[AggregateCall] = []
-        for expr in self.output:
-            for node in walk(expr):
-                if isinstance(node, AggregateCall) and node not in aggregates:
-                    aggregates.append(node)
+        aggregates = collect_aggregates(self.output)
 
         # Group keys and aggregate arguments evaluate as whole columns —
         # this is where repeated extractions share parses — then rows

@@ -175,6 +175,11 @@ class SparserPlanModifier:
 
     json_columns: set[str] = field(default_factory=lambda: {"payload", "doc", "sale_logs"})
 
+    def plan_cache_token(self) -> tuple:
+        """Cache-key component: the rewrite is a pure function of the
+        plan and the configured probe-able column set."""
+        return ("sparser", tuple(sorted(self.json_columns)))
+
     def modify(self, planned: PlannedQuery, state: ExecState) -> PhysicalPlan:
         plan = planned.physical
 

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from ..jsonlib.jackson import JacksonParser
@@ -22,7 +23,9 @@ from ..storage.fs import BlockFileSystem
 from .catalog import Catalog
 from .expressions import EvalContext
 from .metrics import QueryMetrics
+from .parallel import parallelize_plan
 from .physical import ExecState, PhysicalPlan
+from .plancache import CachedPlan, PlanCache, fingerprint
 from .planner import PlannedQuery, Planner
 from .sqlparser import parse_sql
 
@@ -39,6 +42,12 @@ class QueryResult:
     #: Root :class:`repro.obs.trace.Span` when the query ran with a
     #: tracer; None on the (default) untraced path.
     trace: object | None = None
+    #: ``(database, table, column, path)`` tuples the planner found, so
+    #: callers (e.g. the Maxson stats collector) need not re-compile the
+    #: SQL — re-compiling would defeat the plan cache.
+    referenced_json_paths: list[tuple[str, str, str, str]] = field(
+        default_factory=list
+    )
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -66,6 +75,12 @@ class Session:
     #: (the per-row tree-walking interpreter). Any query can also be
     #: forced down either path per call: ``session.sql(q, execution_mode=...)``.
     execution_mode: str = "batch"
+    #: Split-level parallelism for morsel scans. 1 runs every morsel
+    #: inline on the coordinator thread (the deterministic baseline);
+    #: higher values overlap per-split I/O on a shared worker pool.
+    scan_workers: int = 1
+    #: Capacity of the recurring-query plan cache; 0 disables it.
+    plan_cache_entries: int = 64
 
     def __post_init__(self) -> None:
         if self.execution_mode not in ("batch", "row"):
@@ -73,11 +88,27 @@ class Session:
                 f"execution_mode must be 'batch' or 'row', "
                 f"got {self.execution_mode!r}"
             )
+        if self.scan_workers < 1:
+            raise ValueError(
+                f"scan_workers must be >= 1, got {self.scan_workers!r}"
+            )
+        if self.plan_cache_entries < 0:
+            raise ValueError(
+                "plan_cache_entries must be >= 0, "
+                f"got {self.plan_cache_entries!r}"
+            )
         if self.catalog is None:
             self.catalog = Catalog(self.fs)
         self.planner = Planner(self.catalog)
         self._plan_modifiers: list = []
         self._lock = threading.RLock()
+        self._plan_cache: PlanCache | None = (
+            PlanCache(self.plan_cache_entries)
+            if self.plan_cache_entries > 0
+            else None
+        )
+        self._scan_pool: ThreadPoolExecutor | None = None
+        self._scan_pool_size = 0
         #: accumulated across queries; reset with `reset_session_metrics`
         self.session_metrics = QueryMetrics()
 
@@ -94,6 +125,7 @@ class Session:
         with self._lock:
             if modifier not in self._plan_modifiers:
                 self._plan_modifiers.append(modifier)
+                self.invalidate_plan_cache()
 
     def remove_plan_modifier(self, modifier) -> None:
         """Deregister a modifier. Idempotent: removing a modifier that is
@@ -101,6 +133,91 @@ class Session:
         with self._lock:
             if modifier in self._plan_modifiers:
                 self._plan_modifiers.remove(modifier)
+                self.invalidate_plan_cache()
+
+    # ------------------------------------------------------------------
+    # plan cache + morsel worker pool
+    # ------------------------------------------------------------------
+    def invalidate_plan_cache(self) -> None:
+        """Drop every cached plan (generation swaps, modifier changes)."""
+        if self._plan_cache is not None:
+            self._plan_cache.clear()
+
+    def configure_plan_cache(self, entries: int) -> None:
+        """Resize (or disable, with 0) the plan cache."""
+        if entries < 0:
+            raise ValueError(f"plan_cache_entries must be >= 0, got {entries!r}")
+        with self._lock:
+            self.plan_cache_entries = entries
+            self._plan_cache = PlanCache(entries) if entries > 0 else None
+
+    def plan_cache_stats(self) -> dict[str, int]:
+        """Counters of the plan cache (all zero when disabled)."""
+        if self._plan_cache is None:
+            return {
+                "entries": 0,
+                "capacity": 0,
+                "hits": 0,
+                "misses": 0,
+                "evictions": 0,
+                "invalidations": 0,
+            }
+        return self._plan_cache.stats()
+
+    def _morsel_pool(self) -> ThreadPoolExecutor | None:
+        """The shared split-worker pool (rebuilt if ``scan_workers``
+        changed); None when the session is serial."""
+        if self.scan_workers <= 1:
+            return None
+        with self._lock:
+            if (
+                self._scan_pool is None
+                or self._scan_pool_size != self.scan_workers
+            ):
+                if self._scan_pool is not None:
+                    self._scan_pool.shutdown(wait=False)
+                self._scan_pool = ThreadPoolExecutor(
+                    max_workers=self.scan_workers,
+                    thread_name_prefix="morsel",
+                )
+                self._scan_pool_size = self.scan_workers
+            return self._scan_pool
+
+    def _context_factory(self) -> EvalContext:
+        context = EvalContext(parser=self.parser_factory())
+        if self.projection_parser_factory is not None:
+            context.projection_parser = self.projection_parser_factory()
+        return context
+
+    def _make_state(self, tracer=None) -> ExecState:
+        return ExecState(
+            catalog=self.catalog,
+            context=self._context_factory(),
+            tracer=tracer,
+            context_factory=self._context_factory,
+            scan_workers=self.scan_workers,
+            scan_pool=self._morsel_pool(),
+        )
+
+    def _modifier_snapshot(self) -> tuple[list, tuple | None]:
+        """The registered modifiers plus one cache-key token each.
+
+        A modifier declares cache-compatibility by exposing
+        ``plan_cache_token()`` (Maxson's does: registry identity +
+        breaker epoch). A modifier without one may rewrite differently
+        on every call, so its presence makes the whole query
+        uncacheable — ``tokens`` comes back ``None`` and the plan cache
+        is bypassed (every query still runs its ``modify``).
+        """
+        with self._lock:
+            modifiers = list(self._plan_modifiers)
+        tokens = []
+        for modifier in modifiers:
+            token_fn = getattr(modifier, "plan_cache_token", None)
+            if not callable(token_fn):
+                return modifiers, None
+            tokens.append(token_fn())
+        return modifiers, tuple(tokens)
 
     # ------------------------------------------------------------------
     def compile(self, sql: str) -> PlannedQuery:
@@ -117,21 +234,43 @@ class Session:
         self, sql: str, tracer=None
     ) -> tuple[PlannedQuery, ExecState, float]:
         started = time.perf_counter()
+        # Traced queries bypass the plan cache entirely (no lookup, no
+        # store): instrumented plans carry tracer-bound wrappers that
+        # must never leak into untraced executions, and EXPLAIN ANALYZE
+        # should always show a freshly derived plan.
+        cache = self._plan_cache if tracer is None else None
+        modifiers, tokens = self._modifier_snapshot()
+        if tokens is None:  # an unkeyed modifier makes the query uncacheable
+            cache = None
+        key = None
+        if cache is not None:
+            key = (fingerprint(sql), self.catalog.version, tokens)
+            entry = cache.get(key)
+            if entry is not None:
+                state = self._make_state()
+                # Replay the plan-time metric effects (e.g. Maxson's
+                # registry misses are counted during modify()) so a
+                # cached query reports the same counters as a planned one.
+                state.metrics.merge(entry.planned_metrics)
+                state.metrics.extra["plan_cache_hits"] = (
+                    state.metrics.extra.get("plan_cache_hits", 0) + 1
+                )
+                return entry.planned, state, time.perf_counter() - started
         if tracer is not None:
             with tracer.span("plan"):
                 planned = self.compile(sql)
         else:
             planned = self.compile(sql)
-        context = EvalContext(parser=self.parser_factory())
-        if self.projection_parser_factory is not None:
-            context.projection_parser = self.projection_parser_factory()
-        state = ExecState(catalog=self.catalog, context=context, tracer=tracer)
-        with self._lock:
-            modifiers = list(self._plan_modifiers)
+        state = self._make_state(tracer=tracer)
         if tracer is not None:
             with tracer.span("rewrite", modifiers=len(modifiers)):
                 for modifier in modifiers:
                     planned.physical = modifier.modify(planned, state)
+            # Traced sessions keep the classic operator tree at
+            # scan_workers=1 so operator spans stay per-stage; parallel
+            # sessions trade them for per-split spans.
+            if self.scan_workers > 1:
+                planned.physical = parallelize_plan(planned.physical)
             if tracer.enabled:
                 from ..obs.instrument import instrument_plan
 
@@ -139,6 +278,21 @@ class Session:
         else:
             for modifier in modifiers:
                 planned.physical = modifier.modify(planned, state)
+            # Morsel execution is the default untraced path, at any
+            # worker count — workers=1 runs the same code inline, which
+            # is what makes serial-vs-parallel differentials exact.
+            planned.physical = parallelize_plan(planned.physical)
+            if cache is not None:
+                cache.put(
+                    key,
+                    CachedPlan(
+                        planned=planned,
+                        planned_metrics=state.metrics.snapshot(),
+                    ),
+                )
+                state.metrics.extra["plan_cache_misses"] = (
+                    state.metrics.extra.get("plan_cache_misses", 0) + 1
+                )
         plan_seconds = time.perf_counter() - started
         return planned, state, plan_seconds
 
@@ -189,6 +343,7 @@ class Session:
         metrics.total_seconds = total
         metrics.rows_output = len(rows)
         metrics.shared_parse_hits += state.context.shared_parse_hits()
+        metrics.doc_cache_evictions += state.context.doc_cache_evictions()
         parse_stats = state.context.parser.stats
         metrics.parse_seconds += parse_stats.seconds
         metrics.parse_documents += parse_stats.documents
@@ -220,6 +375,7 @@ class Session:
             metrics=metrics,
             plan=planned.physical,
             trace=trace_root,
+            referenced_json_paths=planned.referenced_json_paths,
         )
 
     def explain_analyze(

@@ -22,15 +22,27 @@ and surfaced as ``shared_parse_hits`` in query metrics.
 Failed parses are cached too (as :data:`INVALID`): a malformed document
 costs one parse attempt per scope, not one per consuming expression, and
 the parser's ``errors`` counter moves once.
+
+The cache is bounded two ways: by entry count (``max_entries``) and by a
+byte budget (``max_bytes``, charged as the length of the *source text* —
+a cheap proxy for the parsed tree that needs no traversal). Eviction is
+LRU: a hit refreshes the entry, so a handful of hot documents survive a
+scan over many cold ones. Evictions are counted and surfaced as
+``doc_cache_evictions`` in query metrics.
 """
 
 from __future__ import annotations
 
-__all__ = ["INVALID", "DocumentCache"]
+__all__ = ["DEFAULT_DOC_CACHE_BYTES", "INVALID", "DocumentCache"]
 
 #: Sentinel cached for documents the parser rejected. Distinct from
 #: ``None`` because ``"null"`` is a *valid* document that parses to None.
 INVALID = object()
+
+#: Default per-scope byte budget (source-text bytes). Generous enough
+#: that typical queries never evict, small enough that a scan over large
+#: documents cannot hold every one of them in memory at once.
+DEFAULT_DOC_CACHE_BYTES = 64 * 1024 * 1024
 
 
 class DocumentCache:
@@ -45,19 +57,31 @@ class DocumentCache:
         Exception type (or tuple) the parser raises on malformed input;
         those texts cache as :data:`INVALID` instead of propagating.
     max_entries:
-        Bound on cached documents. When full, the oldest entry is
-        evicted (FIFO) — the cache is a per-scope sharing device, not a
-        long-lived store, so recency bookkeeping is not worth its cost.
+        Bound on cached documents.
+    max_bytes:
+        Bound on retained source-text bytes (``len(text)`` per entry —
+        evicting by the text we key on avoids measuring parsed trees).
+        ``None`` disables the byte budget.
+
+    When either bound is hit the least-recently-used entry is evicted
+    and :attr:`evictions` increments.
     """
 
     def __init__(
-        self, parser, error: type[BaseException] | tuple, max_entries: int = 65536
+        self,
+        parser,
+        error: type[BaseException] | tuple,
+        max_entries: int = 65536,
+        max_bytes: int | None = DEFAULT_DOC_CACHE_BYTES,
     ) -> None:
         self.parser = parser
         self.error = error
         self.max_entries = max_entries
+        self.max_bytes = max_bytes
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self.current_bytes = 0
         self._documents: dict[str, object] = {}
 
     def document(self, text: str) -> object:
@@ -68,20 +92,33 @@ class DocumentCache:
         """
         documents = self._documents
         try:
-            cached = documents[text]
+            cached = documents.pop(text)
         except KeyError:
             pass
         else:
+            # Re-insert to refresh recency (dicts iterate oldest-first).
+            documents[text] = cached
             self.hits += 1
             return cached
         self.misses += 1
-        if len(documents) >= self.max_entries:
-            documents.pop(next(iter(documents)))
+        size = len(text)
+        while documents and (
+            len(documents) >= self.max_entries
+            or (
+                self.max_bytes is not None
+                and self.current_bytes + size > self.max_bytes
+            )
+        ):
+            oldest = next(iter(documents))
+            documents.pop(oldest)
+            self.current_bytes -= len(oldest)
+            self.evictions += 1
         try:
             document = self.parser.parse(text)
         except self.error:
             document = INVALID
         documents[text] = document
+        self.current_bytes += size
         return document
 
     def __len__(self) -> int:
@@ -90,3 +127,4 @@ class DocumentCache:
     def clear(self) -> None:
         """Drop every cached document (hit/miss counters survive)."""
         self._documents.clear()
+        self.current_bytes = 0

@@ -69,6 +69,17 @@ class ServerConfig:
     :class:`~repro.core.cacher.JsonPathCacher`). ``None`` inherits the
     wrapped system's setting."""
 
+    scan_workers: int | None = None
+    """Morsel workers per query: file splits of one scan execute
+    concurrently on a shared pool of this size (see
+    :mod:`repro.engine.parallel`). 1 runs the same morsel code inline
+    (serial). ``None`` inherits the wrapped system's setting."""
+
+    plan_cache_entries: int | None = None
+    """Capacity of the recurring-query plan cache (LRU over normalized
+    SQL fingerprints). 0 disables plan caching. ``None`` inherits the
+    wrapped system's setting."""
+
     trace_dir: str | None = None
     """Directory for JSONL trace export. When set, every query and every
     midnight cycle records a span tree and appends it to
@@ -106,5 +117,9 @@ class ServerConfig:
             raise ValueError("execution_mode must be 'batch' or 'row'")
         if self.build_workers is not None and self.build_workers < 1:
             raise ValueError("build_workers must be >= 1")
+        if self.scan_workers is not None and self.scan_workers < 1:
+            raise ValueError("scan_workers must be >= 1")
+        if self.plan_cache_entries is not None and self.plan_cache_entries < 0:
+            raise ValueError("plan_cache_entries must be >= 0")
         if self.slow_query_seconds < 0:
             raise ValueError("slow_query_seconds must be >= 0")

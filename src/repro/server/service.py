@@ -63,6 +63,14 @@ class MaxsonServer:
         if self.config.build_workers is not None:
             self.system.config.build_workers = self.config.build_workers
             self.system.cacher.build_workers = self.config.build_workers
+        if self.config.scan_workers is not None:
+            self.system.config.scan_workers = self.config.scan_workers
+            self.system.session.scan_workers = self.config.scan_workers
+        if self.config.plan_cache_entries is not None:
+            self.system.config.plan_cache_entries = self.config.plan_cache_entries
+            self.system.session.configure_plan_cache(
+                self.config.plan_cache_entries
+            )
         self.admission = AdmissionController(
             per_tenant_limit=self.config.per_tenant_limit,
             queue_capacity=self.config.queue_capacity,
@@ -134,6 +142,12 @@ class MaxsonServer:
         self._m_spans = self.metrics.counter(
             "trace_spans_total", "Spans exported to the JSONL trace sink"
         )
+        self._m_plan_cache_hits = self.metrics.counter(
+            "plan_cache_hits_total", "Served queries planned from the plan cache"
+        )
+        self._m_plan_cache_misses = self.metrics.counter(
+            "plan_cache_misses_total", "Served queries that compiled a fresh plan"
+        )
         self._g_generation = self.metrics.gauge(
             "cache_generation", "Live cache generation number"
         )
@@ -151,6 +165,12 @@ class MaxsonServer:
         )
         self._g_leases = self.metrics.gauge(
             "active_generation_leases", "In-flight cache-generation leases"
+        )
+        self._g_scan_workers = self.metrics.gauge(
+            "scan_workers", "Morsel workers available per query"
+        )
+        self._g_plan_cache_entries = self.metrics.gauge(
+            "plan_cache_entries", "Plans currently held by the plan cache"
         )
         self._g_eff_precision = self.metrics.gauge(
             "generation_precision",
@@ -239,6 +259,12 @@ class MaxsonServer:
             self._m_cache_misses.inc(metrics.cache_misses)
         if metrics.parse_documents:
             self._m_parse_docs.inc(metrics.parse_documents)
+        plan_hits = int(metrics.extra.get("plan_cache_hits", 0))
+        if plan_hits:
+            self._m_plan_cache_hits.inc(plan_hits)
+        plan_misses = int(metrics.extra.get("plan_cache_misses", 0))
+        if plan_misses:
+            self._m_plan_cache_misses.inc(plan_misses)
         if (
             self.config.slow_query_seconds > 0
             and elapsed >= self.config.slow_query_seconds
@@ -417,6 +443,10 @@ class MaxsonServer:
         self._g_queue_depth.set(status.queue_depth)
         self._g_active.set(status.active_queries)
         self._g_leases.set(status.active_leases)
+        self._g_scan_workers.set(self.system.session.scan_workers)
+        self._g_plan_cache_entries.set(
+            int(self.system.session.plan_cache_stats()["entries"])
+        )
         for record in status.cache_efficacy:
             generation = str(record.get("generation", 0))
             self._g_eff_precision.set(

@@ -97,6 +97,10 @@ class BlockFileSystem:
 
     block_size: int = DEFAULT_BLOCK_SIZE
     clock: object = None  # callable () -> float; defaults to time.time
+    #: Simulated device latency charged per :meth:`read` call. The sleep
+    #: happens *outside* the lock so concurrent readers overlap their
+    #: waits — the property morsel-parallel scans exploit.
+    read_latency_seconds: float = 0.0
     _files: dict[str, _File] = field(default_factory=dict)
     stats: IoStats = field(default_factory=IoStats)
     # Server mode reads and writes from many threads; the lock keeps
@@ -174,8 +178,11 @@ class BlockFileSystem:
                 chunk = data[offset : offset + length]
             self.stats.bytes_read += len(chunk)
             self.stats.reads += 1
+        if self.read_latency_seconds > 0.0:
+            time.sleep(self.read_latency_seconds)
+        with self._lock:
             self.stats.seconds_read += time.perf_counter() - started
-            return chunk
+        return chunk
 
     def exists(self, path: str) -> bool:
         path = _normalise(path)

@@ -1,0 +1,141 @@
+"""Unit tests for the morsel scheduler (repro.engine.parallel).
+
+The differential suite proves serial == parallel end to end; these
+tests pin the pieces individually — what parallelize_plan absorbs into
+a pipeline, what it leaves alone, edge cases around empty inputs, and
+the per-split observability contract.
+"""
+
+import pytest
+
+from repro.engine import (
+    AggregateExec,
+    FilterExec,
+    LimitExec,
+    MorselAggregateExec,
+    MorselPipelineExec,
+    ScanExec,
+    Session,
+    SortExec,
+    parallelize_plan,
+)
+from repro.engine.rawfilter import SparserPlanModifier, SparserPrefilterExec
+from repro.obs.trace import Tracer
+from repro.storage import DataType, Schema
+
+
+@pytest.fixture
+def multi(session: Session) -> Session:
+    schema = Schema.of(("a", DataType.INT64), ("b", DataType.STRING))
+    session.catalog.create_table("db", "m", schema)
+    for day in range(4):
+        session.catalog.append_rows(
+            "db", "m", [(day * 10 + i, f"s{i % 3}") for i in range(10)]
+        )
+    return session
+
+
+def plan_for(session, sql):
+    planned = session.compile(sql)
+    return parallelize_plan(planned.physical)
+
+
+class TestParallelizePlan:
+    def test_scan_becomes_pipeline(self, multi):
+        plan = plan_for(multi, "select a from db.m")
+        assert isinstance(plan, MorselPipelineExec)
+        assert isinstance(plan.scan, ScanExec)
+        assert plan.projections is not None
+
+    def test_filter_and_project_absorbed(self, multi):
+        plan = plan_for(multi, "select a from db.m where b = 's1'")
+        assert isinstance(plan, MorselPipelineExec)
+        assert plan.condition is not None
+        assert not isinstance(plan.scan, (FilterExec, MorselPipelineExec))
+
+    def test_aggregate_lowered_to_partials(self, multi):
+        plan = plan_for(
+            multi, "select b, count(*) as n from db.m group by b"
+        )
+        assert isinstance(plan, MorselAggregateExec)
+        assert isinstance(plan.pipeline, MorselPipelineExec)
+
+    def test_sort_and_limit_stay_above(self, multi):
+        plan = plan_for(multi, "select a from db.m order by a desc limit 3")
+        assert isinstance(plan, LimitExec)
+        assert isinstance(plan.child, SortExec)
+        assert isinstance(plan.child.child, MorselPipelineExec)
+
+    def test_aggregate_over_sort_not_lowered(self, multi):
+        # an AggregateExec whose child is not a bare pipeline keeps the
+        # classic operator (partials need per-split row streams)
+        plan = plan_for(
+            multi,
+            "select b, count(*) as n from db.m group by b "
+            "having count(*) > 100",
+        )
+        # HAVING compiles to a filter above the aggregate
+        assert isinstance(plan, FilterExec)
+        assert isinstance(plan.child, (MorselAggregateExec, AggregateExec))
+
+    def test_prefilter_absorbed_and_repointed(self, multi):
+        multi.add_plan_modifier(SparserPlanModifier(json_columns={"b"}))
+        planned = multi.compile(
+            "select a from db.m where get_json_object(b, '$.k') = 'v'"
+        )
+        state = multi._make_state()
+        for modifier in multi._plan_modifiers:
+            planned.physical = modifier.modify(planned, state)
+        plan = parallelize_plan(planned.physical)
+        assert isinstance(plan, MorselPipelineExec)
+        assert isinstance(plan.prefilter, SparserPrefilterExec)
+        # the absorbed prefilter's child is the real scan, so describe()
+        # still renders the full chain
+        assert plan.prefilter.child is plan.scan
+        text = plan.describe()
+        assert "SparserPrefilter" in text and "Scan db.m" in text
+
+
+class TestEdgeCases:
+    def test_empty_table(self, session):
+        schema = Schema.of(("a", DataType.INT64))
+        session.catalog.create_table("db", "empty", schema)
+        for workers in (1, 4):
+            session.scan_workers = workers
+            assert session.sql("select a from db.empty").rows == []
+            agg = session.sql("select count(*) as n from db.empty")
+            assert agg.rows == [{"n": 0}]
+
+    def test_single_split(self, session):
+        schema = Schema.of(("a", DataType.INT64))
+        session.catalog.create_table("db", "one", schema)
+        session.catalog.append_rows("db", "one", [(1,), (2,)])
+        session.scan_workers = 4
+        result = session.sql("select a from db.one")
+        assert result.rows == [{"a": 1}, {"a": 2}]
+
+    def test_scan_workers_validated(self):
+        from repro.storage import BlockFileSystem
+
+        with pytest.raises(ValueError):
+            Session(fs=BlockFileSystem(), scan_workers=0)
+        with pytest.raises(ValueError):
+            Session(fs=BlockFileSystem(), plan_cache_entries=-1)
+
+
+class TestObservability:
+    def test_parallel_traced_queries_emit_split_spans(self, multi):
+        multi.scan_workers = 4
+        tracer = Tracer()
+        multi.sql("select a from db.m where b = 's1'", tracer=tracer)
+        splits = [s for s in tracer.spans() if s.name == "split"]
+        assert len(splits) == 4  # one per daily file
+        # the rows attribute is each split's post-filter output
+        assert sum(int(s.attributes["rows"]) for s in splits) == 12
+
+    def test_serial_traced_queries_keep_operator_spans(self, multi):
+        multi.scan_workers = 1
+        tracer = Tracer()
+        multi.sql("select a from db.m where b = 's1'", tracer=tracer)
+        names = {s.name for s in tracer.spans()}
+        assert "scan" in names and "split" not in names
