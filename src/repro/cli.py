@@ -219,6 +219,8 @@ def cmd_replay_serve(args) -> int:
         max_query_retries=args.retries,
         scan_workers=args.scan_workers,
         plan_cache_entries=args.plan_cache_entries,
+        result_cache=True if args.result_cache else None,
+        cache_budget_bytes=args.cache_budget_bytes,
         trace_dir=args.trace_dir or None,
         slow_query_seconds=args.slow_query_ms / 1000.0,
         log_file=args.log_json or None,
@@ -414,6 +416,20 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="capacity of the recurring-query plan cache (0 disables)",
+    )
+    p_serve.add_argument(
+        "--result-cache",
+        action="store_true",
+        help="enable the semantic result cache (canonicalized recurring "
+        "statements replay their result set)",
+    )
+    p_serve.add_argument(
+        "--cache-budget-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="unified byte budget shared by the result, plan and "
+        "document cache tiers (default: unlimited)",
     )
     p_serve.add_argument(
         "--trace-dir",

@@ -137,6 +137,11 @@ class MaxsonScanExec(ScanExec):
             combine_span.attributes["degraded"] = bool(fallback_splits)
             state.tracer.end(combine_span)
         if fallback_splits:
+            # Per-query degraded marker: the session's result cache
+            # checks it to keep degraded answers out of admission.
+            state.metrics.extra["degraded_splits"] = (
+                state.metrics.extra.get("degraded_splits", 0) + fallback_splits
+            )
             if self.resilience is not None:
                 self.resilience.add("fallback_queries")
                 self.resilience.add("fallback_splits", fallback_splits)
@@ -228,6 +233,11 @@ class MaxsonScanExec(ScanExec):
             combine_span.attributes["degraded"] = bool(fallback_splits)
             state.tracer.end(combine_span)
         if fallback_splits:
+            # Per-query degraded marker: the session's result cache
+            # checks it to keep degraded answers out of admission.
+            state.metrics.extra["degraded_splits"] = (
+                state.metrics.extra.get("degraded_splits", 0) + fallback_splits
+            )
             if self.resilience is not None:
                 self.resilience.add("fallback_queries")
                 self.resilience.add("fallback_splits", fallback_splits)
@@ -323,6 +333,11 @@ class MaxsonScanExec(ScanExec):
             return
         cache_table = self.cached_fields[0].entry.cache_table
         if fallback_splits:
+            # Per-query degraded marker: the session's result cache
+            # checks it to keep degraded answers out of admission.
+            state.metrics.extra["degraded_splits"] = (
+                state.metrics.extra.get("degraded_splits", 0) + fallback_splits
+            )
             if self.resilience is not None:
                 self.resilience.add("fallback_queries")
                 self.resilience.add("fallback_splits", fallback_splits)

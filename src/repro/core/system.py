@@ -95,6 +95,11 @@ class MaxsonConfig:
     worker pool."""
     plan_cache_entries: int = 64
     """Capacity of the recurring-query plan cache (0 disables it)."""
+    result_cache: bool = False
+    """Enable the semantic result cache layered above the plan cache
+    (canonicalized recurring statements replay their result set)."""
+    result_cache_entries: int = 256
+    """Capacity of the result cache when enabled."""
 
 
 @dataclass
@@ -127,6 +132,10 @@ class MaxsonSystem:
         self.session.scan_workers = self.config.scan_workers
         if self.session.plan_cache_entries != self.config.plan_cache_entries:
             self.session.configure_plan_cache(self.config.plan_cache_entries)
+        if self.config.result_cache and not self.session.result_cache_enabled:
+            self.session.configure_result_cache(
+                True, entries=self.config.result_cache_entries
+            )
         self.collector = JsonPathCollector()
         self.registry = CacheRegistry()
         self.cacher = JsonPathCacher(
@@ -325,6 +334,16 @@ class MaxsonSystem:
                 # already makes them unreachable, and clearing frees
                 # them immediately.
                 self.session.invalidate_plan_cache()
+                # Result-cache keys carry the same token, so retired
+                # entries can never be served; clearing releases their
+                # bytes back to the unified budget right away.
+                self.session.invalidate_result_cache()
+                # Publish the new generation's jsonpath-tier occupancy
+                # (reported beside the budgeted tiers; the midnight
+                # selector enforces its own budget at selection time).
+                self.session.cache_ledger.set_tier(
+                    "jsonpath", new_registry.total_bytes()
+                )
 
             def retire() -> None:
                 for table in sorted(old_tables):
@@ -568,6 +587,9 @@ class MaxsonSystem:
     # ------------------------------------------------------------------
     def cache_summary(self) -> dict[str, object]:
         entries = self.registry.entries()
+        self.session.cache_ledger.set_tier(
+            "jsonpath", self.registry.total_bytes()
+        )
         return {
             "cached_paths": len(entries),
             "cache_tables": len({e.cache_table for e in entries}),
@@ -584,5 +606,7 @@ class MaxsonSystem:
             "resilience": self.resilience.snapshot(),
             "efficacy": self.efficacy.summary(),
             "plan_cache": self.session.plan_cache_stats(),
+            "result_cache": self.session.result_cache_stats(),
+            "cache_ledger": self.session.cache_ledger.to_dict(),
             "scan_workers": self.session.scan_workers,
         }

@@ -57,8 +57,10 @@ from .physical import (
     ScanExec,
     SortExec,
 )
+from .cachebudget import BUDGETED_TIERS, CacheLedger
 from .plancache import PlanCache, fingerprint as plan_fingerprint
 from .planner import PlannedQuery, Planner
+from .resultcache import CanonicalStatement, ResultCache, canonicalize
 from .session import QueryResult, Session
 from .sqlparser import parse_sql
 
@@ -119,4 +121,9 @@ __all__ = [
     "parallelize_plan",
     "PlanCache",
     "plan_fingerprint",
+    "CacheLedger",
+    "BUDGETED_TIERS",
+    "ResultCache",
+    "CanonicalStatement",
+    "canonicalize",
 ]

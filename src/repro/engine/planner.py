@@ -3,6 +3,13 @@
 Responsibilities, mirroring (a small slice of) SparkSQL's analyzer +
 optimizer:
 
+* resolve identifiers case-insensitively — table and column references
+  are rewritten to the catalog's canonical spelling (exact match first),
+  matching SparkSQL's default ``spark.sql.caseSensitive=false``; this is
+  what makes the plan-cache fingerprint's case folding safe, since two
+  recased spellings of a query now compile to the same plan. (Schemas
+  with column names differing only in case would defeat the folding; no
+  schema in this repo does.);
 * resolve ``*`` against scan schemas;
 * column pruning — each scan reads only the columns the plan references;
 * SARG extraction — conjuncts of a WHERE clause that compare a plain
@@ -91,6 +98,7 @@ class Planner:
     # ------------------------------------------------------------------
     def plan(self, logical: LogicalPlan) -> PlannedQuery:
         scans = _collect_scans(logical)
+        self._resolve_identifier_case(logical, scans)
         logical = self._expand_stars(logical, scans)
         required = self._required_columns(logical, scans)
         physical = self._lower(logical, required)
@@ -119,6 +127,75 @@ class Planner:
                 if isinstance(node, ExtractionCall):
                     counts[node] = counts.get(node, 0) + 1
         return sum(count - 1 for count in counts.values())
+
+    # ------------------------------------------------------------------
+    # identifier-case resolution (the analyzer's first pass)
+    # ------------------------------------------------------------------
+    def _resolve_identifier_case(
+        self, plan: LogicalPlan, scans: list[LogicalScan]
+    ) -> None:
+        """Rewrite table and column references to canonical spelling.
+
+        Exact matches always win; otherwise a reference resolves to the
+        unique case-insensitive match (a missing or ambiguous reference
+        is left untouched and fails downstream exactly as it would have
+        before this pass existed). Scans are fixed in place first so
+        column resolution sees the canonical schemas.
+        """
+        for scan in scans:
+            if not self.catalog.table_exists(scan.database, scan.table):
+                wanted = (scan.database.lower(), scan.table.lower())
+                matches = [
+                    info
+                    for info in self.catalog.list_tables()
+                    if (info.database.lower(), info.name.lower()) == wanted
+                ]
+                if len(matches) == 1:
+                    scan.database = matches[0].database
+                    scan.table = matches[0].name
+        prefix_map: dict[str, tuple[str, LogicalScan]] = {}
+        for scan in scans:
+            prefix = scan.alias or scan.table
+            prefix_map.setdefault(prefix.lower(), (prefix, scan))
+
+        def canonical_column(scan: LogicalScan, name: str) -> str | None:
+            if not self.catalog.table_exists(scan.database, scan.table):
+                return None
+            schema_names = self.catalog.get_table(
+                scan.database, scan.table
+            ).schema.names
+            if name in schema_names:
+                return name
+            matches = [n for n in schema_names if n.lower() == name.lower()]
+            return matches[0] if len(matches) == 1 else None
+
+        def rewrite(node: Expression) -> Expression | None:
+            if not isinstance(node, Column):
+                return None
+            name = node.name
+            if "." in name:
+                prefix, rest = name.split(".", 1)
+                hit = prefix_map.get(prefix.lower())
+                if hit is None:
+                    return None
+                canon_prefix, scan = hit
+                canon_col = canonical_column(scan, rest) or rest
+                new_name = f"{canon_prefix}.{canon_col}"
+                return Column(new_name) if new_name != name else None
+            candidates: set[str] = set()
+            for scan in scans:
+                canon = canonical_column(scan, name)
+                if canon == name:
+                    return None  # exact match somewhere: leave it
+                if canon is not None:
+                    candidates.add(canon)
+            if len(candidates) == 1:
+                return Column(candidates.pop())
+            return None
+
+        from .expressions import transform
+
+        _map_expressions(plan, lambda expr: transform(expr, rewrite))
 
     # ------------------------------------------------------------------
     # star expansion
@@ -380,6 +457,23 @@ def _collect_scans(plan: LogicalPlan) -> list[LogicalScan]:
     return out
 
 
+def _map_expressions(plan: LogicalPlan, fn) -> None:
+    """Apply ``fn`` to every expression of the plan tree, in place."""
+    if isinstance(plan, LogicalFilter):
+        plan.condition = fn(plan.condition)
+    elif isinstance(plan, LogicalProject):
+        plan.expressions = [fn(e) for e in plan.expressions]
+    elif isinstance(plan, LogicalAggregate):
+        plan.group_keys = [fn(e) for e in plan.group_keys]
+        plan.output = [fn(e) for e in plan.output]
+    elif isinstance(plan, LogicalSort):
+        plan.keys = [SortKey(fn(k.expression), k.ascending) for k in plan.keys]
+    elif isinstance(plan, LogicalJoin):
+        plan.condition = fn(plan.condition)
+    for child in plan.children():
+        _map_expressions(child, fn)
+
+
 def _all_expressions(plan: LogicalPlan):
     if isinstance(plan, LogicalFilter):
         yield plan.condition
@@ -494,9 +588,11 @@ def _resolve_keys_against_output(
     """Rewrite sort keys to output-column references where possible."""
     by_sql: dict[str, str] = {}
     names: set[str] = set()
+    names_lower: dict[str, list[str]] = {}
     for expr in outputs:
         name = expr.output_name()
         names.add(name)
+        names_lower.setdefault(name.lower(), []).append(name)
         target = expr.child if isinstance(expr, Alias) else expr
         by_sql[target.sql()] = name
     resolved: list[SortKey] = []
@@ -506,6 +602,13 @@ def _resolve_keys_against_output(
         if isinstance(expr, Column) and expr.name in names:
             resolved.append(key)
             continue
+        if isinstance(expr, Column):
+            # Case-insensitive fallback, matching the analyzer's
+            # identifier resolution (unique matches only).
+            candidates = names_lower.get(expr.name.lower(), [])
+            if len(candidates) == 1:
+                resolved.append(SortKey(Column(candidates[0]), key.ascending))
+                continue
         name = by_sql.get(expr.sql())
         if name is not None:
             resolved.append(SortKey(Column(name), key.ascending))

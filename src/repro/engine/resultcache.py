@@ -1,0 +1,697 @@
+"""Semantic result cache: canonicalize recurring queries, reuse rows.
+
+The paper's trace analysis found 82% of raw-data queries recurring
+daily or weekly. The plan cache (:mod:`repro.engine.plancache`) removes
+re-planning from those recurrences; this module removes re-*execution*:
+the finished rows of a query are stored under a semantic key, and a
+recurrence — even one reformatted, recased, re-aliased or with its
+predicates reordered — is answered from memory.
+
+Three pieces:
+
+**Canonicalizer.** A rule-based normalizer over the parsed (and
+identifier-resolved) statement. It renders the logical plan to a
+canonical structural text in which keyword case is gone (everything is
+rendered lowercase), table aliases are positional (``t0``, ``t1``…),
+output aliases are stripped, commutative predicate chains (AND/OR,
+IN lists, ``=``/``!=`` operands) are ordered deterministically, and
+literals are replaced by placeholders whose values move into a separate
+*parameter vector*. Semantically equivalent statements therefore share
+one canonical fingerprint; statements differing only in literal values
+share the fingerprint (for recurrence statistics) but not the cache key.
+
+**Result store.** Entries hold final result sets, and — for queries
+shaped ``scan → filter → project`` — double as *intermediate* results:
+a recurrence that adds only ``ORDER BY``/``LIMIT`` on top of a cached
+prefix is served by replaying the engine's exact sort/limit semantics
+(:func:`repro.engine.physical._sort_token`, stable right-to-left) over
+the cached rows. Keys embed the same catalog-version and plan-modifier
+tokens the plan cache uses, so DDL, data appends, cache-generation
+swaps and circuit-breaker transitions all invalidate by key mismatch.
+
+**Benefit-based admission.** Candidates are scored Maxson-style by
+acceleration per byte — (observed execution seconds saved × recurrence
+count from the session's trace statistics) / result bytes — and compete
+for space with the plan and document caches under one shared
+:class:`~repro.engine.cachebudget.CacheLedger` byte budget: a candidate
+is admitted only if it fits the remaining budget or out-scores the
+lowest-value resident entries, which are then evicted.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from .cachebudget import CacheLedger
+from .errors import EngineError
+from .expressions import (
+    AggregateCall,
+    Alias,
+    Between,
+    BinaryOp,
+    CastExpr,
+    Column,
+    Expression,
+    InList,
+    Literal,
+    UnaryOp,
+)
+from .functions import FunctionCall
+from .logical import (
+    LogicalAggregate,
+    LogicalFilter,
+    LogicalJoin,
+    LogicalLimit,
+    LogicalPlan,
+    LogicalProject,
+    LogicalScan,
+    LogicalSort,
+)
+from .physical import _sort_token
+from .plancache import fingerprint
+from .planner import _resolve_keys_against_output
+from .sqlparser import Star, parse_sql
+
+__all__ = ["CanonicalStatement", "ResultCache", "canonicalize"]
+
+
+class _Uncanonical(Exception):
+    """Raised internally when a statement cannot be canonicalized."""
+
+
+# ----------------------------------------------------------------------
+# canonicalization
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CanonicalStatement:
+    """The semantic identity of one parsed statement.
+
+    ``text`` + ``params`` identify the statement (together with the
+    session's catalog/modifier tokens); ``text`` alone is the
+    *fingerprint* under which recurrence statistics accumulate, so two
+    recurrences with different literal values still count toward the
+    same query template's popularity.
+    """
+
+    text: str
+    params: tuple
+    #: Output column names in select-list order, or ``None`` when the
+    #: statement is not alias-remappable (``*`` in the select list, or
+    #: duplicate output names); non-remappable results are stored and
+    #: served verbatim, with the alias pattern folded into ``params``.
+    output_names: tuple[str, ...] | None
+    #: Canonical text of the shared scan→filter→project prefix when the
+    #: statement decomposes as prefix + ORDER BY/LIMIT; ``None`` otherwise.
+    prefix_text: str | None = None
+    #: ``(output column, ascending)`` sort keys to replay over cached
+    #: prefix rows (empty tuple = no sort, limit only).
+    suffix_sort: tuple[tuple[str, bool], ...] = ()
+    suffix_limit: int | None = None
+
+    @property
+    def is_bare_prefix(self) -> bool:
+        """True when the statement *is* its own prefix (its final rows
+        double as the shared intermediate, in scan order)."""
+        return self.prefix_text is not None and self.prefix_text == self.text
+
+
+class _Renderer:
+    """Renders expressions to canonical text, optionally binding literals.
+
+    ``params=None`` renders literals inline (used to order commutative
+    operands deterministically, literal values included); a list collects
+    ``(type_name, value)`` pairs while the rendering emits ``?``. Type
+    names keep ``1``/``1.0``/``True`` distinct even though Python hashes
+    them equal.
+    """
+
+    def __init__(self, alias_map: dict[str, str], params: list | None) -> None:
+        self.alias_map = alias_map
+        self.params = params
+
+    def _inline(self) -> "_Renderer":
+        return _Renderer(self.alias_map, None)
+
+    def expr(self, e: Expression) -> str:
+        if isinstance(e, Alias):
+            return self.expr(e.child)  # output aliases are not identity
+        if isinstance(e, Column):
+            return self._column(e)
+        if isinstance(e, Literal):
+            if self.params is None:
+                return f"{type(e.value).__name__}:{e.value!r}"
+            self.params.append((type(e.value).__name__, e.value))
+            return "?"
+        if isinstance(e, Star):
+            return "*"
+        if isinstance(e, BinaryOp):
+            return self._binary(e)
+        if isinstance(e, UnaryOp):
+            return f"({e.op} {self.expr(e.child)})"
+        if isinstance(e, CastExpr):
+            return f"cast({self.expr(e.child)} as {e.target})"
+        if isinstance(e, InList):
+            return self._in_list(e)
+        if isinstance(e, Between):
+            return (
+                f"({self.expr(e.child)} between "
+                f"{self.expr(e.low)} and {self.expr(e.high)})"
+            )
+        if isinstance(e, AggregateCall):
+            inner = self.expr(e.argument) if e.argument is not None else "*"
+            prefix = "distinct " if e.distinct else ""
+            return f"{e.func}({prefix}{inner})"
+        if isinstance(e, FunctionCall):
+            args = ", ".join(self.expr(a) for a in e.arguments)
+            return f"{e.name.lower()}({args})"
+        # ExtractionCall subclasses (get_json_object / get_xml_object)
+        # carry their path as data; render it verbatim but fold the
+        # column reference.
+        from .expressions import ExtractionCall
+
+        if isinstance(e, ExtractionCall):
+            return f"{e.function_name}({self.expr(e.column)}, '{e.path}')"
+        raise _Uncanonical(type(e).__name__)
+
+    def _column(self, e: Column) -> str:
+        name = e.name
+        if "." in name:
+            prefix, rest = name.split(".", 1)
+            tag = self.alias_map.get(prefix.lower())
+            if tag is not None:
+                return f"{tag}.{rest.lower()}"
+        return name.lower()
+
+    def _ordered(self, operands: list[Expression]) -> list[Expression]:
+        """Order commutative operands by their literal-inclusive inline
+        rendering, so reordered predicates bind parameters identically."""
+        inline = self._inline()
+        return sorted(operands, key=inline.expr)
+
+    def _binary(self, e: BinaryOp) -> str:
+        if e.op in ("and", "or"):
+            operands = self._ordered(_flatten(e.op, e))
+            parts = [self.expr(op) for op in operands]
+            return "(" + f" {e.op} ".join(parts) + ")"
+        if e.op in ("=", "!="):
+            left, right = self._ordered([e.left, e.right])
+            return f"({self.expr(left)} {e.op} {self.expr(right)})"
+        return f"({self.expr(e.left)} {e.op} {self.expr(e.right)})"
+
+    def _in_list(self, e: InList) -> str:
+        options = self._ordered(list(e.options))
+        inner = ", ".join(self.expr(o) for o in options)
+        return f"({self.expr(e.child)} in ({inner}))"
+
+
+def _flatten(op: str, e: Expression) -> list[Expression]:
+    if isinstance(e, BinaryOp) and e.op == op:
+        return _flatten(op, e.left) + _flatten(op, e.right)
+    return [e]
+
+
+def _collect_scans(plan: LogicalPlan) -> list[LogicalScan]:
+    if isinstance(plan, LogicalScan):
+        return [plan]
+    out: list[LogicalScan] = []
+    for child in plan.children():
+        out.extend(_collect_scans(child))
+    return out
+
+
+def _render_plan(node: LogicalPlan, r: _Renderer) -> str:
+    """Structural canonical text for a logical plan (not SQL — a
+    deterministic, unambiguous encoding keyed on plan shape)."""
+    if isinstance(node, LogicalScan):
+        prefix = (node.alias or node.table).lower()
+        tag = r.alias_map.get(prefix, prefix)
+        return f"scan({node.database.lower()}.{node.table.lower()}@{tag})"
+    if isinstance(node, LogicalJoin):
+        left = _render_plan(node.left, r)
+        right = _render_plan(node.right, r)
+        return f"join({left},{right},on={r.expr(node.condition)})"
+    if isinstance(node, LogicalFilter):
+        return f"filter({_render_plan(node.child, r)},{r.expr(node.condition)})"
+    if isinstance(node, LogicalProject):
+        cols = ",".join(r.expr(e) for e in node.expressions)
+        return f"project({_render_plan(node.child, r)},[{cols}])"
+    if isinstance(node, LogicalAggregate):
+        keys = ",".join(r.expr(e) for e in node.group_keys)
+        outs = ",".join(r.expr(e) for e in node.output)
+        return f"agg({_render_plan(node.child, r)},keys=[{keys}],out=[{outs}])"
+    if isinstance(node, LogicalSort):
+        keys = ",".join(
+            f"{r.expr(k.expression)} {'asc' if k.ascending else 'desc'}"
+            for k in node.keys
+        )
+        return f"sort({_render_plan(node.child, r)},[{keys}])"
+    if isinstance(node, LogicalLimit):
+        return f"limit({_render_plan(node.child, r)},{node.count})"
+    raise _Uncanonical(type(node).__name__)
+
+
+def _select_items(plan: LogicalPlan) -> list[Expression] | None:
+    """The select list of the outermost projecting node, if reachable."""
+    node = plan
+    while isinstance(node, (LogicalLimit, LogicalSort, LogicalFilter)):
+        node = node.child  # type: ignore[assignment]
+    if isinstance(node, LogicalProject):
+        return node.expressions
+    if isinstance(node, LogicalAggregate):
+        return node.output
+    return None
+
+
+def canonicalize(sql: str, planner) -> CanonicalStatement | None:
+    """Canonicalize one statement, or ``None`` when it cannot be.
+
+    ``planner`` supplies the identifier-case resolution pass (the same
+    analyzer step real planning runs first), so canonical output names
+    match the names execution will actually produce. Parse or analysis
+    failures return ``None`` — the caller falls through to the normal
+    path, which raises the real error.
+    """
+    try:
+        logical = parse_sql(sql)
+    except EngineError:
+        return None
+    scans = _collect_scans(logical)
+    if not scans:
+        return None
+    try:
+        planner._resolve_identifier_case(logical, scans)
+    except EngineError:
+        return None
+    alias_map: dict[str, str] = {}
+    for index, scan in enumerate(scans):
+        prefix = (scan.alias or scan.table).lower()
+        if prefix in alias_map:
+            return None  # ambiguous prefixes: leave the statement alone
+        alias_map[prefix] = f"t{index}"
+    params: list = []
+    renderer = _Renderer(alias_map, params)
+    try:
+        return _canonical_from(logical, renderer, params)
+    except _Uncanonical:
+        return None
+
+
+def _canonical_from(
+    logical: LogicalPlan, renderer: _Renderer, params: list
+) -> CanonicalStatement:
+    items = _select_items(logical)
+    if items is None:
+        raise _Uncanonical("no select list")
+    names = tuple(e.output_name() for e in items if not isinstance(e, Star))
+    remappable = (
+        len(names) == len(items) and len(set(names)) == len(names)
+    )
+    # Decompose prefix + ORDER BY/LIMIT before rendering so both the
+    # full text and the prefix text come from one parameter binding.
+    node = logical
+    limit: int | None = None
+    sort_keys = None
+    if isinstance(node, LogicalLimit):
+        limit = node.count
+        node = node.child
+    if isinstance(node, LogicalSort):
+        sort_keys = node.keys
+        node = node.child
+    decomposable = (
+        remappable
+        and (limit is not None or sort_keys is not None)
+        and isinstance(node, LogicalProject)
+        and (
+            isinstance(node.child, LogicalScan)
+            or (
+                isinstance(node.child, LogicalFilter)
+                and isinstance(node.child.child, LogicalScan)
+            )
+        )
+    )
+    suffix_sort: tuple[tuple[str, bool], ...] = ()
+    sort_positions: list[tuple[int, bool]] = []
+    if decomposable and sort_keys is not None:
+        positions = {name: i for i, name in enumerate(names)}
+        resolved, ok = _resolve_keys_against_output(sort_keys, node.expressions)
+        if ok and all(
+            isinstance(k.expression, Column) and k.expression.name in positions
+            for k in resolved
+        ):
+            suffix_sort = tuple(
+                (k.expression.name, k.ascending) for k in resolved
+            )
+            sort_positions = [
+                (positions[k.expression.name], k.ascending) for k in resolved
+            ]
+        else:
+            decomposable = False  # sort runs below the projection
+    bare_prefix = (
+        remappable
+        and limit is None
+        and sort_keys is None
+        and isinstance(logical, LogicalProject)
+        and (
+            isinstance(logical.child, LogicalScan)
+            or (
+                isinstance(logical.child, LogicalFilter)
+                and isinstance(logical.child.child, LogicalScan)
+            )
+        )
+    )
+    if decomposable:
+        prefix_text = _render_plan(node, renderer)
+        text = prefix_text
+        if sort_keys is not None:
+            # Positional sort keys: sorting by an output column is the
+            # same statement whatever that column was aliased to.
+            keys = ",".join(
+                f"#{position} {'asc' if asc else 'desc'}"
+                for position, asc in sort_positions
+            )
+            text = f"sort({text},[{keys}])"
+        if limit is not None:
+            text = f"limit({text},{limit})"
+    else:
+        text = _render_plan(logical, renderer)
+        prefix_text = text if bare_prefix else None
+    out_params: tuple = tuple(params)
+    output_names: tuple[str, ...] | None = names if remappable else None
+    if not remappable:
+        # Alias patterns are identity for verbatim-served statements:
+        # the stored rows carry the producing statement's names.
+        markers = tuple(
+            "*" if isinstance(e, Star) else e.output_name() for e in items
+        )
+        out_params = out_params + ("__names__",) + markers
+    return CanonicalStatement(
+        text=text,
+        params=out_params,
+        output_names=output_names,
+        prefix_text=prefix_text,
+        suffix_sort=suffix_sort,
+        suffix_limit=limit,
+    )
+
+
+# ----------------------------------------------------------------------
+# the store
+# ----------------------------------------------------------------------
+def _estimate_bytes(rows) -> int:
+    """Cheap deterministic size estimate of a result set (rows may be
+    dicts or tuples). Accuracy matters less than monotonicity: bigger
+    results must cost more budget."""
+    total = 0
+    for row in rows:
+        total += 80
+        values = row.values() if isinstance(row, dict) else row
+        for value in values:
+            if value is None:
+                total += 8
+            elif isinstance(value, (bool, int, float)):
+                total += 32
+            elif isinstance(value, str):
+                total += 56 + len(value)
+            else:
+                total += 56 + len(repr(value))
+    return total
+
+
+@dataclass
+class _Entry:
+    key: tuple
+    canonical_text: str
+    nbytes: int
+    cost_seconds: float
+    referenced_paths: tuple
+    plan: object
+    is_prefix: bool
+    #: Remappable storage: values per select item, in select-list order.
+    tuples: list[tuple] | None = None
+    #: Verbatim storage (non-remappable statements).
+    rows: list[dict] | None = None
+    hits: int = 0
+
+
+@dataclass
+class ResultCacheStats:
+    hits: int = 0
+    intermediate_hits: int = 0
+    misses: int = 0
+    admissions: int = 0
+    rejections: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+
+_MEMO_CAPACITY = 512
+_RECURRENCE_CAPACITY = 4096
+
+
+class ResultCache:
+    """Thread-safe semantic result store under a shared byte ledger."""
+
+    def __init__(
+        self,
+        ledger: CacheLedger | None = None,
+        capacity: int = 256,
+    ) -> None:
+        if capacity < 0:
+            raise ValueError(f"result cache capacity must be >= 0, got {capacity}")
+        self.ledger = ledger if ledger is not None else CacheLedger()
+        self.capacity = capacity
+        self.stats_counters = ResultCacheStats()
+        self._entries: dict[tuple, _Entry] = {}
+        #: canonical fingerprint -> times seen (the recurrence estimate).
+        self._recurrence: dict[str, int] = {}
+        #: (sql fingerprint, catalog version) -> CanonicalStatement | None
+        self._memo: dict[tuple, CanonicalStatement | None] = {}
+        self._lock = threading.RLock()
+
+    # -- canonicalization (memoized per catalog version) ----------------
+    def canonicalize(
+        self, sql: str, planner, catalog_version: int
+    ) -> CanonicalStatement | None:
+        memo_key = (fingerprint(sql), catalog_version)
+        with self._lock:
+            if memo_key in self._memo:
+                self._memo[memo_key] = self._memo.pop(memo_key)  # LRU touch
+                return self._memo[memo_key]
+        canonical = canonicalize(sql, planner)
+        with self._lock:
+            while len(self._memo) >= _MEMO_CAPACITY:
+                self._memo.pop(next(iter(self._memo)))
+            self._memo[memo_key] = canonical
+        return canonical
+
+    def note_recurrence(self, canonical_text: str) -> int:
+        """Record one observation of a canonical fingerprint; returns the
+        updated recurrence count (the admission-time benefit multiplier)."""
+        with self._lock:
+            count = self._recurrence.pop(canonical_text, 0) + 1
+            while len(self._recurrence) >= _RECURRENCE_CAPACITY:
+                self._recurrence.pop(next(iter(self._recurrence)))
+            self._recurrence[canonical_text] = count
+            return count
+
+    # -- lookup ---------------------------------------------------------
+    def fetch(
+        self,
+        key: tuple,
+        canonical: CanonicalStatement,
+        prefix_key: tuple | None = None,
+    ):
+        """Serve ``key`` (or its prefix) if cached.
+
+        Returns ``(rows, entry, from_intermediate)`` or ``None``. Rows
+        are freshly-built dicts carrying the *caller's* output names, so
+        a recurrence that only renamed its aliases still reads correctly
+        labelled columns.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries[key] = self._entries.pop(key)  # LRU touch
+                self.stats_counters.hits += 1
+                entry.hits += 1
+                return self._build_rows(entry, canonical), entry, False
+            if prefix_key is not None:
+                prefix = self._entries.get(prefix_key)
+                if (
+                    prefix is not None
+                    and prefix.is_prefix
+                    and prefix.tuples is not None
+                    and canonical.output_names is not None
+                ):
+                    self._entries[prefix_key] = self._entries.pop(prefix_key)
+                    self.stats_counters.hits += 1
+                    self.stats_counters.intermediate_hits += 1
+                    prefix.hits += 1
+                    rows = [
+                        dict(zip(canonical.output_names, values))
+                        for values in prefix.tuples
+                    ]
+                    rows = _apply_suffix(rows, canonical)
+                    return rows, prefix, True
+            self.stats_counters.misses += 1
+            return None
+
+    def peek(self, key: tuple, prefix_key: tuple | None = None) -> bool:
+        """Counter-free presence check (traced queries record the
+        decision without consuming or skewing hit statistics)."""
+        with self._lock:
+            if key in self._entries:
+                return True
+            if prefix_key is not None:
+                prefix = self._entries.get(prefix_key)
+                return prefix is not None and prefix.is_prefix
+            return False
+
+    def _build_rows(
+        self, entry: _Entry, canonical: CanonicalStatement
+    ) -> list[dict]:
+        if entry.tuples is not None and canonical.output_names is not None:
+            names = canonical.output_names
+            return [dict(zip(names, values)) for values in entry.tuples]
+        if entry.rows is not None:
+            return [dict(row) for row in entry.rows]
+        # Remappable entry fetched by a statement whose own canonical
+        # lost its names — cannot happen for matching keys, but fail
+        # safe by rebuilding verbatim from tuples with stored order.
+        return [dict(row) for row in (entry.rows or [])]
+
+    # -- admission ------------------------------------------------------
+    def admit(
+        self,
+        key: tuple,
+        canonical: CanonicalStatement,
+        rows: list[dict],
+        cost_seconds: float,
+        referenced_paths=(),
+        plan: object = None,
+    ) -> bool:
+        """Benefit-scored admission; True when the entry was stored."""
+        if self.capacity == 0:
+            with self._lock:
+                self.stats_counters.rejections += 1
+            return False
+        tuples: list[tuple] | None = None
+        verbatim: list[dict] | None = None
+        if canonical.output_names is not None:
+            names = canonical.output_names
+            try:
+                tuples = [tuple(row[n] for n in names) for row in rows]
+            except KeyError:
+                # Output names drifted from executed row keys (defensive:
+                # should not happen post identifier resolution).
+                with self._lock:
+                    self.stats_counters.rejections += 1
+                return False
+            nbytes = _estimate_bytes(tuples)
+        else:
+            verbatim = [dict(row) for row in rows]
+            nbytes = _estimate_bytes(verbatim)
+        with self._lock:
+            recurrence = self._recurrence.get(canonical.text, 1)
+            score = _score(cost_seconds, recurrence, nbytes)
+            budget = self.ledger.budget
+            if budget is not None and nbytes > budget:
+                self.stats_counters.rejections += 1
+                return False
+            if key in self._entries:
+                self._evict_locked(key, count=False)
+            while self._entries and (
+                len(self._entries) >= self.capacity
+                or self.ledger.over_budget(nbytes)
+            ):
+                victim_key, victim = min(
+                    self._entries.items(),
+                    key=lambda item: self._score_of(item[1]),
+                )
+                if self._score_of(victim) >= score:
+                    self.stats_counters.rejections += 1
+                    return False
+                self._evict_locked(victim_key)
+            if self.ledger.over_budget(nbytes):
+                # Nothing left to evict and still no room: the other
+                # tiers own the budget right now.
+                self.stats_counters.rejections += 1
+                return False
+            entry = _Entry(
+                key=key,
+                canonical_text=canonical.text,
+                nbytes=nbytes,
+                cost_seconds=cost_seconds,
+                referenced_paths=tuple(referenced_paths),
+                plan=plan,
+                is_prefix=canonical.is_bare_prefix,
+                tuples=tuples,
+                rows=verbatim,
+            )
+            self._entries[key] = entry
+            self.ledger.charge("result", nbytes)
+            self.stats_counters.admissions += 1
+            return True
+
+    def _score_of(self, entry: _Entry) -> float:
+        recurrence = self._recurrence.get(entry.canonical_text, 1)
+        return _score(entry.cost_seconds, recurrence, entry.nbytes)
+
+    def _evict_locked(self, key: tuple, count: bool = True) -> None:
+        entry = self._entries.pop(key)
+        self.ledger.release("result", entry.nbytes)
+        if count:
+            self.stats_counters.evictions += 1
+
+    # -- maintenance ----------------------------------------------------
+    def clear(self) -> None:
+        """Drop everything (generation swaps, modifier changes)."""
+        with self._lock:
+            self.stats_counters.invalidations += len(self._entries)
+            self.ledger.release(
+                "result", sum(e.nbytes for e in self._entries.values())
+            )
+            self._entries.clear()
+            self._memo.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def bytes_used(self) -> int:
+        with self._lock:
+            return sum(e.nbytes for e in self._entries.values())
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            c = self.stats_counters
+            return {
+                "entries": len(self._entries),
+                "capacity": self.capacity,
+                "bytes": sum(e.nbytes for e in self._entries.values()),
+                "hits": c.hits,
+                "intermediate_hits": c.intermediate_hits,
+                "misses": c.misses,
+                "admissions": c.admissions,
+                "rejections": c.rejections,
+                "evictions": c.evictions,
+                "invalidations": c.invalidations,
+            }
+
+
+def _score(cost_seconds: float, recurrence: int, nbytes: int) -> float:
+    """Benefit density: seconds saved × expected recurrences per byte —
+    the result-set analogue of Maxson's acceleration-per-byte scoring."""
+    return (max(cost_seconds, 0.0) * max(recurrence, 1)) / max(nbytes, 1)
+
+
+def _apply_suffix(rows: list[dict], canonical: CanonicalStatement) -> list[dict]:
+    """Replay ORDER BY/LIMIT over cached prefix rows with the engine's
+    exact semantics: stable right-to-left sorts on
+    :func:`~repro.engine.physical._sort_token`, then the limit slice."""
+    for name, ascending in reversed(canonical.suffix_sort):
+        rows.sort(key=lambda row: _sort_token(row[name]), reverse=not ascending)
+    if canonical.suffix_limit is not None:
+        rows = rows[: canonical.suffix_limit]
+    return rows

@@ -18,8 +18,10 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
+from ..jsonlib.doccache import DEFAULT_DOC_CACHE_BYTES
 from ..jsonlib.jackson import JacksonParser
 from ..storage.fs import BlockFileSystem
+from .cachebudget import CacheLedger
 from .catalog import Catalog
 from .expressions import EvalContext
 from .metrics import QueryMetrics
@@ -27,6 +29,7 @@ from .parallel import parallelize_plan
 from .physical import ExecState, PhysicalPlan
 from .plancache import CachedPlan, PlanCache, fingerprint
 from .planner import PlannedQuery, Planner
+from .resultcache import ResultCache
 from .sqlparser import parse_sql
 
 __all__ = ["QueryResult", "Session"]
@@ -81,6 +84,14 @@ class Session:
     scan_workers: int = 1
     #: Capacity of the recurring-query plan cache; 0 disables it.
     plan_cache_entries: int = 64
+    #: Enables the semantic result cache (final + intermediate result
+    #: reuse across canonically-equivalent recurrences).
+    result_cache_enabled: bool = False
+    #: Entry-count cap of the result cache.
+    result_cache_entries: int = 256
+    #: Unified byte budget shared by the result, plan and document cache
+    #: tiers (see :mod:`repro.engine.cachebudget`). ``None`` = unbudgeted.
+    cache_budget_bytes: int | None = None
 
     def __post_init__(self) -> None:
         if self.execution_mode not in ("batch", "row"):
@@ -97,14 +108,30 @@ class Session:
                 "plan_cache_entries must be >= 0, "
                 f"got {self.plan_cache_entries!r}"
             )
+        if self.result_cache_entries < 0:
+            raise ValueError(
+                "result_cache_entries must be >= 0, "
+                f"got {self.result_cache_entries!r}"
+            )
+        if self.cache_budget_bytes is not None and self.cache_budget_bytes < 0:
+            raise ValueError(
+                "cache_budget_bytes must be >= 0, "
+                f"got {self.cache_budget_bytes!r}"
+            )
         if self.catalog is None:
             self.catalog = Catalog(self.fs)
         self.planner = Planner(self.catalog)
         self._plan_modifiers: list = []
         self._lock = threading.RLock()
+        self.cache_ledger = CacheLedger(budget=self.cache_budget_bytes)
         self._plan_cache: PlanCache | None = (
-            PlanCache(self.plan_cache_entries)
+            PlanCache(self.plan_cache_entries, ledger=self.cache_ledger)
             if self.plan_cache_entries > 0
+            else None
+        )
+        self._result_cache: ResultCache | None = (
+            ResultCache(self.cache_ledger, capacity=self.result_cache_entries)
+            if self.result_cache_enabled
             else None
         )
         self._scan_pool: ThreadPoolExecutor | None = None
@@ -125,6 +152,10 @@ class Session:
         with self._lock:
             if modifier not in self._plan_modifiers:
                 self._plan_modifiers.append(modifier)
+                # The plan cache must drop instrumented plans outright;
+                # the result cache keys on modifier tokens, so entries
+                # from other modifier configurations stay valid (and a
+                # token-less modifier bypasses it entirely).
                 self.invalidate_plan_cache()
 
     def remove_plan_modifier(self, modifier) -> None:
@@ -164,6 +195,66 @@ class Session:
             }
         return self._plan_cache.stats()
 
+    # ------------------------------------------------------------------
+    # result cache
+    # ------------------------------------------------------------------
+    def invalidate_result_cache(self) -> None:
+        """Drop every cached result (generation swaps, modifier changes).
+
+        Keys already embed catalog/modifier tokens, so this is about
+        releasing budget bytes promptly, not correctness."""
+        if getattr(self, "_result_cache", None) is not None:
+            self._result_cache.clear()
+
+    def configure_result_cache(
+        self, enabled: bool, entries: int | None = None
+    ) -> None:
+        """Enable, resize or disable the semantic result cache."""
+        with self._lock:
+            if entries is not None:
+                if entries < 0:
+                    raise ValueError(
+                        f"result_cache_entries must be >= 0, got {entries!r}"
+                    )
+                self.result_cache_entries = entries
+            if self._result_cache is not None:
+                self._result_cache.clear()
+            self.result_cache_enabled = enabled
+            self._result_cache = (
+                ResultCache(
+                    self.cache_ledger, capacity=self.result_cache_entries
+                )
+                if enabled
+                else None
+            )
+
+    def configure_cache_budget(self, budget_bytes: int | None) -> None:
+        """Set (or clear) the unified byte budget for all cache tiers."""
+        if budget_bytes is not None and budget_bytes < 0:
+            raise ValueError(
+                f"cache_budget_bytes must be >= 0, got {budget_bytes!r}"
+            )
+        with self._lock:
+            self.cache_budget_bytes = budget_bytes
+            self.cache_ledger.budget = budget_bytes
+
+    def result_cache_stats(self) -> dict[str, int]:
+        """Counters of the result cache (all zero when disabled)."""
+        if self._result_cache is None:
+            return {
+                "entries": 0,
+                "capacity": 0,
+                "bytes": 0,
+                "hits": 0,
+                "intermediate_hits": 0,
+                "misses": 0,
+                "admissions": 0,
+                "rejections": 0,
+                "evictions": 0,
+                "invalidations": 0,
+            }
+        return self._result_cache.stats()
+
     def _morsel_pool(self) -> ThreadPoolExecutor | None:
         """The shared split-worker pool (rebuilt if ``scan_workers``
         changed); None when the session is serial."""
@@ -187,6 +278,12 @@ class Session:
         context = EvalContext(parser=self.parser_factory())
         if self.projection_parser_factory is not None:
             context.projection_parser = self.projection_parser_factory()
+        # Under a unified budget the per-query document cache may not
+        # exceed the whole allowance on its own.
+        if self.cache_ledger.budget is not None:
+            context.doc_cache_bytes = min(
+                DEFAULT_DOC_CACHE_BYTES, self.cache_ledger.budget
+            )
         return context
 
     def _make_state(self, tracer=None) -> ExecState:
@@ -321,9 +418,50 @@ class Session:
             raise ValueError(
                 f"execution_mode must be 'batch' or 'row', got {mode!r}"
             )
+        # -- semantic result cache -------------------------------------
+        # Canonicalize first: the canonical fingerprint + parameter
+        # vector + (catalog version, modifier tokens) is the result key.
+        # Execution mode is deliberately absent from the key — row,
+        # batch and morsel-parallel execution return identical rows, so
+        # a result produced by any mode serves all of them.
+        rcache = self._result_cache
+        canonical = None
+        result_key = None
+        prefix_key = None
+        if rcache is not None:
+            _, tokens = self._modifier_snapshot()
+            if tokens is not None:  # unkeyed modifiers bypass, like plans
+                canonical = rcache.canonicalize(
+                    sql, self.planner, self.catalog.version
+                )
+            if canonical is not None:
+                version = self.catalog.version
+                result_key = (canonical.text, canonical.params, version, tokens)
+                if canonical.prefix_text is not None:
+                    prefix_key = (
+                        canonical.prefix_text, canonical.params, version, tokens
+                    )
+                rcache.note_recurrence(canonical.text)
+        result_cache_missed = False
+        if result_key is not None and tracer is None:
+            served = self._serve_cached_result(result_key, prefix_key, canonical)
+            if served is not None:
+                return served
+            result_cache_missed = True
         query_span = (
             tracer.begin("query", mode=mode) if tracer is not None else None
         )
+        if tracer is not None and result_key is not None:
+            # Traced queries never serve from the result cache (EXPLAIN
+            # ANALYZE must show a real execution) but still record the
+            # decision as a span.
+            would_hit = rcache.peek(result_key, prefix_key)
+            with tracer.span(
+                "result_cache",
+                decision="bypass_traced" if would_hit else "miss",
+                cached=would_hit,
+            ):
+                pass
         planned, state, plan_seconds = self._prepare(sql, tracer=tracer)
         started = time.perf_counter()
         if tracer is None:
@@ -356,6 +494,44 @@ class Session:
                 metrics.parse_seconds += extra_parser.stats.seconds
                 metrics.parse_documents += extra_parser.stats.documents
                 metrics.parse_bytes += extra_parser.stats.bytes_scanned
+        self._observe_document_tier(state)
+        # -- result-cache admission ------------------------------------
+        # A query that degraded (any split answered by raw-parse
+        # fallback) may hold an incomplete or stale-shaped answer; it is
+        # never admitted. Failed queries never reach this point.
+        if result_key is not None:
+            if result_cache_missed:
+                metrics.extra["result_cache_misses"] = (
+                    metrics.extra.get("result_cache_misses", 0) + 1
+                )
+            degraded = metrics.extra.get("degraded_splits", 0)
+            if degraded == 0:
+                admitted = rcache.admit(
+                    result_key,
+                    canonical,
+                    rows,
+                    cost_seconds=plan_seconds + total,
+                    referenced_paths=planned.referenced_json_paths,
+                    plan=planned.physical,
+                )
+                counter = (
+                    "result_cache_admissions"
+                    if admitted
+                    else "result_cache_rejections"
+                )
+                metrics.extra[counter] = metrics.extra.get(counter, 0) + 1
+                if tracer is not None:
+                    with tracer.span(
+                        "result_cache_admission", admitted=admitted
+                    ):
+                        pass
+            elif tracer is not None:
+                with tracer.span(
+                    "result_cache_admission",
+                    admitted=False,
+                    reason="degraded_splits",
+                ):
+                    pass
         with self._lock:
             self.session_metrics.merge(metrics)
         trace_root = None
@@ -377,6 +553,46 @@ class Session:
             trace=trace_root,
             referenced_json_paths=planned.referenced_json_paths,
         )
+
+    def _serve_cached_result(
+        self, key: tuple, prefix_key: tuple | None, canonical
+    ) -> QueryResult | None:
+        """Answer a query from the result cache, or None on a miss."""
+        started = time.perf_counter()
+        found = self._result_cache.fetch(key, canonical, prefix_key)
+        if found is None:
+            return None
+        rows, entry, from_intermediate = found
+        metrics = QueryMetrics()
+        metrics.rows_output = len(rows)
+        metrics.total_seconds = time.perf_counter() - started
+        metrics.extra["result_cache_hits"] = 1
+        if from_intermediate:
+            metrics.extra["result_cache_intermediate_hits"] = 1
+        with self._lock:
+            self.session_metrics.merge(metrics)
+        return QueryResult(
+            rows=rows,
+            metrics=metrics,
+            plan=entry.plan,
+            referenced_json_paths=list(entry.referenced_paths),
+        )
+
+    def _observe_document_tier(self, state: ExecState) -> None:
+        """Publish the document cache's bytes to the unified ledger.
+
+        The document cache is per-query and dies with its context; the
+        ledger keeps the last observation so the ``document`` tier shows
+        up in occupancy gauges and constrains result-cache admission
+        within the same query's accounting window."""
+        observed = 0
+        for cache in (
+            state.context.json_documents,
+            state.context.xml_documents,
+        ):
+            if cache is not None:
+                observed += cache.current_bytes
+        self.cache_ledger.set_tier("document", observed)
 
     def explain_analyze(
         self, sql: str, execution_mode: str | None = None

@@ -80,6 +80,18 @@ class ServerConfig:
     SQL fingerprints). 0 disables plan caching. ``None`` inherits the
     wrapped system's setting."""
 
+    result_cache: bool | None = None
+    """Enable the semantic result cache (canonicalized recurring
+    statements replay their result set; see
+    :mod:`repro.engine.resultcache`). ``None`` inherits the wrapped
+    system's setting (itself defaulting to off)."""
+
+    cache_budget_bytes: int | None = None
+    """Unified byte budget shared by the result, plan and document cache
+    tiers (one :class:`~repro.engine.cachebudget.CacheLedger` account).
+    ``None`` inherits the wrapped session's setting (unlimited by
+    default)."""
+
     trace_dir: str | None = None
     """Directory for JSONL trace export. When set, every query and every
     midnight cycle records a span tree and appends it to
@@ -121,5 +133,7 @@ class ServerConfig:
             raise ValueError("scan_workers must be >= 1")
         if self.plan_cache_entries is not None and self.plan_cache_entries < 0:
             raise ValueError("plan_cache_entries must be >= 0")
+        if self.cache_budget_bytes is not None and self.cache_budget_bytes < 0:
+            raise ValueError("cache_budget_bytes must be >= 0")
         if self.slow_query_seconds < 0:
             raise ValueError("slow_query_seconds must be >= 0")

@@ -71,6 +71,13 @@ class MaxsonServer:
             self.system.session.configure_plan_cache(
                 self.config.plan_cache_entries
             )
+        if self.config.cache_budget_bytes is not None:
+            self.system.session.configure_cache_budget(
+                self.config.cache_budget_bytes
+            )
+        if self.config.result_cache is not None:
+            self.system.config.result_cache = self.config.result_cache
+            self.system.session.configure_result_cache(self.config.result_cache)
         self.admission = AdmissionController(
             per_tenant_limit=self.config.per_tenant_limit,
             queue_capacity=self.config.queue_capacity,
@@ -148,6 +155,27 @@ class MaxsonServer:
         self._m_plan_cache_misses = self.metrics.counter(
             "plan_cache_misses_total", "Served queries that compiled a fresh plan"
         )
+        self._m_result_cache_hits = self.metrics.counter(
+            "result_cache_hits_total",
+            "Served queries answered from the semantic result cache",
+        )
+        self._m_result_cache_misses = self.metrics.counter(
+            "result_cache_misses_total",
+            "Result-cache-eligible queries that executed in full",
+        )
+        self._m_result_cache_admissions = self.metrics.counter(
+            "result_cache_admissions_total",
+            "Result sets admitted by benefit-based scoring",
+        )
+        self._m_result_cache_rejections = self.metrics.counter(
+            "result_cache_rejections_total",
+            "Result sets rejected by benefit-based admission",
+        )
+        self._m_result_cache_evictions = self.metrics.counter(
+            "result_cache_evictions_total",
+            "Result-cache entries evicted under capacity or byte budget",
+        )
+        self._result_cache_evictions_seen = 0
         self._g_generation = self.metrics.gauge(
             "cache_generation", "Live cache generation number"
         )
@@ -171,6 +199,22 @@ class MaxsonServer:
         )
         self._g_plan_cache_entries = self.metrics.gauge(
             "plan_cache_entries", "Plans currently held by the plan cache"
+        )
+        self._g_result_cache_entries = self.metrics.gauge(
+            "result_cache_entries", "Result sets currently cached"
+        )
+        self._g_cache_tier_bytes = self.metrics.gauge(
+            "cache_tier_bytes",
+            "Byte occupancy of one cache tier in the unified ledger",
+            ("tier",),
+        )
+        self._g_cache_budget_bytes = self.metrics.gauge(
+            "cache_budget_bytes",
+            "Configured unified cache byte budget (0 = unlimited)",
+        )
+        self._g_cache_budget_used = self.metrics.gauge(
+            "cache_budget_used_bytes",
+            "Bytes held by the budgeted cache tiers together",
         )
         self._g_eff_precision = self.metrics.gauge(
             "generation_precision",
@@ -265,6 +309,15 @@ class MaxsonServer:
         plan_misses = int(metrics.extra.get("plan_cache_misses", 0))
         if plan_misses:
             self._m_plan_cache_misses.inc(plan_misses)
+        for extra_key, counter in (
+            ("result_cache_hits", self._m_result_cache_hits),
+            ("result_cache_misses", self._m_result_cache_misses),
+            ("result_cache_admissions", self._m_result_cache_admissions),
+            ("result_cache_rejections", self._m_result_cache_rejections),
+        ):
+            value = int(metrics.extra.get(extra_key, 0))
+            if value:
+                counter.inc(value)
         if (
             self.config.slow_query_seconds > 0
             and elapsed >= self.config.slow_query_seconds
@@ -414,6 +467,8 @@ class MaxsonServer:
             shared_parse_hits=totals.shared_parse_hits,
             tenants=tenants,
             totals=totals.to_dict(),
+            result_cache=dict(summary["result_cache"]),
+            cache_ledger=dict(summary["cache_ledger"]),
             slow_queries=self.logger.snapshot()["slow_queries"],
             cache_efficacy=self.system.efficacy.snapshot(),
             observability=observability,
@@ -447,6 +502,22 @@ class MaxsonServer:
         self._g_plan_cache_entries.set(
             int(self.system.session.plan_cache_stats()["entries"])
         )
+        self._g_result_cache_entries.set(
+            int(status.result_cache.get("entries", 0))
+        )
+        ledger = status.cache_ledger
+        budget = ledger.get("budget_bytes")
+        self._g_cache_budget_bytes.set(int(budget or 0))
+        self._g_cache_budget_used.set(int(ledger.get("total_bytes", 0)))
+        for tier, nbytes in dict(ledger.get("tiers", {})).items():
+            self._g_cache_tier_bytes.set(int(nbytes), tier=tier)
+        # Evictions happen inside the engine (no per-query extra), so the
+        # counter advances by scrape-time delta against the stats total.
+        evictions = int(status.result_cache.get("evictions", 0))
+        delta = evictions - self._result_cache_evictions_seen
+        if delta > 0:
+            self._m_result_cache_evictions.inc(delta)
+        self._result_cache_evictions_seen = evictions
         for record in status.cache_efficacy:
             generation = str(record.get("generation", 0))
             self._g_eff_precision.set(

@@ -74,6 +74,12 @@ class ServerStatus:
     tenants: dict[str, int] = field(default_factory=dict)
     totals: dict[str, object] = field(default_factory=dict)
     slow_queries: int = 0
+    #: :meth:`repro.engine.resultcache.ResultCache.stats` payload (all
+    #: zeros when the result cache is disabled).
+    result_cache: dict = field(default_factory=dict)
+    #: :meth:`repro.engine.cachebudget.CacheLedger.to_dict` payload —
+    #: the unified byte budget and per-tier occupancies.
+    cache_ledger: dict = field(default_factory=dict)
     #: Per-generation prediction quality (most recent last); entries are
     #: :meth:`repro.obs.efficacy.GenerationEfficacy.to_dict` payloads.
     cache_efficacy: list = field(default_factory=list)
@@ -85,6 +91,8 @@ class ServerStatus:
         out = dict(self.__dict__)
         out["tenants"] = dict(self.tenants)
         out["totals"] = dict(self.totals)
+        out["result_cache"] = dict(self.result_cache)
+        out["cache_ledger"] = dict(self.cache_ledger)
         out["cache_efficacy"] = [dict(r) for r in self.cache_efficacy]
         out["observability"] = dict(self.observability)
         return out
@@ -126,6 +134,29 @@ class ServerStatus:
         ]
         if self.slow_queries:
             lines.append(f"  slow queries:  {self.slow_queries}")
+        if self.result_cache.get("capacity"):
+            rc = self.result_cache
+            budget = self.cache_ledger.get("budget_bytes")
+            lines.append(
+                "  result cache:  {} entries ({:,} bytes), "
+                "{} hits (+{} intermediate) / {} misses, "
+                "{} admitted, {} rejected, {} evicted".format(
+                    rc.get("entries", 0),
+                    int(rc.get("bytes", 0)),
+                    rc.get("hits", 0),
+                    rc.get("intermediate_hits", 0),
+                    rc.get("misses", 0),
+                    rc.get("admissions", 0),
+                    rc.get("rejections", 0),
+                    rc.get("evictions", 0),
+                )
+            )
+            lines.append(
+                "  cache budget:  {} / {} bytes across tiers".format(
+                    f"{int(self.cache_ledger.get('total_bytes', 0)):,}",
+                    f"{budget:,}" if budget is not None else "unlimited",
+                )
+            )
         if self.cache_efficacy:
             latest = self.cache_efficacy[-1]
             lines.append(

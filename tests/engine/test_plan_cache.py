@@ -37,12 +37,24 @@ class TestFingerprint:
         b = plan_fingerprint("select a from db.t where b = 'x y'")
         assert a != b
 
-    def test_case_is_significant(self):
-        # identifiers are case-sensitive in the catalog, so the
-        # fingerprint must not fold case
-        assert plan_fingerprint("select A from db.t") != plan_fingerprint(
+    def test_case_folds_outside_literals(self):
+        # keywords and identifiers fold (the planner resolves
+        # identifiers case-insensitively, SparkSQL-style)...
+        assert plan_fingerprint("SELECT A FROM db.t") == plan_fingerprint(
             "select a from db.t"
         )
+
+    def test_case_inside_literals_is_data(self):
+        # ...but string literals are data and keep their case
+        assert plan_fingerprint(
+            "select a from db.t where b = 'X'"
+        ) != plan_fingerprint("select a from db.t where b = 'x'")
+
+    def test_recased_statement_hits_plan_cache(self, tiny):
+        tiny.sql("select a from db.t")
+        tiny.sql("SELECT A FROM DB.T")
+        stats = tiny.plan_cache_stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
 
 
 class TestPlanCacheHits:
