@@ -40,8 +40,11 @@ BENCH_PR3_PATH = Path(__file__).parent.parent / "BENCH_pr3.json"
 BENCH_PR5_PATH = Path(__file__).parent.parent / "BENCH_pr5.json"
 
 #: PR-6 summary (semantic result cache + unified cache byte budget).
-#: The current roll-up target of :func:`save_result`.
 BENCH_PR6_PATH = Path(__file__).parent.parent / "BENCH_pr6.json"
+
+#: PR-7 summary (deadlines, cooperative cancellation, overload
+#: protection). The current roll-up target of :func:`save_result`.
+BENCH_PR7_PATH = Path(__file__).parent.parent / "BENCH_pr7.json"
 
 #: Scale knobs: the paper uses 20M rows/table on 22 nodes; the simulator
 #: uses this many rows per Table II table (split over 3 daily files).
@@ -67,7 +70,7 @@ def _merge_bench(path: Path, section: str, payload: dict) -> Path:
 def save_result(name: str, payload: dict) -> Path:
     """Persist one bench's series for EXPERIMENTS.md.
 
-    Every series is also merged into ``BENCH_pr6.json`` at the repo
+    Every series is also merged into ``BENCH_pr7.json`` at the repo
     root — previously each PR's roll-up had to be fed by hand-picked
     benches, which silently dropped any bench that forgot to call the
     per-PR saver.
@@ -75,7 +78,7 @@ def save_result(name: str, payload: dict) -> Path:
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{name}.json"
     path.write_text(json.dumps(payload, indent=2, sort_keys=True))
-    _merge_bench(BENCH_PR6_PATH, name, payload)
+    _merge_bench(BENCH_PR7_PATH, name, payload)
     return path
 
 

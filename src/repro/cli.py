@@ -210,11 +210,17 @@ def cmd_replay_serve(args) -> int:
     queries = build_queries(factories)
     if args.fault_profile:
         system.session.fs.policy = parse_fault_profile(args.fault_profile)
+    admission_timeout = args.admission_timeout
+    if args.max_queue_wait_ms is not None:
+        admission_timeout = args.max_queue_wait_ms / 1000.0
     config = ServerConfig(
         max_workers=args.concurrency,
         per_tenant_limit=max(1, args.concurrency // 2),
         queue_capacity=args.queue_capacity,
-        admission_timeout_seconds=args.admission_timeout,
+        admission_timeout_seconds=admission_timeout,
+        default_deadline_ms=args.deadline_ms,
+        memory_soft_limit_bytes=args.memory_soft_limit_bytes,
+        drain_timeout_seconds=args.drain_timeout,
         refresh_interval_seconds=args.refresh_interval,
         max_query_retries=args.retries,
         scan_workers=args.scan_workers,
@@ -239,7 +245,8 @@ def cmd_replay_serve(args) -> int:
         print(
             f"replayed {report.requests} requests over {report.days} days "
             f"({report.completed} completed, {report.failed} failed, "
-            f"{report.shed} shed) in {report.wall_seconds:.2f}s"
+            f"{report.shed} shed, {report.deadline_exceeded} deadline-exceeded) "
+            f"in {report.wall_seconds:.2f}s"
         )
         if args.verify:
             print(
@@ -363,6 +370,41 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--seed", type=int, default=7)
     p_serve.add_argument("--queue-capacity", type=int, default=64)
     p_serve.add_argument("--admission-timeout", type=float, default=30.0)
+    p_serve.add_argument(
+        "--max-queue-wait-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="bound on admission-queue wait (overrides --admission-timeout; "
+        "queries shed with a retry-after hint when the queue cannot drain "
+        "in time)",
+    )
+    p_serve.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="default per-query deadline; timed-out queries raise "
+        "DeadlineExceededError via cooperative cancellation and return "
+        "no rows (default: no deadline)",
+    )
+    p_serve.add_argument(
+        "--memory-soft-limit-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="soft cap on cache-ledger bytes; over it the watchdog shrinks "
+        "the result/plan tiers, then sheds cold queries while pressure "
+        "persists",
+    )
+    p_serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="graceful-shutdown drain window: in-flight queries get this "
+        "long to finish before being cooperatively cancelled",
+    )
     p_serve.add_argument("--refresh-interval", type=float, default=0.0)
     p_serve.add_argument(
         "--model",
@@ -377,7 +419,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="inject seeded faults, e.g. "
         "'corrupt=0.05,read_error=0.02,seed=3' "
         "(keys: seed, read_error, write_error, corrupt, torn_append, "
-        "latency, error_prefix, corrupt_prefix, crash_after, crash_prefix)",
+        "latency, spike_rate, spike_seconds, error_prefix, corrupt_prefix, "
+        "crash_after, crash_prefix)",
     )
     p_serve.add_argument(
         "--verify",

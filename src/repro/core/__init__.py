@@ -24,7 +24,7 @@ from .maxson_parser import MaxsonPlanModifier, RewriteReport
 from .online_cache import LruCache, OnlineCacheSimulator, OnlineCacheStats
 from .predictor import MODEL_NAMES, JsonPathPredictor, PredictorConfig
 from .pushdown import extract_cache_sarg
-from .resilience import CacheCircuitBreaker, ResilienceStats
+from .resilience import CacheCircuitBreaker, ResilienceStats, RetryPolicy
 from .scoring import PathStats, ScoredPath, ScoringFunction
 from .stats_store import META_DATABASE, StatsStore
 from .system import MaxsonConfig, MaxsonSystem, MidnightReport
@@ -54,6 +54,7 @@ __all__ = [
     "JOURNAL_PATH",
     "CacheCircuitBreaker",
     "ResilienceStats",
+    "RetryPolicy",
     "MaxsonPlanModifier",
     "RewriteReport",
     "MaxsonScanExec",

@@ -110,10 +110,12 @@ class MaxsonScanExec(ScanExec):
             # scan; the breaker quarantines the table.
             self._note_cache_failure(cache_table, None)
             for raw_path in raw_files:
+                state.check_cancelled()
                 rows.extend(self._read_split_fallback(state, raw_path))
             fallback_splits = len(raw_files)
         else:
             for split_index in range(len(raw_files)):
+                state.check_cancelled()
                 try:
                     split_rows = self._read_split(
                         state,
@@ -209,10 +211,12 @@ class MaxsonScanExec(ScanExec):
         if cache_files is None or len(cache_files) != len(raw_files):
             self._note_cache_failure(cache_table, None)
             for raw_path in raw_files:
+                state.check_cancelled()
                 extend(*self._fallback_columns(state, raw_path))
             fallback_splits = len(raw_files)
         else:
             for split_index in range(len(raw_files)):
+                state.check_cancelled()
                 try:
                     split_columns, split_length = self._split_columns(
                         state,
@@ -293,6 +297,7 @@ class MaxsonScanExec(ScanExec):
         """
         if not self.cached_fields:
             return super().run_morsel(state, unit)
+        state.check_cancelled()
         started = time.perf_counter()
         raw_path, cache_path = unit
         cache_table = self.cached_fields[0].entry.cache_table
@@ -401,6 +406,8 @@ class MaxsonScanExec(ScanExec):
             else None
         )
         for i in range(result.rows_read):
+            if i % 256 == 0:
+                state.check_cancelled()
             documents = {
                 column: extractor.decode(series[column][i], formats)
                 for column, formats in formats_by_column.items()

@@ -23,11 +23,15 @@ observable:
 
 from __future__ import annotations
 
+import random
 import threading
 import time
 from dataclasses import dataclass
 
-__all__ = ["CacheCircuitBreaker", "ResilienceStats"]
+from ..engine.errors import QueryCancelledError
+from ..storage.fs import TransientFsError
+
+__all__ = ["CacheCircuitBreaker", "ResilienceStats", "RetryPolicy"]
 
 
 @dataclass
@@ -116,6 +120,68 @@ class CacheCircuitBreaker:
                     n for n, e in self._entries.items() if e.state == "half_open"
                 ),
             }
+
+
+class RetryPolicy:
+    """Bounded retry with seeded full-jitter exponential backoff.
+
+    Two properties the server's retry loop relies on:
+
+    * **Only transient FS errors are retryable.** Admission rejections
+      (``QueueFullError``/``AdmissionTimeout``/``QueryShedError``),
+      cooperative cancellations, deadline expiries and plain execution
+      errors are terminal by policy — retrying them would amplify the
+      very overload they signal, and none of them may count toward the
+      cache-table circuit breaker's failure window.
+    * **Full jitter.** The previous deterministic
+      ``base * 2**attempt`` backoff made concurrent retries re-collide
+      on every attempt; drawing uniformly from ``[0, base * 2**attempt]``
+      (AWS-style full jitter) decorrelates them. The RNG is seeded so
+      tests replay identical schedules.
+    """
+
+    def __init__(
+        self,
+        max_retries: int = 2,
+        backoff_seconds: float = 0.01,
+        seed: int | None = 0,
+    ) -> None:
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if backoff_seconds < 0:
+            raise ValueError("backoff_seconds must be >= 0")
+        self.max_retries = max_retries
+        self.backoff_seconds = backoff_seconds
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+
+    def is_retryable(self, exc: BaseException, cancel_token=None) -> bool:
+        """May this failure be retried (attempt budget permitting)?"""
+        if not isinstance(exc, TransientFsError):
+            return False
+        if isinstance(exc, QueryCancelledError):  # defensive: never both
+            return False
+        if cancel_token is not None and cancel_token.cancelled:
+            # The deadline has passed (or drain cancelled the query):
+            # another attempt could not finish either.
+            return False
+        return True
+
+    def should_retry(
+        self, exc: BaseException, attempt: int, cancel_token=None
+    ) -> bool:
+        """``is_retryable`` plus the attempt budget (attempt is 0-based)."""
+        return attempt < self.max_retries and self.is_retryable(
+            exc, cancel_token
+        )
+
+    def backoff_for(self, attempt: int) -> float:
+        """Full-jitter delay before retry ``attempt`` (0-based)."""
+        ceiling = self.backoff_seconds * (2**attempt)
+        if ceiling <= 0:
+            return 0.0
+        with self._lock:
+            return self._rng.uniform(0.0, ceiling)
 
 
 class ResilienceStats:

@@ -211,12 +211,23 @@ class MaxsonSystem:
     # query path
     # ------------------------------------------------------------------
     def sql(
-        self, sql: str, day: int | None = None, tracer=None
+        self,
+        sql: str,
+        day: int | None = None,
+        tracer=None,
+        deadline_ms: float | None = None,
+        cancel_token=None,
     ) -> QueryResult:
         """Execute SQL through the Maxson-modified session and collect its
         JSONPath references. ``tracer`` opts the query into span
-        recording (see :meth:`Session.sql`)."""
-        result = self.session.sql(sql, tracer=tracer)
+        recording; ``deadline_ms``/``cancel_token`` bound its wall time
+        (see :meth:`Session.sql`)."""
+        result = self.session.sql(
+            sql,
+            tracer=tracer,
+            deadline_ms=deadline_ms,
+            cancel_token=cancel_token,
+        )
         # The result carries the planner's path references, so recurring
         # queries feed the collector without a second compile (which
         # would both cost plan time and sidestep the plan cache).

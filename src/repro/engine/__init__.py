@@ -5,13 +5,16 @@ expression trees containing ``get_json_object`` calls, replaceable scan
 operators, SARG pushdown, and read/parse/compute cost attribution.
 """
 
+from .cancel import CancelToken
 from .catalog import Catalog, TableInfo
 from .functions import SCALAR_FUNCTIONS, FunctionCall, is_scalar_function
 from .errors import (
     CatalogError,
+    DeadlineExceededError,
     EngineError,
     ExecutionError,
     PlanError,
+    QueryCancelledError,
     SqlSyntaxError,
 )
 from .expressions import (
@@ -78,6 +81,9 @@ __all__ = [
     "PlanError",
     "CatalogError",
     "ExecutionError",
+    "QueryCancelledError",
+    "DeadlineExceededError",
+    "CancelToken",
     "EvalContext",
     "Expression",
     "Column",

@@ -1,0 +1,99 @@
+"""Cooperative cancellation tokens for query execution.
+
+A :class:`CancelToken` is created per query (by the session or the
+server) and threaded through the morsel scheduler via ``ExecState``.
+Operators call :meth:`CancelToken.check` at split/batch boundaries and
+inside raw-parse fallback row loops; the first check after the deadline
+passes (or after :meth:`CancelToken.cancel`) raises, unwinding the
+worker without producing partial rows.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional
+
+from .errors import DeadlineExceededError, QueryCancelledError
+
+__all__ = ["CancelToken"]
+
+
+class CancelToken:
+    """Thread-safe cooperative cancellation flag with an optional deadline.
+
+    The deadline is an absolute instant on the token's monotonic clock;
+    every holder of the token (coordinator and morsel workers) observes
+    the same cutoff. ``check()`` is designed to be cheap enough to call
+    at per-split and per-batch granularity.
+    """
+
+    __slots__ = ("_clock", "_deadline", "_cancelled", "_reason", "_lock", "checks")
+
+    def __init__(
+        self,
+        deadline_seconds: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._clock = clock
+        self._deadline: Optional[float] = (
+            clock() + deadline_seconds if deadline_seconds is not None else None
+        )
+        self._cancelled = False
+        self._reason = ""
+        self._lock = threading.Lock()
+        self.checks = 0
+
+    @classmethod
+    def with_deadline_ms(
+        cls, deadline_ms: Optional[float], clock: Callable[[], float] = time.monotonic
+    ) -> "CancelToken":
+        seconds = deadline_ms / 1000.0 if deadline_ms is not None else None
+        return cls(deadline_seconds=seconds, clock=clock)
+
+    @property
+    def deadline(self) -> Optional[float]:
+        """Absolute deadline on the token's monotonic clock, if any."""
+        return self._deadline
+
+    @property
+    def reason(self) -> str:
+        return self._reason
+
+    def cancel(self, reason: str = "cancelled") -> None:
+        with self._lock:
+            if not self._cancelled:
+                self._cancelled = True
+                self._reason = reason
+
+    def tighten_deadline(self, deadline_seconds: float) -> None:
+        """Apply a deadline ``deadline_seconds`` from now; earliest wins."""
+        candidate = self._clock() + deadline_seconds
+        with self._lock:
+            if self._deadline is None or candidate < self._deadline:
+                self._deadline = candidate
+
+    @property
+    def deadline_exceeded(self) -> bool:
+        deadline = self._deadline
+        return deadline is not None and self._clock() >= deadline
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled or self.deadline_exceeded
+
+    def remaining_seconds(self) -> Optional[float]:
+        """Seconds until the deadline (<= 0 when already past); None if unset."""
+        deadline = self._deadline
+        if deadline is None:
+            return None
+        return deadline - self._clock()
+
+    def check(self) -> None:
+        """Raise if cancelled. Cheap; safe to call per split/batch."""
+        self.checks += 1
+        if self._cancelled:
+            raise QueryCancelledError(f"query cancelled: {self._reason or 'cancelled'}")
+        deadline = self._deadline
+        if deadline is not None and self._clock() >= deadline:
+            raise DeadlineExceededError("query deadline exceeded")

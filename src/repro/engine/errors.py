@@ -2,7 +2,15 @@
 
 from __future__ import annotations
 
-__all__ = ["EngineError", "SqlSyntaxError", "PlanError", "CatalogError", "ExecutionError"]
+__all__ = [
+    "EngineError",
+    "SqlSyntaxError",
+    "PlanError",
+    "CatalogError",
+    "ExecutionError",
+    "QueryCancelledError",
+    "DeadlineExceededError",
+]
 
 
 class EngineError(Exception):
@@ -29,3 +37,16 @@ class CatalogError(EngineError):
 
 class ExecutionError(EngineError):
     """Runtime failure while executing a physical plan."""
+
+
+class QueryCancelledError(EngineError):
+    """The query was cooperatively cancelled before completion.
+
+    Deliberately NOT a subclass of :class:`ExecutionError`: cancellation
+    must never be absorbed by degraded-mode fallbacks or counted against
+    the cache-table circuit breaker.
+    """
+
+
+class DeadlineExceededError(QueryCancelledError):
+    """The query's deadline elapsed before it finished."""

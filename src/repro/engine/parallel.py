@@ -83,6 +83,7 @@ def _run_morsels(state: ExecState, units: list, fn) -> list:
 
     def task(unit):
         worker = state.fork()
+        worker.check_cancelled()
         started = time.perf_counter()
         payload, fallback = fn(worker, unit)
         _fold_context_stats(worker.metrics, worker.context)
@@ -90,8 +91,31 @@ def _run_morsels(state: ExecState, units: list, fn) -> list:
 
     pool = state.scan_pool
     if pool is not None and state.scan_workers > 1 and len(units) > 1:
+        state.check_cancelled()
         futures = [pool.submit(task, unit) for unit in units]
-        return [future.result() for future in futures]
+        results = []
+        first_error: BaseException | None = None
+        for future in futures:
+            if first_error is not None:
+                # Free workers promptly: unstarted morsels are dropped;
+                # running ones unwind at their next cancellation check.
+                future.cancel()
+                continue
+            try:
+                results.append(future.result())
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                first_error = exc
+        if first_error is not None:
+            # Drain stragglers so no morsel of this query is still
+            # running when the error surfaces to the caller.
+            for future in futures:
+                if not future.cancel():
+                    try:
+                        future.result()
+                    except BaseException:  # noqa: BLE001 - already failing
+                        pass
+            raise first_error
+        return results
     return [task(unit) for unit in units]
 
 
@@ -239,6 +263,7 @@ class MorselPipelineExec(PhysicalPlan):
 
     def _process_batch(self, worker: ExecState, unit):
         batch, fallback = self.scan.run_morsel(worker, unit)
+        worker.check_cancelled()
         prefilter_counts = None
         if self.prefilter is not None:
             batch, prefilter_counts = self._apply_prefilter_batch(worker, batch)
@@ -263,6 +288,7 @@ class MorselPipelineExec(PhysicalPlan):
 
     def _process_rows(self, worker: ExecState, unit):
         batch, fallback = self.scan.run_morsel(worker, unit)
+        worker.check_cancelled()
         rows = batch.to_rows()
         prefilter_counts = None
         if self.prefilter is not None:

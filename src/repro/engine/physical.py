@@ -67,6 +67,16 @@ class ExecState:
     #: Shared ``ThreadPoolExecutor`` supplied by the session when
     #: ``scan_workers > 1``; ``None`` runs morsels inline.
     scan_pool: object | None = None
+    #: Optional :class:`repro.engine.cancel.CancelToken` shared by the
+    #: coordinator and every morsel worker. Checked at split/batch
+    #: boundaries via :meth:`check_cancelled`.
+    cancel_token: object | None = None
+
+    def check_cancelled(self) -> None:
+        """Raise ``QueryCancelledError``/``DeadlineExceededError`` if due."""
+        token = self.cancel_token
+        if token is not None:
+            token.check()
 
     def fork(self) -> "ExecState":
         """A worker-local state for one morsel.
@@ -88,6 +98,7 @@ class ExecState:
             catalog=self.catalog,
             context=context,
             context_factory=self.context_factory,
+            cancel_token=self.cancel_token,
         )
 
     def batch_compiler(self) -> BatchCompiler:
@@ -177,6 +188,7 @@ class ScanExec(PhysicalPlan):
         started = time.perf_counter()
         rows: list[dict] = []
         for path in state.catalog.table_files(self.database, self.table):
+            state.check_cancelled()
             reader = OrcReader(
                 state.catalog.fs, path, columns=self.columns, sarg=self.sarg
             )
@@ -199,6 +211,7 @@ class ScanExec(PhysicalPlan):
         started = time.perf_counter()
         columns: dict[str, list] = {name: [] for name in self.columns}
         for path in state.catalog.table_files(self.database, self.table):
+            state.check_cancelled()
             reader = OrcReader(
                 state.catalog.fs, path, columns=self.columns, sarg=self.sarg
             )
@@ -245,6 +258,7 @@ class ScanExec(PhysicalPlan):
         plain scans — cache-aware subclasses use it to report per-split
         degraded fallback.
         """
+        state.check_cancelled()
         started = time.perf_counter()
         reader = OrcReader(
             state.catalog.fs, unit, columns=self.columns, sarg=self.sarg

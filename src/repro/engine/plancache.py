@@ -168,6 +168,24 @@ class PlanCache:
             if self.ledger is not None:
                 self.ledger.charge("plan", cost)
 
+    def shrink_to_bytes(self, target_bytes: int) -> int:
+        """Evict LRU entries until the plan tier fits ``target_bytes``.
+
+        Returns bytes released. Called by the server's memory-pressure
+        watchdog after the result tier has been shrunk.
+        """
+        released = 0
+        with self._lock:
+            used = sum(self._charges.values())
+            while self._entries and used > target_bytes:
+                key = next(iter(self._entries))
+                charge = self._charges.get(key, 0)
+                self._evict_locked(key)
+                self.evictions += 1
+                used -= charge
+                released += charge
+        return released
+
     def clear(self) -> None:
         """Drop every entry (explicit invalidation, e.g. a generation
         swap or a plan-modifier change)."""

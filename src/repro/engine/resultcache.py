@@ -645,6 +645,28 @@ class ResultCache:
             self.stats_counters.evictions += 1
 
     # -- maintenance ----------------------------------------------------
+    def shrink_to_bytes(self, target_bytes: int) -> int:
+        """Evict lowest-benefit entries until the tier fits ``target_bytes``.
+
+        Returns bytes released. The server's memory-pressure watchdog
+        calls this before shedding queries; victim order matches
+        admission's min-score choice, so the cheapest-to-recompute
+        results go first.
+        """
+        released = 0
+        with self._lock:
+            used = sum(e.nbytes for e in self._entries.values())
+            while self._entries and used > target_bytes:
+                victim_key = min(
+                    self._entries.items(),
+                    key=lambda item: self._score_of(item[1]),
+                )[0]
+                nbytes = self._entries[victim_key].nbytes
+                self._evict_locked(victim_key)
+                used -= nbytes
+                released += nbytes
+        return released
+
     def clear(self) -> None:
         """Drop everything (generation swaps, modifier changes)."""
         with self._lock:

@@ -22,7 +22,9 @@ from ..jsonlib.doccache import DEFAULT_DOC_CACHE_BYTES
 from ..jsonlib.jackson import JacksonParser
 from ..storage.fs import BlockFileSystem
 from .cachebudget import CacheLedger
+from .cancel import CancelToken
 from .catalog import Catalog
+from .errors import QueryCancelledError
 from .expressions import EvalContext
 from .metrics import QueryMetrics
 from .parallel import parallelize_plan
@@ -255,6 +257,56 @@ class Session:
             }
         return self._result_cache.stats()
 
+    def probable_result_cache_hit(self, sql: str) -> bool:
+        """Whether ``sql`` would (probably) be served from the result
+        cache right now. A counter-free hint for admission priority —
+        cheap recurrences jump the queue, so the answer must not
+        perturb hit/miss statistics. Never raises: canonicalization
+        failures (e.g. syntax errors) simply report False.
+        """
+        rcache = self._result_cache
+        if rcache is None:
+            return False
+        try:
+            _, tokens = self._modifier_snapshot()
+            if tokens is None:
+                return False
+            canonical = rcache.canonicalize(
+                sql, self.planner, self.catalog.version
+            )
+            if canonical is None:
+                return False
+            version = self.catalog.version
+            key = (canonical.text, canonical.params, version, tokens)
+            prefix_key = None
+            if canonical.prefix_text is not None:
+                prefix_key = (
+                    canonical.prefix_text, canonical.params, version, tokens
+                )
+            return rcache.peek(key, prefix_key)
+        except Exception:  # noqa: BLE001 - a hint must never fail a query
+            return False
+
+    def shrink_caches_to(self, budget_bytes: int) -> int:
+        """Release cache bytes until the ledger total fits ``budget_bytes``.
+
+        Watchdog ordering: the result tier yields first (lowest-benefit
+        entries), then the plan tier (LRU). The document tier is
+        per-query transient state and self-clamps via the ledger budget,
+        so it is not force-evicted here. Returns bytes released.
+        """
+        before = self.cache_ledger.total()
+        if before <= budget_bytes:
+            return 0
+        if self._result_cache is not None:
+            other = before - self.cache_ledger.tier_bytes("result")
+            self._result_cache.shrink_to_bytes(max(0, budget_bytes - other))
+        total = self.cache_ledger.total()
+        if total > budget_bytes and self._plan_cache is not None:
+            other = total - self.cache_ledger.tier_bytes("plan")
+            self._plan_cache.shrink_to_bytes(max(0, budget_bytes - other))
+        return before - self.cache_ledger.total()
+
     def _morsel_pool(self) -> ThreadPoolExecutor | None:
         """The shared split-worker pool (rebuilt if ``scan_workers``
         changed); None when the session is serial."""
@@ -286,7 +338,7 @@ class Session:
             )
         return context
 
-    def _make_state(self, tracer=None) -> ExecState:
+    def _make_state(self, tracer=None, cancel_token=None) -> ExecState:
         return ExecState(
             catalog=self.catalog,
             context=self._context_factory(),
@@ -294,6 +346,7 @@ class Session:
             context_factory=self._context_factory,
             scan_workers=self.scan_workers,
             scan_pool=self._morsel_pool(),
+            cancel_token=cancel_token,
         )
 
     def _modifier_snapshot(self) -> tuple[list, tuple | None]:
@@ -328,7 +381,7 @@ class Session:
         return planned.physical.describe()
 
     def _prepare(
-        self, sql: str, tracer=None
+        self, sql: str, tracer=None, cancel_token=None
     ) -> tuple[PlannedQuery, ExecState, float]:
         started = time.perf_counter()
         # Traced queries bypass the plan cache entirely (no lookup, no
@@ -344,7 +397,7 @@ class Session:
             key = (fingerprint(sql), self.catalog.version, tokens)
             entry = cache.get(key)
             if entry is not None:
-                state = self._make_state()
+                state = self._make_state(cancel_token=cancel_token)
                 # Replay the plan-time metric effects (e.g. Maxson's
                 # registry misses are counted during modify()) so a
                 # cached query reports the same counters as a planned one.
@@ -358,7 +411,7 @@ class Session:
                 planned = self.compile(sql)
         else:
             planned = self.compile(sql)
-        state = self._make_state(tracer=tracer)
+        state = self._make_state(tracer=tracer, cancel_token=cancel_token)
         if tracer is not None:
             with tracer.span("rewrite", modifiers=len(modifiers)):
                 for modifier in modifiers:
@@ -398,6 +451,8 @@ class Session:
         sql: str,
         execution_mode: str | None = None,
         tracer=None,
+        deadline_ms: float | None = None,
+        cancel_token=None,
     ) -> QueryResult:
         """Compile and execute one SELECT statement.
 
@@ -412,12 +467,33 @@ class Session:
         records wall time and counter deltas, and the result carries the
         root span as ``result.trace``. Without a tracer the query runs
         the exact pre-observability code path.
+
+        ``deadline_ms`` bounds this query's wall time: a
+        :class:`~repro.engine.cancel.CancelToken` carrying the deadline
+        is threaded through the morsel scheduler and checked at
+        split/batch boundaries and inside raw-parse fallback loops, so a
+        timed-out query raises ``DeadlineExceededError`` within bounded
+        slack and never returns partial rows. ``cancel_token`` supplies
+        an externally owned token instead (e.g. the server's, so drain
+        can cancel in-flight queries); when both are given the token is
+        tightened to the earlier deadline.
         """
         mode = execution_mode if execution_mode is not None else self.execution_mode
         if mode not in ("batch", "row"):
             raise ValueError(
                 f"execution_mode must be 'batch' or 'row', got {mode!r}"
             )
+        token = cancel_token
+        if deadline_ms is not None:
+            if token is None:
+                token = CancelToken.with_deadline_ms(deadline_ms)
+            else:
+                token.tighten_deadline(deadline_ms / 1000.0)
+        if token is not None:
+            # A query that arrives already past its deadline (or already
+            # cancelled) raises before any work — including before a
+            # result-cache serve, so "expired" never silently succeeds.
+            token.check()
         # -- semantic result cache -------------------------------------
         # Canonicalize first: the canonical fingerprint + parameter
         # vector + (catalog version, modifier tokens) is the result key.
@@ -462,19 +538,29 @@ class Session:
                 cached=would_hit,
             ):
                 pass
-        planned, state, plan_seconds = self._prepare(sql, tracer=tracer)
+        planned, state, plan_seconds = self._prepare(
+            sql, tracer=tracer, cancel_token=token
+        )
         started = time.perf_counter()
-        if tracer is None:
-            if mode == "batch":
-                rows = planned.physical.execute_batch(state).to_rows()
-            else:
-                rows = planned.physical.execute(state)
-        else:
-            with tracer.span("execute", mode=mode):
+        try:
+            if tracer is None:
                 if mode == "batch":
                     rows = planned.physical.execute_batch(state).to_rows()
                 else:
                     rows = planned.physical.execute(state)
+            else:
+                with tracer.span("execute", mode=mode):
+                    if mode == "batch":
+                        rows = planned.physical.execute_batch(state).to_rows()
+                    else:
+                        rows = planned.physical.execute(state)
+        except QueryCancelledError:
+            # No partial rows, no result-cache admission: the exception
+            # unwinds before any of the post-execution bookkeeping.
+            if query_span is not None:
+                query_span.attributes["status"] = "cancelled"
+                tracer.end(query_span)
+            raise
         total = time.perf_counter() - started
         metrics = state.metrics
         metrics.plan_seconds = plan_seconds

@@ -63,6 +63,7 @@ class FaultCounters:
     corruptions: int = 0
     torn_appends: int = 0
     crashes: int = 0
+    latency_spikes: int = 0
 
     def to_dict(self) -> dict[str, int]:
         return dict(self.__dict__)
@@ -83,6 +84,13 @@ class FaultPolicy:
     """Probability an append lands only a prefix then fails."""
     read_latency_seconds: float = 0.0
     """Injected sleep before every read under ``error_path_prefix``."""
+    latency_spike_rate: float = 0.0
+    """Probability a read under ``error_path_prefix`` additionally
+    sleeps ``latency_spike_seconds`` — the slow-split profile behind
+    deadline/overload tests (a tail-latency model, not a constant
+    slowdown)."""
+    latency_spike_seconds: float = 0.0
+    """Extra sleep injected when a latency spike fires."""
     error_path_prefix: str = "/"
     """Paths where transient errors and latency apply."""
     corrupt_path_prefix: str = CACHE_PATH_PREFIX
@@ -109,12 +117,21 @@ class FaultPolicy:
         if self.read_latency_seconds > 0:
             time.sleep(self.read_latency_seconds)
         with self._lock:
+            spike = (
+                self.latency_spike_rate > 0
+                and self.latency_spike_seconds > 0
+                and self._rng.random() < self.latency_spike_rate
+            )
+            if spike:
+                self.counters.latency_spikes += 1
             inject = (
                 self.read_error_rate > 0
                 and self._rng.random() < self.read_error_rate
             )
             if inject:
                 self.counters.read_errors += 1
+        if spike:
+            time.sleep(self.latency_spike_seconds)
         if inject:
             raise TransientFsError(f"injected transient read error: {path}")
 
@@ -179,6 +196,8 @@ _PROFILE_KEYS = {
     "corrupt": ("corrupt_rate", float),
     "torn_append": ("torn_append_rate", float),
     "latency": ("read_latency_seconds", float),
+    "spike_rate": ("latency_spike_rate", float),
+    "spike_seconds": ("latency_spike_seconds", float),
     "error_prefix": ("error_path_prefix", str),
     "corrupt_prefix": ("corrupt_path_prefix", str),
     "crash_after": ("crash_after_writes", int),
@@ -191,7 +210,8 @@ def parse_fault_profile(spec: str) -> FaultPolicy:
 
     Example: ``"corrupt=0.2,read_error=0.05,seed=7"``. Recognised keys:
     seed, read_error, write_error, corrupt, torn_append, latency,
-    error_prefix, corrupt_prefix, crash_after, crash_prefix.
+    spike_rate, spike_seconds, error_prefix, corrupt_prefix,
+    crash_after, crash_prefix.
     """
     kwargs: dict[str, object] = {}
     for part in spec.split(","):

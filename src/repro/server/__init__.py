@@ -13,6 +13,7 @@ from .admission import (
     AdmissionController,
     AdmissionError,
     AdmissionTimeout,
+    QueryShedError,
     QueueFullError,
 )
 from .config import ServerConfig
@@ -21,13 +22,16 @@ from .replay import ReplayReport, ReplayRequest, build_replay_workload, replay
 from .scheduler import MaintenanceScheduler, VirtualClock
 from .service import MaxsonServer
 from .status import ServerStatus, percentile
+from .watchdog import MemoryWatchdog
 
 __all__ = [
     "AdmissionController",
     "AdmissionError",
     "AdmissionTimeout",
     "QueueFullError",
+    "QueryShedError",
     "ServerConfig",
+    "MemoryWatchdog",
     "GenerationGuard",
     "MaintenanceScheduler",
     "VirtualClock",

@@ -5,24 +5,33 @@ Every request first passes the :class:`AdmissionController`:
 * if the number of requests already *waiting* has reached the queue
   capacity, the request is **shed** immediately (:class:`QueueFullError`)
   — the load-shedding behaviour a saturated service needs to stay live;
+* a request carrying a **deadline** that cannot be met — already past,
+  or closer than the caller's service-time estimate — is shed
+  immediately with :class:`QueryShedError` (retry-after hint attached)
+  instead of wasting queue time it cannot use;
 * otherwise it waits until its tenant has a free slot, up to the
-  admission timeout (:class:`AdmissionTimeout`);
+  admission timeout (:class:`AdmissionTimeout`); waiters are ordered by
+  **priority** (then arrival) so cheap recurrences — result-cache
+  probable hits — are admitted ahead of cold queries;
 * once admitted it occupies one tenant slot until released.
 
-The controller is a single condition variable over per-tenant counters —
-deliberately simple and fair-enough (wakeups race, but a tenant can
-never exceed its limit and counters never drift)."""
+The controller is a single condition variable over per-tenant counters
+and a per-tenant ticket queue — deliberately simple and fair-enough
+(wakeups race, but a tenant can never exceed its limit, tickets keep
+FIFO-within-priority order, and counters never drift)."""
 
 from __future__ import annotations
 
 import threading
 import time
 from contextlib import contextmanager
+from itertools import count
 
 __all__ = [
     "AdmissionError",
     "QueueFullError",
     "AdmissionTimeout",
+    "QueryShedError",
     "AdmissionController",
 ]
 
@@ -39,8 +48,18 @@ class AdmissionTimeout(AdmissionError):
     """Gave up waiting for a tenant slot."""
 
 
+class QueryShedError(AdmissionError):
+    """Shed because the query could not finish by its deadline (or the
+    service is under memory pressure). Carries a retry-after hint so
+    well-behaved clients back off instead of hammering the queue."""
+
+    def __init__(self, message: str, retry_after_seconds: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after_seconds = max(0.0, retry_after_seconds)
+
+
 class AdmissionController:
-    """Bounded admission queue with per-tenant concurrency limits."""
+    """Bounded admission queue with per-tenant limits and priorities."""
 
     def __init__(
         self,
@@ -54,64 +73,137 @@ class AdmissionController:
         self._cond = threading.Condition()
         self._active: dict[str, int] = {}
         self._waiting = 0
+        #: Per-tenant waiting tickets, ``(-priority, seq)``: min() is the
+        #: next waiter to admit — highest priority first, FIFO within.
+        self._tickets: dict[str, list[tuple[int, int]]] = {}
+        self._seq = count()
         # counters (guarded by the condition's lock)
         self.admitted = 0
+        self.priority_admitted = 0
         self.shed = 0
+        self.shed_deadline = 0
         self.timed_out = 0
         self.peak_waiting = 0
         self.per_tenant_admitted: dict[str, int] = {}
 
     # ------------------------------------------------------------------
-    def acquire(self, tenant: str, timeout: float | None = None) -> None:
-        """Block until ``tenant`` has a free slot; raise on shed/timeout."""
+    def acquire(
+        self,
+        tenant: str,
+        timeout: float | None = None,
+        priority: int = 0,
+        deadline: float | None = None,
+        service_estimate: float = 0.0,
+    ) -> None:
+        """Block until ``tenant`` has a free slot; raise on shed/timeout.
+
+        ``deadline`` is an absolute ``time.monotonic()`` instant by which
+        the *query* (not just admission) must finish; ``service_estimate``
+        is the caller's expected execution seconds. A request that cannot
+        be running by ``deadline - service_estimate`` is shed with
+        :class:`QueryShedError` — immediately when already too late,
+        otherwise the moment its wait crosses that cutoff.
+        """
         limit = self.per_tenant_limit
         timeout = self.timeout_seconds if timeout is None else timeout
-        deadline = time.monotonic() + timeout
+        now = time.monotonic()
+        timeout_deadline = now + timeout
+        shed_cutoff = None
+        if deadline is not None:
+            shed_cutoff = deadline - max(0.0, service_estimate)
+            if now >= shed_cutoff:
+                with self._cond:
+                    self.shed_deadline += 1
+                raise QueryShedError(
+                    f"tenant {tenant!r}: query cannot finish by its "
+                    f"deadline (estimated {service_estimate:.3f}s of work, "
+                    f"{max(0.0, deadline - now):.3f}s remaining)",
+                    retry_after_seconds=max(service_estimate, 0.001),
+                )
         with self._cond:
             if self._active.get(tenant, 0) < limit and self._waiting == 0:
-                self._admit(tenant)
+                self._admit(tenant, priority)
                 return
             if self._waiting >= self.queue_capacity:
                 self.shed += 1
                 raise QueueFullError(
                     f"admission queue full ({self.queue_capacity} waiting)"
                 )
+            ticket = (-priority, next(self._seq))
+            queue = self._tickets.setdefault(tenant, [])
+            queue.append(ticket)
             self._waiting += 1
             self.peak_waiting = max(self.peak_waiting, self._waiting)
             try:
-                while self._active.get(tenant, 0) >= limit:
-                    remaining = deadline - time.monotonic()
-                    if remaining <= 0:
+                while True:
+                    if (
+                        self._active.get(tenant, 0) < limit
+                        and min(queue) == ticket
+                    ):
+                        self._admit(tenant, priority)
+                        return
+                    now = time.monotonic()
+                    if shed_cutoff is not None and now >= shed_cutoff:
+                        self.shed_deadline += 1
+                        raise QueryShedError(
+                            f"tenant {tenant!r}: deadline reached while "
+                            f"waiting for a slot (limit {limit})",
+                            retry_after_seconds=max(service_estimate, 0.001),
+                        )
+                    if now >= timeout_deadline:
                         self.timed_out += 1
                         raise AdmissionTimeout(
                             f"tenant {tenant!r} waited {timeout:.3f}s "
                             f"for a slot (limit {limit})"
                         )
-                    self._cond.wait(remaining)
-                self._admit(tenant)
+                    wait_until = timeout_deadline
+                    if shed_cutoff is not None:
+                        wait_until = min(wait_until, shed_cutoff)
+                    self._cond.wait(wait_until - now)
             finally:
+                queue.remove(ticket)
+                if not queue:
+                    self._tickets.pop(tenant, None)
                 self._waiting -= 1
+                # The head ticket may have changed (or a waiter above us
+                # gave up): let the remaining waiters re-evaluate.
+                self._cond.notify_all()
 
-    def _admit(self, tenant: str) -> None:
+    def _admit(self, tenant: str, priority: int = 0) -> None:
         self._active[tenant] = self._active.get(tenant, 0) + 1
         self.admitted += 1
+        if priority > 0:
+            self.priority_admitted += 1
         self.per_tenant_admitted[tenant] = (
             self.per_tenant_admitted.get(tenant, 0) + 1
         )
 
     def release(self, tenant: str) -> None:
         with self._cond:
-            count = self._active.get(tenant, 0)
-            if count <= 1:
+            count_ = self._active.get(tenant, 0)
+            if count_ <= 1:
                 self._active.pop(tenant, None)
             else:
-                self._active[tenant] = count - 1
+                self._active[tenant] = count_ - 1
             self._cond.notify_all()
 
     @contextmanager
-    def admit(self, tenant: str, timeout: float | None = None):
+    def admit(
+        self,
+        tenant: str,
+        timeout: float | None = None,
+        priority: int = 0,
+        deadline: float | None = None,
+        service_estimate: float = 0.0,
+    ):
         """``with controller.admit(tenant): ...`` — acquire + release."""
-        self.acquire(tenant, timeout)
+        self.acquire(
+            tenant,
+            timeout,
+            priority=priority,
+            deadline=deadline,
+            service_estimate=service_estimate,
+        )
         try:
             yield
         finally:
@@ -133,7 +225,9 @@ class AdmissionController:
         with self._cond:
             return {
                 "admitted": self.admitted,
+                "priority_admitted": self.priority_admitted,
                 "shed": self.shed,
+                "shed_deadline": self.shed_deadline,
                 "timed_out": self.timed_out,
                 "waiting": self._waiting,
                 "peak_waiting": self.peak_waiting,

@@ -54,7 +54,38 @@ class ServerConfig:
     (:class:`~repro.storage.fs.TransientFsError`), beyond the first."""
 
     retry_backoff_seconds: float = 0.01
-    """Base of the exponential backoff between retry attempts."""
+    """Base of the exponential backoff between retry attempts. The
+    actual delay is drawn uniformly from ``[0, base * 2**attempt]``
+    (full jitter) so concurrent retries do not re-collide."""
+
+    retry_jitter_seed: int | None = 0
+    """Seed for the retry-backoff RNG; fixed by default so tests replay
+    identical schedules. ``None`` uses entropy."""
+
+    default_deadline_ms: float | None = None
+    """Wall-time budget applied to every query that does not carry its
+    own ``deadline_ms``. Enforced by cooperative cancellation: a query
+    past its deadline raises ``DeadlineExceededError`` at the next
+    split/batch/row-loop check and never returns partial rows. ``None``
+    disables the default (queries run unbounded unless the request sets
+    one)."""
+
+    deadline_shed_factor: float = 1.0
+    """Admission sheds a cold query immediately (``QueryShedError``)
+    when its remaining deadline is shorter than ``factor ×`` the
+    server's moving estimate of query service time. Probable
+    result-cache hits are exempt. 0 disables estimate-based shedding
+    (queries are still shed once the deadline itself passes)."""
+
+    memory_soft_limit_bytes: int | None = None
+    """Soft ceiling for the unified cache ledger. When the watchdog sees
+    the total above it, cache tiers are shrunk (result → plan); if
+    pressure persists, cold queries are shed until it clears. ``None``
+    disables the watchdog."""
+
+    drain_timeout_seconds: float = 5.0
+    """How long ``shutdown()`` lets in-flight queries finish before
+    cancelling them cooperatively."""
 
     execution_mode: str | None = None
     """Engine execution path for served queries: 'batch' (vectorized,
@@ -125,6 +156,17 @@ class ServerConfig:
             raise ValueError("max_query_retries must be >= 0")
         if self.retry_backoff_seconds < 0:
             raise ValueError("retry_backoff_seconds must be >= 0")
+        if self.default_deadline_ms is not None and self.default_deadline_ms <= 0:
+            raise ValueError("default_deadline_ms must be positive")
+        if self.deadline_shed_factor < 0:
+            raise ValueError("deadline_shed_factor must be >= 0")
+        if (
+            self.memory_soft_limit_bytes is not None
+            and self.memory_soft_limit_bytes < 0
+        ):
+            raise ValueError("memory_soft_limit_bytes must be >= 0")
+        if self.drain_timeout_seconds < 0:
+            raise ValueError("drain_timeout_seconds must be >= 0")
         if self.execution_mode not in (None, "batch", "row"):
             raise ValueError("execution_mode must be 'batch' or 'row'")
         if self.build_workers is not None and self.build_workers < 1:

@@ -22,6 +22,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
+from ..engine.errors import DeadlineExceededError, QueryCancelledError
 from ..storage.fs import FsError
 from ..workload.queries import RepresentativeQuery
 from .admission import AdmissionError
@@ -49,6 +50,11 @@ class ReplayReport:
     completed: int = 0
     failed: int = 0
     shed: int = 0
+    deadline_exceeded: int = 0
+    """Requests cooperatively cancelled at their deadline (not failures:
+    they returned no rows at all, by construction)."""
+    cancelled: int = 0
+    """Requests cancelled for non-deadline reasons (e.g. drain)."""
     days: int = 0
     wall_seconds: float = 0.0
     verified: int = 0
@@ -109,6 +115,7 @@ def replay(
     requests: list[ReplayRequest],
     stats_events: list[tuple[int, tuple]] | None = None,
     verify: bool = False,
+    deadline_ms: float | None = None,
 ) -> ReplayReport:
     """Replay ``requests`` day by day at the server's concurrency.
 
@@ -122,6 +129,12 @@ def replay(
     against a plain-engine baseline of the same SQL — the wrong-answer
     detector of the fault-injection harness (degraded results must be
     row-identical, only slower).
+
+    ``deadline_ms`` attaches a per-request deadline to every submitted
+    query (overriding the server default); deadline-exceeded and
+    otherwise-cancelled requests are tallied separately from failures —
+    the overload gates care about *wrong* answers, and a cancelled query
+    produces none.
     """
     import time
 
@@ -141,7 +154,7 @@ def replay(
     for day in range(min(by_day), last_day + 1):
         day_requests = by_day.get(day, [])
         futures = [
-            (r, server.submit(r.sql, tenant=r.tenant, day=r.day))
+            (r, server.submit(r.sql, tenant=r.tenant, day=r.day, deadline_ms=deadline_ms))
             for r in day_requests
         ]
         for paths in events_by_day.get(day, ()):
@@ -152,6 +165,12 @@ def replay(
                 report.completed += 1
             except AdmissionError:
                 report.shed += 1
+                continue
+            except DeadlineExceededError:
+                report.deadline_exceeded += 1
+                continue
+            except QueryCancelledError:
+                report.cancelled += 1
                 continue
             except Exception:
                 report.failed += 1

@@ -27,7 +27,10 @@ import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
 
+from ..core.resilience import RetryPolicy
 from ..core.system import MaxsonSystem, MidnightReport
+from ..engine.cancel import CancelToken
+from ..engine.errors import DeadlineExceededError, QueryCancelledError
 from ..engine.metrics import QueryMetrics
 from ..engine.session import QueryResult
 from ..obs.logging import StructuredLogger
@@ -35,16 +38,24 @@ from ..obs.metrics import MetricsRegistry
 from ..obs.trace import TraceSink, Tracer
 from ..storage.fs import TransientFsError
 from ..workload.trace import PathKey
-from .admission import AdmissionController
+from .admission import AdmissionController, AdmissionError, QueryShedError
 from .config import ServerConfig
 from .generation import GenerationGuard
 from .scheduler import MaintenanceScheduler, VirtualClock
 from .status import ServerStatus, percentile
+from .watchdog import MemoryWatchdog
 
 __all__ = ["MaxsonServer"]
 
 #: Latency samples kept for percentile estimation (newest win).
 _MAX_LATENCY_SAMPLES = 65536
+
+#: Shed-reason labels by admission error class name.
+_SHED_REASONS = {
+    "QueueFullError": "queue_full",
+    "AdmissionTimeout": "admission_timeout",
+    "QueryShedError": "deadline",
+}
 
 
 class MaxsonServer:
@@ -83,6 +94,18 @@ class MaxsonServer:
             queue_capacity=self.config.queue_capacity,
             timeout_seconds=self.config.admission_timeout_seconds,
         )
+        self.retry_policy = RetryPolicy(
+            max_retries=self.config.max_query_retries,
+            backoff_seconds=self.config.retry_backoff_seconds,
+            seed=self.config.retry_jitter_seed,
+        )
+        self.watchdog = (
+            MemoryWatchdog(
+                self.system.session, self.config.memory_soft_limit_bytes
+            )
+            if self.config.memory_soft_limit_bytes is not None
+            else None
+        )
         self.generation_guard = GenerationGuard(self.system)
         #: Orphan ``__g{N}`` tables dropped at startup — non-empty after
         #: a restart from a crash mid-build (journal replay found a
@@ -106,6 +129,23 @@ class MaxsonServer:
         self._per_tenant_completed: dict[str, int] = {}
         self._started = time.perf_counter()
         self._closed = False
+        self._draining = False
+        # overload accounting (guarded by self._lock)
+        self._deadline_exceeded = 0
+        self._cancelled = 0
+        self._sheds = 0
+        self._shed_breakdown: dict[str, int] = {}
+        self._drain_cancelled = 0
+        #: EWMA of completed-query wall seconds — the service-time
+        #: estimate behind deadline-aware shedding. 0 until the first
+        #: completion, so a cold server never over-sheds.
+        self._latency_ewma = 0.0
+        #: Tokens of queries currently inside the admitted region; drain
+        #: cancels whatever is still here at its timeout.
+        self._active_tokens: set[CancelToken] = set()
+        #: Futures submitted to the pool and not yet done (drain waits
+        #: for queued work, not just running work).
+        self._outstanding: set[Future] = set()
         # ---- observability ------------------------------------------
         self._query_ids = itertools.count(1)
         self.trace_sink = (
@@ -133,6 +173,29 @@ class MaxsonServer:
         )
         self._m_slow = self.metrics.counter(
             "slow_queries_total", "Queries at or past slow_query_seconds"
+        )
+        self._m_deadline_exceeded = self.metrics.counter(
+            "deadline_exceeded_total",
+            "Queries cooperatively cancelled at their deadline",
+        )
+        self._m_shed = self.metrics.counter(
+            "shed_total",
+            "Requests shed (queue full, admission timeout, deadline, "
+            "memory pressure)",
+            ("reason",),
+        )
+        self._m_cancelled = self.metrics.counter(
+            "queries_cancelled_total",
+            "Queries cancelled cooperatively (drain or explicit cancel)",
+        )
+        self._m_watchdog_shrinks = self.metrics.counter(
+            "watchdog_shrinks_total",
+            "Cache-shrink passes run by the memory-pressure watchdog",
+        )
+        self._watchdog_shrinks_seen = 0
+        self._g_memory_pressure = self.metrics.gauge(
+            "memory_pressure",
+            "1 while the cache ledger exceeds the soft limit after shrinking",
         )
         self._m_latency = self.metrics.histogram(
             "query_latency_seconds", "Query wall time (admission to result)"
@@ -243,50 +306,137 @@ class MaxsonServer:
     # request path
     # ------------------------------------------------------------------
     def execute(
-        self, sql: str, tenant: str | None = None, day: int | None = None
+        self,
+        sql: str,
+        tenant: str | None = None,
+        day: int | None = None,
+        deadline_ms: float | None = None,
     ) -> QueryResult:
         """Admit, lease the cache generation, execute, account.
 
-        Raises :class:`QueueFullError` / :class:`AdmissionTimeout` when
-        the request is shed, and re-raises engine errors after counting
-        them as failures. A :class:`TransientFsError` (an injected or
-        environmental fault that may clear) is retried up to
-        ``config.max_query_retries`` times with exponential backoff —
-        the admission slot is held across attempts (the request occupies
-        the tenant either way), but the generation lease is re-acquired
-        per attempt so retries never pin a retiring generation.
+        Raises :class:`QueueFullError` / :class:`AdmissionTimeout` /
+        :class:`QueryShedError` when the request is shed, and re-raises
+        engine errors after counting them as failures. A
+        :class:`TransientFsError` (an injected or environmental fault
+        that may clear) is retried up to ``config.max_query_retries``
+        times with seeded full-jitter backoff — the admission slot is
+        held across attempts (the request occupies the tenant either
+        way), but the generation lease is re-acquired per attempt so
+        retries never pin a retiring generation. Admission rejections
+        and cancellations are never retried (see
+        :class:`~repro.core.resilience.RetryPolicy`).
+
+        ``deadline_ms`` (default ``config.default_deadline_ms``) bounds
+        the query's wall time through cooperative cancellation: a query
+        past its deadline raises :class:`DeadlineExceededError` within
+        bounded slack and never returns partial rows. Deadline-aware
+        admission sheds a cold query immediately when its remaining
+        budget is smaller than the server's service-time estimate;
+        probable result-cache hits are exempt and jump the queue.
         """
         tenant = tenant or self.config.default_tenant
         query_id = f"q-{next(self._query_ids)}"
         tracer = (
             Tracer(trace_id=query_id) if self.trace_sink is not None else None
         )
+        if deadline_ms is None:
+            deadline_ms = self.config.default_deadline_ms
+        # Every query gets a token (deadline or not) so drain can cancel
+        # whatever is in flight at its timeout.
+        token = CancelToken.with_deadline_ms(deadline_ms)
         started = time.perf_counter()
-        with self.admission.admit(tenant):
+        probable_hit = self.system.session.probable_result_cache_hit(sql)
+        # Memory-pressure watchdog: shrink caches → shed → (breaker is
+        # never touched). Probable hits keep flowing — serving them
+        # releases pressure faster than recomputing anything.
+        if self.watchdog is not None:
+            pressure = self.watchdog.check()
+            self._g_memory_pressure.set(1 if pressure else 0)
+            if pressure and not probable_hit:
+                self._note_shed(
+                    "memory_pressure", tenant, time.perf_counter() - started
+                )
+                raise QueryShedError(
+                    "server under memory pressure: cold query shed",
+                    retry_after_seconds=max(self._service_estimate(), 0.01),
+                )
+        estimate = 0.0 if probable_hit else self._service_estimate()
+        try:
+            self.admission.acquire(
+                tenant,
+                timeout=self.config.admission_timeout_seconds,
+                priority=1 if probable_hit else 0,
+                deadline=token.deadline,
+                service_estimate=estimate * self.config.deadline_shed_factor,
+            )
+        except AdmissionError as exc:
+            self._note_shed(
+                _SHED_REASONS.get(type(exc).__name__, "admission"),
+                tenant,
+                time.perf_counter() - started,
+            )
+            raise
+        try:
+            with self._lock:
+                self._active_tokens.add(token)
             attempt = 0
             while True:
                 generation = self.generation_guard.acquire()
                 try:
-                    result = self.system.sql(sql, day=day, tracer=tracer)
+                    result = self.system.sql(
+                        sql, day=day, tracer=tracer, cancel_token=token
+                    )
                     break
                 except TransientFsError as exc:
-                    if attempt >= self.config.max_query_retries:
+                    if not self.retry_policy.should_retry(exc, attempt, token):
                         self._record_failure(query_id, tenant, generation, exc)
                         raise
                     self.system.resilience.add("query_retries")
                     self._m_retries.inc()
-                    backoff = self.config.retry_backoff_seconds * (2**attempt)
+                    backoff = self.retry_policy.backoff_for(attempt)
                     attempt += 1
+                except DeadlineExceededError as exc:
+                    self._note_deadline_exceeded(
+                        query_id,
+                        tenant,
+                        generation,
+                        time.perf_counter() - started,
+                        tracer,
+                        exc,
+                    )
+                    raise
+                except QueryCancelledError as exc:
+                    self._note_cancelled(
+                        query_id,
+                        tenant,
+                        generation,
+                        time.perf_counter() - started,
+                        tracer,
+                        exc,
+                    )
+                    raise
                 except Exception as exc:
                     self._record_failure(query_id, tenant, generation, exc)
                     raise
                 finally:
                     self.generation_guard.release(generation)
                 if backoff > 0:
+                    remaining = token.remaining_seconds()
+                    if remaining is not None:
+                        backoff = min(backoff, max(0.0, remaining))
                     time.sleep(backoff)
+        finally:
+            with self._lock:
+                self._active_tokens.discard(token)
+            self.admission.release(tenant)
         elapsed = time.perf_counter() - started
         with self._lock:
             self._completed += 1
+            self._latency_ewma = (
+                elapsed
+                if self._completed == 1
+                else 0.8 * self._latency_ewma + 0.2 * elapsed
+            )
             self._per_tenant_completed[tenant] = (
                 self._per_tenant_completed.get(tenant, 0) + 1
             )
@@ -357,14 +507,112 @@ class MaxsonServer:
             error=f"{type(exc).__name__}: {exc}",
         )
 
+    def _service_estimate(self) -> float:
+        """Moving estimate of query service seconds (0 on a cold server)."""
+        with self._lock:
+            return self._latency_ewma
+
+    def _observe_request_latency(self, elapsed: float) -> None:
+        """Latency accounting shared by completed, timed-out and shed
+        requests: every request that consumed server time appears in the
+        histogram and the status percentiles — overload never silently
+        vanishes from throughput accounting."""
+        with self._lock:
+            self._latencies.append(elapsed)
+            if len(self._latencies) > _MAX_LATENCY_SAMPLES:
+                del self._latencies[: -_MAX_LATENCY_SAMPLES // 2]
+        self._m_latency.observe(elapsed)
+
+    def _note_shed(self, reason: str, tenant: str, elapsed: float) -> None:
+        with self._lock:
+            self._sheds += 1
+            self._shed_breakdown[reason] = (
+                self._shed_breakdown.get(reason, 0) + 1
+            )
+        self._m_shed.inc(reason=reason)
+        self._observe_request_latency(elapsed)
+        self.logger.log("query_shed", reason=reason, tenant=tenant)
+
+    def _note_deadline_exceeded(
+        self,
+        query_id: str,
+        tenant: str,
+        generation: int,
+        elapsed: float,
+        tracer,
+        exc: Exception,
+    ) -> None:
+        with self._lock:
+            self._deadline_exceeded += 1
+        self._m_deadline_exceeded.inc()
+        self._observe_request_latency(elapsed)
+        self.logger.log(
+            "query_deadline_exceeded",
+            query_id=query_id,
+            tenant=tenant,
+            generation=generation,
+            elapsed_seconds=round(elapsed, 6),
+            error=f"{type(exc).__name__}: {exc}",
+        )
+        self._write_cancelled_trace(tracer, query_id, tenant, generation)
+
+    def _note_cancelled(
+        self,
+        query_id: str,
+        tenant: str,
+        generation: int,
+        elapsed: float,
+        tracer,
+        exc: Exception,
+    ) -> None:
+        with self._lock:
+            self._cancelled += 1
+        self._m_cancelled.inc()
+        self._observe_request_latency(elapsed)
+        self.logger.log(
+            "query_cancelled",
+            query_id=query_id,
+            tenant=tenant,
+            generation=generation,
+            elapsed_seconds=round(elapsed, 6),
+            error=f"{type(exc).__name__}: {exc}",
+        )
+        self._write_cancelled_trace(tracer, query_id, tenant, generation)
+
+    def _write_cancelled_trace(
+        self, tracer, query_id: str, tenant: str, generation: int
+    ) -> None:
+        """Cancelled queries still export their (partial) span tree —
+        the query span carries ``status="cancelled"`` (set by the
+        session) so traces distinguish them from completed queries."""
+        if tracer is None or self.trace_sink is None:
+            return
+        written = self.trace_sink.write(
+            tracer,
+            query_id=query_id,
+            tenant=tenant,
+            generation=generation,
+            status="cancelled",
+        )
+        if written:
+            self._m_spans.inc(written)
+
     def submit(
-        self, sql: str, tenant: str | None = None, day: int | None = None
+        self,
+        sql: str,
+        tenant: str | None = None,
+        day: int | None = None,
+        deadline_ms: float | None = None,
     ) -> Future:
         """Queue a request on the worker pool; the future resolves to a
         :class:`QueryResult` or raises the admission/engine error."""
-        if self._closed:
+        if self._closed or self._draining:
             raise RuntimeError("server is shut down")
-        return self._pool.submit(self.execute, sql, tenant, day)
+        future = self._pool.submit(self.execute, sql, tenant, day, deadline_ms)
+        with self._lock:
+            self._outstanding.add(future)
+        future.add_done_callback(self._outstanding.discard)
+        return future
 
     def ingest(self, day: int, paths: tuple[PathKey, ...] | list[PathKey]) -> None:
         """Online statistics ingestion for non-SQL events (trace replay)."""
@@ -420,6 +668,12 @@ class MaxsonServer:
             tenants = dict(self._per_tenant_completed)
             totals = self._totals.snapshot()
             latencies = sorted(self._latencies)
+            deadline_exceeded = self._deadline_exceeded
+            cancelled = self._cancelled
+            sheds = self._sheds
+            shed_breakdown = dict(self._shed_breakdown)
+            draining = self._draining
+            drain_cancelled = self._drain_cancelled
         admission = self.admission.snapshot()
         guard = self.generation_guard.snapshot()
         maintenance = self.scheduler.snapshot()
@@ -432,12 +686,22 @@ class MaxsonServer:
             uptime_seconds=uptime,
             queries_completed=completed,
             queries_failed=failed,
-            queries_shed=int(admission["shed"]),
+            queries_shed=sheds,
             queries_timed_out=int(admission["timed_out"]),
+            queries_deadline_exceeded=deadline_exceeded,
+            queries_cancelled=cancelled,
+            shed_breakdown=shed_breakdown,
+            priority_admitted=int(admission["priority_admitted"]),
+            draining=draining,
+            drain_cancelled=drain_cancelled,
+            watchdog=(
+                self.watchdog.snapshot() if self.watchdog is not None else {}
+            ),
             stats_events_ingested=stats_events,
             qps=completed / uptime if uptime > 0 else 0.0,
             latency_p50_seconds=percentile(latencies, 0.50),
             latency_p95_seconds=percentile(latencies, 0.95),
+            latency_p99_seconds=percentile(latencies, 0.99),
             latency_max_seconds=latencies[-1] if latencies else 0.0,
             cache_hits=totals.cache_hits,
             cache_misses=totals.cache_misses,
@@ -518,6 +782,15 @@ class MaxsonServer:
         if delta > 0:
             self._m_result_cache_evictions.inc(delta)
         self._result_cache_evictions_seen = evictions
+        if status.watchdog:
+            shrinks = int(status.watchdog.get("shrinks", 0))
+            shrink_delta = shrinks - self._watchdog_shrinks_seen
+            if shrink_delta > 0:
+                self._m_watchdog_shrinks.inc(shrink_delta)
+            self._watchdog_shrinks_seen = shrinks
+            self._g_memory_pressure.set(
+                1 if status.watchdog.get("under_pressure") else 0
+            )
         for record in status.cache_efficacy:
             generation = str(record.get("generation", 0))
             self._g_eff_precision.set(
@@ -548,14 +821,55 @@ class MaxsonServer:
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
-    def shutdown(self, wait: bool = True) -> None:
-        """Stop accepting work and (optionally) drain the pool."""
-        self._closed = True
-        self._pool.shutdown(wait=wait)
+    def shutdown(
+        self, wait: bool = True, drain_timeout: float | None = None
+    ) -> None:
+        """Graceful drain: stop admitting, let in-flight queries finish,
+        cancel stragglers at the drain timeout, flush final status.
+
+        ``drain_timeout`` (default ``config.drain_timeout_seconds``)
+        bounds how long in-flight and pool-queued queries may keep
+        running; whatever is still executing afterwards is cancelled
+        cooperatively (it raises ``QueryCancelledError``), and queued
+        futures that never started resolve to ``CancelledError``. With
+        ``wait=False`` the pool is shut down without draining.
+        """
+        if drain_timeout is None:
+            drain_timeout = self.config.drain_timeout_seconds
+        with self._lock:
+            already = self._closed
+            self._closed = True
+            self._draining = True
+        if already:
+            return
+        stragglers: list[CancelToken] = []
+        if wait:
+            deadline = time.monotonic() + drain_timeout
+            while time.monotonic() < deadline:
+                with self._lock:
+                    idle = not self._active_tokens and not self._outstanding
+                if idle:
+                    break
+                time.sleep(0.002)
+            with self._lock:
+                stragglers = list(self._active_tokens)
+            for token in stragglers:
+                token.cancel("server drain timeout")
+            with self._lock:
+                self._drain_cancelled = len(stragglers)
+        self._pool.shutdown(wait=wait, cancel_futures=bool(stragglers))
+        self.logger.log(
+            "server_drained",
+            drain_timeout_seconds=drain_timeout,
+            cancelled_in_flight=len(stragglers),
+        )
         self.logger.log(
             "server_stopped",
             queries_completed=self._completed,
             queries_failed=self._failed,
+            queries_cancelled=self._cancelled,
+            queries_deadline_exceeded=self._deadline_exceeded,
+            queries_shed=self._sheds,
         )
         self.logger.close()
 

@@ -60,6 +60,24 @@ class ServerStatus:
     peak_queue_depth: int
     active_queries: int
     active_leases: int
+    #: Queries cooperatively cancelled at their deadline. Their elapsed
+    #: time is *included* in the latency percentiles above — overload
+    #: never silently vanishes from throughput accounting.
+    queries_deadline_exceeded: int = 0
+    #: Queries cancelled for other reasons (drain, explicit cancel).
+    queries_cancelled: int = 0
+    latency_p99_seconds: float = 0.0
+    #: Shed counts by reason: queue_full, admission_timeout, deadline,
+    #: memory_pressure. ``queries_shed`` is their sum.
+    shed_breakdown: dict[str, int] = field(default_factory=dict)
+    #: Waiters admitted ahead of arrival order (result-cache probable hits).
+    priority_admitted: int = 0
+    draining: bool = False
+    #: In-flight queries cancelled by the drain timeout.
+    drain_cancelled: int = 0
+    #: :meth:`repro.server.watchdog.MemoryWatchdog.snapshot` payload
+    #: (empty when no soft memory limit is configured).
+    watchdog: dict = field(default_factory=dict)
     fallback_queries: int = 0
     fallback_splits: int = 0
     corruption_events: int = 0
@@ -95,6 +113,8 @@ class ServerStatus:
         out["cache_ledger"] = dict(self.cache_ledger)
         out["cache_efficacy"] = [dict(r) for r in self.cache_efficacy]
         out["observability"] = dict(self.observability)
+        out["shed_breakdown"] = dict(self.shed_breakdown)
+        out["watchdog"] = dict(self.watchdog)
         return out
 
     def format(self) -> str:
@@ -104,11 +124,14 @@ class ServerStatus:
             f"  uptime:        {self.uptime_seconds:8.2f}s",
             f"  queries:       {self.queries_completed} completed, "
             f"{self.queries_failed} failed, {self.queries_shed} shed, "
-            f"{self.queries_timed_out} timed out",
+            f"{self.queries_timed_out} timed out, "
+            f"{self.queries_deadline_exceeded} deadline-exceeded, "
+            f"{self.queries_cancelled} cancelled",
             f"  stats events:  {self.stats_events_ingested}",
             f"  qps:           {self.qps:8.2f}",
             f"  latency:       p50={self.latency_p50_seconds * 1000:.1f}ms  "
             f"p95={self.latency_p95_seconds * 1000:.1f}ms  "
+            f"p99={self.latency_p99_seconds * 1000:.1f}ms  "
             f"max={self.latency_max_seconds * 1000:.1f}ms",
             f"  cache:         hit_ratio={self.cache_hit_ratio:.1%} "
             f"({self.cache_hits} hits / {self.cache_misses} misses)",
@@ -132,6 +155,28 @@ class ServerStatus:
             f"{self.duplicate_extractions_eliminated} duplicate extractions "
             f"eliminated, {self.shared_parse_hits} shared parses",
         ]
+        if self.shed_breakdown:
+            breakdown = ", ".join(
+                f"{reason}={count}"
+                for reason, count in sorted(self.shed_breakdown.items())
+            )
+            lines.append(f"  shed:          {breakdown}")
+        if self.watchdog:
+            wd = self.watchdog
+            lines.append(
+                "  watchdog:      soft_limit={:,} bytes, {} shrinks "
+                "({:,} bytes reclaimed), pressure={}".format(
+                    int(wd.get("soft_limit_bytes", 0)),
+                    wd.get("shrinks", 0),
+                    int(wd.get("bytes_reclaimed", 0)),
+                    "yes" if wd.get("under_pressure") else "no",
+                )
+            )
+        if self.draining or self.drain_cancelled:
+            lines.append(
+                f"  drain:         draining={self.draining} "
+                f"cancelled_in_flight={self.drain_cancelled}"
+            )
         if self.slow_queries:
             lines.append(f"  slow queries:  {self.slow_queries}")
         if self.result_cache.get("capacity"):

@@ -1,0 +1,83 @@
+"""Memory-pressure watchdog over the unified cache ledger.
+
+Ordering contract (DESIGN.md §13): under a soft memory limit the
+watchdog first **shrinks caches** — the result tier yields its
+lowest-benefit entries, then the plan tier its LRU entries — and only
+if the ledger is still over the limit afterwards does the server **shed**
+cold queries (probable result-cache hits keep flowing: serving them
+*releases* pressure per byte better than anything else the server can
+do). The cache-table **circuit breaker is never touched**: it encodes
+correctness state (which cache tables are readable), not capacity, and
+opening it would convert a memory problem into raw-parse amplification.
+
+The watchdog is intentionally pull-based: :meth:`check` runs on the
+request path (a ledger read is a lock + small sum), so pressure is
+re-evaluated exactly as often as it can matter and no background thread
+is needed.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["MemoryWatchdog"]
+
+
+class MemoryWatchdog:
+    """Shrinks cache tiers under a soft byte limit, then reports pressure."""
+
+    def __init__(
+        self,
+        session,
+        soft_limit_bytes: int,
+        shrink_headroom: float = 0.9,
+    ) -> None:
+        if soft_limit_bytes < 0:
+            raise ValueError("soft_limit_bytes must be >= 0")
+        if not 0.0 < shrink_headroom <= 1.0:
+            raise ValueError("shrink_headroom must be in (0, 1]")
+        self.session = session
+        self.soft_limit_bytes = soft_limit_bytes
+        #: Shrink below the limit by this factor so one admitted result
+        #: does not immediately re-trigger the watchdog.
+        self.shrink_headroom = shrink_headroom
+        self._lock = threading.Lock()
+        self.shrinks = 0
+        self.bytes_reclaimed = 0
+        self.pressure_events = 0
+        self.under_pressure = False
+
+    def check(self) -> bool:
+        """Shrink if over the soft limit; True while pressure persists.
+
+        "Pressure persists" means the budgeted tiers still exceed the
+        soft limit *after* shrinking — i.e. the document tier (transient
+        per-query state the watchdog cannot evict) alone is above the
+        limit — which is the server's cue to shed cold queries.
+        """
+        ledger = self.session.cache_ledger
+        total = ledger.total()
+        if total <= self.soft_limit_bytes:
+            with self._lock:
+                self.under_pressure = False
+            return False
+        target = int(self.soft_limit_bytes * self.shrink_headroom)
+        reclaimed = self.session.shrink_caches_to(target)
+        still_over = ledger.total() > self.soft_limit_bytes
+        with self._lock:
+            self.shrinks += 1
+            self.bytes_reclaimed += reclaimed
+            if still_over:
+                self.pressure_events += 1
+            self.under_pressure = still_over
+        return still_over
+
+    def snapshot(self) -> dict[str, object]:
+        with self._lock:
+            return {
+                "soft_limit_bytes": self.soft_limit_bytes,
+                "shrinks": self.shrinks,
+                "bytes_reclaimed": self.bytes_reclaimed,
+                "pressure_events": self.pressure_events,
+                "under_pressure": self.under_pressure,
+            }

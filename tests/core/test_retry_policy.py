@@ -1,0 +1,88 @@
+"""RetryPolicy: what is retryable, and full-jitter backoff."""
+
+import pytest
+
+from repro.core.resilience import RetryPolicy
+from repro.engine import CancelToken, DeadlineExceededError, QueryCancelledError
+from repro.engine.errors import ExecutionError
+from repro.server import AdmissionTimeout, QueryShedError, QueueFullError
+from repro.storage import TransientFsError
+
+
+class TestRetryability:
+    def test_transient_fs_error_is_retryable(self):
+        policy = RetryPolicy()
+        assert policy.is_retryable(TransientFsError("blip"))
+        assert policy.should_retry(TransientFsError("blip"), attempt=0)
+
+    def test_admission_rejections_are_never_retryable(self):
+        # Satellite: shed/timeout signals overload; retrying amplifies it.
+        policy = RetryPolicy(max_retries=10)
+        for exc in (
+            QueueFullError("full"),
+            AdmissionTimeout("slow"),
+            QueryShedError("shed", retry_after_seconds=0.5),
+        ):
+            assert not policy.is_retryable(exc)
+            assert not policy.should_retry(exc, attempt=0)
+
+    def test_cancellations_are_never_retryable(self):
+        policy = RetryPolicy(max_retries=10)
+        assert not policy.is_retryable(QueryCancelledError("cancelled"))
+        assert not policy.is_retryable(DeadlineExceededError("late"))
+        assert not policy.is_retryable(ExecutionError("bad plan"))
+
+    def test_cancelled_token_blocks_retry_of_transient_error(self):
+        policy = RetryPolicy(max_retries=10)
+        token = CancelToken()
+        assert policy.is_retryable(TransientFsError("blip"), token)
+        token.cancel("drain")
+        assert not policy.is_retryable(TransientFsError("blip"), token)
+
+    def test_attempt_budget(self):
+        policy = RetryPolicy(max_retries=2)
+        exc = TransientFsError("blip")
+        assert policy.should_retry(exc, attempt=0)
+        assert policy.should_retry(exc, attempt=1)
+        assert not policy.should_retry(exc, attempt=2)
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_seconds=-0.1)
+
+
+class TestFullJitterBackoff:
+    def test_backoff_within_full_jitter_bounds(self):
+        policy = RetryPolicy(backoff_seconds=0.01, seed=3)
+        for attempt in range(6):
+            ceiling = 0.01 * (2**attempt)
+            for _ in range(50):
+                delay = policy.backoff_for(attempt)
+                assert 0.0 <= delay <= ceiling
+
+    def test_seeded_schedules_replay_identically(self):
+        a = RetryPolicy(backoff_seconds=0.01, seed=42)
+        b = RetryPolicy(backoff_seconds=0.01, seed=42)
+        schedule_a = [a.backoff_for(i) for i in range(8)]
+        schedule_b = [b.backoff_for(i) for i in range(8)]
+        assert schedule_a == schedule_b
+
+    def test_different_seeds_decorrelate(self):
+        a = RetryPolicy(backoff_seconds=0.01, seed=1)
+        b = RetryPolicy(backoff_seconds=0.01, seed=2)
+        assert [a.backoff_for(i) for i in range(8)] != [
+            b.backoff_for(i) for i in range(8)
+        ]
+
+    def test_backoff_is_jittered_not_deterministic(self):
+        # The pre-PR-7 schedule was exactly base * 2**attempt; full
+        # jitter must not reproduce that fixed ladder.
+        policy = RetryPolicy(backoff_seconds=0.01, seed=0)
+        ladder = [0.01 * (2**i) for i in range(8)]
+        assert [policy.backoff_for(i) for i in range(8)] != ladder
+
+    def test_zero_base_means_no_sleep(self):
+        policy = RetryPolicy(backoff_seconds=0.0)
+        assert policy.backoff_for(5) == 0.0

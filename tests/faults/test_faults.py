@@ -26,6 +26,7 @@ class TestFaultPolicy:
             "corruptions": 0,
             "torn_appends": 0,
             "crashes": 0,
+            "latency_spikes": 0,
         }
 
     def test_same_seed_same_decisions(self):
@@ -82,15 +83,44 @@ class TestFaultPolicy:
         assert torn is not None and 0 <= torn < 50
         assert policy.torn_length("/x", 0) is None
 
+    def test_latency_spike_fires_at_rate_and_is_counted(self):
+        import time
+
+        policy = FaultPolicy(
+            seed=3, latency_spike_rate=0.5, latency_spike_seconds=0.001
+        )
+        started = time.perf_counter()
+        for i in range(100):
+            policy.on_read(f"/data/{i}")
+        elapsed = time.perf_counter() - started
+        spikes = policy.counters.latency_spikes
+        assert 20 <= spikes <= 80  # ~50 of 100 reads, seeded
+        assert elapsed >= spikes * 0.001
+
+    def test_latency_spike_scoped_to_error_prefix(self):
+        policy = FaultPolicy(
+            latency_spike_rate=1.0,
+            latency_spike_seconds=0.0001,
+            error_path_prefix="/slow",
+        )
+        for i in range(20):
+            policy.on_read(f"/fast/{i}")
+        assert policy.counters.latency_spikes == 0
+        policy.on_read("/slow/x")
+        assert policy.counters.latency_spikes == 1
+
 
 class TestParseFaultProfile:
     def test_full_spec(self):
         policy = parse_fault_profile(
             "seed=9,read_error=0.1,write_error=0.2,corrupt=0.3,"
-            "torn_append=0.4,latency=0.01,error_prefix=/a,"
+            "torn_append=0.4,latency=0.01,spike_rate=0.25,"
+            "spike_seconds=0.05,error_prefix=/a,"
             "corrupt_prefix=/b,crash_after=5,crash_prefix=/c"
         )
         assert policy.seed == 9
+        assert policy.latency_spike_rate == 0.25
+        assert policy.latency_spike_seconds == 0.05
         assert policy.read_error_rate == 0.1
         assert policy.write_error_rate == 0.2
         assert policy.corrupt_rate == 0.3

@@ -1,0 +1,178 @@
+"""Deadline-aware shedding + priority admission, and their isolation
+from the retry/breaker machinery (admission rejections are not faults)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.server import (
+    AdmissionController,
+    AdmissionTimeout,
+    QueryShedError,
+    QueueFullError,
+)
+
+
+class TestDeadlineShed:
+    def test_past_deadline_shed_immediately(self):
+        controller = AdmissionController(per_tenant_limit=1, queue_capacity=4)
+        with pytest.raises(QueryShedError):
+            controller.acquire("a", deadline=time.monotonic() - 0.001)
+        assert controller.snapshot()["shed_deadline"] == 1
+        assert controller.active == 0
+
+    def test_shed_when_estimate_exceeds_remaining_budget(self):
+        controller = AdmissionController(per_tenant_limit=1, queue_capacity=4)
+        with pytest.raises(QueryShedError) as info:
+            controller.acquire(
+                "a",
+                deadline=time.monotonic() + 0.05,
+                service_estimate=10.0,
+            )
+        # Retry-after hint tells the client when another attempt could fit.
+        assert info.value.retry_after_seconds >= 10.0
+
+    def test_feasible_deadline_admits(self):
+        controller = AdmissionController(per_tenant_limit=1, queue_capacity=4)
+        controller.acquire(
+            "a", deadline=time.monotonic() + 30.0, service_estimate=0.01
+        )
+        assert controller.active == 1
+        controller.release("a")
+
+    def test_deadline_reached_while_queued_sheds_not_times_out(self):
+        controller = AdmissionController(
+            per_tenant_limit=1, queue_capacity=4, timeout_seconds=30.0
+        )
+        controller.acquire("a")  # occupy the only slot
+        with pytest.raises(QueryShedError):
+            controller.acquire("a", deadline=time.monotonic() + 0.02)
+        snapshot = controller.snapshot()
+        assert snapshot["shed_deadline"] == 1
+        assert snapshot["timed_out"] == 0
+        controller.release("a")
+
+    def test_retry_after_is_never_negative(self):
+        err = QueryShedError("late", retry_after_seconds=-5.0)
+        assert err.retry_after_seconds == 0.0
+
+
+class TestPriorityAdmission:
+    def test_priority_waiter_admitted_before_earlier_cold_waiter(self):
+        controller = AdmissionController(
+            per_tenant_limit=1, queue_capacity=8, timeout_seconds=5.0
+        )
+        controller.acquire("a")  # occupy the slot
+        order: list[str] = []
+        order_lock = threading.Lock()
+
+        def waiter(name: str, priority: int):
+            controller.acquire("a", priority=priority)
+            with order_lock:
+                order.append(name)
+            time.sleep(0.01)
+            controller.release("a")
+
+        cold = threading.Thread(target=waiter, args=("cold", 0))
+        cold.start()
+        while controller.waiting < 1:
+            time.sleep(0.001)
+        hot = threading.Thread(target=waiter, args=("hot", 1))
+        hot.start()
+        while controller.waiting < 2:
+            time.sleep(0.001)
+        controller.release("a")
+        cold.join(timeout=5)
+        hot.join(timeout=5)
+        assert order == ["hot", "cold"]
+        assert controller.snapshot()["priority_admitted"] == 1
+
+    def test_fifo_within_equal_priority(self):
+        controller = AdmissionController(
+            per_tenant_limit=1, queue_capacity=8, timeout_seconds=5.0
+        )
+        controller.acquire("a")
+        order: list[int] = []
+        order_lock = threading.Lock()
+
+        def waiter(rank: int):
+            controller.acquire("a")
+            with order_lock:
+                order.append(rank)
+            time.sleep(0.005)
+            controller.release("a")
+
+        threads = []
+        for rank in range(3):
+            t = threading.Thread(target=waiter, args=(rank,))
+            t.start()
+            while controller.waiting < rank + 1:
+                time.sleep(0.001)
+            threads.append(t)
+        controller.release("a")
+        for t in threads:
+            t.join(timeout=5)
+        assert order == [0, 1, 2]
+
+    def test_fast_path_preserved_when_no_waiters(self):
+        controller = AdmissionController(per_tenant_limit=2, queue_capacity=4)
+        controller.acquire("a", priority=0)
+        controller.acquire("a", priority=1)
+        snapshot = controller.snapshot()
+        assert snapshot["admitted"] == 2
+        assert snapshot["priority_admitted"] == 1
+        controller.release("a")
+        controller.release("a")
+
+
+class TestRejectionIsolation:
+    """Satellite: shed/timeout are overload signals — never retried,
+    never counted against the cache-table circuit breaker."""
+
+    def test_admission_errors_not_retried_by_server_policy(self):
+        from repro.core.resilience import RetryPolicy
+
+        policy = RetryPolicy(max_retries=8)
+        for exc in (
+            QueueFullError("full"),
+            AdmissionTimeout("slow"),
+            QueryShedError("late"),
+        ):
+            assert not policy.should_retry(exc, attempt=0)
+
+    def test_sheds_leave_breaker_and_retry_counters_untouched(self):
+        from repro.core import MaxsonConfig, MaxsonSystem, PredictorConfig
+        from repro.engine import Session
+        from repro.jsonlib import dumps
+        from repro.server import MaxsonServer, ServerConfig
+        from repro.storage import BlockFileSystem, DataType, Schema
+
+        session = Session(fs=BlockFileSystem())
+        schema = Schema.of(("id", DataType.INT64), ("payload", DataType.STRING))
+        session.catalog.create_table("db", "t", schema)
+        session.catalog.append_rows(
+            "db",
+            "t",
+            [(i, dumps({"a": i})) for i in range(20)],
+            row_group_size=10,
+        )
+        system = MaxsonSystem(
+            session=session,
+            config=MaxsonConfig(predictor=PredictorConfig(model="oracle")),
+        )
+        sql = "select get_json_object(payload, '$.a') as a from db.t"
+        with MaxsonServer(system, ServerConfig(max_workers=2)) as server:
+            for _ in range(5):
+                with pytest.raises(QueryShedError):
+                    server.execute(sql, deadline_ms=0.0)
+            status = server.status()
+            assert status.queries_shed == 5
+            assert status.shed_breakdown == {"deadline": 5}
+            assert status.query_retries == 0
+            assert server.system.breaker.snapshot() == {
+                "quarantined": [],
+                "half_open": [],
+            }
+            # The service stays fully functional for unbounded queries.
+            assert server.execute(sql).rows

@@ -1,0 +1,121 @@
+"""Per-query deadlines through the server: bounded slack, worker
+reclamation, and honest latency accounting for timed-out queries."""
+
+import time
+
+import pytest
+
+from repro.core import MaxsonConfig, MaxsonSystem, PredictorConfig
+from repro.engine import DeadlineExceededError, Session
+from repro.faults import FaultPolicy, FaultyFileSystem
+from repro.jsonlib import dumps
+from repro.server import MaxsonServer, ServerConfig
+from repro.storage import DataType, Schema
+
+SQL = "select get_json_object(payload, '$.a') as a from db.t"
+
+#: Generous unwind allowance on top of the deadline: one injected read
+#: latency (the largest atomic step that cannot observe the token) plus
+#: scheduler noise. The contract is *bounded* slack, not zero slack.
+SLACK_SECONDS = 0.5
+
+
+def build_slow_system(
+    read_latency: float = 0.02, rows: int = 80, scan_workers: int = 1
+) -> MaxsonSystem:
+    """A system whose table scans are slow (fault-injected read latency),
+    loaded quietly so the data itself is intact."""
+    session = Session(fs=FaultyFileSystem(policy=FaultPolicy()))
+    schema = Schema.of(("id", DataType.INT64), ("payload", DataType.STRING))
+    session.catalog.create_table("db", "t", schema)
+    # One file (= one scan split) per append: an 8-split scan where every
+    # split pays the injected read latency.
+    for start in range(0, rows, 10):
+        data = [
+            (i, dumps({"a": i % 9, "pad": "x" * 40}))
+            for i in range(start, min(start + 10, rows))
+        ]
+        session.catalog.append_rows("db", "t", data, row_group_size=10)
+    session.fs.policy = FaultPolicy(read_latency_seconds=read_latency)
+    if scan_workers > 1:
+        session.scan_workers = scan_workers
+    return MaxsonSystem(
+        session=session,
+        config=MaxsonConfig(predictor=PredictorConfig(model="oracle")),
+    )
+
+
+class TestDeadlineEnforcement:
+    def test_deadline_exceeded_within_bounded_slack(self):
+        system = build_slow_system(read_latency=0.02)
+        with MaxsonServer(system, ServerConfig(max_workers=2)) as server:
+            deadline_seconds = 0.05
+            started = time.perf_counter()
+            with pytest.raises(DeadlineExceededError):
+                server.execute(SQL, deadline_ms=deadline_seconds * 1000)
+            elapsed = time.perf_counter() - started
+            assert elapsed < deadline_seconds + SLACK_SECONDS
+            status = server.status()
+            assert status.queries_deadline_exceeded == 1
+            assert status.queries_failed == 0
+            assert status.queries_completed == 0
+
+    def test_workers_and_leases_reclaimed_after_deadline(self):
+        system = build_slow_system(read_latency=0.02, scan_workers=4)
+        with MaxsonServer(system, ServerConfig(max_workers=2)) as server:
+            with pytest.raises(DeadlineExceededError):
+                server.execute(SQL, deadline_ms=40.0)
+            status = server.status()
+            assert status.active_queries == 0
+            assert status.active_leases == 0
+            # The pool still serves: the same query completes without a
+            # deadline and matches the fault-free baseline.
+            result = server.execute(SQL)
+            assert sorted(map(str, result.rows)) == sorted(
+                map(str, server.system.baseline_sql(SQL).rows)
+            )
+
+    def test_config_default_deadline_applies(self):
+        system = build_slow_system(read_latency=0.02)
+        config = ServerConfig(max_workers=2, default_deadline_ms=40.0)
+        with MaxsonServer(system, config) as server:
+            with pytest.raises(DeadlineExceededError):
+                server.execute(SQL)
+            # A per-request override can relax back to unbounded... by
+            # passing a generous deadline instead.
+            assert server.execute(SQL, deadline_ms=60_000.0).rows
+
+    def test_latency_accounting_includes_timed_out_queries(self):
+        # Satellite: timed-out queries must appear in the histogram and
+        # percentiles with their own counter — not silently vanish.
+        system = build_slow_system(read_latency=0.02)
+        with MaxsonServer(system, ServerConfig(max_workers=2)) as server:
+            with pytest.raises(DeadlineExceededError):
+                server.execute(SQL, deadline_ms=40.0)
+            status = server.status()
+            assert status.queries_deadline_exceeded == 1
+            # The ~40ms of consumed wall time is in the percentile sample.
+            assert status.latency_max_seconds >= 0.03
+            text = server.metrics_text()
+            assert "deadline_exceeded_total 1" in text
+            # The latency histogram observed the timed-out request.
+            assert "query_latency_seconds_count 1" in text
+
+    def test_shed_latency_accounted_with_reason_counter(self):
+        system = build_slow_system(read_latency=0.0)
+        with MaxsonServer(system, ServerConfig(max_workers=2)) as server:
+            from repro.server import QueryShedError
+
+            with pytest.raises(QueryShedError):
+                server.execute(SQL, deadline_ms=0.0)
+            status = server.status()
+            assert status.queries_shed == 1
+            assert status.shed_breakdown == {"deadline": 1}
+            assert 'shed_total{reason="deadline"} 1' in server.metrics_text()
+
+    def test_submit_propagates_deadline(self):
+        system = build_slow_system(read_latency=0.02)
+        with MaxsonServer(system, ServerConfig(max_workers=2)) as server:
+            future = server.submit(SQL, deadline_ms=40.0)
+            with pytest.raises(DeadlineExceededError):
+                future.result(timeout=10)
