@@ -43,8 +43,12 @@ BENCH_PR5_PATH = Path(__file__).parent.parent / "BENCH_pr5.json"
 BENCH_PR6_PATH = Path(__file__).parent.parent / "BENCH_pr6.json"
 
 #: PR-7 summary (deadlines, cooperative cancellation, overload
-#: protection). The current roll-up target of :func:`save_result`.
+#: protection).
 BENCH_PR7_PATH = Path(__file__).parent.parent / "BENCH_pr7.json"
+
+#: PR-8 summary (process-pool morsel backend + shared-memory batch
+#: transport). The current roll-up target of :func:`save_result`.
+BENCH_PR8_PATH = Path(__file__).parent.parent / "BENCH_pr8.json"
 
 #: Scale knobs: the paper uses 20M rows/table on 22 nodes; the simulator
 #: uses this many rows per Table II table (split over 3 daily files).
@@ -70,8 +74,9 @@ def _merge_bench(path: Path, section: str, payload: dict) -> Path:
 def save_result(name: str, payload: dict) -> Path:
     """Persist one bench's series for EXPERIMENTS.md.
 
-    Every series is also merged into ``BENCH_pr7.json`` at the repo
-    root — previously each PR's roll-up had to be fed by hand-picked
+    Every series is also merged into ``BENCH_pr8.json`` at the repo
+    root (and into ``BENCH_pr7.json``, which older CI jobs still read)
+    — previously each PR's roll-up had to be fed by hand-picked
     benches, which silently dropped any bench that forgot to call the
     per-PR saver.
     """
@@ -79,6 +84,7 @@ def save_result(name: str, payload: dict) -> Path:
     path = RESULTS_DIR / f"{name}.json"
     path.write_text(json.dumps(payload, indent=2, sort_keys=True))
     _merge_bench(BENCH_PR7_PATH, name, payload)
+    _merge_bench(BENCH_PR8_PATH, name, payload)
     return path
 
 
@@ -90,6 +96,11 @@ def save_bench_pr3(section: str, payload: dict) -> Path:
 def save_bench_pr5(section: str, payload: dict) -> Path:
     """Merge one section into the BENCH_pr5.json summary at the repo root."""
     return _merge_bench(BENCH_PR5_PATH, section, payload)
+
+
+def save_bench_pr8(section: str, payload: dict) -> Path:
+    """Merge one section into the BENCH_pr8.json summary at the repo root."""
+    return _merge_bench(BENCH_PR8_PATH, section, payload)
 
 
 class BenchEnv:

@@ -134,6 +134,54 @@ def test_worker_scale(benchmark):
     assert speedup >= 2.0
 
 
+def test_worker_scale_process(benchmark):
+    """The process backend must clear the same >= 2x bar over serial on
+    the same multi-split scan: workers sleep on reads in separate
+    processes, so split overlap survives without thread-level tricks."""
+    session = Session(
+        fs=BlockFileSystem(read_latency_seconds=_SCAN_LATENCY_SECONDS)
+    )
+    session.worker_backend = "process"
+    spec = next(s for s in TABLE_SPECS if s.query_id == "Q2")
+    factories = load_tables(
+        session.catalog,
+        rows_per_table=64,
+        days=_SCAN_DAYS,
+        row_group_size=32,
+        specs=[spec],
+    )
+    query = build_queries(factories)["Q2"]
+
+    def run():
+        session.scan_workers = 1
+        session.sql(query.sql)  # warm the plan cache + page the files
+        serial_result, serial_s = _timed(session, query.sql)
+        session.scan_workers = 4
+        session.sql(query.sql)  # spawn + snapshot the pool, untimed
+        parallel_result, parallel_s = _timed(session, query.sql)
+        assert serial_result.rows == parallel_result.rows
+        return serial_s, parallel_s
+
+    try:
+        serial_s, parallel_s = once(benchmark, run)
+    finally:
+        session.close_worker_pools()
+    speedup = serial_s / max(parallel_s, 1e-9)
+    save_result(
+        "worker_scale_process",
+        {
+            "splits": _SCAN_DAYS,
+            "read_latency_seconds": _SCAN_LATENCY_SECONDS,
+            "serial_seconds": serial_s,
+            "parallel_seconds": parallel_s,
+            "scan_workers": 4,
+            "worker_backend": "process",
+            "speedup": speedup,
+        },
+    )
+    assert speedup >= 2.0
+
+
 def test_plan_cache_replay(benchmark):
     """A replayed recurring trace must hit the plan cache (>0 hit rate),
     and hits must skip recompilation entirely."""

@@ -74,6 +74,8 @@ def cmd_demo(args) -> int:
     system.session.execution_mode = args.execution_mode
     if args.scan_workers is not None:
         system.session.scan_workers = args.scan_workers
+    if args.worker_backend is not None:
+        system.session.worker_backend = args.worker_backend
     scale = max(1, 10_000 // args.rows)
     factories = {
         s.query_id: DocumentFactory(s, metric_scale=scale) for s in TABLE_SPECS
@@ -115,6 +117,8 @@ def cmd_explain(args) -> int:
     system = MaxsonSystem.for_demo(rows_per_table=args.rows)
     if args.scan_workers is not None:
         system.session.scan_workers = args.scan_workers
+    if args.worker_backend is not None:
+        system.session.worker_backend = args.worker_backend
     scale = max(1, 10_000 // args.rows)
     factories = {
         s.query_id: DocumentFactory(s, metric_scale=scale) for s in TABLE_SPECS
@@ -224,6 +228,7 @@ def cmd_replay_serve(args) -> int:
         refresh_interval_seconds=args.refresh_interval,
         max_query_retries=args.retries,
         scan_workers=args.scan_workers,
+        worker_backend=args.worker_backend,
         plan_cache_entries=args.plan_cache_entries,
         result_cache=True if args.result_cache else None,
         cache_budget_bytes=args.cache_budget_bytes,
@@ -322,6 +327,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="morsel workers per query (file splits execute concurrently; "
         "1 = serial, same code path inline)",
     )
+    p_demo.add_argument(
+        "--worker-backend",
+        default=None,
+        choices=["thread", "process"],
+        help="morsel worker backend: GIL-shared threads or spawned "
+        "processes with shared-memory batch transport",
+    )
     p_demo.set_defaults(func=cmd_demo)
 
     p_explain = sub.add_parser(
@@ -348,6 +360,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="morsel workers per query (traced plans parallelize only "
         "when > 1)",
+    )
+    p_explain.add_argument(
+        "--worker-backend",
+        default=None,
+        choices=["thread", "process"],
+        help="morsel worker backend: GIL-shared threads or spawned "
+        "processes with shared-memory batch transport",
     )
     p_explain.set_defaults(func=cmd_explain)
 
@@ -453,6 +472,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="morsel workers per query: a scan's file splits execute "
         "concurrently on a shared pool (1 = serial)",
+    )
+    p_serve.add_argument(
+        "--worker-backend",
+        default=None,
+        choices=["thread", "process"],
+        help="morsel worker backend when --scan-workers > 1: GIL-shared "
+        "threads (default) or spawned processes exchanging ColumnBatch "
+        "payloads over shared memory",
     )
     p_serve.add_argument(
         "--plan-cache-entries",

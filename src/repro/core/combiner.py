@@ -352,12 +352,34 @@ class MaxsonScanExec(ScanExec):
                 self.breaker.record_success(cache_table)
 
     def _note_cache_failure(self, cache_table: str, exc: Exception | None) -> None:
+        log = getattr(self, "failure_log", None)
+        if log is not None:
+            # Process-backend worker replica: breaker/resilience are
+            # stripped (they hold coordinator locks), so the failure is
+            # recorded for split-ordered replay on the coordinator.
+            log.append(
+                (cache_table, isinstance(exc, (CorruptStripeError, OrcError)))
+            )
         if self.breaker is not None:
             self.breaker.record_failure(cache_table)
         if self.resilience is not None and isinstance(
             exc, (CorruptStripeError, OrcError)
         ):
             self.resilience.add("corruption_events")
+
+    def replay_cache_failures(self, entries: list) -> None:
+        """Coordinator-side replay of worker-recorded cache failures.
+
+        ``entries`` is one split's ``failure_log``:
+        ``(cache_table, is_corruption)`` tuples, replayed in split order
+        so breaker trips and corruption counters match what the thread
+        backend records while executing the same splits itself.
+        """
+        for cache_table, corruption in entries:
+            if self.breaker is not None:
+                self.breaker.record_failure(cache_table)
+            if self.resilience is not None and corruption:
+                self.resilience.add("corruption_events")
 
     # ------------------------------------------------------------------
     def _read_split_fallback(self, state: ExecState, raw_path: str) -> list[dict]:

@@ -93,6 +93,11 @@ class MaxsonConfig:
     """Split-level morsel parallelism for query scans. Results are
     bit-identical at any worker count; >1 overlaps per-split I/O on a
     worker pool."""
+    worker_backend: str = "thread"
+    """Morsel worker backend when ``scan_workers > 1``: 'thread' (shared
+    GIL) or 'process' (spawned workers with warm snapshots exchanging
+    ColumnBatch payloads over shared memory). Results are bit-identical
+    across backends."""
     plan_cache_entries: int = 64
     """Capacity of the recurring-query plan cache (0 disables it)."""
     result_cache: bool = False
@@ -130,6 +135,12 @@ class MaxsonSystem:
         self.config = config or MaxsonConfig()
         self.session.execution_mode = self.config.execution_mode
         self.session.scan_workers = self.config.scan_workers
+        if self.config.worker_backend not in ("thread", "process"):
+            raise ValueError(
+                f"worker_backend must be 'thread' or 'process', "
+                f"got {self.config.worker_backend!r}"
+            )
+        self.session.worker_backend = self.config.worker_backend
         if self.session.plan_cache_entries != self.config.plan_cache_entries:
             self.session.configure_plan_cache(self.config.plan_cache_entries)
         if self.config.result_cache and not self.session.result_cache_enabled:
@@ -620,4 +631,5 @@ class MaxsonSystem:
             "result_cache": self.session.result_cache_stats(),
             "cache_ledger": self.session.cache_ledger.to_dict(),
             "scan_workers": self.session.scan_workers,
+            "worker_backend": self.session.worker_backend,
         }

@@ -33,6 +33,8 @@ forced down the pure row path via ``Session(execution_mode="row")``.
 
 from __future__ import annotations
 
+import threading
+
 from .errors import ExecutionError
 from .expressions import (
     Alias,
@@ -62,7 +64,50 @@ from .expressions import (
     walk,
 )
 
-__all__ = ["ColumnBatch", "CompiledExpression", "BatchCompiler"]
+__all__ = [
+    "ColumnBatch",
+    "CompiledExpression",
+    "BatchCompiler",
+    "ExpressionAnalysis",
+]
+
+
+class ExpressionAnalysis:
+    """Immutable per-query expression facts, shared across worker forks.
+
+    Every morsel fork builds its own :class:`BatchCompiler` (closures
+    capture the fork's private context, and per-batch identity caches
+    must never be shared between concurrently executing splits), but the
+    *analysis* of an expression tree — today, its extraction-call count
+    — is a pure function of the frozen expression and identical in every
+    fork. The coordinator's ``ExecState`` owns one instance and hands it
+    read-only to each fork, so a query with N splits walks each
+    expression tree once instead of N times.
+    """
+
+    __slots__ = ("_extractions", "_lock")
+
+    def __init__(self) -> None:
+        self._extractions: dict[Expression, int] = {}
+        self._lock = threading.Lock()
+
+    def extraction_count(self, expr: Expression) -> int:
+        table = self._extractions
+        try:
+            cached = table.get(expr)
+            hashable = True
+        except TypeError:  # unhashable payload (e.g. Literal over a list)
+            cached = None
+            hashable = False
+        if cached is not None:
+            return cached
+        count = sum(
+            1 for node in walk(expr) if isinstance(node, ExtractionCall)
+        )
+        if hashable:
+            with self._lock:
+                table[expr] = count
+        return count
 
 
 class ColumnBatch:
@@ -212,9 +257,12 @@ class BatchCompiler:
     common-subexpression elimination.
     """
 
-    def __init__(self, context: EvalContext, metrics=None) -> None:
+    def __init__(self, context: EvalContext, metrics=None, analysis=None) -> None:
         self.context = context
         self.metrics = metrics
+        #: Shared read-only :class:`ExpressionAnalysis` (morsel forks of
+        #: one query reuse the coordinator's); private when unshared.
+        self.analysis = analysis if analysis is not None else ExpressionAnalysis()
         self._memo: dict[Expression, CompiledExpression] = {}
 
     def compile(self, expr: Expression) -> CompiledExpression:
@@ -236,9 +284,7 @@ class BatchCompiler:
         fn = self._lower_fn(expr)
         if fn is None:
             fn = self._fallback(expr)
-        extractions = sum(
-            1 for node in walk(expr) if isinstance(node, ExtractionCall)
-        )
+        extractions = self.analysis.extraction_count(expr)
         return CompiledExpression(fn, extractions, self)
 
     def _fallback(self, expr: Expression):

@@ -28,7 +28,15 @@ class CancelToken:
     at per-split and per-batch granularity.
     """
 
-    __slots__ = ("_clock", "_deadline", "_cancelled", "_reason", "_lock", "checks")
+    __slots__ = (
+        "_clock",
+        "_deadline",
+        "_cancelled",
+        "_reason",
+        "_lock",
+        "_callbacks",
+        "checks",
+    )
 
     def __init__(
         self,
@@ -42,6 +50,7 @@ class CancelToken:
         self._cancelled = False
         self._reason = ""
         self._lock = threading.Lock()
+        self._callbacks: list[Callable[[], None]] = []
         self.checks = 0
 
     @classmethod
@@ -62,9 +71,37 @@ class CancelToken:
 
     def cancel(self, reason: str = "cancelled") -> None:
         with self._lock:
+            if self._cancelled:
+                return
+            self._cancelled = True
+            self._reason = reason
+            callbacks = list(self._callbacks)
+        # Outside the lock: a callback may itself touch the token.
+        for callback in callbacks:
+            callback()
+
+    def on_cancel(self, callback: Callable[[], None]) -> None:
+        """Register ``callback`` to run once when :meth:`cancel` fires.
+
+        The process-pool backend uses this to mirror a coordinator-side
+        cancel into the shared-memory flag its workers poll. If the
+        token is already cancelled, the callback runs immediately.
+        Deadline expiry does *not* invoke callbacks — deadlines are
+        shipped to workers and enforced on their own clocks.
+        """
+        with self._lock:
             if not self._cancelled:
-                self._cancelled = True
-                self._reason = reason
+                self._callbacks.append(callback)
+                return
+        callback()
+
+    def remove_cancel_callback(self, callback: Callable[[], None]) -> None:
+        """Deregister a callback; a no-op if absent (or already fired)."""
+        with self._lock:
+            try:
+                self._callbacks.remove(callback)
+            except ValueError:
+                pass
 
     def tighten_deadline(self, deadline_seconds: float) -> None:
         """Apply a deadline ``deadline_seconds`` from now; earliest wins."""

@@ -72,13 +72,19 @@ def _fold_context_stats(metrics: QueryMetrics, context) -> None:
         metrics.parse_bytes += stats.bytes_scanned
 
 
-def _run_morsels(state: ExecState, units: list, fn) -> list:
+def _run_morsels(
+    state: ExecState, units: list, fn, plan=None, mode: str | None = None
+) -> list:
     """Run ``fn(worker_state, unit)`` for every unit; results in unit order.
 
     Dispatches to the session's worker pool when the state carries one
     and there is genuine parallelism to exploit; otherwise runs inline.
     Each invocation gets a forked state; the returned tuples carry the
     worker's metrics so the coordinator can merge them deterministically.
+
+    ``plan``/``mode`` describe the same work declaratively for the
+    process backend (:mod:`repro.engine.procpool`), whose workers cannot
+    run the ``fn`` closure and instead ship the pipeline itself.
     """
 
     def task(unit):
@@ -92,6 +98,9 @@ def _run_morsels(state: ExecState, units: list, fn) -> list:
     pool = state.scan_pool
     if pool is not None and state.scan_workers > 1 and len(units) > 1:
         state.check_cancelled()
+        run_in_processes = getattr(pool, "run_morsels", None)
+        if run_in_processes is not None and plan is not None:
+            return run_in_processes(state, plan, mode, units)
         futures = [pool.submit(task, unit) for unit in units]
         results = []
         first_error: BaseException | None = None
@@ -135,6 +144,13 @@ def _settle(state: ExecState, scan: ScanExec, results: list, row_counts: list) -
                 fallback=bool(fallback),
             )
             span.attributes["seconds"] = seconds
+            # Process-backend transport accounting, when present.
+            shm_bytes = metrics.extra.get("shm_bytes")
+            if shm_bytes is not None:
+                span.attributes["shm_bytes"] = shm_bytes
+            dispatch = metrics.extra.get("proc_dispatch_seconds")
+            if dispatch is not None:
+                span.attributes["dispatch_seconds"] = dispatch
             state.tracer.end(span)
     scan.finish_morsels(state, fallback_splits)
     return fallback_splits
@@ -338,7 +354,9 @@ class MorselPipelineExec(PhysicalPlan):
     # -- coordinator entry points --------------------------------------
     def execute_batch(self, state: ExecState) -> ColumnBatch:
         units = self.scan.morsel_units(state)
-        results = _run_morsels(state, units, self._process_batch)
+        results = _run_morsels(
+            state, units, self._process_batch, plan=self, mode="batch"
+        )
         payloads = [payload for payload, _, _, _ in results]
         _settle(state, self.scan, results, [p[0].length for p in payloads])
         self._fold_prefilter([p[1] for p in payloads])
@@ -351,7 +369,9 @@ class MorselPipelineExec(PhysicalPlan):
 
     def execute(self, state: ExecState) -> list[dict]:
         units = self.scan.morsel_units(state)
-        results = _run_morsels(state, units, self._process_rows)
+        results = _run_morsels(
+            state, units, self._process_rows, plan=self, mode="row"
+        )
         payloads = [payload for payload, _, _, _ in results]
         _settle(state, self.scan, results, [len(p[0]) for p in payloads])
         self._fold_prefilter([p[1] for p in payloads])
@@ -447,6 +467,8 @@ class MorselAggregateExec(PhysicalPlan):
             state,
             units,
             lambda worker, unit: self._partials(worker, unit, mode, aggregates),
+            plan=self,
+            mode=mode,
         )
         payloads = [payload for payload, _, _, _ in results]
         _settle(state, self.pipeline.scan, results, [p[2] for p in payloads])

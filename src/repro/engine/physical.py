@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 
 from ..storage.readers import OrcReader
 from ..storage.sargs import Sarg
-from .batch import BatchCompiler, ColumnBatch
+from .batch import BatchCompiler, ColumnBatch, ExpressionAnalysis
 from .catalog import Catalog
 from .errors import ExecutionError
 from .expressions import (
@@ -71,6 +71,14 @@ class ExecState:
     #: coordinator and every morsel worker. Checked at split/batch
     #: boundaries via :meth:`check_cancelled`.
     cancel_token: object | None = None
+    #: Immutable per-expression analysis memo (extraction counts) shared
+    #: read-only between the coordinator and every morsel fork. Compiled
+    #: expressions themselves stay fork-private — their per-batch result
+    #: caches are mutable — but the structural analysis never changes,
+    #: so forks skip re-walking each expression tree.
+    expression_analysis: ExpressionAnalysis = field(
+        default_factory=ExpressionAnalysis
+    )
 
     def check_cancelled(self) -> None:
         """Raise ``QueryCancelledError``/``DeadlineExceededError`` if due."""
@@ -99,6 +107,7 @@ class ExecState:
             context=context,
             context_factory=self.context_factory,
             cancel_token=self.cancel_token,
+            expression_analysis=self.expression_analysis,
         )
 
     def batch_compiler(self) -> BatchCompiler:
@@ -109,7 +118,9 @@ class ExecState:
         anywhere in the plan compile to the same node.
         """
         if self.compiler is None:
-            self.compiler = BatchCompiler(self.context, self.metrics)
+            self.compiler = BatchCompiler(
+                self.context, self.metrics, analysis=self.expression_analysis
+            )
         return self.compiler
 
 

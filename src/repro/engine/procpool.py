@@ -1,0 +1,859 @@
+"""Process-pool morsel backend with shared-memory ColumnBatch transport.
+
+The thread backend (:mod:`repro.engine.parallel`) overlaps per-split
+*I/O*, but every byte of per-split *CPU* — raw JSON parsing, ORC
+decoding, predicate evaluation — still serialises on one core behind
+the GIL. :class:`ProcessMorselPool` is a drop-in replacement for the
+session's ``ThreadPoolExecutor`` that executes each split's whole
+scan→prefilter→filter→project/partial-aggregate pipeline in one of a
+persistent pool of **spawned worker processes**, so ``scan_workers``
+scales to core count.
+
+Design (DESIGN.md §14):
+
+* **Warm read-only snapshots.** Each worker holds a private replica of
+  the coordinator's in-memory file system, catalog and (seeded) fault
+  policy. The snapshot ships once per pool (re)build and is invalidated
+  by ``catalog.version`` — never re-shipped per split — mirroring
+  Presto's worker-side metadata cache. Workers never write, so replicas
+  cannot drift inside one version.
+* **Typed shared-memory framing.** A split's :class:`ColumnBatch`
+  result returns through a ``multiprocessing.shared_memory`` segment:
+  ``[8-byte LE header length][JSON header][per-column lanes]`` with
+  typed lanes (bool / int64 / float64 / utf-8 string / JSON fallback)
+  and per-lane null index lists. Row data is never pickled on the hot
+  path; only small control metadata (per-split metrics, fallback flags,
+  aggregate partials) crosses the pipe. Column aliasing (several names
+  sharing one list) survives the trip, which ``_concat_batches``'s
+  identity-based merge depends on.
+* **Deterministic adoption + reaping.** The coordinator adopts each
+  segment, decodes it and unlinks it in a ``finally`` — completion,
+  failure and cancellation all release SHM. Segments are named
+  ``mxshm_<coordinator-pid>_…`` so :func:`reap_orphan_segments` at
+  server startup can unlink anything left behind by a crashed
+  coordinator, mirroring PR 2's orphan-generation recovery.
+* **Cooperative cancellation.** ``CancelToken.cancel()`` on the
+  coordinator flips one byte in a shared cancel-flag slab; workers poll
+  it from the existing ``check()`` sites via :class:`_WorkerCancelToken`.
+  Deadlines ship as remaining-seconds at dispatch and are enforced on
+  the worker's own monotonic clock.
+* **Split-order accounting parity.** Workers execute with
+  breaker/resilience stripped from the plan and record per-split cache
+  failures into ``scan.failure_log``; the coordinator replays them in
+  split order against the real breaker/resilience objects, then merges
+  metrics/partials exactly like the thread backend — results are
+  bit-identical to serial and thread execution at any worker count.
+"""
+
+from __future__ import annotations
+
+import atexit
+import dataclasses
+import json
+import os
+import pickle
+import queue
+import struct
+import threading
+import time
+import uuid
+from concurrent.futures import ThreadPoolExecutor
+from multiprocessing import get_context, shared_memory
+
+from .batch import ColumnBatch
+from .cancel import CancelToken
+from .errors import ExecutionError
+
+__all__ = [
+    "ProcessMorselPool",
+    "reap_orphan_segments",
+    "encode_batch",
+    "decode_batch",
+    "SHM_PREFIX",
+]
+
+#: Every segment this module creates starts with this prefix followed by
+#: the *coordinator* pid — the reaper keys liveness off that pid.
+SHM_PREFIX = "mxshm"
+
+#: Concurrent queries a pool can flag for cancellation at once; queries
+#: beyond this simply wait for a slot (they are about to run splits
+#: anyway, so the wait is bounded by split execution).
+_CANCEL_SLOTS = 512
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    return True
+
+
+def reap_orphan_segments(prefix: str = SHM_PREFIX) -> int:
+    """Unlink shared-memory segments abandoned by dead coordinators.
+
+    Mirrors PR 2's orphan-generation recovery: run once at server
+    startup. A segment is an orphan iff its embedded coordinator pid is
+    no longer alive — segments of live processes (including this one)
+    are never touched, so concurrently running servers are safe.
+    Returns the number of segments reaped.
+    """
+    base = "/dev/shm"
+    if not os.path.isdir(base):
+        return 0
+    reaped = 0
+    for entry in os.listdir(base):
+        if not entry.startswith(prefix + "_"):
+            continue
+        parts = entry.split("_")
+        if len(parts) < 2 or not parts[1].isdigit():
+            continue
+        if _pid_alive(int(parts[1])):
+            continue
+        try:
+            segment = shared_memory.SharedMemory(name=entry)
+        except FileNotFoundError:
+            continue
+        try:
+            segment.close()
+            segment.unlink()
+            reaped += 1
+        except FileNotFoundError:
+            pass
+    return reaped
+
+
+# ----------------------------------------------------------------------
+# ColumnBatch <-> shared-memory framing
+# ----------------------------------------------------------------------
+# Lane tags: "b" bool (one byte per row: 0=NULL 1=False 2=True),
+# "i" int64, "f" float64 (exact bit round-trip), "s" utf-8 strings with
+# 8-byte char-length prefixes, "z" all-NULL, "j" JSON fallback for
+# mixed/nested values. "i"/"f"/"s" carry NULLs as an index list in the
+# header; "j" round-trips null natively.
+
+
+def _encode_lane(values: list) -> tuple[str, list[int], bytes]:
+    kinds = {type(v) for v in values if v is not None}
+    n = len(values)
+    if not kinds:
+        return "z", [], b""
+    if kinds == {bool}:
+        return (
+            "b",
+            [],
+            bytes(0 if v is None else (2 if v else 1) for v in values),
+        )
+    nulls = [i for i, v in enumerate(values) if v is None]
+    if kinds == {int} and all(
+        v is None or -(1 << 63) <= v < (1 << 63) for v in values
+    ):
+        data = struct.pack(
+            f"<{n}q", *(0 if v is None else v for v in values)
+        )
+        return "i", nulls, data
+    if kinds == {float}:
+        data = struct.pack(
+            f"<{n}d", *(0.0 if v is None else v for v in values)
+        )
+        return "f", nulls, data
+    if kinds == {str}:
+        lengths = struct.pack(
+            f"<{n}Q", *(0 if v is None else len(v) for v in values)
+        )
+        blob = "".join(v for v in values if v is not None).encode("utf-8")
+        return "s", nulls, lengths + blob
+    data = json.dumps(values, separators=(",", ":")).encode("utf-8")
+    return "j", [], data
+
+
+def _decode_lane(buf, tag: str, offset: int, nbytes: int, nulls: list, n: int):
+    if tag == "z":
+        return [None] * n
+    if tag == "b":
+        return [
+            None if byte == 0 else byte == 2
+            for byte in bytes(buf[offset : offset + n])
+        ]
+    if tag == "i":
+        out = list(struct.unpack_from(f"<{n}q", buf, offset))
+    elif tag == "f":
+        out = list(struct.unpack_from(f"<{n}d", buf, offset))
+    elif tag == "s":
+        lengths = struct.unpack_from(f"<{n}Q", buf, offset)
+        text = bytes(
+            buf[offset + 8 * n : offset + nbytes]
+        ).decode("utf-8")
+        out = []
+        pos = 0
+        for length in lengths:
+            out.append(text[pos : pos + length])
+            pos += length
+    elif tag == "j":
+        return json.loads(bytes(buf[offset : offset + nbytes]))
+    else:  # pragma: no cover - framing version mismatch
+        raise ExecutionError(f"unknown SHM lane tag {tag!r}")
+    for index in nulls:
+        out[index] = None
+    return out
+
+
+def encode_batch(batch: ColumnBatch) -> bytes:
+    """Frame a batch as ``[8B header length][JSON header][lane data]``.
+
+    Names sharing one column list share one lane (identity-deduplicated)
+    so alias relationships survive decoding.
+    """
+    lanes = []
+    chunks: list[bytes] = []
+    lane_of_identity: dict[int, int] = {}
+    column_lane: list[int] = []
+    offset = 0
+    for name in batch.names:
+        column = batch.columns[name]
+        index = lane_of_identity.get(id(column))
+        if index is None:
+            tag, nulls, data = _encode_lane(column)
+            index = len(lanes)
+            lane_of_identity[id(column)] = index
+            lanes.append(
+                {"t": tag, "o": offset, "l": len(data), "nulls": nulls}
+            )
+            chunks.append(data)
+            offset += len(data)
+        column_lane.append(index)
+    header = json.dumps(
+        {
+            "n": batch.length,
+            "names": list(batch.names),
+            "cols": column_lane,
+            "lanes": lanes,
+        },
+        separators=(",", ":"),
+    ).encode("utf-8")
+    return b"".join(
+        [struct.pack("<Q", len(header)), header, *chunks]
+    )
+
+
+def decode_batch(buf) -> ColumnBatch:
+    """Rebuild a :class:`ColumnBatch` from an :func:`encode_batch` frame."""
+    (header_length,) = struct.unpack_from("<Q", buf, 0)
+    header = json.loads(bytes(buf[8 : 8 + header_length]))
+    base = 8 + header_length
+    n = header["n"]
+    lists = [
+        _decode_lane(
+            buf, lane["t"], base + lane["o"], lane["l"], lane["nulls"], n
+        )
+        for lane in header["lanes"]
+    ]
+    names = header["names"]
+    columns = {
+        name: lists[index] for name, index in zip(names, header["cols"])
+    }
+    return ColumnBatch(names, columns, n)
+
+
+# ----------------------------------------------------------------------
+# Worker-side execution
+# ----------------------------------------------------------------------
+
+
+class _WorkerCancelToken(CancelToken):
+    """Token a worker builds per task: polls the coordinator's shared
+    cancel-flag byte inside every existing ``check()`` site, and
+    enforces the shipped remaining-deadline on its own clock."""
+
+    def __init__(self, flag_buf, slot: int | None, remaining: float | None):
+        super().__init__(deadline_seconds=remaining)
+        self._flag_buf = flag_buf
+        self._slot = slot
+
+    def check(self) -> None:
+        if (
+            self._flag_buf is not None
+            and self._slot is not None
+            and self._flag_buf[self._slot]
+        ):
+            from .errors import QueryCancelledError
+
+            raise QueryCancelledError(
+                "query cancelled: coordinator cancel flag"
+            )
+        super().check()
+
+
+class _WorkerEnv:
+    """A worker process's warm snapshot: fs/catalog/policy replicas plus
+    the parser factories — everything :meth:`ExecState.fork` would give
+    a thread worker, rebuilt process-locally once per catalog version."""
+
+    def __init__(self, snapshot: dict):
+        from ..storage.fs import _File
+        from .catalog import Catalog
+
+        fs_cls = snapshot["fs_class"]
+        fs = fs_cls(
+            block_size=snapshot["block_size"],
+            read_latency_seconds=snapshot["read_latency_seconds"],
+        )
+        policy_spec = snapshot["policy"]
+        if policy_spec is not None:
+            policy_cls, policy_kwargs = policy_spec
+            # Reconstructing from public fields re-runs __post_init__,
+            # re-seeding the RNG: the fault sequence is reproducible
+            # per worker, exactly as ISSUE'd fault matrices need.
+            fs.policy = policy_cls(**policy_kwargs)
+        fs._files = {
+            path: _File(data=data, modification_time=mtime)
+            for path, (data, mtime) in snapshot["files"].items()
+        }
+        catalog = Catalog(fs, warehouse_root=snapshot["warehouse_root"])
+        for info in snapshot["tables"]:
+            catalog._tables[(info.database, info.name)] = info
+        catalog._version = snapshot["catalog_version"]
+        self.catalog = catalog
+        self._parser_factory = snapshot["parser_factory"]
+        self._projection_parser_factory = snapshot[
+            "projection_parser_factory"
+        ]
+        self._doc_cache_bytes = snapshot["doc_cache_bytes"]
+        self._plan_cache: tuple[bytes, object] | None = None
+        flag_name = snapshot["flag_slab"]
+        self.flag_buf = None
+        self._flag_segment = None
+        if flag_name is not None:
+            try:
+                self._flag_segment = shared_memory.SharedMemory(
+                    name=flag_name
+                )
+                self.flag_buf = self._flag_segment.buf
+            except FileNotFoundError:
+                self.flag_buf = None
+
+    def context(self):
+        from .expressions import EvalContext
+
+        context = EvalContext(parser=self._parser_factory())
+        if self._projection_parser_factory is not None:
+            context.projection_parser = self._projection_parser_factory()
+        if self._doc_cache_bytes != "default":
+            context.doc_cache_bytes = self._doc_cache_bytes
+        return context
+
+    def plan_for(self, blob: bytes):
+        """Unpickle the split's pipeline, memoising the last plan: all
+        splits of one query ship identical bytes, so the plan warms on
+        the first split and later splits skip the unpickle."""
+        cached = self._plan_cache
+        if cached is not None and cached[0] == blob:
+            return cached[1]
+        plan = pickle.loads(blob)
+        self._plan_cache = (blob, plan)
+        return plan
+
+
+def _create_segment(name_prefix: str, size: int) -> shared_memory.SharedMemory:
+    for attempt in range(64):
+        name = f"{name_prefix}{os.getpid()}_{uuid.uuid4().hex[:8]}"
+        try:
+            segment = shared_memory.SharedMemory(
+                name=name, create=True, size=max(1, size)
+            )
+        except FileExistsError:
+            continue
+        # The coordinator owns the segment's lifetime (it unlinks after
+        # adoption); keep this worker's resource tracker out of it so
+        # worker exit does not double-unlink or warn.
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(segment._name, "shared_memory")
+        except Exception:  # pragma: no cover - tracker API drift
+            pass
+        return segment
+    raise ExecutionError("could not allocate a shared-memory segment name")
+
+
+def _run_task(env: _WorkerEnv, task: dict) -> dict:
+    from .parallel import (
+        MorselAggregateExec,
+        _fold_context_stats,
+    )
+    from .physical import ExecState, collect_aggregates
+
+    token = _WorkerCancelToken(
+        env.flag_buf, task["slot"], task["remaining"]
+    )
+    worker = ExecState(
+        catalog=env.catalog,
+        context=env.context(),
+        cancel_token=token,
+    )
+    plan = env.plan_for(task["plan"])
+    scan = plan.pipeline.scan if hasattr(plan, "pipeline") else plan.scan
+    failures: list = []
+    scan.failure_log = failures
+    mode = task["mode"]
+    started = time.perf_counter()
+    if isinstance(plan, MorselAggregateExec):
+        aggregates = collect_aggregates(plan.output)
+        payload, fallback = plan._partials(
+            worker, task["unit"], mode, aggregates
+        )
+    else:
+        payload, fallback = plan._process(worker, task["unit"], mode)
+    _fold_context_stats(worker.metrics, worker.context)
+    seconds = time.perf_counter() - started
+    reply = {
+        "fallback": fallback,
+        "failures": failures,
+        "metrics": worker.metrics,
+        "seconds": seconds,
+        "shm": None,
+        "shm_bytes": 0,
+    }
+    if isinstance(plan, MorselAggregateExec):
+        # Partial aggregates are tiny group->accumulator maps, not
+        # ColumnBatches; they travel on the pipe.
+        reply["kind"] = "agg"
+        reply["partials"] = payload
+        return reply
+    data, prefilter_counts = payload
+    if mode == "batch":
+        reply["kind"] = "batch"
+        batch = data
+    else:
+        reply["kind"] = "rows"
+        names = list(data[0].keys()) if data else []
+        batch = ColumnBatch.from_rows(data, names)
+    frame = encode_batch(batch)
+    segment = _create_segment(task["shm_prefix"], len(frame))
+    try:
+        segment.buf[: len(frame)] = frame
+    finally:
+        segment_name = segment.name
+        segment.close()
+    reply["shm"] = segment_name
+    reply["shm_bytes"] = len(frame)
+    reply["prefilter"] = prefilter_counts
+    return reply
+
+
+def _worker_main(conn) -> None:
+    """Entry point of one spawned worker process: a snapshot/task loop."""
+    env: _WorkerEnv | None = None
+    while True:
+        try:
+            message = pickle.loads(conn.recv_bytes())
+        except (EOFError, OSError):
+            return
+        kind = message[0]
+        try:
+            if kind == "exit":
+                return
+            if kind == "snapshot":
+                env = _WorkerEnv(message[1])
+                conn.send_bytes(pickle.dumps(("ok", None)))
+                continue
+            if kind == "task":
+                if env is None:
+                    raise ExecutionError("worker has no snapshot")
+                reply = _run_task(env, message[1])
+                conn.send_bytes(pickle.dumps(("ok", reply)))
+                continue
+            raise ExecutionError(f"unknown worker message {kind!r}")
+        except Exception as exc:  # noqa: BLE001 - shipped to coordinator
+            try:
+                blob = pickle.dumps(("err", exc))
+            except Exception:  # noqa: BLE001 - unpicklable exception
+                blob = pickle.dumps(
+                    ("err", ExecutionError(f"{type(exc).__name__}: {exc}"))
+                )
+            try:
+                conn.send_bytes(blob)
+            except (OSError, BrokenPipeError):
+                return
+
+
+# ----------------------------------------------------------------------
+# Coordinator side
+# ----------------------------------------------------------------------
+
+
+class _WorkerHandle:
+    def __init__(self, process, conn):
+        self.process = process
+        self.conn = conn
+        self.snapshot_version: int | None = None
+
+    def send(self, blob: bytes) -> None:
+        self.conn.send_bytes(blob)
+
+    def recv(self):
+        return pickle.loads(self.conn.recv_bytes())
+
+    def kill(self) -> None:
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+        if self.process.is_alive():
+            self.process.terminate()
+        self.process.join(timeout=2.0)
+
+
+class ProcessMorselPool:
+    """A persistent pool of spawned morsel worker processes.
+
+    Duck-typed against the session's thread pool at the
+    :func:`repro.engine.parallel._run_morsels` dispatch point: the
+    scheduler detects :meth:`run_morsels` and hands over the whole
+    split list plus the (declarative) pipeline instead of a closure.
+    """
+
+    def __init__(self, workers: int, snapshot_fn):
+        self.workers = workers
+        self._snapshot_fn = snapshot_fn
+        self._ctx = get_context("spawn")
+        self._handles: list[_WorkerHandle] = []
+        self._free: queue.Queue[int] = queue.Queue()
+        self._dispatch = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="procpool"
+        )
+        self._lock = threading.Lock()
+        self._started = False
+        self._closed = False
+        self._snapshot_version: int | None = None
+        self._snapshot_blob: bytes | None = None
+        self._shm_prefix = f"{SHM_PREFIX}_{os.getpid()}_"
+        self._flag_slab: shared_memory.SharedMemory | None = None
+        self._flag_slots: queue.Queue[int] = queue.Queue()
+        self._live_lock = threading.Lock()
+        self._live_segments: dict[str, int] = {}
+        atexit.register(self.close)
+
+    # -- lifecycle ------------------------------------------------------
+    def _spawn_worker(self) -> _WorkerHandle:
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=_worker_main, args=(child_conn,), daemon=True
+        )
+        process.start()
+        child_conn.close()
+        return _WorkerHandle(process, parent_conn)
+
+    def _ensure_started(self) -> None:
+        with self._lock:
+            if self._closed:
+                raise ExecutionError("process morsel pool is closed")
+            if self._started:
+                return
+            self._flag_slab = shared_memory.SharedMemory(
+                name=f"{SHM_PREFIX}_{os.getpid()}_flags_{uuid.uuid4().hex[:8]}",
+                create=True,
+                size=_CANCEL_SLOTS,
+            )
+            for slot in range(_CANCEL_SLOTS):
+                self._flag_slots.put(slot)
+            for index in range(self.workers):
+                self._handles.append(self._spawn_worker())
+                self._free.put(index)
+            self._started = True
+
+    def ensure_snapshot(self, version: int) -> None:
+        """(Re)build the warm snapshot if the catalog moved on.
+
+        The blob is pickled once here; each worker receives it lazily on
+        its next dispatch (per-handle version check), so a refresh never
+        blocks behind other queries' in-flight splits.
+        """
+        self._ensure_started()
+        with self._lock:
+            if self._snapshot_version == version:
+                return
+            snapshot = self._snapshot_fn()
+            snapshot["flag_slab"] = (
+                self._flag_slab.name if self._flag_slab is not None else None
+            )
+            self._snapshot_blob = pickle.dumps(("snapshot", snapshot))
+            self._snapshot_version = version
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            handles = list(self._handles)
+            self._handles = []
+        for handle in handles:
+            try:
+                handle.send(pickle.dumps(("exit",)))
+            except (OSError, BrokenPipeError):
+                pass
+        for handle in handles:
+            handle.process.join(timeout=1.0)
+            handle.kill()
+        self._dispatch.shutdown(wait=False)
+        if self._flag_slab is not None:
+            try:
+                self._flag_slab.close()
+                self._flag_slab.unlink()
+            except FileNotFoundError:
+                pass
+            self._flag_slab = None
+        try:
+            atexit.unregister(self.close)
+        except Exception:  # pragma: no cover
+            pass
+
+    # -- observability --------------------------------------------------
+    @property
+    def live_shm_bytes(self) -> int:
+        """Bytes of result segments currently adopted but not yet
+        unlinked (plus the cancel slab) — the watchdog charges these
+        against the memory soft limit."""
+        with self._live_lock:
+            total = sum(self._live_segments.values())
+        if self._flag_slab is not None:
+            total += _CANCEL_SLOTS
+        return total
+
+    def _track_segment(self, name: str, nbytes: int) -> None:
+        with self._live_lock:
+            self._live_segments[name] = nbytes
+
+    def _untrack_segment(self, name: str) -> None:
+        with self._live_lock:
+            self._live_segments.pop(name, None)
+
+    # -- execution ------------------------------------------------------
+    def run_morsels(self, state, plan, mode: str, units: list) -> list:
+        """Execute every unit in worker processes; results in unit order.
+
+        Returns the same ``(payload, fallback, metrics, seconds)``
+        tuples the thread path's ``task()`` produces, after replaying
+        worker-recorded cache failures against the coordinator plan in
+        split order.
+        """
+        self.ensure_snapshot(state.catalog.version)
+        plan_blob = pickle.dumps(_sanitize_plan(plan))
+        token = state.cancel_token
+        slot = self._flag_slots.get()
+        flag_buf = self._flag_slab.buf
+        flag_buf[slot] = 0
+
+        def raise_flag() -> None:
+            try:
+                flag_buf[slot] = 1
+            except (ValueError, IndexError):  # slab closed mid-cancel
+                pass
+
+        if token is not None:
+            token.on_cancel(raise_flag)
+        try:
+            futures = [
+                self._dispatch.submit(
+                    self._run_unit, plan_blob, mode, unit, slot, token
+                )
+                for unit in units
+            ]
+            raw_results = []
+            first_error: BaseException | None = None
+            for future in futures:
+                if first_error is not None:
+                    future.cancel()
+                    continue
+                try:
+                    raw_results.append(future.result())
+                except BaseException as exc:  # noqa: BLE001 - re-raised
+                    first_error = exc
+            if first_error is not None:
+                # Unstick any worker still mid-split, then drain so no
+                # morsel of this query is running when the error
+                # surfaces (and every adopted segment is unlinked).
+                raise_flag()
+                for future in futures:
+                    if not future.cancel():
+                        try:
+                            future.result()
+                        except BaseException:  # noqa: BLE001
+                            pass
+                raise first_error
+        finally:
+            if token is not None:
+                token.remove_cancel_callback(raise_flag)
+            try:
+                flag_buf[slot] = 0
+            except (ValueError, IndexError):
+                pass
+            self._flag_slots.put(slot)
+        scan = plan.pipeline.scan if hasattr(plan, "pipeline") else plan.scan
+        replay = getattr(scan, "replay_cache_failures", None)
+        results = []
+        for payload, fallback, metrics, seconds, failures in raw_results:
+            if failures and replay is not None:
+                replay(failures)
+            results.append((payload, fallback, metrics, seconds))
+        return results
+
+    def _run_unit(self, plan_blob, mode, unit, slot, token):
+        dispatched = time.perf_counter()
+        index = self._free.get()
+        handle = self._handles[index]
+        try:
+            if handle.snapshot_version != self._snapshot_version:
+                handle.send(self._snapshot_blob)
+                kind, detail = handle.recv()
+                if kind == "err":
+                    raise detail
+                handle.snapshot_version = self._snapshot_version
+            remaining = (
+                token.remaining_seconds() if token is not None else None
+            )
+            handle.send(
+                pickle.dumps(
+                    (
+                        "task",
+                        {
+                            "plan": plan_blob,
+                            "mode": mode,
+                            "unit": unit,
+                            "slot": slot,
+                            "remaining": remaining,
+                            "shm_prefix": self._shm_prefix,
+                        },
+                    )
+                )
+            )
+            kind, detail = handle.recv()
+        except (EOFError, OSError, BrokenPipeError):
+            self._handles[index] = self._respawn(handle)
+            raise ExecutionError(
+                "morsel worker process died mid-split; pool respawned"
+            ) from None
+        finally:
+            self._free.put(index)
+        if kind == "err":
+            raise detail
+        return self._adopt(detail, time.perf_counter() - dispatched)
+
+    def _respawn(self, dead: _WorkerHandle) -> _WorkerHandle:
+        dead.kill()
+        return self._spawn_worker()
+
+    def _adopt(self, reply: dict, elapsed: float):
+        """Adopt the worker's segment into a batch and unlink it — on
+        every path, including decode errors."""
+        metrics = reply["metrics"]
+        fallback = reply["fallback"]
+        failures = reply["failures"]
+        seconds = reply["seconds"]
+        extra = metrics.extra
+        extra["proc_dispatch_seconds"] = extra.get(
+            "proc_dispatch_seconds", 0.0
+        ) + max(0.0, elapsed - seconds)
+        if reply["kind"] == "agg":
+            groups, representatives, rows_seen, prefilter_counts = reply[
+                "partials"
+            ]
+            payload = (groups, representatives, rows_seen, prefilter_counts)
+            return payload, fallback, metrics, seconds, failures
+        name = reply["shm"]
+        nbytes = reply["shm_bytes"]
+        self._track_segment(name, nbytes)
+        try:
+            try:
+                segment = shared_memory.SharedMemory(name=name)
+            except FileNotFoundError:
+                raise ExecutionError(
+                    f"worker result segment {name} vanished before adoption"
+                ) from None
+            try:
+                batch = decode_batch(segment.buf)
+            finally:
+                segment.close()
+                segment.unlink()
+        finally:
+            self._untrack_segment(name)
+        extra["shm_bytes"] = extra.get("shm_bytes", 0) + nbytes
+        if reply["kind"] == "rows":
+            payload = (batch.to_rows(), reply["prefilter"])
+        else:
+            payload = (batch, reply["prefilter"])
+        return payload, fallback, metrics, seconds, failures
+
+
+def _sanitize_plan(plan):
+    """A picklable copy of the pipeline for worker shipment.
+
+    Breaker/resilience hold locks and must act on the coordinator's
+    shared instances anyway — workers record per-split failures into
+    ``failure_log`` and the coordinator replays them. The coordinator's
+    own plan object is never mutated.
+    """
+    pipeline = plan.pipeline if hasattr(plan, "pipeline") else plan
+    scan = pipeline.scan
+    if (
+        getattr(scan, "breaker", None) is not None
+        or getattr(scan, "resilience", None) is not None
+    ):
+        scan = dataclasses.replace(scan, breaker=None, resilience=None)
+    prefilter = pipeline.prefilter
+    if prefilter is not None:
+        prefilter = dataclasses.replace(prefilter, child=scan)
+    pipeline = dataclasses.replace(
+        pipeline, scan=scan, prefilter=prefilter
+    )
+    if hasattr(plan, "pipeline"):
+        return dataclasses.replace(plan, pipeline=pipeline)
+    return pipeline
+
+
+def build_snapshot(session) -> dict:
+    """The warm read-only worker snapshot for ``session``'s current
+    catalog version: file bytes, table metadata, seeded fault-policy
+    config and parser factories. Called under the pool's refresh path
+    only — never per split."""
+    fs = session.fs
+    policy = getattr(fs, "policy", None)
+    policy_spec = None
+    if policy is not None:
+        policy_spec = (
+            type(policy),
+            {
+                f.name: getattr(policy, f.name)
+                for f in dataclasses.fields(policy)
+                if f.name != "counters"
+            },
+        )
+    with fs._lock:
+        files = {
+            path: (f.data, f.modification_time)
+            for path, f in fs._files.items()
+        }
+    doc_cache_bytes: object = "default"
+    if session.cache_ledger.budget is not None:
+        from ..jsonlib.doccache import DEFAULT_DOC_CACHE_BYTES
+
+        doc_cache_bytes = min(
+            DEFAULT_DOC_CACHE_BYTES, session.cache_ledger.budget
+        )
+    return {
+        "fs_class": type(fs),
+        "block_size": fs.block_size,
+        "read_latency_seconds": fs.read_latency_seconds,
+        "policy": policy_spec,
+        "files": files,
+        "warehouse_root": session.catalog.warehouse_root,
+        "tables": session.catalog.list_tables(None),
+        "catalog_version": session.catalog.version,
+        "parser_factory": session.parser_factory,
+        "projection_parser_factory": session.projection_parser_factory,
+        "doc_cache_bytes": doc_cache_bytes,
+        "flag_slab": None,  # filled in by the pool
+    }

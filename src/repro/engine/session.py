@@ -84,6 +84,11 @@ class Session:
     #: inline on the coordinator thread (the deterministic baseline);
     #: higher values overlap per-split I/O on a shared worker pool.
     scan_workers: int = 1
+    #: "thread" (GIL-shared ThreadPoolExecutor — the default) or
+    #: "process" (spawned worker processes with warm catalog snapshots,
+    #: exchanging ColumnBatch payloads over shared memory). Ignored at
+    #: ``scan_workers == 1``, which always runs inline.
+    worker_backend: str = "thread"
     #: Capacity of the recurring-query plan cache; 0 disables it.
     plan_cache_entries: int = 64
     #: Enables the semantic result cache (final + intermediate result
@@ -104,6 +109,11 @@ class Session:
         if self.scan_workers < 1:
             raise ValueError(
                 f"scan_workers must be >= 1, got {self.scan_workers!r}"
+            )
+        if self.worker_backend not in ("thread", "process"):
+            raise ValueError(
+                f"worker_backend must be 'thread' or 'process', "
+                f"got {self.worker_backend!r}"
             )
         if self.plan_cache_entries < 0:
             raise ValueError(
@@ -138,6 +148,8 @@ class Session:
         )
         self._scan_pool: ThreadPoolExecutor | None = None
         self._scan_pool_size = 0
+        self._proc_pool = None  # ProcessMorselPool, built lazily
+        self._proc_pool_size = 0
         #: accumulated across queries; reset with `reset_session_metrics`
         self.session_metrics = QueryMetrics()
 
@@ -307,12 +319,39 @@ class Session:
             self._plan_cache.shrink_to_bytes(max(0, budget_bytes - other))
         return before - self.cache_ledger.total()
 
-    def _morsel_pool(self) -> ThreadPoolExecutor | None:
-        """The shared split-worker pool (rebuilt if ``scan_workers``
-        changed); None when the session is serial."""
+    def _morsel_pool(self):
+        """The shared split-worker pool (rebuilt if ``scan_workers`` or
+        ``worker_backend`` changed); None when the session is serial.
+
+        Thread backend: a plain ``ThreadPoolExecutor``. Process backend:
+        a :class:`repro.engine.procpool.ProcessMorselPool`, which the
+        morsel scheduler detects by duck type (``pool.run_morsels``)."""
         if self.scan_workers <= 1:
             return None
         with self._lock:
+            if self.worker_backend == "process":
+                if self._scan_pool is not None:
+                    self._scan_pool.shutdown(wait=False)
+                    self._scan_pool = None
+                    self._scan_pool_size = 0
+                if (
+                    self._proc_pool is None
+                    or self._proc_pool_size != self.scan_workers
+                ):
+                    from .procpool import ProcessMorselPool, build_snapshot
+
+                    if self._proc_pool is not None:
+                        self._proc_pool.close()
+                    self._proc_pool = ProcessMorselPool(
+                        self.scan_workers,
+                        snapshot_fn=lambda: build_snapshot(self),
+                    )
+                    self._proc_pool_size = self.scan_workers
+                return self._proc_pool
+            if self._proc_pool is not None:
+                self._proc_pool.close()
+                self._proc_pool = None
+                self._proc_pool_size = 0
             if (
                 self._scan_pool is None
                 or self._scan_pool_size != self.scan_workers
@@ -325,6 +364,27 @@ class Session:
                 )
                 self._scan_pool_size = self.scan_workers
             return self._scan_pool
+
+    def live_shm_bytes(self) -> int:
+        """Bytes of shared memory currently held by the process-pool
+        backend (result segments in flight plus the cancel-flag slab);
+        0 on the thread backend. The memory watchdog charges this
+        against its soft limit."""
+        pool = self._proc_pool
+        return pool.live_shm_bytes if pool is not None else 0
+
+    def close_worker_pools(self) -> None:
+        """Tear down morsel worker pools (thread and process). Safe to
+        call repeatedly; pools rebuild lazily on the next query."""
+        with self._lock:
+            if self._scan_pool is not None:
+                self._scan_pool.shutdown(wait=False)
+                self._scan_pool = None
+                self._scan_pool_size = 0
+            if self._proc_pool is not None:
+                self._proc_pool.close()
+                self._proc_pool = None
+                self._proc_pool_size = 0
 
     def _context_factory(self) -> EvalContext:
         context = EvalContext(parser=self.parser_factory())

@@ -106,6 +106,13 @@ class ServerConfig:
     :mod:`repro.engine.parallel`). 1 runs the same morsel code inline
     (serial). ``None`` inherits the wrapped system's setting."""
 
+    worker_backend: str | None = None
+    """Morsel worker backend when ``scan_workers > 1``: 'thread' (shared
+    GIL) or 'process' (spawned workers holding warm catalog snapshots,
+    returning ColumnBatch payloads over shared memory — see
+    :mod:`repro.engine.procpool`). ``None`` inherits the wrapped
+    system's setting (itself defaulting to 'thread')."""
+
     plan_cache_entries: int | None = None
     """Capacity of the recurring-query plan cache (LRU over normalized
     SQL fingerprints). 0 disables plan caching. ``None`` inherits the
@@ -173,6 +180,8 @@ class ServerConfig:
             raise ValueError("build_workers must be >= 1")
         if self.scan_workers is not None and self.scan_workers < 1:
             raise ValueError("scan_workers must be >= 1")
+        if self.worker_backend not in (None, "thread", "process"):
+            raise ValueError("worker_backend must be 'thread' or 'process'")
         if self.plan_cache_entries is not None and self.plan_cache_entries < 0:
             raise ValueError("plan_cache_entries must be >= 0")
         if self.cache_budget_bytes is not None and self.cache_budget_bytes < 0:

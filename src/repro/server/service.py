@@ -77,6 +77,9 @@ class MaxsonServer:
         if self.config.scan_workers is not None:
             self.system.config.scan_workers = self.config.scan_workers
             self.system.session.scan_workers = self.config.scan_workers
+        if self.config.worker_backend is not None:
+            self.system.config.worker_backend = self.config.worker_backend
+            self.system.session.worker_backend = self.config.worker_backend
         if self.config.plan_cache_entries is not None:
             self.system.config.plan_cache_entries = self.config.plan_cache_entries
             self.system.session.configure_plan_cache(
@@ -111,6 +114,12 @@ class MaxsonServer:
         #: a restart from a crash mid-build (journal replay found a
         #: ``begin`` with no terminal record, or unreferenced tables).
         self.recovered_tables = self.system.recover_orphan_generations()
+        #: Shared-memory segments from dead coordinators unlinked at
+        #: startup — non-empty after a crash that orphaned process-pool
+        #: result segments (see :func:`repro.engine.procpool.reap_orphan_segments`).
+        from ..engine.procpool import reap_orphan_segments
+
+        self.reaped_shm_segments = reap_orphan_segments()
         self.scheduler = MaintenanceScheduler(
             self,
             clock=VirtualClock(seconds_per_day=self.config.seconds_per_day),
@@ -259,6 +268,15 @@ class MaxsonServer:
         )
         self._g_scan_workers = self.metrics.gauge(
             "scan_workers", "Morsel workers available per query"
+        )
+        self._g_worker_backend = self.metrics.gauge(
+            "worker_backend",
+            "Active morsel worker backend (1 on the labelled backend)",
+            ("backend",),
+        )
+        self._g_shm_bytes = self.metrics.gauge(
+            "shm_live_bytes",
+            "Shared-memory bytes held by the process-pool backend",
         )
         self._g_plan_cache_entries = self.metrics.gauge(
             "plan_cache_entries", "Plans currently held by the plan cache"
@@ -725,6 +743,7 @@ class MaxsonServer:
             build_failures=int(resilience["build_failures"]),
             recovery_actions=int(resilience["recovery_actions"]),
             execution_mode=self.system.session.execution_mode,
+            worker_backend=self.system.session.worker_backend,
             duplicate_extractions_eliminated=(
                 totals.duplicate_extractions_eliminated
             ),
@@ -763,6 +782,12 @@ class MaxsonServer:
         self._g_active.set(status.active_queries)
         self._g_leases.set(status.active_leases)
         self._g_scan_workers.set(self.system.session.scan_workers)
+        backend = self.system.session.worker_backend
+        for candidate in ("thread", "process"):
+            self._g_worker_backend.set(
+                1 if candidate == backend else 0, backend=candidate
+            )
+        self._g_shm_bytes.set(self.system.session.live_shm_bytes())
         self._g_plan_cache_entries.set(
             int(self.system.session.plan_cache_stats()["entries"])
         )
@@ -858,6 +883,10 @@ class MaxsonServer:
             with self._lock:
                 self._drain_cancelled = len(stragglers)
         self._pool.shutdown(wait=wait, cancel_futures=bool(stragglers))
+        # Tear down morsel worker pools: on the process backend this
+        # exits the workers and unlinks the cancel-flag slab, so a
+        # cleanly stopped server leaves no shared memory behind.
+        self.system.session.close_worker_pools()
         self.logger.log(
             "server_drained",
             drain_timeout_seconds=drain_timeout,

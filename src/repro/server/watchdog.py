@@ -56,14 +56,19 @@ class MemoryWatchdog:
         limit — which is the server's cue to shed cold queries.
         """
         ledger = self.session.cache_ledger
-        total = ledger.total()
+        shm = self._live_shm_bytes()
+        total = ledger.total() + shm
         if total <= self.soft_limit_bytes:
             with self._lock:
                 self.under_pressure = False
             return False
-        target = int(self.soft_limit_bytes * self.shrink_headroom)
+        # Live shared-memory segments (process-pool result transport)
+        # count toward the limit but cannot be evicted — they drain as
+        # the coordinator adopts them — so the cache tiers must shrink
+        # into whatever room the SHM bytes leave.
+        target = max(0, int(self.soft_limit_bytes * self.shrink_headroom) - shm)
         reclaimed = self.session.shrink_caches_to(target)
-        still_over = ledger.total() > self.soft_limit_bytes
+        still_over = ledger.total() + self._live_shm_bytes() > self.soft_limit_bytes
         with self._lock:
             self.shrinks += 1
             self.bytes_reclaimed += reclaimed
@@ -72,7 +77,14 @@ class MemoryWatchdog:
             self.under_pressure = still_over
         return still_over
 
+    def _live_shm_bytes(self) -> int:
+        """Shared-memory bytes held by the session's process pool (0 on
+        the thread backend or when the session predates the helper)."""
+        fn = getattr(self.session, "live_shm_bytes", None)
+        return int(fn()) if callable(fn) else 0
+
     def snapshot(self) -> dict[str, object]:
+        shm = self._live_shm_bytes()
         with self._lock:
             return {
                 "soft_limit_bytes": self.soft_limit_bytes,
@@ -80,4 +92,5 @@ class MemoryWatchdog:
                 "bytes_reclaimed": self.bytes_reclaimed,
                 "pressure_events": self.pressure_events,
                 "under_pressure": self.under_pressure,
+                "shm_bytes": shm,
             }

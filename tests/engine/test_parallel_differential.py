@@ -85,10 +85,9 @@ class TestSerialParallelParity:
         assert_metric_parity(serial, parallel, sql)
 
 
-def build_system(fs=None, scan_workers: int = 1):
+def build_system(fs=None, scan_workers: int = 1, worker_backend: str = "thread"):
     """One cached Maxson system over a 6-split table."""
     session = Session(fs=fs or BlockFileSystem())
-    session.scan_workers = scan_workers
     schema = Schema.of(("id", DataType.INT64), ("payload", DataType.STRING))
     session.catalog.create_table("db", "t", schema)
     for day in range(6):
@@ -108,7 +107,11 @@ def build_system(fs=None, scan_workers: int = 1):
         session.catalog.append_rows("db", "t", rows, row_group_size=10)
     system = MaxsonSystem(
         session=session,
-        config=MaxsonConfig(predictor=PredictorConfig(model="oracle")),
+        config=MaxsonConfig(
+            predictor=PredictorConfig(model="oracle"),
+            scan_workers=scan_workers,
+            worker_backend=worker_backend,
+        ),
     )
     system.cache_paths_directly(
         [
@@ -131,7 +134,12 @@ MAXSON_QUERIES = [
 
 #: cache_summary keys that legitimately differ between two systems
 #: (timings and the knob under test itself).
-SUMMARY_EXCLUDE = {"build_seconds", "scan_workers", "plan_cache"}
+SUMMARY_EXCLUDE = {
+    "build_seconds",
+    "scan_workers",
+    "worker_backend",
+    "plan_cache",
+}
 
 
 def summary_view(system):
