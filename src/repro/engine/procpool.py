@@ -435,9 +435,12 @@ def _run_task(env: _WorkerEnv, task: dict) -> dict:
     segment = _create_segment(task["shm_prefix"], len(frame))
     try:
         segment.buf[: len(frame)] = frame
-    finally:
-        segment_name = segment.name
+    except BaseException:
         segment.close()
+        segment.unlink()
+        raise
+    segment_name = segment.name
+    segment.close()
     reply["shm"] = segment_name
     reply["shm_bytes"] = len(frame)
     reply["prefilter"] = prefilter_counts
@@ -662,28 +665,26 @@ class ProcessMorselPool:
                 )
                 for unit in units
             ]
-            raw_results = []
+            raw_results: list = []
             first_error: BaseException | None = None
             for future in futures:
                 if first_error is not None:
-                    future.cancel()
-                    continue
+                    # Cancel splits not yet started; drain in-flight
+                    # ones so no morsel of this query is running when
+                    # the error surfaces (and every adopted segment is
+                    # unlinked) — but keep completed splits' results so
+                    # their cache failures still replay below.
+                    if future.cancel():
+                        raw_results.append(None)
+                        continue
                 try:
                     raw_results.append(future.result())
                 except BaseException as exc:  # noqa: BLE001 - re-raised
-                    first_error = exc
-            if first_error is not None:
-                # Unstick any worker still mid-split, then drain so no
-                # morsel of this query is running when the error
-                # surfaces (and every adopted segment is unlinked).
-                raise_flag()
-                for future in futures:
-                    if not future.cancel():
-                        try:
-                            future.result()
-                        except BaseException:  # noqa: BLE001
-                            pass
-                raise first_error
+                    raw_results.append(None)
+                    if first_error is None:
+                        first_error = exc
+                        # Unstick any worker still mid-split.
+                        raise_flag()
         finally:
             if token is not None:
                 token.remove_cancel_callback(raise_flag)
@@ -692,26 +693,47 @@ class ProcessMorselPool:
             except (ValueError, IndexError):
                 pass
             self._flag_slots.put(slot)
+        # Replay worker-recorded cache failures in split order before
+        # surfacing any error: the thread backend records failures live,
+        # so breaker trips / corruption counters must advance for splits
+        # that completed even when the query itself errors (e.g. a later
+        # split's cancellation or deadline).
         scan = plan.pipeline.scan if hasattr(plan, "pipeline") else plan.scan
         replay = getattr(scan, "replay_cache_failures", None)
         results = []
-        for payload, fallback, metrics, seconds, failures in raw_results:
+        for entry in raw_results:
+            if entry is None:
+                continue
+            payload, fallback, metrics, seconds, failures = entry
             if failures and replay is not None:
                 replay(failures)
             results.append((payload, fallback, metrics, seconds))
+        if first_error is not None:
+            raise first_error
         return results
 
     def _run_unit(self, plan_blob, mode, unit, slot, token):
         dispatched = time.perf_counter()
         index = self._free.get()
-        handle = self._handles[index]
+        # Capture the snapshot (version, blob) pair atomically: a
+        # concurrent ensure_snapshot() swaps both under the lock, and
+        # stamping the handle with a version other than the one whose
+        # blob was actually shipped would mark the worker current while
+        # it holds a stale catalog/fs replica.
+        with self._lock:
+            if self._closed:
+                self._free.put(index)
+                raise ExecutionError("process morsel pool is closed")
+            handle = self._handles[index]
+            version = self._snapshot_version
+            blob = self._snapshot_blob
         try:
-            if handle.snapshot_version != self._snapshot_version:
-                handle.send(self._snapshot_blob)
+            if handle.snapshot_version != version:
+                handle.send(blob)
                 kind, detail = handle.recv()
                 if kind == "err":
                     raise detail
-                handle.snapshot_version = self._snapshot_version
+                handle.snapshot_version = version
             remaining = (
                 token.remaining_seconds() if token is not None else None
             )
@@ -731,8 +753,24 @@ class ProcessMorselPool:
                 )
             )
             kind, detail = handle.recv()
+            if (
+                kind == "ok"
+                and isinstance(detail, dict)
+                and detail.get("shm")
+            ):
+                # Track the segment while we still hold the handle: the
+                # dead-worker sweep only runs while holding this
+                # worker's handle, so anything tracked here can never be
+                # reaped out from under adoption.
+                self._track_segment(detail["shm"], detail["shm_bytes"])
         except (EOFError, OSError, BrokenPipeError):
-            self._handles[index] = self._respawn(handle)
+            replacement = self._respawn(handle)
+            with self._lock:
+                pool_closed = self._closed
+                if not pool_closed:
+                    self._handles[index] = replacement
+            if pool_closed:
+                replacement.kill()
             raise ExecutionError(
                 "morsel worker process died mid-split; pool respawned"
             ) from None
@@ -743,8 +781,43 @@ class ProcessMorselPool:
         return self._adopt(detail, time.perf_counter() - dispatched)
 
     def _respawn(self, dead: _WorkerHandle) -> _WorkerHandle:
+        pid = dead.process.pid
         dead.kill()
+        self._reap_worker_segments(pid)
         return self._spawn_worker()
+
+    def _reap_worker_segments(self, pid: int | None) -> int:
+        """Unlink result segments a dead worker wrote but never reported.
+
+        A worker that dies after ``_create_segment`` but before replying
+        would otherwise orphan the segment until a *future* coordinator's
+        startup reaper finds it. Segment names embed the writer's pid
+        right after this pool's prefix, so the respawn path sweeps
+        exactly that worker's leftovers. Segments already adopted
+        (tracked in ``_live_segments``) are skipped — they were tracked
+        while the handle was held, before it returned to the free queue.
+        """
+        base = "/dev/shm"
+        if pid is None or not os.path.isdir(base):
+            return 0
+        prefix = f"{self._shm_prefix}{pid}_"
+        with self._live_lock:
+            adopted = set(self._live_segments)
+        reaped = 0
+        for entry in os.listdir(base):
+            if not entry.startswith(prefix) or entry in adopted:
+                continue
+            try:
+                segment = shared_memory.SharedMemory(name=entry)
+            except FileNotFoundError:
+                continue
+            try:
+                segment.close()
+                segment.unlink()
+                reaped += 1
+            except FileNotFoundError:
+                pass
+        return reaped
 
     def _adopt(self, reply: dict, elapsed: float):
         """Adopt the worker's segment into a batch and unlink it — on
@@ -765,7 +838,8 @@ class ProcessMorselPool:
             return payload, fallback, metrics, seconds, failures
         name = reply["shm"]
         nbytes = reply["shm_bytes"]
-        self._track_segment(name, nbytes)
+        # Already tracked by _run_unit (while the worker handle was
+        # held); this adoption is the matching untrack.
         try:
             try:
                 segment = shared_memory.SharedMemory(name=name)

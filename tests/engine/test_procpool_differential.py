@@ -320,6 +320,63 @@ class TestWorkerCrash:
         finally:
             session.close_worker_pools()
 
+    def test_respawn_sweeps_dead_workers_unreported_segments(self):
+        """A worker that wrote its result segment but died before
+        replying must not orphan the segment until the next server
+        start: the respawn path sweeps that worker's leftovers."""
+        from multiprocessing import shared_memory
+
+        session = build_latency_session()
+        try:
+            session.sql(SQL)  # spawn the pool
+            pool = session._proc_pool
+            victim = pool._handles[0]
+            pid = victim.process.pid
+            leaked = shared_memory.SharedMemory(
+                name=f"{pool._shm_prefix}{pid}_deadbeef",
+                create=True,
+                size=64,
+            )
+            leaked.close()
+            # An adopted (tracked) segment must survive the sweep.
+            kept = shared_memory.SharedMemory(
+                name=f"{pool._shm_prefix}{pid}_keepme",
+                create=True,
+                size=64,
+            )
+            pool._track_segment(kept.name, 64)
+            try:
+                os.kill(pid, 9)
+                with pytest.raises(ExecutionError, match="died mid-split"):
+                    session.sql(SQL)
+                assert not os.path.exists(f"/dev/shm/{leaked.name}")
+                assert os.path.exists(f"/dev/shm/{kept.name}")
+            finally:
+                pool._untrack_segment(kept.name)
+                kept.close()
+                try:
+                    kept.unlink()
+                except FileNotFoundError:
+                    pass
+            assert_no_live_segments(session)
+        finally:
+            session.close_worker_pools()
+
+    def test_closed_pool_rejects_dispatch_cleanly(self):
+        """close() must not leave in-flight dispatch racing a torn-down
+        handle list: post-close dispatch fails with a clean error
+        instead of IndexError or a resurrected worker."""
+        session = build_latency_session()
+        try:
+            session.sql(SQL)
+            pool = session._proc_pool
+            pool.close()
+            with pytest.raises(ExecutionError, match="pool is closed"):
+                pool._run_unit(b"", "batch", None, 0, None)
+            assert pool._handles == []
+        finally:
+            session.close_worker_pools()
+
 
 class TestOrphanReaper:
     def orphan_segment(self) -> str:
