@@ -236,6 +236,8 @@ def cmd_replay_serve(args) -> int:
         slow_query_seconds=args.slow_query_ms / 1000.0,
         log_file=args.log_json or None,
         log_all_queries=bool(args.log_json),
+        system_tables=args.system_tables,
+        telemetry_budget_bytes=args.telemetry_budget_bytes,
     )
     with MaxsonServer(system, config) as server:
         requests = build_replay_workload(
@@ -268,6 +270,30 @@ def cmd_replay_serve(args) -> int:
                 f"({trace.get('spans_written', 0)} spans) -> "
                 f"{trace.get('path', args.trace_dir)}"
             )
+        if args.system_tables:
+            audit = server.system.session.sql(
+                "SELECT status, count(*) AS n FROM system.queries "
+                "GROUP BY status"
+            )
+            breakdown = ", ".join(
+                f"{row['status']}={row['n']}"
+                for row in sorted(audit.rows, key=lambda r: r["status"])
+            )
+            print(f"system.queries: {breakdown}")
+            total = sum(row["n"] for row in audit.rows)
+            accounted = (
+                report.completed
+                + report.failed
+                + report.shed
+                + report.deadline_exceeded
+                + report.cancelled
+            )
+            if total != accounted:
+                print(
+                    f"system.queries audit FAILED: {total} rows vs "
+                    f"{accounted} accounted requests"
+                )
+                return 1
         if args.metrics:
             print("== Prometheus exposition ==")
             print(server.metrics_text(), end="")
@@ -276,6 +302,161 @@ def cmd_replay_serve(args) -> int:
     if args.verify and report.mismatched:
         return 1
     return 0
+
+
+def _serve_system_tables_replay(args):
+    """A short seeded replay with system tables on: the shared setup of
+    ``repro incidents`` and ``repro query-history``. Returns the live
+    server (telemetry queryable) and the replay report."""
+    from .core import MaxsonConfig, MaxsonSystem, PredictorConfig
+    from .server import MaxsonServer, ServerConfig, build_replay_workload, replay
+    from .workload import build_queries, load_tables
+
+    system = MaxsonSystem(
+        config=MaxsonConfig(predictor=PredictorConfig(model="always"))
+    )
+    factories = load_tables(
+        system.catalog, rows_per_table=args.rows, days=args.days
+    )
+    queries = build_queries(factories)
+    config = ServerConfig(
+        max_workers=4,
+        system_tables=True,
+        slow_query_seconds=args.slow_query_ms / 1000.0,
+        scan_workers=args.scan_workers,
+        worker_backend=args.worker_backend,
+    )
+    server = MaxsonServer(system, config)
+    requests = build_replay_workload(
+        queries,
+        days=args.days,
+        per_day=args.per_day,
+        tenants=args.tenants,
+        seed=args.seed,
+    )
+    report = replay(server, requests)
+    return server, report
+
+
+def _print_rows(header: list[str], rows: list[tuple]) -> None:
+    widths = [
+        max(len(header[i]), *(len(str(row[i])) for row in rows))
+        if rows
+        else len(header[i])
+        for i in range(len(header))
+    ]
+    print("  ".join(name.ljust(widths[i]) for i, name in enumerate(header)))
+    for row in rows:
+        print(
+            "  ".join(str(cell).ljust(widths[i]) for i, cell in enumerate(row))
+        )
+
+
+def cmd_incidents(args) -> int:
+    """Replay a workload, then read the flight recorder back via SQL."""
+    import json
+
+    server, report = _serve_system_tables_replay(args)
+    try:
+        result = server.system.session.sql(
+            "SELECT ts, query_id, kind, tenant, seconds, fingerprint, payload "
+            "FROM system.incidents"
+        )
+        rows = sorted(result.rows, key=lambda r: r["ts"] or 0.0)
+        print(
+            f"{len(rows)} incidents recorded over {report.requests} "
+            f"replayed requests ({report.completed} completed)"
+        )
+        shown = rows[-args.limit :]
+        _print_rows(
+            ["ts", "query_id", "kind", "tenant", "seconds", "fingerprint"],
+            [
+                (
+                    f"{r['ts']:.3f}",
+                    r["query_id"],
+                    r["kind"],
+                    r["tenant"],
+                    f"{r['seconds']:.4f}",
+                    (r["fingerprint"] or "")[:48],
+                )
+                for r in shown
+            ],
+        )
+        if shown and args.detail:
+            payload = json.loads(shown[-1]["payload"])
+            print("\n== most recent incident ==")
+            print(f"query_id: {payload.get('query_id')}")
+            print(f"kind:     {payload.get('kind')}")
+            print(f"sql:      {payload.get('sql')}")
+            print(f"breaker:  {payload.get('breaker')}")
+            print(f"watchdog: {payload.get('watchdog')}")
+            if payload.get("plan"):
+                print("physical plan:")
+                print(payload["plan"])
+    finally:
+        server.shutdown()
+    return 0
+
+
+def cmd_query_history(args) -> int:
+    """Replay a workload, then audit it from ``system.queries`` alone."""
+    server, report = _serve_system_tables_replay(args)
+    try:
+        audit = server.system.session.sql(
+            "SELECT status, count(*) AS n FROM system.queries GROUP BY status"
+        )
+        breakdown = ", ".join(
+            f"{row['status']}={row['n']}"
+            for row in sorted(audit.rows, key=lambda r: r["status"])
+        )
+        print(
+            f"replayed {report.requests} requests; "
+            f"system.queries says: {breakdown}"
+        )
+        result = server.system.session.sql(
+            "SELECT ts, query_id, tenant, status, seconds, backend, "
+            "plan_cache FROM system.queries"
+        )
+        rows = sorted(result.rows, key=lambda r: r["ts"] or 0.0)
+        _print_rows(
+            [
+                "ts",
+                "query_id",
+                "tenant",
+                "status",
+                "seconds",
+                "backend",
+                "plan_cache",
+            ],
+            [
+                (
+                    f"{r['ts']:.3f}",
+                    r["query_id"],
+                    r["tenant"],
+                    r["status"],
+                    f"{r['seconds']:.4f}",
+                    r["backend"],
+                    r["plan_cache"] or "",
+                )
+                for r in rows[-args.limit :]
+            ],
+        )
+        total = len(result.rows)
+        accounted = (
+            report.completed
+            + report.failed
+            + report.shed
+            + report.deadline_exceeded
+            + report.cancelled
+        )
+        match = total == accounted
+        print(
+            f"audit: {total} query rows vs {accounted} accounted requests "
+            f"({'match' if match else 'MISMATCH'})"
+        )
+    finally:
+        server.shutdown()
+    return 0 if match else 1
 
 
 def cmd_report(args) -> int:
@@ -524,7 +705,61 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="write structured NDJSON events (queries, cycles) to FILE",
     )
+    p_serve.add_argument(
+        "--system-tables",
+        action="store_true",
+        help="record the engine's own telemetry as queryable system.* "
+        "NDJSON tables (queries, spans, cache_events, workers, incidents)",
+    )
+    p_serve.add_argument(
+        "--telemetry-budget-bytes",
+        type=int,
+        default=8 * 1024 * 1024,
+        metavar="N",
+        help="byte budget for telemetry segments; oldest sealed segments "
+        "rotate out above it",
+    )
     p_serve.set_defaults(func=cmd_replay_serve)
+
+    def add_systables_replay_args(p):
+        p.add_argument("--rows", type=int, default=120)
+        p.add_argument("--days", type=int, default=2)
+        p.add_argument("--per-day", type=int, default=16)
+        p.add_argument("--tenants", type=int, default=3)
+        p.add_argument("--seed", type=int, default=7)
+        p.add_argument("--limit", type=int, default=10)
+        p.add_argument(
+            "--slow-query-ms",
+            type=float,
+            default=1.0,
+            help="slow-query threshold driving flight-recorder capture",
+        )
+        p.add_argument("--scan-workers", type=int, default=None)
+        p.add_argument(
+            "--worker-backend", default=None, choices=["thread", "process"]
+        )
+
+    p_incidents = sub.add_parser(
+        "incidents",
+        help="replay a workload, then read the slow-query flight recorder "
+        "back through SQL over system.incidents",
+    )
+    add_systables_replay_args(p_incidents)
+    p_incidents.add_argument(
+        "--detail",
+        action="store_true",
+        help="print the most recent incident's full record (plan, breaker, "
+        "watchdog state)",
+    )
+    p_incidents.set_defaults(func=cmd_incidents)
+
+    p_history = sub.add_parser(
+        "query-history",
+        help="replay a workload, then audit every request outcome from "
+        "system.queries alone",
+    )
+    add_systables_replay_args(p_history)
+    p_history.set_defaults(func=cmd_query_history)
 
     p_report = sub.add_parser(
         "report", help="render benchmarks/results as Markdown"

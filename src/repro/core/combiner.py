@@ -38,7 +38,7 @@ from ..engine.errors import CatalogError, ExecutionError
 from ..engine.physical import ExecState, ScanExec
 from ..storage.fs import FsError
 from ..storage.orc import CorruptStripeError, OrcError
-from ..storage.readers import OrcReader
+from ..storage.readers import OrcReader, split_reader
 from ..storage.sargs import Sarg
 from .cacher import CACHE_DATABASE, CacheEntry, coerce_cache_value
 from .extraction import ValueExtractor, path_format
@@ -405,7 +405,7 @@ class MaxsonScanExec(ScanExec):
             formats_by_column.setdefault(column, set()).add(
                 path_format(request.entry.key.path)
             )
-        reader = OrcReader(
+        reader = split_reader(
             state.catalog.fs, raw_path, columns=read_columns, sarg=self.sarg
         )
         result = reader.read()
@@ -519,7 +519,7 @@ class MaxsonScanExec(ScanExec):
                 cache_result.rows_read,
             )
 
-        primary_reader = OrcReader(
+        primary_reader = split_reader(
             fs, raw_path, columns=self.columns, sarg=self.sarg
         )
         can_align = (
@@ -545,7 +545,7 @@ class MaxsonScanExec(ScanExec):
             # Cannot align (multi-stripe or layout mismatch): read both
             # sides fully; the residual filter preserves correctness.
             cache_reader = OrcReader(fs, cache_path, columns=field_names)
-            primary_reader = OrcReader(fs, raw_path, columns=self.columns)
+            primary_reader = split_reader(fs, raw_path, columns=self.columns)
         cache_result = cache_reader.read()
         primary_result = primary_reader.read()
         for result in (cache_result, primary_result):

@@ -49,6 +49,7 @@ class CacheCircuitBreaker:
         quarantine_seconds: float = 30.0,
         failure_threshold: int = 1,
         clock=time.monotonic,
+        observer=None,
     ) -> None:
         if quarantine_seconds < 0:
             raise ValueError("quarantine_seconds must be >= 0")
@@ -57,12 +58,27 @@ class CacheCircuitBreaker:
         self.quarantine_seconds = quarantine_seconds
         self.failure_threshold = failure_threshold
         self.clock = clock
+        #: Optional ``observer(cache_table, state)`` called on every
+        #: state transition (``"open"``/``"half_open"``/``"closed"``),
+        #: outside the breaker lock. Exceptions are swallowed — telemetry
+        #: must never affect quarantine decisions. Assignable after
+        #: construction (the server wires it to the telemetry store).
+        self.observer = observer
         self._entries: dict[str, _BreakerEntry] = {}
         self._lock = threading.Lock()
         #: Bumped on every *state transition* (open, half-open, close of
         #: an existing entry) — not on each failure count — so plan-cache
         #: keys change exactly when plan-time quarantine decisions would.
         self.epoch = 0
+
+    def _emit(self, cache_table: str, state: str) -> None:
+        observer = self.observer
+        if observer is None:
+            return
+        try:
+            observer(cache_table, state)
+        except Exception:
+            pass
 
     # ------------------------------------------------------------------
     def allows(self, cache_table: str) -> bool:
@@ -72,6 +88,7 @@ class CacheCircuitBreaker:
         quarantine elapsed — and that pass flips it to half-open, so the
         caller's read doubles as the probe.
         """
+        transition = None
         with self._lock:
             entry = self._entries.get(cache_table)
             if entry is None or entry.state in ("closed", "half_open"):
@@ -79,10 +96,16 @@ class CacheCircuitBreaker:
             if self.clock() - entry.opened_at >= self.quarantine_seconds:
                 entry.state = "half_open"
                 self.epoch += 1
-                return True
-            return False
+                transition = "half_open"
+                allowed = True
+            else:
+                allowed = False
+        if transition is not None:
+            self._emit(cache_table, transition)
+        return allowed
 
     def record_failure(self, cache_table: str) -> None:
+        transition = None
         with self._lock:
             entry = self._entries.get(cache_table)
             if entry is None:
@@ -92,14 +115,21 @@ class CacheCircuitBreaker:
             if entry.failures >= self.failure_threshold:
                 if entry.state != "open":
                     self.epoch += 1
+                    transition = "open"
                 entry.state = "open"
                 entry.opened_at = self.clock()
+        if transition is not None:
+            self._emit(cache_table, transition)
 
     def record_success(self, cache_table: str) -> None:
         """A full, validated read succeeded: close the breaker."""
+        closed = False
         with self._lock:
             if self._entries.pop(cache_table, None) is not None:
                 self.epoch += 1
+                closed = True
+        if closed:
+            self._emit(cache_table, "closed")
 
     # ------------------------------------------------------------------
     def quarantined_tables(self) -> list[str]:

@@ -31,6 +31,7 @@ and "parallel" differ only in which thread executes a split.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
 
@@ -72,6 +73,42 @@ def _fold_context_stats(metrics: QueryMetrics, context) -> None:
         metrics.parse_bytes += stats.bytes_scanned
 
 
+def _scan_of(plan) -> ScanExec | None:
+    """The scan feeding a morsel plan (pipeline or partial aggregate)."""
+    if plan is None:
+        return None
+    pipeline = getattr(plan, "pipeline", plan)
+    return getattr(pipeline, "scan", None)
+
+
+def _reads_live_segments(plan) -> bool:
+    """True when the plan scans ``system.*`` telemetry segments.
+
+    Telemetry appends deliberately never bump the catalog version, so a
+    process worker's warm snapshot would miss segments written since it
+    was built and silently return stale rows. Such scans stay in this
+    process (thread pool or inline), where the live file system is
+    visible.
+    """
+    scan = _scan_of(plan)
+    return scan is not None and scan.database.lower() == "system"
+
+
+def _graft_worker_spans(state: ExecState, results: list) -> None:
+    """Attach completed workers' span subtrees on an error path, so the
+    coordinator tree stays well-formed (every recorded split appears
+    exactly once) even when the query is about to fail."""
+    if state.tracer is None:
+        return
+    for entry in results:
+        if entry is None:
+            continue
+        metrics = entry[2]
+        subtree = metrics.extra.pop("span_tree", None)
+        if isinstance(subtree, dict):
+            state.tracer.graft(subtree)
+
+
 def _run_morsels(
     state: ExecState, units: list, fn, plan=None, mode: str | None = None
 ) -> list:
@@ -90,9 +127,26 @@ def _run_morsels(
     def task(unit):
         worker = state.fork()
         worker.check_cancelled()
+        split_span = None
+        if state.tracer is not None:
+            from ..obs.trace import Tracer, export_subtree
+
+            tracer = Tracer(clock=time.perf_counter)
+            worker.tracer = tracer
+            split_span = tracer.begin(
+                "split",
+                backend="thread",
+                worker=threading.current_thread().name,
+            )
         started = time.perf_counter()
-        payload, fallback = fn(worker, unit)
+        try:
+            payload, fallback = fn(worker, unit)
+        finally:
+            if split_span is not None:
+                tracer.end(split_span)
         _fold_context_stats(worker.metrics, worker.context)
+        if split_span is not None:
+            worker.metrics.extra["span_tree"] = export_subtree(split_span)
         return payload, fallback, worker.metrics, time.perf_counter() - started
 
     pool = state.scan_pool
@@ -100,6 +154,10 @@ def _run_morsels(
         state.check_cancelled()
         run_in_processes = getattr(pool, "run_morsels", None)
         if run_in_processes is not None and plan is not None:
+            if _reads_live_segments(plan):
+                # Process snapshots cannot see live telemetry appends;
+                # run system-table scans inline on the coordinator.
+                return [task(unit) for unit in units]
             return run_in_processes(state, plan, mode, units)
         futures = [pool.submit(task, unit) for unit in units]
         results = []
@@ -123,6 +181,7 @@ def _run_morsels(
                         future.result()
                     except BaseException:  # noqa: BLE001 - already failing
                         pass
+            _graft_worker_spans(state, results)
             raise first_error
         return results
     return [task(unit) for unit in units]
@@ -133,16 +192,23 @@ def _settle(state: ExecState, scan: ScanExec, results: list, row_counts: list) -
     then the scan's whole-scan accounting. Returns fallback split count."""
     fallback_splits = 0
     for index, (_, fallback, metrics, seconds) in enumerate(results):
+        # The worker's exported span subtree is transport, not a counter:
+        # pop it before the merge (merge would try to add dicts).
+        subtree = metrics.extra.pop("span_tree", None)
         state.metrics.merge(metrics)
         if fallback:
             fallback_splits += 1
         if state.tracer is not None:
-            span = state.tracer.begin(
-                "split",
-                index=index,
-                rows=row_counts[index],
-                fallback=bool(fallback),
-            )
+            if isinstance(subtree, dict):
+                span = state.tracer.graft(subtree)
+            else:
+                # No worker subtree shipped (legacy worker): synthesize
+                # the split span coordinator-side as before.
+                span = state.tracer.begin("split")
+                state.tracer.end(span)
+            span.attributes["index"] = index
+            span.attributes["rows"] = row_counts[index]
+            span.attributes["fallback"] = bool(fallback)
             span.attributes["seconds"] = seconds
             # Process-backend transport accounting, when present.
             shm_bytes = metrics.extra.get("shm_bytes")
@@ -151,7 +217,6 @@ def _settle(state: ExecState, scan: ScanExec, results: list, row_counts: list) -
             dispatch = metrics.extra.get("proc_dispatch_seconds")
             if dispatch is not None:
                 span.attributes["dispatch_seconds"] = dispatch
-            state.tracer.end(span)
     scan.finish_morsels(state, fallback_splits)
     return fallback_splits
 

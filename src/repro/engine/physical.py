@@ -17,7 +17,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-from ..storage.readers import OrcReader
+from ..storage.readers import split_reader
 from ..storage.sargs import Sarg
 from .batch import BatchCompiler, ColumnBatch, ExpressionAnalysis
 from .catalog import Catalog
@@ -92,7 +92,10 @@ class ExecState:
         Shares the catalog (and through it the file system) but gets a
         private context/metrics/compiler, so parser stats, parse-once
         document sharing and compiled-expression caches stay
-        split-local. Workers never trace and never re-fork.
+        split-local. Forks drop the coordinator's tracer — when a split
+        is traced, the morsel runner attaches a worker-local tracer to
+        the fork and grafts its subtree back afterwards. Workers never
+        re-fork.
         """
         if self.context_factory is not None:
             context = self.context_factory()  # type: ignore[operator]
@@ -200,7 +203,7 @@ class ScanExec(PhysicalPlan):
         rows: list[dict] = []
         for path in state.catalog.table_files(self.database, self.table):
             state.check_cancelled()
-            reader = OrcReader(
+            reader = split_reader(
                 state.catalog.fs, path, columns=self.columns, sarg=self.sarg
             )
             result = reader.read()
@@ -223,7 +226,7 @@ class ScanExec(PhysicalPlan):
         columns: dict[str, list] = {name: [] for name in self.columns}
         for path in state.catalog.table_files(self.database, self.table):
             state.check_cancelled()
-            reader = OrcReader(
+            reader = split_reader(
                 state.catalog.fs, path, columns=self.columns, sarg=self.sarg
             )
             result = reader.read()
@@ -271,7 +274,7 @@ class ScanExec(PhysicalPlan):
         """
         state.check_cancelled()
         started = time.perf_counter()
-        reader = OrcReader(
+        reader = split_reader(
             state.catalog.fs, unit, columns=self.columns, sarg=self.sarg
         )
         result = reader.read()

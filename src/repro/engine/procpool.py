@@ -69,6 +69,7 @@ __all__ = [
     "reap_orphan_segments",
     "encode_batch",
     "decode_batch",
+    "decode_batch_frame",
     "SHM_PREFIX",
 ]
 
@@ -201,11 +202,15 @@ def _decode_lane(buf, tag: str, offset: int, nbytes: int, nulls: list, n: int):
     return out
 
 
-def encode_batch(batch: ColumnBatch) -> bytes:
+def encode_batch(batch: ColumnBatch, trace: dict | None = None) -> bytes:
     """Frame a batch as ``[8B header length][JSON header][lane data]``.
 
     Names sharing one column list share one lane (identity-deduplicated)
-    so alias relationships survive decoding.
+    so alias relationships survive decoding. ``trace`` (a worker span
+    subtree from :func:`repro.obs.trace.export_subtree`) rides in the
+    header — the "result-segment header frame" of the cross-process
+    trace-propagation protocol — so span shipment costs zero extra pipe
+    messages and zero extra segments.
     """
     lanes = []
     chunks: list[bytes] = []
@@ -225,22 +230,25 @@ def encode_batch(batch: ColumnBatch) -> bytes:
             chunks.append(data)
             offset += len(data)
         column_lane.append(index)
+    payload = {
+        "n": batch.length,
+        "names": list(batch.names),
+        "cols": column_lane,
+        "lanes": lanes,
+    }
+    if trace is not None:
+        payload["trace"] = trace
     header = json.dumps(
-        {
-            "n": batch.length,
-            "names": list(batch.names),
-            "cols": column_lane,
-            "lanes": lanes,
-        },
-        separators=(",", ":"),
+        payload, separators=(",", ":"), default=str
     ).encode("utf-8")
     return b"".join(
         [struct.pack("<Q", len(header)), header, *chunks]
     )
 
 
-def decode_batch(buf) -> ColumnBatch:
-    """Rebuild a :class:`ColumnBatch` from an :func:`encode_batch` frame."""
+def decode_batch_frame(buf) -> tuple[ColumnBatch, dict]:
+    """Rebuild ``(batch, header extras)`` from an :func:`encode_batch`
+    frame; extras currently carry the optional ``trace`` subtree."""
     (header_length,) = struct.unpack_from("<Q", buf, 0)
     header = json.loads(bytes(buf[8 : 8 + header_length]))
     base = 8 + header_length
@@ -255,7 +263,18 @@ def decode_batch(buf) -> ColumnBatch:
     columns = {
         name: lists[index] for name, index in zip(names, header["cols"])
     }
-    return ColumnBatch(names, columns, n)
+    extras = {
+        key: value
+        for key, value in header.items()
+        if key not in ("n", "names", "cols", "lanes")
+    }
+    return ColumnBatch(names, columns, n), extras
+
+
+def decode_batch(buf) -> ColumnBatch:
+    """Rebuild a :class:`ColumnBatch` from an :func:`encode_batch` frame."""
+    batch, _ = decode_batch_frame(buf)
+    return batch
 
 
 # ----------------------------------------------------------------------
@@ -394,6 +413,16 @@ def _run_task(env: _WorkerEnv, task: dict) -> dict:
         context=env.context(),
         cancel_token=token,
     )
+    tracer = None
+    split_span = None
+    if task.get("trace"):
+        from ..obs.trace import Tracer
+
+        tracer = Tracer(clock=time.perf_counter)
+        worker.tracer = tracer
+        split_span = tracer.begin(
+            "split", backend="process", worker=f"pid-{os.getpid()}"
+        )
     plan = env.plan_for(task["plan"])
     scan = plan.pipeline.scan if hasattr(plan, "pipeline") else plan.scan
     failures: list = []
@@ -409,6 +438,12 @@ def _run_task(env: _WorkerEnv, task: dict) -> dict:
         payload, fallback = plan._process(worker, task["unit"], mode)
     _fold_context_stats(worker.metrics, worker.context)
     seconds = time.perf_counter() - started
+    tree = None
+    if tracer is not None:
+        from ..obs.trace import export_subtree
+
+        tracer.end(split_span)
+        tree = export_subtree(split_span)
     reply = {
         "fallback": fallback,
         "failures": failures,
@@ -419,9 +454,11 @@ def _run_task(env: _WorkerEnv, task: dict) -> dict:
     }
     if isinstance(plan, MorselAggregateExec):
         # Partial aggregates are tiny group->accumulator maps, not
-        # ColumnBatches; they travel on the pipe.
+        # ColumnBatches; they travel on the pipe — and so does the span
+        # subtree (there is no result segment to carry it).
         reply["kind"] = "agg"
         reply["partials"] = payload
+        reply["trace"] = tree
         return reply
     data, prefilter_counts = payload
     if mode == "batch":
@@ -431,7 +468,7 @@ def _run_task(env: _WorkerEnv, task: dict) -> dict:
         reply["kind"] = "rows"
         names = list(data[0].keys()) if data else []
         batch = ColumnBatch.from_rows(data, names)
-    frame = encode_batch(batch)
+    frame = encode_batch(batch, trace=tree)
     segment = _create_segment(task["shm_prefix"], len(frame))
     try:
         segment.buf[: len(frame)] = frame
@@ -519,9 +556,14 @@ class ProcessMorselPool:
     split list plus the (declarative) pipeline instead of a closure.
     """
 
-    def __init__(self, workers: int, snapshot_fn):
+    def __init__(self, workers: int, snapshot_fn, observer=None):
         self.workers = workers
         self._snapshot_fn = snapshot_fn
+        #: Optional callable ``(event: str, **fields)`` notified on
+        #: worker lifecycle transitions (spawn/respawn/exit) — the
+        #: server wires this into ``system.workers``. Must never raise
+        #: into the pool; exceptions are swallowed.
+        self._observer = observer
         self._ctx = get_context("spawn")
         self._handles: list[_WorkerHandle] = []
         self._free: queue.Queue[int] = queue.Queue()
@@ -541,6 +583,14 @@ class ProcessMorselPool:
         atexit.register(self.close)
 
     # -- lifecycle ------------------------------------------------------
+    def _notify(self, event: str, **fields) -> None:
+        if self._observer is None:
+            return
+        try:
+            self._observer(event, **fields)
+        except Exception:  # noqa: BLE001 - telemetry must not fail the pool
+            pass
+
     def _spawn_worker(self) -> _WorkerHandle:
         parent_conn, child_conn = self._ctx.Pipe()
         process = self._ctx.Process(
@@ -548,6 +598,7 @@ class ProcessMorselPool:
         )
         process.start()
         child_conn.close()
+        self._notify("spawn", worker=f"pid-{process.pid}")
         return _WorkerHandle(process, parent_conn)
 
     def _ensure_started(self) -> None:
@@ -601,6 +652,7 @@ class ProcessMorselPool:
         for handle in handles:
             handle.process.join(timeout=1.0)
             handle.kill()
+            self._notify("exit", worker=f"pid-{handle.process.pid}")
         self._dispatch.shutdown(wait=False)
         if self._flag_slab is not None:
             try:
@@ -646,6 +698,7 @@ class ProcessMorselPool:
         self.ensure_snapshot(state.catalog.version)
         plan_blob = pickle.dumps(_sanitize_plan(plan))
         token = state.cancel_token
+        traced = state.tracer is not None
         slot = self._flag_slots.get()
         flag_buf = self._flag_slab.buf
         flag_buf[slot] = 0
@@ -661,7 +714,7 @@ class ProcessMorselPool:
         try:
             futures = [
                 self._dispatch.submit(
-                    self._run_unit, plan_blob, mode, unit, slot, token
+                    self._run_unit, plan_blob, mode, unit, slot, token, traced
                 )
                 for unit in units
             ]
@@ -709,10 +762,25 @@ class ProcessMorselPool:
                 replay(failures)
             results.append((payload, fallback, metrics, seconds))
         if first_error is not None:
+            # Completed splits' results never reach _settle on this
+            # path, so their transport accounting (dispatch overhead,
+            # SHM bytes) and span subtrees would vanish — fold the
+            # extras into the query's own metrics and graft the spans
+            # now, so failed/cancelled/deadline queries account like
+            # the thread backend does.
+            extra = state.metrics.extra
+            for _, _, metrics, _ in results:
+                subtree = metrics.extra.pop("span_tree", None)
+                for key in ("proc_dispatch_seconds", "shm_bytes"):
+                    value = metrics.extra.get(key)
+                    if value:
+                        extra[key] = extra.get(key, 0) + value
+                if traced and isinstance(subtree, dict):
+                    state.tracer.graft(subtree)
             raise first_error
         return results
 
-    def _run_unit(self, plan_blob, mode, unit, slot, token):
+    def _run_unit(self, plan_blob, mode, unit, slot, token, traced=False):
         dispatched = time.perf_counter()
         index = self._free.get()
         # Capture the snapshot (version, blob) pair atomically: a
@@ -748,6 +816,7 @@ class ProcessMorselPool:
                             "slot": slot,
                             "remaining": remaining,
                             "shm_prefix": self._shm_prefix,
+                            "trace": traced,
                         },
                     )
                 )
@@ -784,6 +853,7 @@ class ProcessMorselPool:
         pid = dead.process.pid
         dead.kill()
         self._reap_worker_segments(pid)
+        self._notify("crash", worker=f"pid-{pid}")
         return self._spawn_worker()
 
     def _reap_worker_segments(self, pid: int | None) -> int:
@@ -835,6 +905,9 @@ class ProcessMorselPool:
                 "partials"
             ]
             payload = (groups, representatives, rows_seen, prefilter_counts)
+            tree = reply.get("trace")
+            if isinstance(tree, dict):
+                extra["span_tree"] = tree
             return payload, fallback, metrics, seconds, failures
         name = reply["shm"]
         nbytes = reply["shm_bytes"]
@@ -848,12 +921,15 @@ class ProcessMorselPool:
                     f"worker result segment {name} vanished before adoption"
                 ) from None
             try:
-                batch = decode_batch(segment.buf)
+                batch, extras = decode_batch_frame(segment.buf)
             finally:
                 segment.close()
                 segment.unlink()
         finally:
             self._untrack_segment(name)
+        tree = extras.get("trace")
+        if isinstance(tree, dict):
+            extra["span_tree"] = tree
         extra["shm_bytes"] = extra.get("shm_bytes", 0) + nbytes
         if reply["kind"] == "rows":
             payload = (batch.to_rows(), reply["prefilter"])

@@ -279,6 +279,15 @@ def canonicalize(sql: str, planner) -> CanonicalStatement | None:
     scans = _collect_scans(logical)
     if not scans:
         return None
+    if any(
+        scan.database and scan.database.lower() == "system" for scan in scans
+    ):
+        # Telemetry tables mutate on every query without bumping the
+        # catalog version (by design — see repro.obs.systables), so the
+        # version-keyed invalidation the result cache relies on cannot
+        # see their appends. Queries over them are never canonicalized,
+        # hence never served from or admitted to the result cache.
+        return None
     try:
         planner._resolve_identifier_case(logical, scans)
     except EngineError:

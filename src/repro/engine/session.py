@@ -99,6 +99,10 @@ class Session:
     #: Unified byte budget shared by the result, plan and document cache
     #: tiers (see :mod:`repro.engine.cachebudget`). ``None`` = unbudgeted.
     cache_budget_bytes: int | None = None
+    #: Optional callable ``(event: str, **fields)`` receiving morsel
+    #: worker lifecycle events (process backend spawn/crash/exit); the
+    #: server points this at the telemetry store's ``system.workers``.
+    worker_observer: object | None = None
 
     def __post_init__(self) -> None:
         if self.execution_mode not in ("batch", "row"):
@@ -345,6 +349,7 @@ class Session:
                     self._proc_pool = ProcessMorselPool(
                         self.scan_workers,
                         snapshot_fn=lambda: build_snapshot(self),
+                        observer=self.worker_observer,
                     )
                     self._proc_pool_size = self.scan_workers
                 return self._proc_pool

@@ -32,12 +32,17 @@ from .metrics import (
     MetricsRegistry,
 )
 from .promlint import validate_text
-from .trace import Span, TraceSink, Tracer
+from .systables import SYSTEM_DATABASE, SYSTEM_TABLES, TelemetryStore
+from .trace import Span, TraceSink, Tracer, export_subtree
 
 __all__ = [
     "Span",
     "Tracer",
     "TraceSink",
+    "export_subtree",
+    "TelemetryStore",
+    "SYSTEM_DATABASE",
+    "SYSTEM_TABLES",
     "TracedExec",
     "instrument_plan",
     "render_explain_analyze",

@@ -1,0 +1,304 @@
+"""System tables: the engine's own telemetry as queryable raw data.
+
+The paper's thesis is that raw JSON is queryable fast enough to skip
+ETL — so the engine's telemetry is stored the same way the workload's
+data is: newline-delimited JSON segment files in the warehouse,
+registered in the catalog under the ``system`` database and queried
+through the ordinary Session/SQL path (JSONPath extraction over the
+``payload`` column, Sparser prefilter, batch engine, morsel workers,
+even Maxson cache builds over the telemetry itself).
+
+:class:`TelemetryStore` is the single writer. Properties, in order:
+
+* **Bounded.** Segments rotate under a byte budget: when total bytes
+  exceed it the oldest sealed segments are deleted, oldest first,
+  across all tables. The budget is published to the
+  :class:`~repro.engine.cachebudget.CacheLedger` as a *reported* tier —
+  visible next to the result/plan/document tiers, not charged against
+  their shared budget.
+* **Crash-tolerant.** Appends are single fs operations; a crash
+  mid-append leaves at most one torn tail line, which the NDJSON
+  reader skips (and counts) instead of failing the scan. A store
+  re-opened over an existing data dir adopts the surviving segments.
+* **Never in the query path's way.** A failed append is counted and
+  swallowed — telemetry loss must not fail the query that produced it.
+* **No catalog-version churn.** Appends go straight to the file
+  system, never through :meth:`Catalog.append_rows`; bumping the
+  catalog version on every query would invalidate every cached plan.
+  Scans list segment files at execution time, so fresh rows are
+  visible without a version bump.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+from ..engine.catalog import Catalog
+from ..storage.fs import FsError
+from ..storage.schema import DataType, Field, Schema
+
+__all__ = ["TelemetryStore", "SYSTEM_DATABASE", "SYSTEM_TABLES"]
+
+SYSTEM_DATABASE = "system"
+
+#: Default byte budget for all telemetry segments together.
+DEFAULT_BUDGET_BYTES = 8 * 1024 * 1024
+
+#: Default segment size before sealing. Appends on the in-memory fs
+#: copy the whole file, so segments are kept small; rotation granularity
+#: follows segment size.
+DEFAULT_SEGMENT_BYTES = 64 * 1024
+
+_S = DataType.STRING
+_F = DataType.FLOAT64
+_I = DataType.INT64
+
+#: Promoted columns per table. Every table also carries the virtual
+#: ``payload`` column (the full event as JSON text) which the NDJSON
+#: reader synthesises; it is declared here so the planner resolves it.
+SYSTEM_TABLES: dict[str, Schema] = {
+    "queries": Schema(
+        [
+            Field("ts", _F),
+            Field("query_id", _S),
+            Field("tenant", _S),
+            Field("status", _S),
+            Field("seconds", _F),
+            Field("generation", _I),
+            Field("backend", _S),
+            Field("reason", _S),
+            Field("retry_after_seconds", _F),
+            Field("result_cache", _S),
+            Field("plan_cache", _S),
+            Field("error", _S),
+            Field("payload", _S),
+        ]
+    ),
+    "spans": Schema(
+        [
+            Field("ts", _F),
+            Field("query_id", _S),
+            Field("trace_id", _S),
+            Field("span_id", _I),
+            Field("parent_id", _I),
+            Field("name", _S),
+            Field("label", _S),
+            Field("wall_seconds", _F),
+            Field("worker", _S),
+            Field("backend", _S),
+            Field("payload", _S),
+        ]
+    ),
+    "cache_events": Schema(
+        [
+            Field("ts", _F),
+            Field("event", _S),
+            Field("table_name", _S),
+            Field("generation", _I),
+            Field("detail", _S),
+            Field("payload", _S),
+        ]
+    ),
+    "workers": Schema(
+        [
+            Field("ts", _F),
+            Field("event", _S),
+            Field("worker", _S),
+            Field("backend", _S),
+            Field("detail", _S),
+            Field("payload", _S),
+        ]
+    ),
+    "incidents": Schema(
+        [
+            Field("ts", _F),
+            Field("query_id", _S),
+            Field("kind", _S),
+            Field("tenant", _S),
+            Field("sql", _S),
+            Field("fingerprint", _S),
+            Field("seconds", _F),
+            Field("payload", _S),
+        ]
+    ),
+}
+
+
+class _TableState:
+    __slots__ = ("location", "segments", "active", "active_bytes", "next_index")
+
+    def __init__(self, location: str) -> None:
+        self.location = location
+        #: sealed + active segment paths -> byte size, in creation order.
+        self.segments: dict[str, int] = {}
+        self.active: str | None = None
+        self.active_bytes = 0
+        self.next_index = 0
+
+
+class TelemetryStore:
+    """Bounded, crash-tolerant NDJSON event store behind ``system.*``."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        budget_bytes: int = DEFAULT_BUDGET_BYTES,
+        segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+        ledger=None,
+        clock=time.time,
+    ) -> None:
+        self.catalog = catalog
+        self.fs = catalog.fs
+        self.budget_bytes = budget_bytes
+        self.segment_bytes = segment_bytes
+        self.ledger = ledger
+        self.clock = clock
+        self.events: dict[str, int] = {name: 0 for name in SYSTEM_TABLES}
+        self.events_dropped = 0
+        self.segments_rotated = 0
+        self._lock = threading.Lock()
+        self._tables: dict[str, _TableState] = {}
+        #: (path, table state) in creation order, oldest first — the
+        #: rotation queue. Per-table segment indices restart at zero, so
+        #: cross-table age must be tracked here, not read off filenames.
+        self._order: list[tuple[str, _TableState]] = []
+        adopted: list[tuple[float, str, _TableState]] = []
+        for name, schema in SYSTEM_TABLES.items():
+            if not catalog.table_exists(SYSTEM_DATABASE, name):
+                catalog.create_table(
+                    SYSTEM_DATABASE,
+                    name,
+                    schema,
+                    properties={"format": "ndjson"},
+                )
+            info = catalog.get_table(SYSTEM_DATABASE, name)
+            state = _TableState(info.location)
+            adopted.extend(self._adopt_existing(state))
+            self._tables[name] = state
+        for _, path, state in sorted(adopted, key=lambda t: (t[0], t[1])):
+            self._order.append((path, state))
+        self._publish()
+
+    def _adopt_existing(
+        self, state: _TableState
+    ) -> list[tuple[float, str, "_TableState"]]:
+        """Re-open over a data dir that already holds segments (restart
+        after a crash): adopt their sizes and continue numbering."""
+        if not self.fs.exists(state.location):
+            return []
+        adopted = []
+        for status in self.fs.list_directory(state.location):
+            if not status.path.endswith(".ndjson"):
+                continue
+            state.segments[status.path] = status.length
+            adopted.append((status.modification_time, status.path, state))
+            stem = status.path.rsplit("/", 1)[-1]
+            try:
+                index = int(stem[len("seg-") : -len(".ndjson")])
+            except ValueError:
+                continue
+            state.next_index = max(state.next_index, index + 1)
+        return adopted
+
+    # ------------------------------------------------------------------
+    def record(self, table: str, event: dict) -> bool:
+        """Append one event; returns False when dropped (fs failure).
+
+        ``ts`` is stamped when absent. The event dict is the row: its
+        top-level keys feed the promoted columns, the whole document is
+        the ``payload`` column.
+        """
+        state = self._tables[table]
+        event.setdefault("ts", round(self.clock(), 6))
+        line = (json.dumps(event, sort_keys=True, default=str) + "\n").encode(
+            "utf-8"
+        )
+        with self._lock:
+            try:
+                self._append_locked(state, line)
+            except FsError:
+                self.events_dropped += 1
+                return False
+            self.events[table] += 1
+            self._rotate_locked()
+            self._publish()
+        return True
+
+    def _append_locked(self, state: _TableState, line: bytes) -> None:
+        if (
+            state.active is None
+            or state.active_bytes + len(line) > self.segment_bytes
+        ):
+            path = f"{state.location}/seg-{state.next_index:06d}.ndjson"
+            state.next_index += 1
+            self.fs.create(path, line)
+            state.active = path
+            state.active_bytes = len(line)
+            state.segments[path] = len(line)
+            self._order.append((path, state))
+        else:
+            self.fs.append(state.active, line)
+            state.active_bytes += len(line)
+            state.segments[state.active] = state.active_bytes
+
+    def _rotate_locked(self) -> None:
+        """Delete oldest sealed segments until back under budget."""
+        while self.total_bytes() > self.budget_bytes:
+            victim = None
+            for i, (path, state) in enumerate(self._order):
+                if path != state.active:
+                    victim = i
+                    break
+            if victim is None:
+                break  # only active segments remain; never delete those
+            path, state = self._order.pop(victim)
+            self.fs.delete(path)
+            state.segments.pop(path, None)
+            self.segments_rotated += 1
+
+    def total_bytes(self) -> int:
+        return sum(
+            size
+            for state in self._tables.values()
+            for size in state.segments.values()
+        )
+
+    def _publish(self) -> None:
+        if self.ledger is not None:
+            self.ledger.set_tier("telemetry", self.total_bytes())
+
+    # ------------------------------------------------------------------
+    def record_spans(self, tracer, query_id: str, backend: str = "") -> int:
+        """One ``system.spans`` row per span of a finished trace."""
+        written = 0
+        for span in tracer.spans():
+            row = {
+                "query_id": query_id,
+                "trace_id": tracer.trace_id,
+                "span_id": span.span_id,
+                "parent_id": span.parent_id,
+                "name": span.name,
+                "label": span.label,
+                "wall_seconds": round(span.wall_seconds, 6),
+                "worker": str(span.attributes.get("worker", "")),
+                "backend": str(span.attributes.get("backend", backend)),
+                "attributes": dict(span.attributes),
+            }
+            if self.record("spans", row):
+                written += 1
+        return written
+
+    def snapshot(self) -> dict[str, object]:
+        with self._lock:
+            return {
+                "budget_bytes": self.budget_bytes,
+                "bytes": self.total_bytes(),
+                "segments": sum(
+                    len(state.segments) for state in self._tables.values()
+                ),
+                "segments_rotated": self.segments_rotated,
+                "events": dict(self.events),
+                "events_dropped": self.events_dropped,
+            }

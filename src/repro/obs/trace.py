@@ -33,7 +33,7 @@ import time
 from contextlib import contextmanager
 from pathlib import Path
 
-__all__ = ["Span", "Tracer", "TraceSink"]
+__all__ = ["Span", "Tracer", "TraceSink", "export_subtree"]
 
 _trace_ids = itertools.count(1)
 
@@ -193,6 +193,78 @@ class Tracer:
             payload["trace_id"] = self.trace_id
             out.append(payload)
         return out
+
+    # ------------------------------------------------------------------
+    # cross-tracer propagation (morsel workers → coordinator)
+    # ------------------------------------------------------------------
+    def graft(self, tree: dict) -> Span:
+        """Attach a worker-exported subtree (see :func:`export_subtree`)
+        under the current innermost span.
+
+        Span ids are reassigned from this tracer's counter so the merged
+        tree has no duplicates regardless of which worker produced the
+        subtree. Timestamps are rebased onto this tracer's clock: worker
+        clocks (another thread's or process's ``perf_counter``) share no
+        epoch with ours, so the subtree is shifted to *end now* — at the
+        moment the coordinator received it — which preserves every
+        relative offset and duration inside the subtree.
+        """
+        parent = self._stack[-1] if self._stack else None
+        now = self.clock()
+        try:
+            span_end = float(tree["start"]) + float(tree["wall"])
+        except (KeyError, TypeError, ValueError):
+            span_end = now
+        shift = now - span_end
+
+        def build(node: dict, parent_id: int | None) -> Span:
+            span = Span(
+                str(node.get("name", "span")),
+                label=str(node.get("label", "")),
+                span_id=self._next_span_id,
+                parent_id=parent_id,
+            )
+            self._next_span_id += 1
+            attributes = node.get("attributes")
+            if isinstance(attributes, dict):
+                span.attributes.update(attributes)
+            try:
+                span.started_seconds = float(node["start"]) + shift
+                span.ended_seconds = span.started_seconds + float(node["wall"])
+            except (KeyError, TypeError, ValueError):
+                span.started_seconds = span.ended_seconds = now
+            for child in node.get("children") or ():
+                if isinstance(child, dict):
+                    span.children.append(build(child, span.span_id))
+            return span
+
+        root = build(tree, parent.span_id if parent is not None else None)
+        if parent is not None:
+            parent.children.append(root)
+        elif self.root is None:
+            self.root = root
+        else:
+            root.parent_id = self.root.span_id
+            self.root.children.append(root)
+        return root
+
+
+def export_subtree(span: Span) -> dict:
+    """A self-contained, JSON-serialisable copy of ``span``'s subtree.
+
+    The format :meth:`Tracer.graft` consumes: ``start`` is the worker
+    clock's absolute start (meaningless across processes on its own —
+    graft rebases it), ``wall`` the duration, ids deliberately omitted
+    (the receiving tracer assigns fresh ones).
+    """
+    return {
+        "name": span.name,
+        "label": span.label,
+        "start": span.started_seconds,
+        "wall": span.wall_seconds,
+        "attributes": dict(span.attributes),
+        "children": [export_subtree(child) for child in span.children],
+    }
 
 
 class TraceSink:

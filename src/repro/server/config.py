@@ -130,6 +130,26 @@ class ServerConfig:
     ``None`` inherits the wrapped session's setting (unlimited by
     default)."""
 
+    system_tables: bool = False
+    """Record the engine's own telemetry — one ``system.queries`` row
+    per request outcome (completed / failed / shed / deadline-exceeded /
+    cancelled), span trees for traced queries, cache/breaker/watchdog
+    events, worker lifecycle and a flight-recorder ``system.incidents``
+    table — as NDJSON segment files registered in the catalog under the
+    ``system`` database and queryable through the ordinary SQL path
+    (see :mod:`repro.obs.systables`). Off by default: the request path
+    gains one in-memory fs append per query when enabled."""
+
+    telemetry_budget_bytes: int = 8 * 1024 * 1024
+    """Byte budget for all telemetry segments together. Over it, the
+    oldest sealed segments are deleted (ring-buffer rotation); the
+    occupancy is published to the cache ledger as a reported
+    ``telemetry`` tier."""
+
+    telemetry_segment_bytes: int = 64 * 1024
+    """Segment size before the telemetry store seals the active segment
+    and starts a new one — the granularity of budget rotation."""
+
     trace_dir: str | None = None
     """Directory for JSONL trace export. When set, every query and every
     midnight cycle records a span tree and appends it to
@@ -188,3 +208,7 @@ class ServerConfig:
             raise ValueError("cache_budget_bytes must be >= 0")
         if self.slow_query_seconds < 0:
             raise ValueError("slow_query_seconds must be >= 0")
+        if self.telemetry_budget_bytes < 1:
+            raise ValueError("telemetry_budget_bytes must be >= 1")
+        if self.telemetry_segment_bytes < 1:
+            raise ValueError("telemetry_segment_bytes must be >= 1")

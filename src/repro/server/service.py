@@ -22,7 +22,9 @@ long-running service:
 
 from __future__ import annotations
 
+import hashlib
 import itertools
+import json
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
@@ -312,6 +314,50 @@ class MaxsonServer:
             "Byte-weighted share of realized parse demand the cache held",
             ("generation",),
         )
+        self._m_telemetry_events = self.metrics.counter(
+            "telemetry_events_total",
+            "Events appended to the system-table telemetry store",
+            ("table",),
+        )
+        self._m_telemetry_dropped = self.metrics.counter(
+            "telemetry_events_dropped_total",
+            "Telemetry events dropped by append failures",
+        )
+        self._m_telemetry_rotated = self.metrics.counter(
+            "telemetry_segments_rotated_total",
+            "Telemetry segments deleted by byte-budget rotation",
+        )
+        self._m_incidents = self.metrics.counter(
+            "incidents_total",
+            "Flight-recorder incident records captured",
+            ("kind",),
+        )
+        self._g_telemetry_bytes = self.metrics.gauge(
+            "telemetry_bytes",
+            "Bytes held by the system-table telemetry segments",
+        )
+        self._g_telemetry_segments = self.metrics.gauge(
+            "telemetry_segments",
+            "Telemetry segment files currently on the file system",
+        )
+        self._telemetry_events_seen: dict[str, int] = {}
+        self._telemetry_dropped_seen = 0
+        self._telemetry_rotated_seen = 0
+        # ---- system tables (self-hosted telemetry) ------------------
+        self.telemetry = None
+        if self.config.system_tables:
+            from ..obs.systables import TelemetryStore
+
+            self.telemetry = TelemetryStore(
+                self.system.catalog,
+                budget_bytes=self.config.telemetry_budget_bytes,
+                segment_bytes=self.config.telemetry_segment_bytes,
+                ledger=self.system.session.cache_ledger,
+            )
+            # Worker lifecycle (process backend spawn/crash/exit) and
+            # cache-table breaker transitions feed the event tables.
+            self.system.session.worker_observer = self._note_worker_event
+            self.system.breaker.observer = self._note_breaker_event
         self.logger.log(
             "server_started",
             generation=self.system.generation,
@@ -370,13 +416,31 @@ class MaxsonServer:
         if self.watchdog is not None:
             pressure = self.watchdog.check()
             self._g_memory_pressure.set(1 if pressure else 0)
+            if pressure and self.telemetry is not None:
+                self.telemetry.record(
+                    "cache_events",
+                    {
+                        "event": "watchdog_pressure",
+                        "table_name": "",
+                        "generation": self.system.generation,
+                        "detail": json.dumps(
+                            self.watchdog.snapshot(), sort_keys=True
+                        ),
+                    },
+                )
             if pressure and not probable_hit:
+                retry_after = max(self._service_estimate(), 0.01)
                 self._note_shed(
-                    "memory_pressure", tenant, time.perf_counter() - started
+                    "memory_pressure",
+                    tenant,
+                    time.perf_counter() - started,
+                    query_id=query_id,
+                    sql=sql,
+                    retry_after_seconds=retry_after,
                 )
                 raise QueryShedError(
                     "server under memory pressure: cold query shed",
-                    retry_after_seconds=max(self._service_estimate(), 0.01),
+                    retry_after_seconds=retry_after,
                 )
         estimate = 0.0 if probable_hit else self._service_estimate()
         try:
@@ -392,6 +456,9 @@ class MaxsonServer:
                 _SHED_REASONS.get(type(exc).__name__, "admission"),
                 tenant,
                 time.perf_counter() - started,
+                query_id=query_id,
+                sql=sql,
+                retry_after_seconds=getattr(exc, "retry_after_seconds", None),
             )
             raise
         try:
@@ -407,7 +474,15 @@ class MaxsonServer:
                     break
                 except TransientFsError as exc:
                     if not self.retry_policy.should_retry(exc, attempt, token):
-                        self._record_failure(query_id, tenant, generation, exc)
+                        self._record_failure(
+                            query_id,
+                            tenant,
+                            generation,
+                            exc,
+                            sql=sql,
+                            elapsed=time.perf_counter() - started,
+                            tracer=tracer,
+                        )
                         raise
                     self.system.resilience.add("query_retries")
                     self._m_retries.inc()
@@ -421,6 +496,7 @@ class MaxsonServer:
                         time.perf_counter() - started,
                         tracer,
                         exc,
+                        sql=sql,
                     )
                     raise
                 except QueryCancelledError as exc:
@@ -431,10 +507,19 @@ class MaxsonServer:
                         time.perf_counter() - started,
                         tracer,
                         exc,
+                        sql=sql,
                     )
                     raise
                 except Exception as exc:
-                    self._record_failure(query_id, tenant, generation, exc)
+                    self._record_failure(
+                        query_id,
+                        tenant,
+                        generation,
+                        exc,
+                        sql=sql,
+                        elapsed=time.perf_counter() - started,
+                        tracer=tracer,
+                    )
                     raise
                 finally:
                     self.generation_guard.release(generation)
@@ -509,20 +594,75 @@ class MaxsonServer:
             )
             if written:
                 self._m_spans.inc(written)
+        self._record_query_row(
+            query_id,
+            tenant,
+            "completed",
+            elapsed,
+            generation=generation,
+            metrics=metrics,
+            rows=len(result.rows),
+        )
+        if self.telemetry is not None and tracer is not None:
+            self.telemetry.record_spans(
+                tracer, query_id, backend=self.system.session.worker_backend
+            )
+        degraded_splits = int(metrics.extra.get("degraded_splits", 0))
+        slow = (
+            self.config.slow_query_seconds > 0
+            and elapsed >= self.config.slow_query_seconds
+        )
+        if slow or degraded_splits:
+            self._capture_incident(
+                "slow_query" if slow else "degraded",
+                query_id,
+                tenant,
+                sql,
+                elapsed,
+                generation=generation,
+                tracer=tracer,
+                metrics=metrics,
+            )
         return result
 
     def _record_failure(
-        self, query_id: str, tenant: str, generation: int, exc: Exception
+        self,
+        query_id: str,
+        tenant: str,
+        generation: int,
+        exc: Exception,
+        sql: str = "",
+        elapsed: float = 0.0,
+        tracer=None,
     ) -> None:
         with self._lock:
             self._failed += 1
         self._m_failed.inc()
+        error = f"{type(exc).__name__}: {exc}"
         self.logger.log(
             "query_failed",
             query_id=query_id,
             tenant=tenant,
             generation=generation,
-            error=f"{type(exc).__name__}: {exc}",
+            error=error,
+        )
+        self._record_query_row(
+            query_id,
+            tenant,
+            "failed",
+            elapsed,
+            generation=generation,
+            error=error,
+        )
+        self._capture_incident(
+            "failed",
+            query_id,
+            tenant,
+            sql,
+            elapsed,
+            generation=generation,
+            tracer=tracer,
+            error=exc,
         )
 
     def _service_estimate(self) -> float:
@@ -541,7 +681,15 @@ class MaxsonServer:
                 del self._latencies[: -_MAX_LATENCY_SAMPLES // 2]
         self._m_latency.observe(elapsed)
 
-    def _note_shed(self, reason: str, tenant: str, elapsed: float) -> None:
+    def _note_shed(
+        self,
+        reason: str,
+        tenant: str,
+        elapsed: float,
+        query_id: str = "",
+        sql: str = "",
+        retry_after_seconds: float | None = None,
+    ) -> None:
         with self._lock:
             self._sheds += 1
             self._shed_breakdown[reason] = (
@@ -549,7 +697,36 @@ class MaxsonServer:
             )
         self._m_shed.inc(reason=reason)
         self._observe_request_latency(elapsed)
-        self.logger.log("query_shed", reason=reason, tenant=tenant)
+        # The retry-after hint rides the server response (QueryShedError);
+        # log the same value so the NDJSON record matches what the client
+        # was told instead of omitting it.
+        self.logger.log(
+            "query_shed",
+            reason=reason,
+            tenant=tenant,
+            query_id=query_id,
+            retry_after_seconds=(
+                round(retry_after_seconds, 6)
+                if retry_after_seconds is not None
+                else None
+            ),
+        )
+        self._record_query_row(
+            query_id,
+            tenant,
+            "shed",
+            elapsed,
+            reason=reason,
+            retry_after_seconds=retry_after_seconds,
+        )
+        self._capture_incident(
+            "shed",
+            query_id,
+            tenant,
+            sql,
+            elapsed,
+            reason=reason,
+        )
 
     def _note_deadline_exceeded(
         self,
@@ -559,20 +736,40 @@ class MaxsonServer:
         elapsed: float,
         tracer,
         exc: Exception,
+        sql: str = "",
     ) -> None:
         with self._lock:
             self._deadline_exceeded += 1
         self._m_deadline_exceeded.inc()
         self._observe_request_latency(elapsed)
+        error = f"{type(exc).__name__}: {exc}"
         self.logger.log(
             "query_deadline_exceeded",
             query_id=query_id,
             tenant=tenant,
             generation=generation,
             elapsed_seconds=round(elapsed, 6),
-            error=f"{type(exc).__name__}: {exc}",
+            error=error,
         )
         self._write_cancelled_trace(tracer, query_id, tenant, generation)
+        self._record_query_row(
+            query_id,
+            tenant,
+            "deadline_exceeded",
+            elapsed,
+            generation=generation,
+            error=error,
+        )
+        self._capture_incident(
+            "deadline_exceeded",
+            query_id,
+            tenant,
+            sql,
+            elapsed,
+            generation=generation,
+            tracer=tracer,
+            error=exc,
+        )
 
     def _note_cancelled(
         self,
@@ -582,20 +779,40 @@ class MaxsonServer:
         elapsed: float,
         tracer,
         exc: Exception,
+        sql: str = "",
     ) -> None:
         with self._lock:
             self._cancelled += 1
         self._m_cancelled.inc()
         self._observe_request_latency(elapsed)
+        error = f"{type(exc).__name__}: {exc}"
         self.logger.log(
             "query_cancelled",
             query_id=query_id,
             tenant=tenant,
             generation=generation,
             elapsed_seconds=round(elapsed, 6),
-            error=f"{type(exc).__name__}: {exc}",
+            error=error,
         )
         self._write_cancelled_trace(tracer, query_id, tenant, generation)
+        self._record_query_row(
+            query_id,
+            tenant,
+            "cancelled",
+            elapsed,
+            generation=generation,
+            error=error,
+        )
+        self._capture_incident(
+            "cancelled",
+            query_id,
+            tenant,
+            sql,
+            elapsed,
+            generation=generation,
+            tracer=tracer,
+            error=exc,
+        )
 
     def _write_cancelled_trace(
         self, tracer, query_id: str, tenant: str, generation: int
@@ -614,6 +831,197 @@ class MaxsonServer:
         )
         if written:
             self._m_spans.inc(written)
+        if self.telemetry is not None:
+            self.telemetry.record_spans(
+                tracer, query_id, backend=self.system.session.worker_backend
+            )
+
+    # ------------------------------------------------------------------
+    # system tables (self-hosted telemetry)
+    # ------------------------------------------------------------------
+    def _record_query_row(
+        self,
+        query_id: str,
+        tenant: str,
+        status: str,
+        seconds: float,
+        generation: int | None = None,
+        reason: str = "",
+        retry_after_seconds: float | None = None,
+        error: str = "",
+        metrics=None,
+        rows: int | None = None,
+    ) -> None:
+        """Exactly one ``system.queries`` row per request outcome — the
+        invariant the replay-reconciliation gate audits (row count ==
+        completed + failed + shed + deadline_exceeded + cancelled)."""
+        if self.telemetry is None:
+            return
+        row: dict[str, object] = {
+            "query_id": query_id,
+            "tenant": tenant,
+            "status": status,
+            "seconds": round(seconds, 6),
+            "generation": (
+                self.system.generation if generation is None else generation
+            ),
+            "backend": self.system.session.worker_backend,
+            "reason": reason,
+            "retry_after_seconds": (
+                round(retry_after_seconds, 6)
+                if retry_after_seconds is not None
+                else None
+            ),
+            "result_cache": "",
+            "plan_cache": "",
+            "error": error,
+        }
+        if metrics is not None:
+            extra = metrics.extra
+            if extra.get("result_cache_hits"):
+                row["result_cache"] = "hit"
+            elif extra.get("result_cache_admissions"):
+                row["result_cache"] = "admitted"
+            elif extra.get("result_cache_rejections"):
+                row["result_cache"] = "rejected"
+            elif extra.get("result_cache_misses"):
+                row["result_cache"] = "miss"
+            if extra.get("plan_cache_hits"):
+                row["plan_cache"] = "hit"
+            elif extra.get("plan_cache_misses"):
+                row["plan_cache"] = "miss"
+            extras = {
+                "parse_documents": metrics.parse_documents,
+                "cache_hits": metrics.cache_hits,
+                "cache_misses": metrics.cache_misses,
+                "read_seconds": round(metrics.read_seconds, 6),
+                "parse_seconds": round(metrics.parse_seconds, 6),
+                "doc_cache_evictions": metrics.doc_cache_evictions,
+            }
+            for key, value in extra.items():
+                if isinstance(value, (int, float, str, bool)):
+                    extras[key] = value
+            row["extras"] = extras
+        if rows is not None:
+            row["rows"] = rows
+        self.telemetry.record("queries", row)
+
+    def _capture_incident(
+        self,
+        kind: str,
+        query_id: str,
+        tenant: str,
+        sql: str,
+        seconds: float,
+        generation: int | None = None,
+        tracer=None,
+        error: Exception | None = None,
+        metrics=None,
+        reason: str = "",
+    ) -> None:
+        """Flight recorder: a self-contained ``system.incidents`` record
+        for slow, degraded, shed, deadline-exceeded, cancelled and failed
+        queries — canonical statement + parameter hash, physical plan,
+        full span tree, breaker/watchdog/admission state — enough to
+        diagnose the query after the fact without its process alive."""
+        if self.telemetry is None:
+            return
+        self._m_incidents.inc(kind=kind)
+        fingerprint_text = ""
+        params: tuple = ()
+        try:
+            from ..engine.resultcache import canonicalize
+
+            canonical = canonicalize(sql, self.system.session.planner)
+            if canonical is not None:
+                fingerprint_text = canonical.text
+                params = canonical.params
+        except Exception:
+            pass
+        if not fingerprint_text:
+            try:
+                from ..engine.plancache import fingerprint
+
+                fingerprint_text = fingerprint(sql)
+            except Exception:
+                fingerprint_text = sql
+        params_hash = hashlib.sha256(
+            repr(params).encode("utf-8")
+        ).hexdigest()[:16]
+        plan_text = ""
+        try:
+            plan_text = self.system.session.compile(sql).physical.describe()
+        except Exception:
+            plan_text = ""
+        record: dict[str, object] = {
+            "query_id": query_id,
+            "kind": kind,
+            "tenant": tenant,
+            "sql": sql,
+            "fingerprint": fingerprint_text,
+            "seconds": round(seconds, 6),
+            "params_hash": params_hash,
+            "generation": (
+                self.system.generation if generation is None else generation
+            ),
+            "backend": self.system.session.worker_backend,
+            "plan": plan_text,
+            "breaker": self.system.breaker.snapshot(),
+            "admission": self.admission.snapshot(),
+            "watchdog": (
+                self.watchdog.snapshot() if self.watchdog is not None else {}
+            ),
+        }
+        if reason:
+            record["reason"] = reason
+        if error is not None:
+            record["error"] = f"{type(error).__name__}: {error}"
+        if metrics is not None:
+            record["extras"] = {
+                key: value
+                for key, value in metrics.extra.items()
+                if isinstance(value, (int, float, str, bool))
+            }
+        if tracer is not None and tracer.root is not None:
+            try:
+                from ..obs.trace import export_subtree
+
+                record["span_tree"] = export_subtree(tracer.root)
+            except Exception:
+                pass
+        self.telemetry.record("incidents", record)
+
+    def _note_worker_event(self, event: str, **fields) -> None:
+        """Process-pool lifecycle observer → ``system.workers`` rows."""
+        if self.telemetry is None:
+            return
+        self.telemetry.record(
+            "workers",
+            {
+                "event": event,
+                "worker": str(fields.pop("worker", "")),
+                "backend": "process",
+                "detail": (
+                    json.dumps(fields, sort_keys=True, default=str)
+                    if fields
+                    else ""
+                ),
+            },
+        )
+
+    def _note_breaker_event(self, cache_table: str, state: str) -> None:
+        """Circuit-breaker transition observer → ``system.cache_events``."""
+        if self.telemetry is None:
+            return
+        self.telemetry.record(
+            "cache_events",
+            {
+                "event": f"breaker_{state}",
+                "table_name": cache_table,
+                "generation": self.system.generation,
+                "detail": "",
+            },
+        )
 
     def submit(
         self,
@@ -668,6 +1076,30 @@ class MaxsonServer:
             cached_paths=len(report.selected),
             build_failed=report.build.failed,
         )
+        if self.telemetry is not None:
+            self.telemetry.record(
+                "cache_events",
+                {
+                    "event": (
+                        "generation_build_failed"
+                        if report.build.failed
+                        else "generation_swap"
+                    ),
+                    "table_name": "",
+                    "generation": self.system.generation,
+                    "detail": json.dumps(
+                        {
+                            "day": report.day,
+                            "cached_paths": len(report.selected),
+                            "build_seconds": round(
+                                report.build.build_seconds, 6
+                            ),
+                        },
+                        sort_keys=True,
+                        default=str,
+                    ),
+                },
+            )
         return report
 
     def refresh_cache(self):
@@ -700,6 +1132,8 @@ class MaxsonServer:
         observability: dict[str, object] = {"log": self.logger.snapshot()}
         if self.trace_sink is not None:
             observability["trace"] = self.trace_sink.snapshot()
+        if self.telemetry is not None:
+            observability["telemetry"] = self.telemetry.snapshot()
         return ServerStatus(
             uptime_seconds=uptime,
             queries_completed=completed,
@@ -816,6 +1250,29 @@ class MaxsonServer:
             self._g_memory_pressure.set(
                 1 if status.watchdog.get("under_pressure") else 0
             )
+        if self.telemetry is not None:
+            telemetry = self.telemetry.snapshot()
+            self._g_telemetry_bytes.set(int(telemetry["bytes"]))
+            self._g_telemetry_segments.set(int(telemetry["segments"]))
+            # Store counters are cumulative; the Prometheus counters
+            # advance by scrape-time delta (same pattern as evictions).
+            for table, count in dict(telemetry["events"]).items():
+                delta = count - self._telemetry_events_seen.get(table, 0)
+                if delta > 0:
+                    self._m_telemetry_events.inc(delta, table=table)
+                self._telemetry_events_seen[table] = count
+            dropped = int(telemetry["events_dropped"])
+            if dropped > self._telemetry_dropped_seen:
+                self._m_telemetry_dropped.inc(
+                    dropped - self._telemetry_dropped_seen
+                )
+            self._telemetry_dropped_seen = dropped
+            rotated = int(telemetry["segments_rotated"])
+            if rotated > self._telemetry_rotated_seen:
+                self._m_telemetry_rotated.inc(
+                    rotated - self._telemetry_rotated_seen
+                )
+            self._telemetry_rotated_seen = rotated
         for record in status.cache_efficacy:
             generation = str(record.get("generation", 0))
             self._g_eff_precision.set(

@@ -181,6 +181,22 @@ class ServerStatus:
             )
         if self.slow_queries:
             lines.append(f"  slow queries:  {self.slow_queries}")
+        telemetry = self.observability.get("telemetry")
+        if telemetry:
+            events = telemetry.get("events", {})
+            lines.append(
+                "  telemetry:     {:,} / {:,} bytes in {} segments "
+                "({} rotated, {} dropped), {} query rows, "
+                "{} incidents".format(
+                    int(telemetry.get("bytes", 0)),
+                    int(telemetry.get("budget_bytes", 0)),
+                    telemetry.get("segments", 0),
+                    telemetry.get("segments_rotated", 0),
+                    telemetry.get("events_dropped", 0),
+                    events.get("queries", 0),
+                    events.get("incidents", 0),
+                )
+            )
         if self.result_cache.get("capacity"):
             rc = self.result_cache
             budget = self.cache_ledger.get("budget_bytes")

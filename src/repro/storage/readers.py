@@ -12,13 +12,14 @@ the *cache* table with the *primary* reader of the raw table.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 
-from .fs import BlockFileSystem
+from .fs import BlockFileSystem, FsError
 from .orc import OrcError, OrcFileReader
 from .sargs import Sarg
 
-__all__ = ["ReadResult", "OrcReader"]
+__all__ = ["ReadResult", "OrcReader", "NdjsonReader", "split_reader"]
 
 
 @dataclass
@@ -140,3 +141,127 @@ class OrcReader:
         wanted = self.columns if self.columns is not None else self.schema.names
         series = [result.columns[name] for name in wanted]
         return list(zip(*series)) if series else []
+
+
+class NdjsonReader:
+    """Read one NDJSON segment file with the :class:`OrcReader` surface.
+
+    Telemetry segments (``system.*`` tables) are newline-delimited JSON
+    appended while the engine runs, so this reader is deliberately
+    forgiving where the ORC reader is strict:
+
+    * A missing file yields zero rows — segment rotation can delete a
+      file between split listing and split read.
+    * A torn tail (crash mid-append) or any unparseable line is skipped
+      and counted, never raised — the registered system tables must stay
+      queryable after a crash.
+    * SARGs are accepted but not used for skipping (the residual filter
+      above the scan preserves correctness); the whole file is one row
+      group, so the pushdown-sharing protocol degrades to no-ops.
+
+    Requested columns are promoted from each document's top-level keys;
+    a missing key reads as NULL, nested values are re-encoded as JSON
+    text (so ``get_json_object`` works on them), and the virtual
+    ``payload`` column carries the whole document as JSON text.
+    """
+
+    def __init__(
+        self,
+        fs: BlockFileSystem,
+        path: str,
+        columns: list[str] | None = None,
+        sarg: Sarg | None = None,
+    ) -> None:
+        self.fs = fs
+        self.path = path
+        self.columns = columns
+        self.sarg = sarg
+        self.lines_skipped = 0
+        try:
+            data = fs.read(path)
+        except FsError:
+            data = b""
+        self._bytes_read = len(data)
+        self._docs: list[dict] = []
+        for line in data.split(b"\n"):
+            if not line.strip():
+                continue
+            try:
+                doc = json.loads(line)
+            except (ValueError, UnicodeDecodeError):
+                self.lines_skipped += 1
+                continue
+            if not isinstance(doc, dict):
+                self.lines_skipped += 1
+                continue
+            self._docs.append(doc)
+
+    @property
+    def row_count(self) -> int:
+        return len(self._docs)
+
+    @property
+    def stripe_count(self) -> int:
+        return 1
+
+    @property
+    def row_group_mask(self) -> list[bool]:
+        return [True]
+
+    def share_row_group_mask(self, mask: list[bool]) -> None:
+        """Accepted and ignored — there are no group stats to combine."""
+
+    def can_align_row_groups(self) -> bool:
+        return False
+
+    @staticmethod
+    def _cell(doc: dict, name: str) -> object:
+        if name == "payload":
+            return json.dumps(doc, sort_keys=True, default=str)
+        value = doc.get(name)
+        if isinstance(value, (dict, list)):
+            return json.dumps(value, sort_keys=True, default=str)
+        return value
+
+    def read(self) -> ReadResult:
+        if self.columns is not None:
+            wanted = list(self.columns)
+        else:
+            seen: dict[str, None] = {}
+            for doc in self._docs:
+                for key in doc:
+                    seen.setdefault(key, None)
+            wanted = list(seen)
+        columns = {
+            name: [self._cell(doc, name) for doc in self._docs]
+            for name in wanted
+        }
+        return ReadResult(
+            columns=columns,
+            rows_read=len(self._docs),
+            row_groups_total=1,
+            row_groups_read=1,
+            bytes_read=self._bytes_read,
+        )
+
+    def read_rows(self) -> list[tuple]:
+        result = self.read()
+        series = list(result.columns.values())
+        return list(zip(*series)) if series else []
+
+
+def split_reader(
+    fs: BlockFileSystem,
+    path: str,
+    columns: list[str] | None = None,
+    sarg: Sarg | None = None,
+):
+    """Reader factory dispatching on the split's storage format.
+
+    Telemetry segments are ``.ndjson``; everything else in the warehouse
+    is the ORC-like format. Scan operators go through this factory so
+    system tables flow through the identical execution path as raw
+    tables (prefilter, batch engine, morsels, cache builds)."""
+    if path.endswith(".ndjson"):
+        return NdjsonReader(fs, path, columns=columns, sarg=sarg)
+    return OrcReader(fs, path, columns=columns, sarg=sarg)

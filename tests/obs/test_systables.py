@@ -1,0 +1,236 @@
+"""TelemetryStore: bounded, crash-tolerant system tables over NDJSON.
+
+The store's three contracts (see repro/obs/systables.py):
+
+* byte-budget rotation deletes the oldest sealed segments first (across
+  all tables) and publishes occupancy to the cache ledger's reported
+  ``telemetry`` tier;
+* a torn tail line (crash mid-append) is skipped by the NDJSON reader,
+  never failing the scan, and a re-opened store adopts surviving
+  segments and keeps numbering past them;
+* appends never bump the catalog version, so telemetry writes cannot
+  invalidate cached plans.
+"""
+
+import json
+
+from repro.engine import Session
+from repro.engine.cachebudget import CacheLedger
+from repro.obs.systables import SYSTEM_TABLES, TelemetryStore
+from repro.storage import BlockFileSystem
+
+
+def build_session() -> Session:
+    return Session(fs=BlockFileSystem())
+
+
+def fill(store: TelemetryStore, n: int, table: str = "queries", pad: int = 80):
+    for i in range(n):
+        store.record(
+            table,
+            {
+                "query_id": f"q-{i}",
+                "status": "completed",
+                "seconds": 0.001 * i,
+                "pad": "x" * pad,
+            },
+        )
+
+
+class TestRecordAndQuery:
+    def test_tables_registered_and_queryable(self):
+        session = build_session()
+        store = TelemetryStore(session.catalog)
+        for name in SYSTEM_TABLES:
+            assert session.catalog.table_exists("system", name)
+        fill(store, 7)
+        result = session.sql(
+            "SELECT status, count(*) AS n FROM system.queries GROUP BY status"
+        )
+        assert result.rows == [{"status": "completed", "n": 7}]
+
+    def test_payload_column_carries_whole_event(self):
+        session = build_session()
+        store = TelemetryStore(session.catalog)
+        store.record("queries", {"query_id": "q-1", "extras": {"rows": 5}})
+        result = session.sql(
+            "SELECT get_json_object(payload, '$.extras.rows') AS r "
+            "FROM system.queries"
+        )
+        assert result.rows == [{"r": 5}]
+
+    def test_appends_never_bump_catalog_version(self):
+        session = build_session()
+        store = TelemetryStore(session.catalog)
+        version = session.catalog.version
+        fill(store, 20)
+        assert session.catalog.version == version
+
+    def test_fresh_rows_visible_without_version_bump(self):
+        session = build_session()
+        store = TelemetryStore(session.catalog)
+        fill(store, 3)
+        assert len(session.sql("SELECT ts FROM system.queries").rows) == 3
+        fill(store, 2)
+        assert len(session.sql("SELECT ts FROM system.queries").rows) == 5
+
+
+class TestRotation:
+    def test_budget_bounds_total_bytes(self):
+        session = build_session()
+        store = TelemetryStore(
+            session.catalog, budget_bytes=4096, segment_bytes=512
+        )
+        fill(store, 200)
+        assert store.total_bytes() <= 4096
+        assert store.segments_rotated > 0
+
+    def test_oldest_rows_rotate_out_newest_survive(self):
+        session = build_session()
+        store = TelemetryStore(
+            session.catalog, budget_bytes=4096, segment_bytes=512
+        )
+        fill(store, 200)
+        rows = session.sql("SELECT query_id FROM system.queries").rows
+        ids = {row["query_id"] for row in rows}
+        assert "q-199" in ids  # newest survives
+        assert "q-0" not in ids  # oldest rotated out
+        assert 0 < len(ids) < 200
+
+    def test_rotation_is_cross_table_oldest_first(self):
+        session = build_session()
+        store = TelemetryStore(
+            session.catalog, budget_bytes=4096, segment_bytes=512
+        )
+        fill(store, 100, table="queries")
+        fill(store, 100, table="spans")
+        # The spans rows alone exceed the budget, and every queries
+        # segment is older than every spans segment — so rotation must
+        # have consumed (almost) all of queries before touching spans,
+        # and what survives is the newest spans data.
+        queries_left = session.sql("SELECT query_id FROM system.queries").rows
+        spans_left = session.sql("SELECT query_id FROM system.spans").rows
+        assert len(queries_left) <= 5  # at most the unsealed active tail
+        assert spans_left
+        assert {row["query_id"] for row in spans_left} >= {"q-99"}
+
+    def test_ledger_reports_telemetry_tier(self):
+        session = build_session()
+        ledger = session.cache_ledger
+        store = TelemetryStore(session.catalog, ledger=ledger)
+        fill(store, 10)
+        tiers = ledger.to_dict()["tiers"]
+        assert tiers.get("telemetry") == store.total_bytes()
+        assert tiers["telemetry"] > 0
+
+    def test_reported_tier_not_charged_to_budget(self):
+        ledger = CacheLedger(budget=100)
+        session = build_session()
+        store = TelemetryStore(session.catalog, ledger=ledger)
+        fill(store, 50)
+        assert store.total_bytes() > 100
+        assert ledger.total() == 0  # reported, not budgeted
+
+
+class TestCrashTolerance:
+    def test_torn_tail_line_is_skipped_not_fatal(self):
+        session = build_session()
+        store = TelemetryStore(session.catalog)
+        fill(store, 5)
+        state = store._tables["queries"]
+        # Simulate a crash mid-append: a torn, unterminated JSON tail.
+        session.catalog.fs.append(state.active, b'{"query_id": "to')
+        rows = session.sql("SELECT query_id FROM system.queries").rows
+        assert len(rows) == 5
+
+    def test_reopened_store_adopts_segments_and_numbering(self):
+        session = build_session()
+        first = TelemetryStore(session.catalog, segment_bytes=256)
+        fill(first, 20)
+        reopened = TelemetryStore(session.catalog, segment_bytes=256)
+        assert reopened.total_bytes() == first.total_bytes()
+        state = reopened._tables["queries"]
+        next_index = state.next_index
+        assert next_index >= len(state.segments)
+        fill(reopened, 20)
+        rows = session.sql("SELECT query_id FROM system.queries").rows
+        assert len(rows) == 40
+
+    def test_reopened_store_still_rotates_adopted_segments(self):
+        session = build_session()
+        first = TelemetryStore(
+            session.catalog, budget_bytes=1 << 30, segment_bytes=256
+        )
+        fill(first, 50)
+        reopened = TelemetryStore(
+            session.catalog, budget_bytes=2048, segment_bytes=256
+        )
+        fill(reopened, 10)
+        assert reopened.total_bytes() <= 2048
+        assert reopened.segments_rotated > 0
+
+    def test_failed_append_is_counted_and_swallowed(self):
+        session = build_session()
+        store = TelemetryStore(session.catalog)
+
+        class Boom:
+            def __getattr__(self, name):
+                from repro.storage.fs import FsError
+
+                def fail(*args, **kwargs):
+                    raise FsError("disk gone")
+
+                return fail
+
+        store.fs = Boom()
+        assert store.record("queries", {"query_id": "q-1"}) is False
+        assert store.events_dropped == 1
+
+
+class TestSnapshot:
+    def test_snapshot_counts(self):
+        session = build_session()
+        store = TelemetryStore(session.catalog)
+        fill(store, 4)
+        store.record("cache_events", {"event": "generation_swap"})
+        snap = store.snapshot()
+        assert snap["events"]["queries"] == 4
+        assert snap["events"]["cache_events"] == 1
+        assert snap["bytes"] == store.total_bytes()
+        assert snap["segments"] >= 2  # queries + cache_events actives
+
+    def test_record_spans_writes_one_row_per_span(self):
+        from repro.obs import Tracer
+
+        session = build_session()
+        store = TelemetryStore(session.catalog)
+        tracer = Tracer(trace_id="t-1")
+        root = tracer.begin("query")
+        child = tracer.begin("scan", worker="w-1", backend="thread")
+        tracer.end(child)
+        tracer.end(root)
+        written = store.record_spans(tracer, "q-9", backend="thread")
+        assert written == 2
+        rows = session.sql(
+            "SELECT name, worker, backend FROM system.spans"
+        ).rows
+        names = {row["name"] for row in rows}
+        assert names == {"query", "scan"}
+        scan_row = next(r for r in rows if r["name"] == "scan")
+        assert scan_row["worker"] == "w-1"
+        assert scan_row["backend"] == "thread"
+        payload = session.sql(
+            "SELECT get_json_object(payload, '$.attributes.worker') AS w "
+            "FROM system.spans"
+        ).rows
+        assert {row["w"] for row in payload} == {None, "w-1"}
+
+
+def test_store_events_json_round_trips():
+    session = build_session()
+    store = TelemetryStore(session.catalog)
+    store.record("incidents", {"query_id": "q-1", "kind": "slow_query"})
+    rows = session.sql("SELECT payload FROM system.incidents").rows
+    doc = json.loads(rows[0]["payload"])
+    assert doc["kind"] == "slow_query"
+    assert "ts" in doc
