@@ -47,8 +47,13 @@ BENCH_PR6_PATH = Path(__file__).parent.parent / "BENCH_pr6.json"
 BENCH_PR7_PATH = Path(__file__).parent.parent / "BENCH_pr7.json"
 
 #: PR-8 summary (process-pool morsel backend + shared-memory batch
-#: transport). The current roll-up target of :func:`save_result`.
+#: transport).
 BENCH_PR8_PATH = Path(__file__).parent.parent / "BENCH_pr8.json"
+
+#: PR-10 summary (multi-process cluster: consistent-hash router +
+#: coordinator metadata cache). The current roll-up target of
+#: :func:`save_result`.
+BENCH_PR10_PATH = Path(__file__).parent.parent / "BENCH_pr10.json"
 
 #: Scale knobs: the paper uses 20M rows/table on 22 nodes; the simulator
 #: uses this many rows per Table II table (split over 3 daily files).
@@ -74,17 +79,18 @@ def _merge_bench(path: Path, section: str, payload: dict) -> Path:
 def save_result(name: str, payload: dict) -> Path:
     """Persist one bench's series for EXPERIMENTS.md.
 
-    Every series is also merged into ``BENCH_pr8.json`` at the repo
-    root (and into ``BENCH_pr7.json``, which older CI jobs still read)
-    — previously each PR's roll-up had to be fed by hand-picked
-    benches, which silently dropped any bench that forgot to call the
-    per-PR saver.
+    Every series is also merged into ``BENCH_pr10.json`` at the repo
+    root (and into ``BENCH_pr7.json`` / ``BENCH_pr8.json``, which older
+    CI jobs still read) — previously each PR's roll-up had to be fed by
+    hand-picked benches, which silently dropped any bench that forgot
+    to call the per-PR saver.
     """
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{name}.json"
     path.write_text(json.dumps(payload, indent=2, sort_keys=True))
     _merge_bench(BENCH_PR7_PATH, name, payload)
     _merge_bench(BENCH_PR8_PATH, name, payload)
+    _merge_bench(BENCH_PR10_PATH, name, payload)
     return path
 
 

@@ -188,6 +188,145 @@ def cmd_bench_cache(args) -> int:
     return 0
 
 
+def _cluster_server_kwargs(args, admission_timeout) -> dict:
+    """The ServerConfig kwargs each shard runs with (JSON-safe dict)."""
+    return {
+        "max_workers": args.concurrency,
+        "per_tenant_limit": max(1, args.concurrency // 2),
+        "queue_capacity": args.queue_capacity,
+        "admission_timeout_seconds": admission_timeout,
+        "default_deadline_ms": args.deadline_ms,
+        "memory_soft_limit_bytes": args.memory_soft_limit_bytes,
+        "drain_timeout_seconds": args.drain_timeout,
+        "refresh_interval_seconds": args.refresh_interval,
+        "max_query_retries": args.retries,
+        "scan_workers": args.scan_workers,
+        "worker_backend": args.worker_backend,
+        "plan_cache_entries": args.plan_cache_entries,
+        "result_cache": True if args.result_cache else None,
+        "cache_budget_bytes": args.cache_budget_bytes,
+        "system_tables": args.system_tables,
+        "telemetry_budget_bytes": args.telemetry_budget_bytes,
+    }
+
+
+def _cmd_replay_serve_cluster(args, admission_timeout) -> int:
+    """The ``--shards N`` path: same replay, routed through the cluster."""
+    from .cluster import ClusterRouter, ShardSpec
+    from .cluster.replay import replay_cluster
+    from .cluster.shard import spec_queries
+    from .server import build_replay_workload
+
+    spec = ShardSpec(
+        rows_per_table=args.rows,
+        days=args.days,
+        fault_profile=args.fault_profile,
+        model=args.model,
+        execution_mode=args.execution_mode,
+        build_workers=args.build_workers,
+        server=_cluster_server_kwargs(args, admission_timeout),
+    )
+    queries = spec_queries(spec)
+    requests = build_replay_workload(
+        queries,
+        days=args.days,
+        per_day=args.per_day,
+        tenants=args.tenants,
+        seed=args.seed,
+    )
+    baseline = None
+    oracle_server = None
+    if args.verify:
+        # One fault-free in-process warehouse is the row oracle for every
+        # shard (they all built the same deterministic tables).
+        from .cluster.shard import build_shard_server
+
+        oracle = build_shard_server(
+            ShardSpec(
+                rows_per_table=args.rows,
+                days=args.days,
+                model=args.model,
+                server={"max_workers": 1},
+            )
+        )
+        oracle_system, oracle_server = oracle
+
+        def baseline(sql):
+            return sorted(map(str, oracle_system.baseline_sql(sql).rows))
+
+    with ClusterRouter(args.shards, spec=spec) as router:
+        print(
+            f"cluster up: {args.shards} shards "
+            f"(reaped {router.reaped_shm_segments} orphan SHM segments)"
+        )
+        report = replay_cluster(router, requests, baseline=baseline)
+        print(
+            f"replayed {report.requests} requests over {report.days} days "
+            f"across {report.shards} shards "
+            f"({report.completed} completed, {report.failed} failed, "
+            f"{report.shed} shed, {report.deadline_exceeded} "
+            f"deadline-exceeded, {report.crash_failed} crash-failed) "
+            f"in {report.wall_seconds:.2f}s"
+        )
+        per_shard = ", ".join(
+            f"shard{sid}={n}"
+            for sid, n in sorted(report.per_shard_completed.items())
+        )
+        print(f"per-shard completions: {per_shard or 'none'}")
+        meta = report.metadata_cache
+        print(
+            f"metadata cache: {meta['hits']} hits / {meta['misses']} misses "
+            f"(hit rate {meta['hit_rate']:.2f}, "
+            f"{meta['invalidations']} invalidations)"
+        )
+        if args.verify:
+            print(
+                f"verified {report.verified} results against the plain "
+                f"engine ({report.mismatched} mismatched)"
+            )
+        exit_code = 0
+        if args.system_tables:
+            audit = router.audit_system_queries()
+            breakdown = ", ".join(
+                f"{status}={n}"
+                for status, n in sorted(audit["totals"].items())
+            )
+            print(f"system.queries (all shards): {breakdown}")
+            for sid, by_status in sorted(audit["per_shard"].items()):
+                shard_line = ", ".join(
+                    f"{status}={n}" for status, n in sorted(by_status.items())
+                )
+                print(f"  shard {sid}: {shard_line or 'empty'}")
+            accounted = (
+                report.completed
+                + report.failed
+                + report.shed
+                + report.deadline_exceeded
+                + report.cancelled
+            )
+            if audit["total_rows"] != accounted:
+                print(
+                    f"system.queries audit FAILED: {audit['total_rows']} "
+                    f"rows vs {accounted} accounted requests"
+                )
+                exit_code = 1
+            else:
+                print(
+                    f"audit: {audit['total_rows']} query rows vs "
+                    f"{accounted} accounted requests (match)"
+                )
+        if args.metrics:
+            print("== Prometheus exposition (aggregated) ==")
+            print(router.metrics_text(), end="")
+    if args.verify and oracle_server is not None:
+        oracle_server.shutdown(wait=False)
+    if report.failed or report.completed == 0:
+        return 1
+    if args.verify and report.mismatched:
+        return 1
+    return exit_code
+
+
 def cmd_replay_serve(args) -> int:
     from .core import MaxsonConfig, MaxsonSystem, PredictorConfig
     from .engine import Session
@@ -195,6 +334,11 @@ def cmd_replay_serve(args) -> int:
     from .server import MaxsonServer, ServerConfig, build_replay_workload, replay
     from .workload import build_queries, load_tables
 
+    admission_timeout = args.admission_timeout
+    if args.max_queue_wait_ms is not None:
+        admission_timeout = args.max_queue_wait_ms / 1000.0
+    if args.shards > 1:
+        return _cmd_replay_serve_cluster(args, admission_timeout)
     session = None
     if args.fault_profile:
         # Quiet policy while fixtures load; the profile arms afterwards
@@ -214,9 +358,6 @@ def cmd_replay_serve(args) -> int:
     queries = build_queries(factories)
     if args.fault_profile:
         system.session.fs.policy = parse_fault_profile(args.fault_profile)
-    admission_timeout = args.admission_timeout
-    if args.max_queue_wait_ms is not None:
-        admission_timeout = args.max_queue_wait_ms / 1000.0
     config = ServerConfig(
         max_workers=args.concurrency,
         per_tenant_limit=max(1, args.concurrency // 2),
@@ -561,6 +702,16 @@ def build_parser() -> argparse.ArgumentParser:
         "replay-serve",
         aliases=["serve"],
         help="replay a multi-day workload through the concurrent server",
+    )
+    p_serve.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run as an N-shard cluster: a router process consistent-hashes "
+        "(tenant, table) onto N shard processes, each a full server over "
+        "the warehouse with its own admission/deadline/breaker/cache "
+        "budgets (default 1 = single-process)",
     )
     p_serve.add_argument("--concurrency", type=int, default=8)
     p_serve.add_argument("--days", type=int, default=3)

@@ -1,0 +1,55 @@
+"""Multi-process cluster: consistent-hash router over shard processes.
+
+This package turns the single-process :class:`~repro.server.MaxsonServer`
+into a shared-nothing cluster without touching the server itself:
+
+* :mod:`~repro.cluster.hashing` — the consistent-hash ring that places
+  every ``(tenant, database, table)`` key on a shard, stable across
+  restarts and minimally disturbed by resizes;
+* :mod:`~repro.cluster.rpc` — length-prefixed JSON RPC with request-id
+  multiplexing and typed error envelopes (``QueryShedError`` fields
+  round-trip intact);
+* :mod:`~repro.cluster.shard` — the shard child process: one full
+  ``MaxsonServer`` per shard, so admission control, deadlines, breaker,
+  watchdog and cache budgets are all per-shard by construction;
+* :mod:`~repro.cluster.metacache` — the Presto-style coordinator
+  metadata cache, invalidated per shard by version vectors piggybacked
+  on every RPC response;
+* :mod:`~repro.cluster.router` — spawn/supervise/route/aggregate:
+  ``replay-serve --shards N`` talks to this;
+* :mod:`~repro.cluster.replay` — the day-by-day cluster replay driver
+  the differential suite and shard-scale bench use.
+"""
+
+from .hashing import HashRing, route_key
+from .metacache import MetadataCache
+from .replay import ClusterReplayReport, replay_cluster
+from .router import ClusterRouter, ShardCrashError, aggregate_expositions
+from .rpc import (
+    RpcConnection,
+    RpcError,
+    ShardConnectionError,
+    decode_error,
+    encode_error,
+)
+from .shard import ShardSpec, build_shard_server, metadata_payload, shard_main
+
+__all__ = [
+    "HashRing",
+    "route_key",
+    "MetadataCache",
+    "ClusterReplayReport",
+    "replay_cluster",
+    "ClusterRouter",
+    "ShardCrashError",
+    "aggregate_expositions",
+    "RpcConnection",
+    "RpcError",
+    "ShardConnectionError",
+    "decode_error",
+    "encode_error",
+    "ShardSpec",
+    "build_shard_server",
+    "metadata_payload",
+    "shard_main",
+]

@@ -1,0 +1,149 @@
+"""Trace replay through the cluster router.
+
+The cluster twin of :mod:`repro.server.replay`: the same day-by-day
+schedule (all of a day's requests in flight together, midnight broadcast
+to every shard before the next day starts), but submitted through a
+:class:`~repro.cluster.router.ClusterRouter`, so each request is
+consistent-hash routed to its shard and executes under that shard's own
+admission/deadline/breaker budgets.
+
+The report mirrors :class:`~repro.server.replay.ReplayReport` field for
+field — the differential suite compares the two shapes directly — and
+adds the cluster-only tallies: per-shard completion counts, shard-crash
+failures, and the coordinator metadata-cache hit rate over the replayed
+(post-warmup) window.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..engine.errors import DeadlineExceededError, QueryCancelledError
+from ..server.admission import AdmissionError
+from ..server.replay import ReplayRequest, build_replay_workload
+from .router import ClusterRouter, ShardCrashError
+
+__all__ = ["ClusterReplayReport", "replay_cluster", "build_replay_workload"]
+
+
+@dataclass
+class ClusterReplayReport:
+    """Outcome of one cluster replay run."""
+
+    requests: int = 0
+    completed: int = 0
+    failed: int = 0
+    shed: int = 0
+    deadline_exceeded: int = 0
+    cancelled: int = 0
+    crash_failed: int = 0
+    """Requests lost to a shard crash window (respawn covers the rest)."""
+    days: int = 0
+    wall_seconds: float = 0.0
+    verified: int = 0
+    mismatched: int = 0
+    shards: int = 0
+    per_shard_completed: dict[int, int] = field(default_factory=dict)
+    metadata_cache: dict = field(default_factory=dict)
+    """Coordinator cache snapshot over the replay window (stats are reset
+    at replay start, so ``hit_rate`` here is the post-warmup figure the
+    bench gate checks)."""
+    status: dict | None = None
+
+
+def replay_cluster(
+    router: ClusterRouter,
+    requests: list[ReplayRequest],
+    stats_events: list[tuple[int, tuple]] | None = None,
+    deadline_ms: float | None = None,
+    baseline=None,
+    reset_cache_stats: bool = True,
+) -> ClusterReplayReport:
+    """Replay ``requests`` day by day through the router.
+
+    ``baseline`` (optional) is a callable ``sql -> sorted row strings or
+    None`` — typically the single-server twin's fault-free engine — used
+    to verify every completed request's rows bit-for-bit; the
+    differential suite passes it to prove the cluster answers exactly
+    what one server would.
+
+    ``reset_cache_stats`` zeroes the metadata-cache hit/miss counters
+    before the first request so the reported ``hit_rate`` covers only
+    this replay (warm entries from router startup are kept — that *is*
+    the warmup).
+    """
+    report = ClusterReplayReport(
+        requests=len(requests), shards=len(router.ring)
+    )
+    by_day: dict[int, list[ReplayRequest]] = {}
+    for request in requests:
+        by_day.setdefault(request.day, []).append(request)
+    events_by_day: dict[int, list[tuple]] = {}
+    for day, paths in stats_events or ():
+        events_by_day.setdefault(day, []).append(paths)
+    if reset_cache_stats:
+        router.metacache.reset_stats()
+    if not by_day:
+        report.metadata_cache = router.metacache.snapshot()
+        report.status = router.status()
+        return report
+    started = time.perf_counter()
+    last_day = max(by_day)
+    # The virtual clock is shard-local; every shard was built from the
+    # same spec, so they share one seconds-per-day constant.
+    spd = float(dict(router.spec.server).get("seconds_per_day", 86400.0))
+    for day in range(min(by_day), last_day + 1):
+        day_requests = by_day.get(day, [])
+        futures = [
+            (
+                r,
+                router.submit(
+                    r.sql, tenant=r.tenant, day=r.day, deadline_ms=deadline_ms
+                ),
+            )
+            for r in day_requests
+        ]
+        for paths in events_by_day.get(day, ()):
+            router.ingest(day, paths)
+        for request, future in futures:
+            try:
+                response = future.result()
+                report.completed += 1
+            except ShardCrashError:
+                report.crash_failed += 1
+                continue
+            except AdmissionError:
+                report.shed += 1
+                continue
+            except DeadlineExceededError:
+                report.deadline_exceeded += 1
+                continue
+            except QueryCancelledError:
+                report.cancelled += 1
+                continue
+            except Exception:
+                report.failed += 1
+                continue
+            shard_id = response["shard"]
+            report.per_shard_completed[shard_id] = (
+                report.per_shard_completed.get(shard_id, 0) + 1
+            )
+            if baseline is not None:
+                expected = baseline(request.sql)
+                if expected is None:
+                    continue
+                if sorted(map(str, response["rows"])) == expected:
+                    report.verified += 1
+                else:
+                    report.mismatched += 1
+        # Midnight broadcast: every shard crosses into day+1 (each runs
+        # its own predict/score/build/swap) while this day's stragglers
+        # may still be draining — same interleaving as single-process.
+        if day < last_day:
+            router.advance_to((day + 1) * spd)
+    report.days = len(by_day)
+    report.wall_seconds = time.perf_counter() - started
+    report.metadata_cache = router.metacache.snapshot()
+    report.status = router.status()
+    return report

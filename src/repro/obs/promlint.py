@@ -75,9 +75,15 @@ def _split_labels(body: str) -> list[str]:
     return parts
 
 
-def validate_text(text: str) -> list[str]:
+def validate_text(text: str, max_series: int | None = None) -> list[str]:
     """All format violations found, as human-readable strings (empty
-    list == the exposition is well-formed)."""
+    list == the exposition is well-formed).
+
+    ``max_series`` caps the total number of samples (time series) in the
+    exposition — the cardinality gate for multi-shard aggregation, where
+    every shard multiplies each labelled family's series count. Exceeding
+    it is reported as one violation naming the worst-offending family.
+    """
     errors: list[str] = []
     declared_types: dict[str, str] = {}
     samples: dict[str, list[tuple[dict[str, str], float]]] = {}
@@ -188,6 +194,14 @@ def validate_text(text: str) -> list[str]:
             )
             if bucket_count and not inf_buckets:
                 errors.append(f"histogram {name}: no +Inf bucket")
+    if max_series is not None:
+        total = sum(len(series) for series in samples.values())
+        if total > max_series:
+            worst = max(samples, key=lambda name: len(samples[name]))
+            errors.append(
+                f"cardinality: {total} series exceeds cap {max_series} "
+                f"(largest family: {worst} with {len(samples[worst])})"
+            )
     return errors
 
 
@@ -220,12 +234,21 @@ def _sample_names(text: str, base: str) -> list[str]:
 
 def main(argv: list[str] | None = None) -> int:
     """Read an exposition from a file (or stdin) and report violations."""
-    argv = argv if argv is not None else sys.argv[1:]
+    argv = list(argv) if argv is not None else sys.argv[1:]
+    max_series: int | None = None
+    if "--max-series" in argv:
+        index = argv.index("--max-series")
+        try:
+            max_series = int(argv[index + 1])
+        except (IndexError, ValueError):
+            print("promlint: --max-series needs an integer", file=sys.stderr)
+            return 2
+        del argv[index : index + 2]
     if argv and argv[0] != "-":
         text = open(argv[0], encoding="utf-8").read()
     else:
         text = sys.stdin.read()
-    errors = validate_text(text)
+    errors = validate_text(text, max_series=max_series)
     for error in errors:
         print(error, file=sys.stderr)
     if errors:

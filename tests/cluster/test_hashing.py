@@ -1,0 +1,88 @@
+"""Consistent-hash ring: stability, minimal movement, determinism."""
+
+from repro.cluster.hashing import HashRing, route_key
+
+
+def _keys(n: int = 2000) -> list[str]:
+    return [
+        route_key(f"tenant-{t:02d}", "prod", f"t_q{q}")
+        for t in range(n // 10)
+        for q in range(1, 11)
+    ]
+
+
+class TestRouteKey:
+    def test_distinct_tenants_distinct_keys(self):
+        assert route_key("a", "prod", "t") != route_key("b", "prod", "t")
+
+    def test_separator_prevents_ambiguity(self):
+        # "ab" + "c.t" must not collide with "a" + "bc.t".
+        assert route_key("ab", "c", "t") != route_key("a", "bc", "t")
+
+
+class TestRingBasics:
+    def test_every_key_lands_on_a_member(self):
+        ring = HashRing(range(4))
+        for key in _keys(200):
+            assert ring.node_for(key) in (0, 1, 2, 3)
+
+    def test_single_node_owns_everything(self):
+        ring = HashRing([7])
+        assert all(ring.node_for(k) == 7 for k in _keys(100))
+
+    def test_distribution_is_roughly_even(self):
+        ring = HashRing(range(4), replicas=64)
+        counts = {n: 0 for n in range(4)}
+        keys = _keys(2000)
+        for key in keys:
+            counts[ring.node_for(key)] += 1
+        # With 64 vnodes/node the max/min spread stays modest.
+        assert min(counts.values()) > len(keys) / 4 / 3
+
+    def test_deterministic_across_instances(self):
+        a, b = HashRing(range(5)), HashRing(range(5))
+        assert a.assignment(_keys(500)) == b.assignment(_keys(500))
+
+
+class TestRestartStability:
+    def test_rebuild_moves_zero_keys(self):
+        """A router restart (same shard-id set) reassigns nothing — the
+        property that makes crash-respawn invisible to routing."""
+        keys = _keys(2000)
+        before = HashRing(range(4)).assignment(keys)
+        after = HashRing(range(4)).assignment(keys)
+        assert before == after
+
+    def test_remove_then_readd_restores_placement(self):
+        keys = _keys(1000)
+        ring = HashRing(range(4))
+        before = ring.assignment(keys)
+        ring.remove(2)
+        ring.add(2)
+        assert ring.assignment(keys) == before
+
+
+class TestResizeMovement:
+    def test_grow_moves_only_the_new_shards_share(self):
+        """N -> N+1 moves roughly 1/(N+1) of keys, and every moved key
+        moves *to* the new shard (never between survivors)."""
+        keys = _keys(4000)
+        for n in (2, 4, 8):
+            old = HashRing(range(n)).assignment(keys)
+            new = HashRing(range(n + 1)).assignment(keys)
+            moved = {k for k in keys if old[k] != new[k]}
+            assert all(new[k] == n for k in moved)
+            fraction = len(moved) / len(keys)
+            # Expect ~1/(n+1); allow generous slack for vnode variance.
+            assert fraction < 2.5 / (n + 1), (n, fraction)
+            assert fraction > 0, n
+
+    def test_shrink_moves_only_the_lost_shards_keys(self):
+        keys = _keys(2000)
+        big = HashRing(range(5)).assignment(keys)
+        ring = HashRing(range(5))
+        ring.remove(4)
+        small = ring.assignment(keys)
+        for key in keys:
+            if big[key] != 4:
+                assert small[key] == big[key]

@@ -1,0 +1,211 @@
+"""RPC framing, multiplexing, and typed error envelopes.
+
+The regression contract of satellite concern #1: a ``QueryShedError``
+crossing the router keeps its ``retry_after_seconds`` and message, so a
+cluster client backs off exactly like a single-server client.
+"""
+
+import socket
+import threading
+
+import pytest
+
+from repro.cluster.rpc import (
+    MAX_FRAME_BYTES,
+    RpcConnection,
+    RpcError,
+    ShardConnectionError,
+    decode_error,
+    encode_error,
+    recv_frame,
+    send_frame,
+)
+from repro.engine.errors import (
+    DeadlineExceededError,
+    ExecutionError,
+    QueryCancelledError,
+)
+from repro.server.admission import (
+    AdmissionTimeout,
+    QueryShedError,
+    QueueFullError,
+)
+
+
+class TestFraming:
+    def test_round_trip(self):
+        a, b = socket.socketpair()
+        try:
+            send_frame(a, {"op": "ping", "id": 3})
+            assert recv_frame(b) == {"op": "ping", "id": 3}
+        finally:
+            a.close()
+            b.close()
+
+    def test_peer_close_raises_connection_error(self):
+        a, b = socket.socketpair()
+        a.close()
+        with pytest.raises(ShardConnectionError):
+            recv_frame(b)
+        b.close()
+
+    def test_oversized_frame_refused(self):
+        a, b = socket.socketpair()
+        try:
+            import struct
+
+            a.sendall(struct.pack("<I", MAX_FRAME_BYTES + 1))
+            with pytest.raises(ShardConnectionError):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+
+class TestErrorEnvelopes:
+    def test_query_shed_error_fields_round_trip(self):
+        original = QueryShedError(
+            "tenant 'x': queue cannot drain in time",
+            retry_after_seconds=0.375,
+        )
+        rebuilt = decode_error(encode_error(original))
+        assert isinstance(rebuilt, QueryShedError)
+        assert rebuilt.retry_after_seconds == 0.375
+        assert str(rebuilt) == str(original)
+
+    def test_shed_reason_text_survives(self):
+        for reason in (
+            "queue full",
+            "admission timed out",
+            "memory pressure: shedding cold queries",
+        ):
+            rebuilt = decode_error(
+                encode_error(QueryShedError(reason, retry_after_seconds=1.5))
+            )
+            assert str(rebuilt) == reason
+            assert rebuilt.retry_after_seconds == 1.5
+
+    @pytest.mark.parametrize(
+        "exc_type",
+        [
+            QueueFullError,
+            AdmissionTimeout,
+            DeadlineExceededError,
+            QueryCancelledError,
+            ExecutionError,
+        ],
+    )
+    def test_typed_errors_round_trip(self, exc_type):
+        rebuilt = decode_error(encode_error(exc_type("boom")))
+        assert type(rebuilt) is exc_type
+        assert "boom" in str(rebuilt)
+
+    def test_unknown_type_degrades_to_rpc_error(self):
+        rebuilt = decode_error({"type": "WeirdError", "message": "m"})
+        assert isinstance(rebuilt, RpcError)
+        assert "WeirdError" in str(rebuilt)
+
+
+def _echo_shard(sock: socket.socket, reorder: bool = False) -> None:
+    """A fake shard: echoes requests, optionally answering out of order,
+    raising a shed error when asked."""
+    pending = []
+    while True:
+        try:
+            request = recv_frame(sock)
+        except ShardConnectionError:
+            return
+        if request.get("op") == "shed":
+            response = {
+                "id": request["id"],
+                "ok": False,
+                "v": {"catalog": 1, "generation": 0},
+                "error": encode_error(
+                    QueryShedError("deadline too tight", 0.25)
+                ),
+            }
+        else:
+            response = {
+                "id": request["id"],
+                "ok": True,
+                "v": {"catalog": 1, "generation": 0},
+                "echo": request.get("value"),
+            }
+        if reorder:
+            pending.append(response)
+            if len(pending) < 2:
+                continue
+            pending.reverse()
+            for queued in pending:
+                send_frame(sock, queued)
+            pending = []
+        else:
+            send_frame(sock, response)
+
+
+class TestRpcConnection:
+    def test_call_returns_payload(self):
+        a, b = socket.socketpair()
+        threading.Thread(target=_echo_shard, args=(b,), daemon=True).start()
+        conn = RpcConnection(a)
+        assert conn.call("echo", value=41)["echo"] == 41
+        conn.close()
+
+    def test_out_of_order_responses_reach_their_callers(self):
+        a, b = socket.socketpair()
+        threading.Thread(
+            target=_echo_shard, args=(b, True), daemon=True
+        ).start()
+        conn = RpcConnection(a)
+        results = {}
+
+        def call(value):
+            results[value] = conn.call("echo", value=value)["echo"]
+
+        threads = [
+            threading.Thread(target=call, args=(v,)) for v in (1, 2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert results == {1: 1, 2: 2}
+        conn.close()
+
+    def test_shed_error_raises_typed_with_fields(self):
+        a, b = socket.socketpair()
+        threading.Thread(target=_echo_shard, args=(b,), daemon=True).start()
+        conn = RpcConnection(a)
+        with pytest.raises(QueryShedError) as info:
+            conn.call("shed")
+        assert info.value.retry_after_seconds == 0.25
+        conn.close()
+
+    def test_version_observer_sees_every_response(self):
+        a, b = socket.socketpair()
+        threading.Thread(target=_echo_shard, args=(b,), daemon=True).start()
+        conn = RpcConnection(a)
+        seen = []
+        conn.version_observer = seen.append
+        conn.call("echo", value=1)
+        conn.call("echo", value=2)
+        assert seen == [{"catalog": 1, "generation": 0}] * 2
+        conn.close()
+
+    def test_dead_socket_fails_in_flight_calls(self):
+        a, b = socket.socketpair()
+        conn = RpcConnection(a)
+        errors = []
+
+        def call():
+            try:
+                conn.call("echo", value=1, timeout=10)
+            except ShardConnectionError as exc:
+                errors.append(exc)
+
+        thread = threading.Thread(target=call)
+        thread.start()
+        b.close()
+        thread.join(timeout=10)
+        assert len(errors) == 1
+        conn.close()

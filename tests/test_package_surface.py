@@ -35,6 +35,7 @@ class TestAllExports:
             "repro.server",
             "repro.faults",
             "repro.obs",
+            "repro.cluster",
         ],
     )
     def test_all_names_resolve(self, module_name):
@@ -91,6 +92,12 @@ class TestDocstrings:
             "repro.server.status",
             "repro.server.replay",
             "repro.server.config",
+            "repro.cluster.hashing",
+            "repro.cluster.rpc",
+            "repro.cluster.metacache",
+            "repro.cluster.shard",
+            "repro.cluster.router",
+            "repro.cluster.replay",
             "repro.obs.trace",
             "repro.obs.instrument",
             "repro.obs.explain",
